@@ -1,0 +1,107 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+A. Without -ffunction-sections, pre-post differencing loses function
+   granularity: a one-line patch makes the unit's whole merged .text
+   differ, so the differ can no longer say *which* functions changed.
+B. Without run-pre matching, symbol resolution falls back to the kernel
+   symbol table; counting across the corpus shows how many updates
+   would fail on ambiguous names alone.
+C. Without object-level differencing, source differencing misses the
+   callers of inlined functions; counting across the corpus shows how
+   many updates would be silently unsafe.
+"""
+
+from repro.compiler import CompilerOptions
+from repro.core import diff_objects
+from repro.core.objdiff import SectionStatus
+from repro.evaluation import CORPUS
+from repro.evaluation.kernels import kernel_for_version
+from repro.kbuild import build_units
+
+SPLIT = CompilerOptions().pre_post_flavor()
+MERGED = CompilerOptions()
+
+
+def _pre_post(spec, options):
+    kernel = kernel_for_version(spec.kernel_version)
+    fixed = kernel.fixed_tree(spec.cve_id, augmented=False)
+    pre = build_units(kernel.tree, [spec.unit], options)
+    post = build_units(fixed, [spec.unit], options)
+    return (pre.object_for(spec.unit), post.object_for(spec.unit))
+
+
+def test_ablation_function_sections_vs_merged(benchmark):
+    """A: the same one-function patch diffed under both layouts."""
+    spec = next(s for s in CORPUS if s.cve_id == "CVE-2006-2451")
+
+    def diff_both():
+        split_diff = diff_objects(*_pre_post(spec, SPLIT))
+        merged_diff = diff_objects(*_pre_post(spec, MERGED))
+        return split_diff, merged_diff
+
+    split_diff, merged_diff = benchmark.pedantic(diff_both, rounds=1,
+                                                 iterations=1)
+    # Function-sections: precise per-function verdicts.
+    assert split_diff.changed_functions == ["sys_prctl"]
+    assert split_diff.section_status[".text.sys_do_coredump"] is \
+        SectionStatus.UNCHANGED
+    # Merged: the whole .text changed; granularity is gone.
+    assert merged_diff.section_status[".text"] is SectionStatus.CHANGED
+    assert merged_diff.changed_functions == []
+    print("\nsplit build: changed functions = %s"
+          % split_diff.changed_functions)
+    print("merged build: only knows '.text changed' — cannot extract "
+          "per-function replacement code")
+
+
+def test_ablation_kallsyms_only_resolution(corpus_report, benchmark):
+    """B: how many of the 64 updates reference at least one symbol a
+    symbol-table-only resolver cannot disambiguate."""
+    count = benchmark(corpus_report.ambiguous_count)
+    print("\nupdates that would fail under kallsyms-only resolution: "
+          "%d/64; with run-pre matching: 0 failures" % count)
+    assert count == 5
+    assert all(r.success for r in corpus_report.results
+               if r.ambiguous_symbol)
+
+
+def test_ablation_source_level_differencing(corpus_report, benchmark):
+    """C: how many updates would silently miss inlined copies under
+    source-level differencing."""
+    count = benchmark(corpus_report.inlined_count)
+    print("\nupdates whose patched function is inlined in the run "
+          "kernel: %d/64 — source differencing would leave each "
+          "stale copy running" % count)
+    assert count == 20
+
+
+def test_ablation_whole_function_granularity(benchmark):
+    """Why whole-function replacement + entry jumps: the stack check
+    only needs to prove no thread is *inside* a replaced function, not
+    reason about arbitrary mid-function patch points."""
+    from repro.core import KspliceCore, ksplice_create
+    from repro.kbuild import SourceTree
+    from repro.kernel import boot_kernel
+    from repro.patch import make_patch
+
+    tree = SourceTree(version="gran", files={"k.c": """
+int depth;
+int leaf(int x) { depth++; return x + 1; }
+int trunk(int x) { return leaf(x) * 2; }
+"""})
+    new_files = {"k.c": tree.files["k.c"].replace("return x + 1;",
+                                                  "return x + 2;")}
+
+    def run():
+        machine = boot_kernel(tree)
+        core = KspliceCore(machine)
+        pack = ksplice_create(tree, make_patch(tree.files, new_files))
+        core.apply(pack)
+        return pack.all_changed_functions(), \
+            machine.call_function("trunk", [10])
+
+    changed, value = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Only the changed function is replaced — callers keep their code
+    # and reach the new body through the entry jump.
+    assert changed == ["leaf"]
+    assert value == 24

@@ -1,0 +1,34 @@
+"""Figure 3: number of patches by patch length.
+
+Regenerates the histogram of the 64 security patches binned by changed
+source lines (bin width 5, final bin "inf"), and checks the paper's two
+headline counts: 35 patches needed <= 5 changed lines and 53 needed
+<= 15.
+"""
+
+
+def test_figure3_patch_length_histogram(corpus_report, benchmark):
+    histogram = benchmark(corpus_report.patch_length_histogram)
+
+    print("\nFigure 3: Number of patches by patch length")
+    print("%-8s %-6s %s" % ("lines", "count", ""))
+    for bucket, count in histogram.items():
+        if count:
+            print("%-8s %-6d %s" % (bucket, count, "#" * count))
+
+    assert sum(histogram.values()) == 64
+    # Paper: "53 vulnerabilities were corrected in 15 or fewer lines of
+    # source code changes, and 35 vulnerabilities ... in 5 or fewer".
+    assert corpus_report.patches_at_most(5) == 35
+    assert corpus_report.patches_at_most(15) == 53
+    assert histogram["inf"] == 0
+
+
+def test_figure3_most_patches_are_small(corpus_report, benchmark):
+    sizes = benchmark(lambda: sorted(r.patch_lines
+                                     for r in corpus_report.results))
+    # The distribution is heavily left-weighted: the median patch is
+    # tiny, the tail is long (largest fixes fall in the 61-80 bin).
+    median = sizes[len(sizes) // 2]
+    assert median <= 5
+    assert max(sizes) <= 80

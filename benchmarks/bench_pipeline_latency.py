@@ -1,0 +1,86 @@
+"""Pipeline latency: the practicality claims behind §2 and §5.
+
+The paper's workflow is two shell commands; nothing in it may be slow
+enough to discourage use.  These benchmarks time the three stages —
+ksplice-create (two incremental builds + differencing + extraction),
+pack serialization, and ksplice-apply (helper load, run-pre matching,
+primary load, stop_machine window) — and how matching scales with the
+size of the patched unit.
+"""
+
+import pytest
+
+from repro.core import KspliceCore, UpdatePack, ksplice_create
+from repro.evaluation import corpus_by_id
+from repro.evaluation.kernels import kernel_for_version
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+SPEC = None
+
+
+def _setup():
+    spec = corpus_by_id("CVE-2006-3626")
+    kernel = kernel_for_version(spec.kernel_version)
+    return spec, kernel
+
+
+def test_ksplice_create_latency(benchmark):
+    spec, kernel = _setup()
+    patch = kernel.patch_for(spec.cve_id)
+    pack = benchmark(lambda: ksplice_create(kernel.tree, patch))
+    assert pack.units
+
+
+def test_pack_serialization_roundtrip_latency(benchmark):
+    spec, kernel = _setup()
+    pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
+
+    def roundtrip():
+        return UpdatePack.from_bytes(pack.to_bytes())
+
+    back = benchmark(roundtrip)
+    assert back.update_id == pack.update_id
+
+
+def test_ksplice_apply_latency(benchmark):
+    spec, kernel = _setup()
+    raw = ksplice_create(kernel.tree,
+                         kernel.patch_for(spec.cve_id)).to_bytes()
+
+    def apply_once():
+        machine = boot_kernel(kernel.tree)
+        core = KspliceCore(machine)
+        return core.apply(UpdatePack.from_bytes(raw))
+
+    applied = benchmark.pedantic(apply_once, rounds=3, iterations=1)
+    assert applied.replaced
+
+
+@pytest.mark.parametrize("functions", [4, 16, 64])
+def test_matching_scales_with_unit_size(functions, benchmark):
+    """Run-pre matching is linear in unit size: more functions in the
+    optimization unit mean proportionally more matching work, not
+    worse."""
+    from repro.compiler import CompilerOptions
+    from repro.core.runpre import RunPreMatcher
+    from repro.kbuild import build_units
+
+    body = "\n".join("""
+int probe_%d(int x) {
+    int acc = %d;
+    for (int i = 0; i < (x & 7); i++) { acc += i * %d; }
+    return acc;
+}
+""" % (i, i, i + 1) for i in range(functions))
+    tree = SourceTree(version="scale-%d" % functions,
+                      files={"u.c": body})
+    machine = boot_kernel(tree)
+    pre = build_units(tree, ["u.c"],
+                      CompilerOptions().pre_post_flavor()
+                      ).object_for("u.c")
+    matcher = RunPreMatcher(memory=machine.memory,
+                            kallsyms=machine.image.kallsyms)
+    result = benchmark(lambda: matcher.match_unit(pre))
+    assert len(result.matched_functions) == functions

@@ -1,0 +1,61 @@
+"""§5.1: helper vs primary module sizes.
+
+Paper: "Since the helper module must contain the entire optimization
+unit corresponding to each patched function, it can be much larger than
+the primary module" — and that is why helpers are unloaded after run-pre
+matching succeeds.
+"""
+
+
+def test_helper_modules_larger_than_primaries(corpus_report, benchmark):
+    def collect():
+        return [(r.cve_id, r.helper_bytes, r.primary_bytes)
+                for r in corpus_report.results if r.applied_cleanly]
+
+    rows = benchmark(collect)
+    total_helper = sum(h for _, h, _ in rows)
+    total_primary = sum(p for _, _, p in rows)
+    ratios = sorted(h / p for _, h, p in rows if p)
+
+    print("\nmodule bytes across 64 updates: helper %d, primary %d "
+          "(ratio %.1fx overall; per-update median %.1fx, max %.1fx)"
+          % (total_helper, total_primary,
+             total_helper / max(total_primary, 1),
+             ratios[len(ratios) // 2], ratios[-1]))
+    biggest = sorted(rows, key=lambda r: r[1] - r[2], reverse=True)[:5]
+    print("largest helper/primary gaps:")
+    for cve, helper, primary in biggest:
+        print("  %-14s helper %6d B, primary %6d B" % (cve, helper,
+                                                       primary))
+
+    assert total_helper > total_primary
+    # For most updates the helper is strictly larger (the whole unit vs
+    # the changed functions); the median ratio exceeds 1.5x.
+    assert ratios[len(ratios) // 2] > 1.5
+
+
+def test_helpers_unloaded_after_apply(benchmark):
+    """Resident module memory after an update equals the primary plus
+    the core module; the helper is gone."""
+    from repro.core import KspliceCore, ksplice_create
+    from repro.evaluation import corpus_by_id
+    from repro.evaluation.kernels import kernel_for_version
+    from repro.kernel import boot_kernel
+
+    spec = corpus_by_id("CVE-2006-3626")
+    kernel = kernel_for_version(spec.kernel_version)
+
+    def run():
+        machine = boot_kernel(kernel.tree)
+        core = KspliceCore(machine)
+        base = machine.loader.resident_bytes()
+        applied = core.apply(ksplice_create(kernel.tree,
+                                            kernel.patch_for(spec.cve_id)))
+        return machine.loader.resident_bytes() - base, applied
+
+    growth, applied = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nresident growth %d bytes == primary %d bytes; helper "
+          "(%d bytes) unloaded after matching"
+          % (growth, applied.primary_bytes, applied.helper_bytes))
+    assert growth == applied.primary_bytes
+    assert applied.helper_bytes > applied.primary_bytes

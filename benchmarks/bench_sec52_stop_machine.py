@@ -1,0 +1,80 @@
+"""§2/§5.2: the stop_machine window.
+
+Paper: "Ksplice's call to stop_machine takes about 0.7 milliseconds to
+execute.  During part of that time, other threads cannot be scheduled."
+and "normal operation of the system is only interrupted for about 0.7
+milliseconds ... the operating system's state is not disrupted."
+
+Absolute times depend on the host; the benchmark verifies the shape:
+the stopped window is short (sub-millisecond to low-millisecond wall
+clock for hook-free updates), *zero* simulated instructions run while
+stopped, and threads resume exactly where they were.
+"""
+
+from repro.core import KspliceCore, ksplice_create
+from repro.evaluation import corpus_by_id
+from repro.evaluation.kernels import kernel_for_version
+from repro.kernel import boot_kernel
+
+
+def _fresh():
+    spec = corpus_by_id("CVE-2006-2451")
+    kernel = kernel_for_version(spec.kernel_version)
+    machine = boot_kernel(kernel.tree)
+    return spec, kernel, machine
+
+
+def test_stop_machine_window_duration(benchmark):
+    spec, kernel, machine = _fresh()
+    pack_bytes = ksplice_create(kernel.tree,
+                                kernel.patch_for(spec.cve_id)).to_bytes()
+
+    def apply_once():
+        fresh = boot_kernel(kernel.tree)
+        core = KspliceCore(fresh)
+        from repro.core import UpdatePack
+
+        applied = core.apply(UpdatePack.from_bytes(pack_bytes))
+        return applied.stop_report
+
+    report = benchmark.pedantic(apply_once, rounds=5, iterations=1)
+    print("\nstop_machine window: %.3f ms wall (paper: ~0.7 ms), "
+          "%d simulated instructions executed while stopped"
+          % (report.wall_milliseconds, report.instructions_during_stop))
+    assert report.instructions_during_stop == 0
+    assert report.wall_milliseconds < 100
+
+
+def test_no_thread_progress_during_stop(benchmark):
+    spec, kernel, machine = _fresh()
+    core = KspliceCore(machine)
+    spinner = machine.load_user_program(
+        "int main(void) { return __syscall(10, 1000000, 0, 0); }",
+        name="spinner")
+    machine.run(max_instructions=5_000)
+    before = spinner.instructions_executed
+
+    pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
+
+    def apply_and_measure():
+        applied = core.apply(pack)
+        return spinner.instructions_executed, applied
+
+    progressed, applied = benchmark.pedantic(apply_and_measure,
+                                             rounds=1, iterations=1)
+    # The spinner may run during stack-check *retries* (the machine runs
+    # between attempts), but never inside the stopped window itself.
+    assert applied.stop_report.instructions_during_stop == 0
+    # And it resumes afterwards, state intact.
+    machine.run(max_instructions=20_000)
+    assert spinner.instructions_executed > progressed
+
+
+def test_corpus_stop_windows(corpus_report, benchmark):
+    stops = benchmark(lambda: sorted(
+        r.stop_ms for r in corpus_report.results if r.applied_cleanly))
+    median = stops[len(stops) // 2]
+    print("\nstop_machine across 64 updates: median %.3f ms, "
+          "p90 %.3f ms, max %.3f ms (paper: ~0.7 ms)"
+          % (median, stops[int(len(stops) * 0.9)], stops[-1]))
+    assert median < 100

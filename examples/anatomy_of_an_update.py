@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Anatomy of a hot update: every pipeline stage, shown with real data.
+
+Walks one patch through the full Ksplice pipeline, printing what each
+stage actually produced: the pre/post object code difference, the
+extracted primary object (disassembled, relocations annotated), the
+run-pre matching results including a solved ambiguous symbol, the
+redirection jump bytes written into the running kernel, and the core's
+status view afterwards.
+"""
+
+from repro import CompilerOptions, KspliceCore, SourceTree, boot_kernel, \
+    ksplice_create
+from repro.arch.disassembler import disassemble_one
+from repro.core import diff_objects
+from repro.core.objdiff import SectionStatus
+from repro.kbuild import build_units
+from repro.patch import make_patch
+from repro.tools import dump_object_text
+
+TREE = SourceTree(version="anatomy-1.0", files={
+    "drivers/dst.c": """
+static int debug;
+int dst_ready(void) { debug = 7; return debug; }
+""",
+    "drivers/dst_ca.c": """
+static int debug;
+int dst_ca_slots[4] = { 5, 6, 7, 8 };
+
+int ca_get_slot_info(int slot) {
+    debug = slot;
+    if (slot < 0) { return -22; }
+    return dst_ca_slots[slot & 7];
+}
+""",
+})
+
+PATCHED = TREE.files["drivers/dst_ca.c"].replace(
+    "    if (slot < 0) { return -22; }\n    return dst_ca_slots[slot & 7];",
+    "    if (slot < 0 || slot > 3) { return -22; }\n"
+    "    return dst_ca_slots[slot & 3];")
+
+
+def main() -> None:
+    flavor = CompilerOptions().pre_post_flavor()
+
+    print("STAGE 0: the running kernel (merged .text, no relocations "
+          "left)\n")
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    kallsyms = machine.image.kallsyms
+    print("kallsyms has %d symbols; 'debug' is ambiguous: %s\n"
+          % (kallsyms.total_symbols(),
+             [hex(e.address) + " (" + e.unit + ")"
+              for e in kallsyms.candidates("debug")]))
+
+    print("STAGE 1: pre and post builds (-ffunction-sections "
+          "-fdata-sections)\n")
+    files = dict(TREE.files)
+    files["drivers/dst_ca.c"] = PATCHED
+    patch = make_patch(TREE.files, files)
+    print(patch)
+    post_tree = TREE.patched(patch)
+    pre_obj = build_units(TREE, ["drivers/dst_ca.c"],
+                          flavor).object_for("drivers/dst_ca.c")
+    post_obj = build_units(post_tree, ["drivers/dst_ca.c"],
+                           flavor).object_for("drivers/dst_ca.c")
+
+    print("STAGE 2: pre-post differencing\n")
+    diff = diff_objects(pre_obj, post_obj)
+    for name, status in diff.section_status.items():
+        if status is not SectionStatus.UNCHANGED:
+            print("  %-28s %s" % (name, status.value))
+    print("  changed functions: %s\n" % diff.changed_functions)
+
+    print("STAGE 3: the extracted primary object (replacement code)\n")
+    pack = ksplice_create(TREE, patch, description="bound the slot index")
+    print(dump_object_text(pack.units[0].primary))
+
+    print("\nSTAGE 4: ksplice-apply — run-pre matching solves 'debug'\n")
+    old_bytes = machine.read_bytes(kallsyms.unique_address(
+        "ca_get_slot_info"), 5)
+    applied = core.apply(pack)
+    result = applied.runpre_results["drivers/dst_ca.c"]
+    print("  matched functions: %s"
+          % {n: hex(a) for n, a in result.matched_functions.items()})
+    print("  solved 'debug' = %s  (dst_ca.c's own instance, not "
+          "dst.c's %s)"
+          % (hex(result.value_of("debug")),
+             hex(next(e.address for e in kallsyms.candidates("debug")
+                      if e.unit == "drivers/dst.c"))))
+    print("  bytes verified: %d, relocations solved: %d"
+          % (result.bytes_matched, result.relocations_solved))
+
+    print("\nSTAGE 5: the redirection jump\n")
+    replaced = applied.replaced[0]
+    new_bytes = machine.read_bytes(replaced.old_address, 5)
+    jump = disassemble_one(new_bytes)
+    print("  %s entry before: %s" % (replaced.name, old_bytes.hex()))
+    print("  %s entry after:  %s  (%s -> 0x%08x)"
+          % (replaced.name, new_bytes.hex(), jump.mnemonic,
+             replaced.old_address + jump.length
+             + jump.instruction.operands[0]))
+    print("  saved bytes for undo: %s" % replaced.saved_bytes.hex())
+
+    print("\nSTAGE 6: status and behaviour\n")
+    print(core.render_status())
+    print()
+    print("  ca_get_slot_info(2) = %d"
+          % machine.call_function("ca_get_slot_info", [2]))
+    over = machine.call_function("ca_get_slot_info", [4])
+    print("  ca_get_slot_info(4) = %d  (out-of-range now refused)"
+          % (over - (1 << 32) if over >= (1 << 31) else over))
+
+
+if __name__ == "__main__":
+    main()

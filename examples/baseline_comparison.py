@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Why the object-code layer matters: Ksplice vs a source-level updater.
+
+Runs the same three patches through Ksplice and through the honest
+source-level baseline (OPUS-style), reproducing §6.3's argument:
+
+1. a patch to a function that the compiler *inlined* into its caller —
+   the baseline reports success but leaves the stale inlined copy
+   running (silently unsafe); Ksplice replaces the caller too;
+2. a patch whose function touches an *ambiguous* static symbol name —
+   the baseline cannot resolve it from the symbol table; run-pre
+   matching recovers the right address from the run code;
+3. a patch to a pure *assembly* file — no source-level system for C can
+   express it; Ksplice uses the same machinery as for C.
+"""
+
+from repro import KspliceCore, ksplice_create
+from repro.baseline import SourceLevelUpdater
+from repro.evaluation import corpus_by_id
+from repro.evaluation.harness import _run_probe
+from repro.evaluation.kernels import kernel_for_version
+from repro.kernel import boot_kernel
+
+
+def run_case(cve_id: str, title: str) -> None:
+    spec = corpus_by_id(cve_id)
+    kernel = kernel_for_version(spec.kernel_version)
+    patch = kernel.patch_for(cve_id, augmented=False)
+    print("== %s: %s ==" % (cve_id, title))
+
+    # -- baseline ---------------------------------------------------------
+    machine = boot_kernel(kernel.tree)
+    updater = SourceLevelUpdater(machine)
+    result = updater.apply(kernel.tree, patch)
+    if not result.success:
+        print("  baseline: REFUSED (%s: %s)"
+              % (result.failure.name, result.detail or result.failure.value))
+    else:
+        print("  baseline: reports success, replaced %s"
+              % result.replaced_functions)
+        if spec.probe is not None:
+            value = _run_probe(machine, spec.probe)
+            if value == spec.probe.pre:
+                print("  baseline: ...but the vulnerability STILL "
+                      "TRIGGERS (stale inlined copy)")
+            else:
+                print("  baseline: fix effective")
+        if spec.exploit is not None:
+            uid = machine.run_user_program(kernel.exploit_source(spec),
+                                           name="bx-" + cve_id)
+            print("  baseline: exploit exit value %d" % uid)
+
+    # -- ksplice ---------------------------------------------------------
+    machine = boot_kernel(kernel.tree)
+    core = KspliceCore(machine)
+    pack = ksplice_create(kernel.tree, patch)
+    core.apply(pack)
+    print("  ksplice : applied cleanly, replaced %s"
+          % pack.all_changed_functions())
+    if spec.probe is not None:
+        value = _run_probe(machine, spec.probe)
+        print("  ksplice : fix %s"
+              % ("effective" if value == spec.probe.post else "INEFFECTIVE"))
+    if spec.exploit is not None:
+        uid = machine.run_user_program(kernel.exploit_source(spec),
+                                       name="kx-" + cve_id)
+        print("  ksplice : exploit exit value %d -> %s"
+              % (uid, "blocked" if uid in spec.exploit.blocked_values
+                 else "NOT blocked"))
+    print()
+
+
+def main() -> None:
+    run_case("CVE-2006-4997",
+             "patched guard is inlined into its caller")
+    run_case("CVE-2005-4639",
+             "patched function uses the ambiguous static 'debug'")
+    run_case("CVE-2007-4573",
+             "patch lands in the assembly syscall entry path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Hot-update distribution (§8 future work).
+
+A vendor publishes a series of security updates for one kernel release;
+a subscribed machine transparently catches up — each update stacking on
+the previous one (§5.4) — and can roll the newest one back.
+"""
+
+from repro import KspliceCore, SourceTree, boot_kernel
+from repro.core.distribution import Subscriber, UpdateChannel
+from repro.patch import make_patch
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 1
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+.section .data
+sys_call_table:
+    .word sys_query
+"""
+
+QUERY_V0 = """
+int query_floor = 0;
+
+int sys_query(int x, int b, int c) {
+    if (x < query_floor) { return -22; }
+    return x * 2;
+}
+"""
+
+TREE = SourceTree(version="distro-2.6.16", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/query.c": QUERY_V0,
+})
+
+QUERY_V1 = QUERY_V0.replace(
+    "if (x < query_floor) { return -22; }",
+    "if (x < query_floor || x > 1000) { return -22; }")
+QUERY_V2 = QUERY_V1.replace("return x * 2;", "return x * 2 + 1;")
+
+
+def patch_between(old, new):
+    return make_patch({"kernel/query.c": old, "arch/entry.s": ENTRY_S},
+                      {"kernel/query.c": new, "arch/entry.s": ENTRY_S})
+
+
+def main() -> None:
+    print("== vendor: publishing updates for %s ==" % TREE.version)
+    channel = UpdateChannel(TREE)
+    entry1 = channel.publish(patch_between(QUERY_V0, QUERY_V1),
+                             "CVE fix: bound query input")
+    entry2 = channel.publish(patch_between(QUERY_V1, QUERY_V2),
+                             "correctness fix: off-by-one in result")
+    for entry in (entry1, entry2):
+        print("  #%d %-40s %s" % (entry.sequence, entry.description,
+                                  entry.pack().update_id))
+
+    print("\n== subscriber machine boots the ORIGINAL release ==")
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    sub = Subscriber(core, channel)
+    print("sys_query(7) = %d   (original)"
+          % machine.call_function("sys_query", [7, 0, 0]))
+    print("pending updates: %d" % len(sub.pending()))
+
+    print("\n== subscriber syncs ==")
+    result = sub.sync()
+    print("applied %d updates without rebooting" % result.count)
+    print("sys_query(7)    = %d   (both fixes active)"
+          % machine.call_function("sys_query", [7, 0, 0]))
+    print("sys_query(5000) = %d (bounded by update #1)"
+          % (machine.call_function("sys_query", [5000, 0, 0])
+             - (1 << 32)))
+
+    print("\n== vendor publishes a third update; subscriber re-syncs ==")
+    channel.publish(patch_between(
+        QUERY_V2, QUERY_V2.replace("return x * 2 + 1;",
+                                   "return x * 3 + 1;")),
+        "behaviour change: triple")
+    sub.sync()
+    print("sys_query(7) = %d   (update #3 stacked on #1 and #2)"
+          % machine.call_function("sys_query", [7, 0, 0]))
+
+    print("\n== update #3 regresses a customer; roll it back ==")
+    sub.rollback_last()
+    print("sys_query(7) = %d   (back to #2's behaviour; #1 and #2 "
+          "remain applied)" % machine.call_function("sys_query",
+                                                    [7, 0, 0]))
+
+
+if __name__ == "__main__":
+    main()

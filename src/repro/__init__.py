@@ -1,0 +1,75 @@
+"""Ksplice reproduction: automatic rebootless kernel updates.
+
+This library reproduces *Ksplice: Automatic Rebootless Kernel Updates*
+(Arnold & Kaashoek, EuroSys 2009) end to end on a simulated substrate:
+a synthetic ISA (k86), an ELF-like object format (KELF), a C-subset
+compiler (MiniC/kcc), a linker, and a running simulated kernel whose
+threads execute real machine code.
+
+The three calls that mirror the paper's command-line workflow:
+
+>>> from repro import ksplice_create, KspliceCore, boot_kernel
+>>> machine = boot_kernel(tree)                 # the running kernel
+>>> pack = ksplice_create(tree, patch_text)     # ksplice-create
+>>> core = KspliceCore(machine)
+>>> applied = core.apply(pack)                  # ksplice-apply
+>>> core.undo(pack.update_id)                   # ksplice-undo
+
+See :mod:`repro.core` for the paper's techniques (pre-post differencing
+and run-pre matching), :mod:`repro.evaluation` for the 64-CVE section-6
+evaluation, and :mod:`repro.baseline` for the source-level comparator.
+"""
+
+from repro.compiler import CompilerOptions
+from repro.core import (
+    AppliedUpdate,
+    KspliceCore,
+    RunPreMatcher,
+    UpdatePack,
+    diff_objects,
+    ksplice_create,
+)
+from repro.errors import (
+    DataSemanticsError,
+    KspliceCreateError,
+    KspliceError,
+    ReproError,
+    RunPreMismatchError,
+    StackCheckError,
+    SymbolResolutionError,
+    UpdateStateError,
+)
+from repro.kbuild import KernelConfig, SourceTree, build_tree
+from repro.kernel import Machine, boot_kernel
+from repro.linker import link_kernel
+from repro.patch import apply_patch, make_patch, parse_patch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppliedUpdate",
+    "CompilerOptions",
+    "DataSemanticsError",
+    "KernelConfig",
+    "KspliceCore",
+    "KspliceCreateError",
+    "KspliceError",
+    "Machine",
+    "ReproError",
+    "RunPreMatcher",
+    "RunPreMismatchError",
+    "SourceTree",
+    "StackCheckError",
+    "SymbolResolutionError",
+    "UpdatePack",
+    "UpdateStateError",
+    "apply_patch",
+    "boot_kernel",
+    "build_tree",
+    "diff_objects",
+    "ksplice_create",
+    "link_kernel",
+    "make_patch",
+    "parse_patch",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""k86: the synthetic 32-bit ISA used by the simulated kernel.
+
+k86 deliberately reproduces the x86 properties that the Ksplice paper's
+run-pre matching must handle:
+
+* variable-length instructions,
+* pc-relative control transfers with *short* (rel8) and *long* (rel32)
+  encodings of the same operation,
+* multi-byte no-op sequences emitted by the assembler for alignment,
+* absolute 32-bit memory operands that the object format relocates.
+
+The package provides the instruction table (:mod:`repro.arch.isa`), an
+assembler (:mod:`repro.arch.assembler`), a disassembler
+(:mod:`repro.arch.disassembler`), and nop-sequence helpers
+(:mod:`repro.arch.nops`).
+"""
+
+from repro.arch.isa import (
+    Instruction,
+    Opcode,
+    OperandKind,
+    REGISTER_NAMES,
+    REG_FP,
+    REG_SP,
+    decode_instruction,
+    encode_instruction,
+    instruction_length,
+    spec_for,
+)
+from repro.arch.assembler import Assembler, assemble
+from repro.arch.disassembler import disassemble, disassemble_one, format_instruction
+from repro.arch.nops import is_nop, longest_nop_at, nop_sequence
+
+__all__ = [
+    "Assembler",
+    "Instruction",
+    "Opcode",
+    "OperandKind",
+    "REGISTER_NAMES",
+    "REG_FP",
+    "REG_SP",
+    "assemble",
+    "decode_instruction",
+    "disassemble",
+    "disassemble_one",
+    "encode_instruction",
+    "format_instruction",
+    "instruction_length",
+    "is_nop",
+    "longest_nop_at",
+    "nop_sequence",
+    "spec_for",
+]

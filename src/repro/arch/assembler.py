@@ -1,0 +1,421 @@
+"""Two-pass assembler for k86 with branch relaxation.
+
+The assembler consumes a list of structured items (labels, instructions,
+alignment and data directives) and produces raw bytes plus label offsets
+and relocation requests.  A small text front-end parses ``.s`` source into
+those items, which is what kernel assembly files (e.g. the syscall entry
+path) use.
+
+Branch relaxation follows the classic grow-only algorithm: every branch to
+a label defined in the same stream starts as a *short* (rel8) encoding and
+is widened to the *long* (rel32) form when its displacement does not fit;
+iteration continues until no branch grows.  Branches to undefined symbols
+are always long and yield a pc32 relocation request with the canonical -4
+addend, mirroring x86.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch import isa
+from repro.arch.isa import Instruction, OperandKind, PC32_ADDEND
+from repro.arch.nops import nop_sequence
+from repro.errors import AssemblyError
+
+# ---------------------------------------------------------------------------
+# Structured assembly items
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+
+@dataclass(frozen=True)
+class SymRef:
+    """Symbolic reference used where an abs32/imm32 operand goes."""
+
+    name: str
+    addend: int = 0
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """Branch-target reference (local label or external symbol)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Insn:
+    mnemonic: str
+    operands: Tuple[object, ...] = ()
+
+
+@dataclass(frozen=True)
+class Align:
+    boundary: int
+
+
+@dataclass(frozen=True)
+class Data:
+    """Literal data bytes; ``relocs`` are (offset-within-data, SymRef)."""
+
+    payload: bytes
+    relocs: Tuple[Tuple[int, SymRef], ...] = ()
+
+
+Item = Union[Label, Insn, Align, Data]
+
+
+@dataclass(frozen=True)
+class RelocationRequest:
+    """A fix-up the linker or Ksplice must perform later."""
+
+    offset: int
+    symbol: str
+    kind: str  # "abs32" or "pc32"
+    addend: int
+
+
+@dataclass
+class AssembledCode:
+    """Result of assembling one stream (one section's worth of items)."""
+
+    code: bytes = b""
+    labels: Dict[str, int] = field(default_factory=dict)
+    relocations: List[RelocationRequest] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Core assembly
+
+_SHORT_FOR_LONG = {
+    "jmp": "jmps",
+    "jz": "jzs",
+    "jnz": "jnzs",
+    "jl": "jls",
+    "jg": "jgs",
+    "jle": "jles",
+    "jge": "jges",
+}
+_LONG_LEN = 5
+_SHORT_LEN = 2
+
+
+class Assembler:
+    """Assembles one item stream into :class:`AssembledCode`."""
+
+    def __init__(self, items: Sequence[Item], allow_short_branches: bool = True):
+        self._items = list(items)
+        self._allow_short = allow_short_branches
+
+    def assemble(self) -> AssembledCode:
+        defined = {
+            item.name for item in self._items if isinstance(item, Label)
+        }
+        # Branch index -> currently long?  Grow-only relaxation state.
+        long_branches: Dict[int, bool] = {}
+        for idx, item in enumerate(self._items):
+            if self._is_relaxable_branch(item, defined):
+                long_branches[idx] = not self._allow_short
+            elif isinstance(item, Insn) and self._branch_target(item) is not None:
+                long_branches[idx] = True  # undefined target: always long
+
+        while True:
+            offsets, sizes = self._layout(long_branches)
+            grew = False
+            for idx, is_long in long_branches.items():
+                if is_long:
+                    continue
+                item = self._items[idx]
+                target = self._branch_target(item)
+                assert target is not None
+                disp = offsets[target] - (self._item_offset(idx, sizes) + _SHORT_LEN)
+                if not -128 <= disp < 128:
+                    long_branches[idx] = True
+                    grew = True
+            if not grew:
+                break
+
+        return self._emit(long_branches, offsets, sizes)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _branch_target(self, item: Item) -> Optional[str]:
+        if not isinstance(item, Insn):
+            return None
+        spec = isa.SPEC_BY_MNEMONIC.get(item.mnemonic)
+        if spec is None:
+            raise AssemblyError("unknown mnemonic %r" % item.mnemonic)
+        if not spec.is_pc_relative:
+            return None
+        if item.operands and isinstance(item.operands[0], LabelRef):
+            return item.operands[0].name
+        return None
+
+    def _is_relaxable_branch(self, item: Item, defined: set) -> bool:
+        target = self._branch_target(item)
+        if target is None or target not in defined:
+            return False
+        # Calls have no short form.
+        return isinstance(item, Insn) and item.mnemonic in _SHORT_FOR_LONG
+
+    def _item_size(self, idx: int, long_branches: Dict[int, bool],
+                   at_offset: int) -> int:
+        item = self._items[idx]
+        if isinstance(item, Label):
+            return 0
+        if isinstance(item, Align):
+            if item.boundary <= 0 or item.boundary & (item.boundary - 1):
+                raise AssemblyError("alignment must be a power of two")
+            return (-at_offset) % item.boundary
+        if isinstance(item, Data):
+            return len(item.payload)
+        assert isinstance(item, Insn)
+        if idx in long_branches:
+            return _LONG_LEN if long_branches[idx] else _SHORT_LEN
+        spec = isa.SPEC_BY_MNEMONIC[item.mnemonic]
+        return spec.length
+
+    def _layout(self, long_branches: Dict[int, bool]):
+        """Compute label offsets and per-item sizes for the current state."""
+        offsets: Dict[str, int] = {}
+        sizes: List[int] = []
+        pos = 0
+        for idx, item in enumerate(self._items):
+            if isinstance(item, Label):
+                offsets[item.name] = pos
+                sizes.append(0)
+                continue
+            size = self._item_size(idx, long_branches, pos)
+            sizes.append(size)
+            pos += size
+        return offsets, sizes
+
+    def _item_offset(self, idx: int, sizes: List[int]) -> int:
+        return sum(sizes[:idx])
+
+    def _emit(self, long_branches: Dict[int, bool], offsets: Dict[str, int],
+              sizes: List[int]) -> AssembledCode:
+        out = bytearray()
+        relocs: List[RelocationRequest] = []
+        for idx, item in enumerate(self._items):
+            if isinstance(item, Label):
+                continue
+            if isinstance(item, Align):
+                out += nop_sequence(sizes[idx])
+                continue
+            if isinstance(item, Data):
+                base = len(out)
+                out += item.payload
+                for rel_off, ref in item.relocs:
+                    relocs.append(RelocationRequest(
+                        offset=base + rel_off, symbol=ref.name,
+                        kind="abs32", addend=ref.addend))
+                continue
+            assert isinstance(item, Insn)
+            out += self._encode_insn(idx, item, long_branches, offsets,
+                                     len(out), relocs)
+        return AssembledCode(code=bytes(out), labels=dict(offsets),
+                             relocations=relocs)
+
+    def _encode_insn(self, idx: int, item: Insn,
+                     long_branches: Dict[int, bool], offsets: Dict[str, int],
+                     at: int, relocs: List[RelocationRequest]) -> bytes:
+        mnemonic = item.mnemonic
+        spec = isa.SPEC_BY_MNEMONIC[mnemonic]
+        target = self._branch_target(item)
+
+        if target is not None:
+            if idx in long_branches and not long_branches[idx]:
+                short = _SHORT_FOR_LONG[mnemonic]
+                disp = offsets[target] - (at + _SHORT_LEN)
+                return isa.encode_instruction(isa.make(short, disp))
+            if target in offsets:
+                disp = offsets[target] - (at + _LONG_LEN)
+                return isa.encode_instruction(isa.make(mnemonic, disp))
+            # Undefined symbol: emit long form with pc32 relocation.
+            insn = isa.make(mnemonic, 0)
+            encoded = bytearray(isa.encode_instruction(insn))
+            rel_off = spec.pc_relative_operand_offset
+            assert rel_off is not None
+            relocs.append(RelocationRequest(
+                offset=at + rel_off, symbol=target, kind="pc32",
+                addend=PC32_ADDEND))
+            return bytes(encoded)
+
+        # Non-branch: resolve SymRef operands to relocations.
+        values: List[int] = []
+        pending: List[Tuple[int, SymRef]] = []  # (operand index, ref)
+        real_kinds = [k for k in spec.operands if k is not OperandKind.PAD]
+        if len(item.operands) != len(real_kinds):
+            raise AssemblyError(
+                "%s takes %d operands, got %d"
+                % (mnemonic, len(real_kinds), len(item.operands)))
+        for op_idx, (kind, operand) in enumerate(zip(real_kinds, item.operands)):
+            if isinstance(operand, SymRef):
+                if kind not in (OperandKind.ABS32, OperandKind.IMM32):
+                    raise AssemblyError(
+                        "symbolic operand not allowed for %s field of %s"
+                        % (kind.value, mnemonic))
+                pending.append((op_idx, operand))
+                values.append(0)
+            elif isinstance(operand, LabelRef):
+                raise AssemblyError(
+                    "label reference in non-branch operand of %s" % mnemonic)
+            else:
+                values.append(int(operand))
+        encoded = isa.encode_instruction(Instruction(spec=spec,
+                                                     operands=tuple(values)))
+        for op_idx, ref in pending:
+            field_off = self._operand_field_offset(spec, op_idx)
+            relocs.append(RelocationRequest(
+                offset=at + field_off, symbol=ref.name, kind="abs32",
+                addend=ref.addend))
+        return encoded
+
+    @staticmethod
+    def _operand_field_offset(spec, operand_index: int) -> int:
+        """Byte offset of the Nth non-PAD operand field."""
+        sizes = {
+            OperandKind.REG: 1,
+            OperandKind.IMM32: 4,
+            OperandKind.ABS32: 4,
+            OperandKind.REL32: 4,
+            OperandKind.REL8: 1,
+            OperandKind.PAD: 1,
+        }
+        offset = 1
+        seen = 0
+        for kind in spec.operands:
+            if kind is not OperandKind.PAD:
+                if seen == operand_index:
+                    return offset
+                seen += 1
+            offset += sizes[kind]
+        raise AssemblyError("operand index out of range")
+
+
+def assemble(items: Sequence[Item], allow_short_branches: bool = True) -> AssembledCode:
+    """Assemble structured ``items`` into code, labels, and relocations."""
+    return Assembler(items, allow_short_branches=allow_short_branches).assemble()
+
+
+# ---------------------------------------------------------------------------
+# Text front-end
+
+_LABEL_RE = re.compile(r"^([.\w$]+):$")
+_REG_BY_NAME = {name: i for i, name in enumerate(isa.REGISTER_NAMES)}
+# r5/r6 are also addressable by number for convenience.
+_REG_BY_NAME.update({"r5": isa.REG_FP, "r6": isa.REG_SP})
+
+
+def _parse_operand(token: str, kind: OperandKind) -> object:
+    token = token.strip()
+    if kind is OperandKind.REG:
+        if token not in _REG_BY_NAME:
+            raise AssemblyError("bad register %r" % token)
+        return _REG_BY_NAME[token]
+    if kind in (OperandKind.REL32, OperandKind.REL8):
+        return LabelRef(token)
+    # imm32 / abs32: integer literal, or symbol with optional +offset.
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    match = re.match(r"^([.\w$]+)\s*([+-]\s*\d+)?$", token)
+    if not match:
+        raise AssemblyError("bad operand %r" % token)
+    addend = int(match.group(2).replace(" ", "")) if match.group(2) else 0
+    return SymRef(match.group(1), addend)
+
+
+@dataclass
+class ParsedAsm:
+    """One parsed ``.s`` file: item streams per section, symbol directives."""
+
+    sections: Dict[str, List[Item]]
+    global_symbols: List[str]
+    local_symbols: List[str]
+
+
+def parse_asm(text: str) -> ParsedAsm:
+    """Parse textual k86 assembly into per-section item streams.
+
+    Supported directives: ``.section NAME``, ``.global NAME``,
+    ``.local NAME``, ``.align N``, ``.byte v, ...``, ``.word v, ...``
+    (32-bit words; symbol names allowed and produce abs32 relocations).
+    Comments start with ``;`` or ``#``.
+    """
+    sections: Dict[str, List[Item]] = {}
+    global_symbols: List[str] = []
+    local_symbols: List[str] = []
+    current = ".text"
+
+    def items() -> List[Item]:
+        return sections.setdefault(current, [])
+
+    for raw_line in text.splitlines():
+        line = re.split(r"[;#]", raw_line, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            items().append(Label(label_match.group(1)))
+            continue
+        parts = line.split(None, 1)
+        head = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if head == ".section":
+            current = rest.strip()
+            continue
+        if head == ".global":
+            global_symbols.append(rest.strip())
+            continue
+        if head == ".local":
+            local_symbols.append(rest.strip())
+            continue
+        if head == ".align":
+            items().append(Align(int(rest.strip(), 0)))
+            continue
+        if head == ".byte":
+            values = [int(v.strip(), 0) & 0xFF for v in rest.split(",")]
+            items().append(Data(bytes(values)))
+            continue
+        if head == ".word":
+            payload = bytearray()
+            relocs: List[Tuple[int, SymRef]] = []
+            for token in rest.split(","):
+                token = token.strip()
+                try:
+                    value = int(token, 0)
+                    payload += (value & 0xFFFFFFFF).to_bytes(4, "little")
+                except ValueError:
+                    relocs.append((len(payload), SymRef(token)))
+                    payload += b"\0\0\0\0"
+            items().append(Data(bytes(payload), tuple(relocs)))
+            continue
+        if head.startswith("."):
+            raise AssemblyError("unknown directive %r" % head)
+        # Instruction.
+        spec = isa.SPEC_BY_MNEMONIC.get(head)
+        if spec is None:
+            raise AssemblyError("unknown mnemonic %r" % head)
+        real_kinds = [k for k in spec.operands if k is not OperandKind.PAD]
+        tokens = [t for t in rest.split(",")] if rest else []
+        if len(tokens) != len(real_kinds):
+            raise AssemblyError(
+                "%s takes %d operands, got %d in %r"
+                % (head, len(real_kinds), len(tokens), raw_line.strip()))
+        operands = tuple(
+            _parse_operand(token, kind)
+            for token, kind in zip(tokens, real_kinds)
+        )
+        items().append(Insn(head, operands))
+
+    return ParsedAsm(sections=sections, global_symbols=global_symbols,
+                     local_symbols=local_symbols)

@@ -1,0 +1,97 @@
+"""Linear-sweep disassembler for k86.
+
+The run-pre matcher depends on exactly the two architecture facts the paper
+names in §4.3: instruction lengths, and which instructions take pc-relative
+offsets.  Both come from the instruction table; this module packages them
+as a stream decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.arch import isa
+from repro.arch.isa import Instruction, OperandKind
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """An instruction plus where it was found."""
+
+    offset: int
+    instruction: Instruction
+    raw: bytes
+
+    @property
+    def length(self) -> int:
+        return self.instruction.length
+
+    @property
+    def mnemonic(self) -> str:
+        return self.instruction.mnemonic
+
+    @property
+    def canonical(self) -> str:
+        return self.instruction.spec.canonical
+
+    @property
+    def is_nop(self) -> bool:
+        return self.instruction.spec.is_nop
+
+    @property
+    def is_pc_relative(self) -> bool:
+        return self.instruction.spec.is_pc_relative
+
+    def branch_target_offset(self) -> Optional[int]:
+        """Branch target as an offset into the disassembled buffer."""
+        if not self.is_pc_relative:
+            return None
+        return self.offset + self.length + self.instruction.operands[0]
+
+
+def disassemble_one(code: bytes, offset: int = 0) -> DecodedInstruction:
+    """Decode a single instruction at ``offset``."""
+    instruction = isa.decode_instruction(code, offset)
+    raw = bytes(code[offset:offset + instruction.length])
+    return DecodedInstruction(offset=offset, instruction=instruction, raw=raw)
+
+
+def iter_instructions(code: bytes, start: int = 0,
+                      end: int = -1) -> Iterator[DecodedInstruction]:
+    """Yield instructions from ``start`` until ``end`` (or end of buffer)."""
+    limit = len(code) if end < 0 else min(end, len(code))
+    offset = start
+    while offset < limit:
+        decoded = disassemble_one(code, offset)
+        yield decoded
+        offset += decoded.length
+
+
+def disassemble(code: bytes) -> List[DecodedInstruction]:
+    """Disassemble the whole buffer as a list."""
+    return list(iter_instructions(code))
+
+
+def format_instruction(decoded: DecodedInstruction) -> str:
+    """Human-readable rendering, e.g. ``0004: movi r0, 42``."""
+    instr = decoded.instruction
+    parts: List[str] = []
+    operand_iter = iter(instr.operands)
+    for kind in instr.spec.operands:
+        if kind is OperandKind.PAD:
+            continue
+        value = next(operand_iter)
+        if kind is OperandKind.REG:
+            parts.append(isa.REGISTER_NAMES[value])
+        elif kind in (OperandKind.REL32, OperandKind.REL8):
+            target = decoded.offset + instr.length + value
+            parts.append("0x%x" % target)
+        elif kind is OperandKind.ABS32:
+            parts.append("[0x%08x]" % value)
+        else:
+            parts.append(str(value))
+    text = instr.mnemonic
+    if parts:
+        text += " " + ", ".join(parts)
+    return "%04x: %s" % (decoded.offset, text)

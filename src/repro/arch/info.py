@@ -1,0 +1,82 @@
+"""ArchInfo: the architecture-specific knowledge Ksplice needs.
+
+§4.3 enumerates exactly what run-pre matching must know about an
+architecture: how to recognize no-op sequences, the lengths of all
+instructions, and which instructions take pc-relative offsets.  §5 adds
+one more piece for apply: how to assemble the redirection jump.  The
+paper implemented x86-32 and x86-64 and notes "most of the system is
+architecture-independent" — this module is where that independence
+lives: the matcher and the core consume an :class:`ArchInfo`, and a
+second architecture is a second instance, not a second code path.
+
+Two instances ship: ``K86`` (the default) and ``K86_WIDE``, a variant
+with a different (longer) redirection-jump encoding standing in for the
+paper's x86-64 port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.arch import isa
+from repro.arch.disassembler import DecodedInstruction, disassemble_one
+from repro.arch.nops import longest_nop_at
+from repro.errors import DisassemblyError
+
+
+@dataclass(frozen=True)
+class ArchInfo:
+    """Everything architecture-specific the Ksplice core consumes."""
+
+    name: str
+    #: decode one instruction from a byte window
+    decode: Callable[[bytes, int], DecodedInstruction]
+    #: length of the instruction starting with this opcode byte
+    instruction_length: Callable[[int], int]
+    #: length of the nop *instruction* at this offset, or 0
+    nop_length_at: Callable[[bytes, int], int]
+    #: size in bytes of the redirection jump apply writes
+    jump_size: int
+    #: encode a jump from ``source`` to ``target`` (absolute addresses)
+    encode_jump: Callable[[int, int], bytes]
+
+    def decode_one(self, code: bytes, offset: int = 0) -> DecodedInstruction:
+        return self.decode(code, offset)
+
+
+def _k86_encode_jump(source: int, target: int) -> bytes:
+    displacement = target - (source + 5)
+    return isa.encode_instruction(isa.make("jmp", displacement))
+
+
+def _k86_wide_encode_jump(source: int, target: int) -> bytes:
+    """The 'x86-64' flavour: a long jump built as LEA+CALLR-style is not
+    needed on k86, but a wider encoding demonstrates the seam — a 5-byte
+    rel32 jump padded to 8 bytes with an efficient nop sequence."""
+    from repro.arch.nops import nop_sequence
+
+    displacement = target - (source + 5)
+    return isa.encode_instruction(isa.make("jmp", displacement)) + \
+        nop_sequence(3)
+
+
+K86 = ArchInfo(
+    name="k86",
+    decode=disassemble_one,
+    instruction_length=isa.instruction_length,
+    nop_length_at=longest_nop_at,
+    jump_size=5,
+    encode_jump=_k86_encode_jump,
+)
+
+K86_WIDE = ArchInfo(
+    name="k86-wide",
+    decode=disassemble_one,
+    instruction_length=isa.instruction_length,
+    nop_length_at=longest_nop_at,
+    jump_size=8,
+    encode_jump=_k86_wide_encode_jump,
+)
+
+DEFAULT_ARCH = K86

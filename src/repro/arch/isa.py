@@ -1,0 +1,355 @@
+"""Instruction set definition for k86.
+
+Every instruction is ``opcode byte`` followed by zero or more operand fields.
+Operand kinds:
+
+``REG``
+    one byte, register number 0..7.
+``IMM32``
+    four bytes, little-endian, signed or unsigned depending on instruction.
+``ABS32``
+    four bytes, little-endian absolute address.  This is the field the
+    object format emits ``R_ABS32`` relocations against.
+``REL32``
+    four bytes, little-endian signed displacement relative to the *end* of
+    the displacement field (x86 convention; the canonical relocation addend
+    is therefore -4).  ``R_PC32`` relocations target this field.
+``REL8``
+    one byte signed displacement relative to the end of the field.  Short
+    jumps are never relocated; the compiler only emits them for targets
+    inside the same section when the layout is final.
+``PAD``
+    ignored filler bytes inside multi-byte nops.
+
+Short/long pairs (``JMPS``/``JMP`` etc.) share a *canonical mnemonic* so the
+run-pre matcher can treat them as the same operation with different
+encodings, exactly as Ksplice must treat x86 ``jmp rel8`` vs ``jmp rel32``.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError, DisassemblyError
+
+REGISTER_NAMES = ("r0", "r1", "r2", "r3", "r4", "fp", "sp", "r7")
+REG_FP = 5
+REG_SP = 6
+
+NUM_REGISTERS = len(REGISTER_NAMES)
+
+
+class OperandKind(enum.Enum):
+    REG = "reg"
+    IMM32 = "imm32"
+    ABS32 = "abs32"
+    REL32 = "rel32"
+    REL8 = "rel8"
+    PAD = "pad"
+
+
+class Opcode(enum.IntEnum):
+    HLT = 0x00
+    NOP = 0x01
+    NOP2 = 0x02
+    NOP3 = 0x03
+    NOP4 = 0x04
+    MOVI = 0x10
+    MOVR = 0x11
+    LOAD = 0x12
+    STORE = 0x13
+    LOADR = 0x14
+    STORER = 0x15
+    LEA = 0x16
+    ADD = 0x20
+    SUB = 0x21
+    MUL = 0x22
+    DIV = 0x23
+    AND = 0x24
+    OR = 0x25
+    XOR = 0x26
+    SHL = 0x27
+    SHR = 0x28
+    ADDI = 0x29
+    CMP = 0x2A
+    CMPI = 0x2B
+    NEG = 0x2C
+    NOT = 0x2D
+    MOD = 0x2E
+    JMP = 0x30
+    JMPS = 0x31
+    JZ = 0x32
+    JZS = 0x33
+    JNZ = 0x34
+    JNZS = 0x35
+    JL = 0x36
+    JLS = 0x37
+    JG = 0x38
+    JGS = 0x39
+    JLE = 0x3A
+    JLES = 0x3B
+    JGE = 0x3C
+    JGES = 0x3D
+    CALL = 0x40
+    CALLR = 0x41
+    RET = 0x42
+    PUSH = 0x50
+    POP = 0x51
+    SYSCALL = 0x60
+    SCHED = 0x61
+    CLI = 0x62  # disable preemption (enter critical section)
+    STI = 0x63  # enable preemption
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one opcode."""
+
+    opcode: Opcode
+    mnemonic: str
+    operands: Tuple[OperandKind, ...]
+    #: canonical mnemonic shared between short and long encodings
+    canonical: str
+    #: True for the nop family (any length)
+    is_nop: bool = False
+
+    @cached_property
+    def length(self) -> int:
+        """Total encoded length in bytes, including the opcode byte."""
+        sizes = {
+            OperandKind.REG: 1,
+            OperandKind.IMM32: 4,
+            OperandKind.ABS32: 4,
+            OperandKind.REL32: 4,
+            OperandKind.REL8: 1,
+            OperandKind.PAD: 1,
+        }
+        return 1 + sum(sizes[kind] for kind in self.operands)
+
+    @cached_property
+    def is_pc_relative(self) -> bool:
+        return any(kind in (OperandKind.REL32, OperandKind.REL8) for kind in self.operands)
+
+    @cached_property
+    def pc_relative_operand_offset(self) -> Optional[int]:
+        """Byte offset (from instruction start) of the rel operand field."""
+        offset = 1
+        for kind in self.operands:
+            if kind in (OperandKind.REL32, OperandKind.REL8):
+                return offset
+            offset += {
+                OperandKind.REG: 1,
+                OperandKind.IMM32: 4,
+                OperandKind.ABS32: 4,
+                OperandKind.PAD: 1,
+            }[kind]
+        return None
+
+
+def _spec(opcode: Opcode, mnemonic: str, *operands: OperandKind,
+          canonical: Optional[str] = None, is_nop: bool = False) -> InstructionSpec:
+    return InstructionSpec(
+        opcode=opcode,
+        mnemonic=mnemonic,
+        operands=tuple(operands),
+        canonical=canonical or mnemonic,
+        is_nop=is_nop,
+    )
+
+
+_R = OperandKind.REG
+_I = OperandKind.IMM32
+_A = OperandKind.ABS32
+_REL32 = OperandKind.REL32
+_REL8 = OperandKind.REL8
+_P = OperandKind.PAD
+
+_SPECS: Tuple[InstructionSpec, ...] = (
+    _spec(Opcode.HLT, "hlt"),
+    _spec(Opcode.NOP, "nop", is_nop=True),
+    _spec(Opcode.NOP2, "nop2", _P, canonical="nop", is_nop=True),
+    _spec(Opcode.NOP3, "nop3", _P, _P, canonical="nop", is_nop=True),
+    _spec(Opcode.NOP4, "nop4", _P, _P, _P, canonical="nop", is_nop=True),
+    _spec(Opcode.MOVI, "movi", _R, _I),
+    _spec(Opcode.MOVR, "movr", _R, _R),
+    _spec(Opcode.LOAD, "load", _R, _A),
+    _spec(Opcode.STORE, "store", _A, _R),
+    _spec(Opcode.LOADR, "loadr", _R, _R, _I),
+    _spec(Opcode.STORER, "storer", _R, _I, _R),
+    _spec(Opcode.LEA, "lea", _R, _A),
+    _spec(Opcode.ADD, "add", _R, _R),
+    _spec(Opcode.SUB, "sub", _R, _R),
+    _spec(Opcode.MUL, "mul", _R, _R),
+    _spec(Opcode.DIV, "div", _R, _R),
+    _spec(Opcode.AND, "and", _R, _R),
+    _spec(Opcode.OR, "or", _R, _R),
+    _spec(Opcode.XOR, "xor", _R, _R),
+    _spec(Opcode.SHL, "shl", _R, _R),
+    _spec(Opcode.SHR, "shr", _R, _R),
+    _spec(Opcode.ADDI, "addi", _R, _I),
+    _spec(Opcode.CMP, "cmp", _R, _R),
+    _spec(Opcode.CMPI, "cmpi", _R, _I),
+    _spec(Opcode.NEG, "neg", _R),
+    _spec(Opcode.NOT, "not", _R),
+    _spec(Opcode.MOD, "mod", _R, _R),
+    _spec(Opcode.JMP, "jmp", _REL32, canonical="jmp"),
+    _spec(Opcode.JMPS, "jmps", _REL8, canonical="jmp"),
+    _spec(Opcode.JZ, "jz", _REL32, canonical="jz"),
+    _spec(Opcode.JZS, "jzs", _REL8, canonical="jz"),
+    _spec(Opcode.JNZ, "jnz", _REL32, canonical="jnz"),
+    _spec(Opcode.JNZS, "jnzs", _REL8, canonical="jnz"),
+    _spec(Opcode.JL, "jl", _REL32, canonical="jl"),
+    _spec(Opcode.JLS, "jls", _REL8, canonical="jl"),
+    _spec(Opcode.JG, "jg", _REL32, canonical="jg"),
+    _spec(Opcode.JGS, "jgs", _REL8, canonical="jg"),
+    _spec(Opcode.JLE, "jle", _REL32, canonical="jle"),
+    _spec(Opcode.JLES, "jles", _REL8, canonical="jle"),
+    _spec(Opcode.JGE, "jge", _REL32, canonical="jge"),
+    _spec(Opcode.JGES, "jges", _REL8, canonical="jge"),
+    _spec(Opcode.CALL, "call", _REL32, canonical="call"),
+    _spec(Opcode.CALLR, "callr", _R),
+    _spec(Opcode.RET, "ret"),
+    _spec(Opcode.PUSH, "push", _R),
+    _spec(Opcode.POP, "pop", _R),
+    _spec(Opcode.SYSCALL, "syscall"),
+    _spec(Opcode.SCHED, "sched"),
+    _spec(Opcode.CLI, "cli"),
+    _spec(Opcode.STI, "sti"),
+)
+
+SPEC_BY_OPCODE: Dict[int, InstructionSpec] = {int(s.opcode): s for s in _SPECS}
+SPEC_BY_MNEMONIC: Dict[str, InstructionSpec] = {s.mnemonic: s for s in _SPECS}
+
+#: opcode -> encoded length, for the interpreter's hot path
+LENGTH_BY_OPCODE: Dict[int, int] = {int(s.opcode): s.length for s in _SPECS}
+
+#: Longest encodable instruction, used to bound lookahead during decoding.
+MAX_INSTRUCTION_LENGTH = max(s.length for s in _SPECS)
+
+#: rel32/rel8 displacements are relative to the end of the displacement
+#: field, so a relocation against the start of the field uses this addend.
+PC32_ADDEND = -4
+
+
+def spec_for(opcode: int) -> InstructionSpec:
+    """Return the spec for ``opcode``, raising on invalid opcodes."""
+    spec = SPEC_BY_OPCODE.get(opcode)
+    if spec is None:
+        raise DisassemblyError("invalid opcode 0x%02x" % opcode)
+    return spec
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded (or to-be-encoded) instruction.
+
+    ``operands`` holds one integer per non-PAD operand, in spec order.
+    REL operands store the raw signed displacement, not the target.
+    """
+
+    spec: InstructionSpec
+    operands: Tuple[int, ...]
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def length(self) -> int:
+        return self.spec.length
+
+    def rel_target(self, address: int) -> int:
+        """Absolute branch target given the instruction's ``address``."""
+        if not self.spec.is_pc_relative:
+            raise ValueError("%s is not pc-relative" % self.mnemonic)
+        return address + self.length + self.operands[0]
+
+
+def instruction_length(opcode: int) -> int:
+    """Length in bytes of the instruction starting with ``opcode``."""
+    length = LENGTH_BY_OPCODE.get(opcode)
+    if length is None:
+        raise DisassemblyError("invalid opcode 0x%02x" % opcode)
+    return length
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode ``instr`` to bytes."""
+    spec = instr.spec
+    out = bytearray([int(spec.opcode)])
+    it = iter(instr.operands)
+    for kind in spec.operands:
+        if kind is OperandKind.PAD:
+            out.append(0)
+            continue
+        value = next(it)
+        if kind is OperandKind.REG:
+            if not 0 <= value < NUM_REGISTERS:
+                raise AssemblyError("bad register %r in %s" % (value, spec.mnemonic))
+            out.append(value)
+        elif kind in (OperandKind.IMM32, OperandKind.ABS32):
+            out += struct.pack("<I", value & 0xFFFFFFFF)
+        elif kind is OperandKind.REL32:
+            if not -(1 << 31) <= value < (1 << 31):
+                raise AssemblyError("rel32 displacement out of range: %d" % value)
+            out += struct.pack("<i", value)
+        elif kind is OperandKind.REL8:
+            if not -128 <= value < 128:
+                raise AssemblyError("rel8 displacement out of range: %d" % value)
+            out += struct.pack("<b", value)
+    remaining = list(it)
+    if remaining:
+        raise AssemblyError("too many operands for %s" % spec.mnemonic)
+    return bytes(out)
+
+
+def decode_instruction(code: bytes, offset: int = 0) -> Instruction:
+    """Decode the instruction at ``code[offset:]``."""
+    if offset >= len(code):
+        raise DisassemblyError("decode past end of code")
+    spec = spec_for(code[offset])
+    if offset + spec.length > len(code):
+        raise DisassemblyError(
+            "truncated %s at offset %d (need %d bytes, have %d)"
+            % (spec.mnemonic, offset, spec.length, len(code) - offset)
+        )
+    operands: List[int] = []
+    pos = offset + 1
+    for kind in spec.operands:
+        if kind is OperandKind.PAD:
+            pos += 1
+        elif kind is OperandKind.REG:
+            reg = code[pos]
+            if reg >= NUM_REGISTERS:
+                raise DisassemblyError(
+                    "bad register %d at offset %d" % (reg, pos)
+                )
+            operands.append(reg)
+            pos += 1
+        elif kind in (OperandKind.IMM32, OperandKind.ABS32):
+            operands.append(struct.unpack_from("<I", code, pos)[0])
+            pos += 4
+        elif kind is OperandKind.REL32:
+            operands.append(struct.unpack_from("<i", code, pos)[0])
+            pos += 4
+        elif kind is OperandKind.REL8:
+            operands.append(struct.unpack_from("<b", code, pos)[0])
+            pos += 1
+    return Instruction(spec=spec, operands=tuple(operands))
+
+
+def make(mnemonic: str, *operands: int) -> Instruction:
+    """Build an :class:`Instruction` from a mnemonic and operand values."""
+    spec = SPEC_BY_MNEMONIC.get(mnemonic)
+    if spec is None:
+        raise AssemblyError("unknown mnemonic %r" % mnemonic)
+    wanted = sum(1 for kind in spec.operands if kind is not OperandKind.PAD)
+    if len(operands) != wanted:
+        raise AssemblyError(
+            "%s takes %d operands, got %d" % (mnemonic, wanted, len(operands))
+        )
+    return Instruction(spec=spec, operands=tuple(operands))

@@ -1,0 +1,85 @@
+"""No-op sequence handling.
+
+Assemblers pad code for alignment with *efficient* multi-byte nops rather
+than runs of single-byte nops.  The run-pre matcher must recognize every
+such sequence so it can skip alignment padding that exists in the run code
+but not in the pre code (§4.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.isa import Opcode, spec_for
+from repro.errors import DisassemblyError
+
+#: nop encodings by length; index = length in bytes
+_NOP_BY_LENGTH = {
+    1: bytes([int(Opcode.NOP)]),
+    2: bytes([int(Opcode.NOP2), 0]),
+    3: bytes([int(Opcode.NOP3), 0, 0]),
+    4: bytes([int(Opcode.NOP4), 0, 0, 0]),
+}
+
+MAX_NOP_LENGTH = max(_NOP_BY_LENGTH)
+
+
+def nop_sequence(length: int) -> bytes:
+    """Return an efficient nop filler of exactly ``length`` bytes.
+
+    Uses the longest available multi-byte nops first, the way gas pads
+    alignment with ``nopw``/``nopl`` sequences.
+    """
+    if length < 0:
+        raise ValueError("negative nop length")
+    out = bytearray()
+    remaining = length
+    while remaining > 0:
+        step = min(remaining, MAX_NOP_LENGTH)
+        out += _NOP_BY_LENGTH[step]
+        remaining -= step
+    return bytes(out)
+
+
+def is_nop(code: bytes, offset: int = 0) -> bool:
+    """True if the instruction at ``code[offset:]`` is any nop encoding."""
+    if offset >= len(code):
+        return False
+    try:
+        return spec_for(code[offset]).is_nop
+    except DisassemblyError:
+        return False
+
+
+def longest_nop_at(code: bytes, offset: int = 0) -> int:
+    """Length of the nop *instruction* at ``offset``, or 0 if not a nop."""
+    if not is_nop(code, offset):
+        return 0
+    return spec_for(code[offset]).length
+
+
+def skip_nops(code: bytes, offset: int, limit: int = -1) -> int:
+    """Advance ``offset`` past consecutive nop instructions.
+
+    ``limit`` bounds the scan (exclusive end offset); -1 means to the end
+    of ``code``.  Returns the first non-nop offset.
+    """
+    end = len(code) if limit < 0 else min(limit, len(code))
+    while offset < end:
+        step = longest_nop_at(code, offset)
+        if step == 0 or offset + step > end:
+            break
+        offset += step
+    return offset
+
+
+def split_nop_run(code: bytes, offset: int) -> List[int]:
+    """Return the lengths of each nop instruction in the run at ``offset``."""
+    lengths: List[int] = []
+    while True:
+        step = longest_nop_at(code, offset)
+        if step == 0:
+            break
+        lengths.append(step)
+        offset += step
+    return lengths

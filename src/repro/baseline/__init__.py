@@ -1,0 +1,17 @@
+"""Baseline: a source-level hot updater in the style of OPUS.
+
+Ksplice's evaluation argues that systems which diff *source* rather than
+object code cannot handle function-interface changes, functions with
+static locals, assembly files, ambiguous symbol names, or inlined
+functions (§6.3, §7.1).  This package implements such a system honestly —
+it does everything a careful source-level updater can do — so the
+benchmarks can show exactly where and why it loses.
+"""
+
+from repro.baseline.srclevel import (
+    BaselineFailure,
+    BaselineResult,
+    SourceLevelUpdater,
+)
+
+__all__ = ["BaselineFailure", "BaselineResult", "SourceLevelUpdater"]

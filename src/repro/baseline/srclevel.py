@@ -1,0 +1,216 @@
+"""The source-level hot updater.
+
+Pipeline: diff the *source* of each patched unit to find functions whose
+text changed; refuse the documented OPUS-class limitations (assembly
+units, signature changes, static locals); compile the post unit; load the
+changed functions as a module, resolving symbols through the kernel
+symbol table alone; redirect the old functions.
+
+What it cannot know: where the compiler inlined a patched function.  It
+will happily "succeed" while stale inlined copies keep running — the
+unsafe silent failure the paper warns about.  The benchmarks surface this
+by testing exploits after baseline updates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.arch import isa
+from repro.compiler import CompilerOptions
+from repro.errors import CompileError, SymbolResolutionError
+from repro.kbuild import SourceTree, build_units
+from repro.kernel.machine import Machine
+from repro.lang import ast, parse_unit
+from repro.patch import Patch, apply_patch, parse_patch
+
+JUMP_SIZE = 5
+
+
+class BaselineFailure(enum.Enum):
+    ASSEMBLY_FILE = "patch touches an assembly file"
+    SIGNATURE_CHANGE = "patch changes a function signature"
+    STATIC_LOCAL = "patched function has static local variables"
+    AMBIGUOUS_SYMBOL = "symbol-table lookup is ambiguous"
+    MISSING_SYMBOL = "symbol not present in the symbol table"
+    NO_CHANGES = "no function-level source changes found"
+    COMPILE_ERROR = "patched source does not compile"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline update attempt."""
+
+    success: bool
+    failure: Optional[BaselineFailure] = None
+    detail: str = ""
+    replaced_functions: List[str] = field(default_factory=list)
+    #: functions the baseline replaced but that were also inlined
+    #: elsewhere — it has no way to know; filled in by the harness.
+    module_bytes: int = 0
+
+
+def _fn_fingerprint(fn: ast.FunctionDef) -> str:
+    """Formatting-insensitive body fingerprint (AST repr)."""
+    return repr(fn.body)
+
+
+def _signature(fn: ast.FunctionDef) -> Tuple:
+    return (repr(fn.return_type), tuple(repr(p.typ) for p in fn.params))
+
+
+def _has_static_local(fn: ast.FunctionDef) -> bool:
+    found = []
+
+    def walk(block: ast.Block) -> None:
+        for stmt in block.statements:
+            if isinstance(stmt, ast.LocalDecl) and stmt.is_static:
+                found.append(stmt.name)
+            elif isinstance(stmt, ast.Block):
+                walk(stmt)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.then)
+                if stmt.otherwise:
+                    walk(stmt.otherwise)
+            elif isinstance(stmt, ast.While):
+                walk(stmt.body)
+
+    if fn.body is not None:
+        walk(fn.body)
+    return bool(found)
+
+
+class SourceLevelUpdater:
+    """Applies patches by source differencing and symbol-table lookup."""
+
+    def __init__(self, machine: Machine,
+                 options: Optional[CompilerOptions] = None):
+        self.machine = machine
+        self.options = (options or CompilerOptions()).pre_post_flavor()
+
+    def apply(self, tree: SourceTree,
+              patch: Union[Patch, str]) -> BaselineResult:
+        parsed = parse_patch(patch) if isinstance(patch, str) else patch
+
+        for fp in parsed.files:
+            if fp.path.endswith(".s"):
+                return BaselineResult(
+                    success=False, failure=BaselineFailure.ASSEMBLY_FILE,
+                    detail=fp.path)
+
+        post_tree = tree.patched(parsed)
+        changed_units = tree.changed_units(post_tree)
+
+        plan: List[Tuple[str, str]] = []  # (unit, function)
+        for unit in changed_units:
+            outcome = self._plan_unit(tree, post_tree, unit, plan)
+            if outcome is not None:
+                return outcome
+        if not plan:
+            return BaselineResult(success=False,
+                                  failure=BaselineFailure.NO_CHANGES)
+        return self._install(post_tree, plan)
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan_unit(self, tree: SourceTree, post_tree: SourceTree, unit: str,
+                   plan: List[Tuple[str, str]]) -> Optional[BaselineResult]:
+        try:
+            pre_ast = parse_unit(tree.read(unit), unit)
+            post_ast = parse_unit(post_tree.read(unit), unit)
+        except CompileError as exc:
+            return BaselineResult(success=False,
+                                  failure=BaselineFailure.COMPILE_ERROR,
+                                  detail=str(exc))
+        pre_fns = {fn.name: fn for fn in pre_ast.functions()}
+        post_fns = {fn.name: fn for fn in post_ast.functions()}
+        for name, post_fn in post_fns.items():
+            pre_fn = pre_fns.get(name)
+            if pre_fn is None:
+                plan.append((unit, name, True))  # new function: ship it
+                continue
+            if _fn_fingerprint(pre_fn) == _fn_fingerprint(post_fn):
+                continue
+            if _signature(pre_fn) != _signature(post_fn):
+                return BaselineResult(
+                    success=False,
+                    failure=BaselineFailure.SIGNATURE_CHANGE, detail=name)
+            if _has_static_local(pre_fn) or _has_static_local(post_fn):
+                return BaselineResult(
+                    success=False, failure=BaselineFailure.STATIC_LOCAL,
+                    detail=name)
+            plan.append((unit, name, False))
+        return None
+
+    # -- installation ---------------------------------------------------------
+
+    def _install(self, post_tree: SourceTree,
+                 plan: List[Tuple[str, str, bool]]) -> BaselineResult:
+        kallsyms = self.machine.image.kallsyms
+        units = sorted({unit for unit, _, _ in plan})
+        try:
+            build = build_units(post_tree, units, self.options)
+        except CompileError as exc:
+            return BaselineResult(success=False,
+                                  failure=BaselineFailure.COMPILE_ERROR,
+                                  detail=str(exc))
+
+        modules: Dict[str, object] = {}
+        replaced: List[Tuple[str, str, int, int]] = []
+        try:
+            for unit in units:
+                objfile = self._extract_functions(
+                    build.object_for(unit),
+                    [fn for u, fn, _ in plan if u == unit])
+                module = self.machine.loader.load(
+                    objfile, resolver=kallsyms.unique_address)
+                modules[unit] = module
+            for unit, fn_name, is_new in plan:
+                if is_new:
+                    continue
+                old = kallsyms.unique_address(fn_name)
+                new = modules[unit].symbol_address(fn_name)
+                replaced.append((unit, fn_name, old, new))
+        except SymbolResolutionError as exc:
+            for module in modules.values():
+                self.machine.loader.unload(module)
+            failure = (BaselineFailure.AMBIGUOUS_SYMBOL
+                       if "ambiguous" in str(exc)
+                       else BaselineFailure.MISSING_SYMBOL)
+            return BaselineResult(success=False, failure=failure,
+                                  detail=str(exc))
+
+        def install() -> bool:
+            for _, _, old, new in replaced:
+                displacement = new - (old + JUMP_SIZE)
+                encoded = isa.encode_instruction(isa.make("jmp",
+                                                          displacement))
+                self.machine.memory.write_bytes(old, encoded)
+            return True
+
+        self.machine.stop_machine.run(install)
+        return BaselineResult(
+            success=True,
+            replaced_functions=[fn for _, fn, _, _ in replaced],
+            module_bytes=sum(m.size for m in modules.values()))
+
+    @staticmethod
+    def _extract_functions(objfile, fn_names: List[str]):
+        """Only the planned functions' text travels in the module; every
+        data reference must resolve against the *running kernel's* symbol
+        table (shipping fresh copies of kernel data would silently fork
+        state)."""
+        from repro.objfile import ObjectFile
+
+        extracted = ObjectFile(name=objfile.name)
+        for fn_name in fn_names:
+            section_name = ".text.%s" % fn_name
+            extracted.add_section(objfile.section(section_name).copy())
+        for symbol in objfile.symbols:
+            if symbol.is_defined and symbol.section in extracted.sections:
+                extracted.add_symbol(symbol.copy())
+        extracted.ensure_undefined(extracted.referenced_symbol_names())
+        extracted.validate()
+        return extracted

@@ -1,0 +1,202 @@
+"""Command-line front-end mirroring the paper's §5 tools.
+
+    python -m repro.cli create --patch fix.patch --tree src/ -o update.kspl
+    python -m repro.cli inspect update.kspl
+    python -m repro.cli demo --patch fix.patch --tree src/
+    python -m repro.cli evaluate [--quick]
+
+``create`` reads a kernel source tree from a directory (every ``*.c`` /
+``*.s`` file, tree-relative paths as unit names) and a unified diff, and
+writes a serialized update pack — the ksplice-create workflow.
+``demo`` additionally boots the tree, applies the pack to the running
+kernel, and reports the stop_machine window — create + apply in one
+shot, since a simulated machine does not outlive the process.
+``evaluate`` runs the paper's §6 evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, Optional
+
+from repro.compiler import CompilerOptions
+from repro.core import KspliceCore, UpdatePack, ksplice_create
+from repro.errors import ReproError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+
+
+def load_tree_from_directory(root: str,
+                             version: Optional[str] = None) -> SourceTree:
+    """Build a SourceTree from the ``*.c``/``*.s`` files under ``root``."""
+    files: Dict[str, str] = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith((".c", ".s")):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, "r", encoding="utf-8") as handle:
+                files[rel] = handle.read()
+    if not files:
+        raise ReproError("no .c/.s files under %s" % root)
+    return SourceTree(version=version or os.path.basename(
+        os.path.abspath(root)), files=files)
+
+
+def _options(args: argparse.Namespace) -> CompilerOptions:
+    return CompilerOptions(opt_level=args.opt_level,
+                           compiler_version=args.compiler_version)
+
+
+def cmd_create(args: argparse.Namespace) -> int:
+    tree = load_tree_from_directory(args.tree, args.version)
+    with open(args.patch, "r", encoding="utf-8") as handle:
+        patch_text = handle.read()
+    pack = ksplice_create(tree, patch_text, options=_options(args),
+                          description=args.description)
+    out = args.output or ("%s.kspl" % pack.update_id)
+    with open(out, "wb") as handle:
+        handle.write(pack.to_bytes())
+    print("Ksplice update pack written to %s" % out)
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    with open(args.pack, "rb") as handle:
+        pack = UpdatePack.from_bytes(handle.read())
+    print("update:         %s" % pack.update_id)
+    print("kernel version: %s" % pack.kernel_version)
+    if pack.description:
+        print("description:    %s" % pack.description)
+    print("patch lines:    %d" % pack.patch_lines)
+    print("units:          %d" % len(pack.units))
+    for uu in pack.units:
+        helper_bytes = sum(s.size for s in uu.helper.sections.values())
+        primary_bytes = sum(s.size for s in uu.primary.sections.values())
+        print("  %s" % uu.unit)
+        print("    replaces:  %s" % (", ".join(uu.changed_functions)
+                                     or "(nothing; new code only)"))
+        if uu.new_functions:
+            print("    adds:      %s" % ", ".join(uu.new_functions))
+        if uu.hook_sections:
+            print("    hooks:     %s" % ", ".join(uu.hook_sections))
+        print("    helper %d bytes, primary %d bytes"
+              % (helper_bytes, primary_bytes))
+    return 0
+
+
+def cmd_objdump(args: argparse.Namespace) -> int:
+    from repro.tools import dump_object_text
+
+    with open(args.pack, "rb") as handle:
+        pack = UpdatePack.from_bytes(handle.read())
+    for uu in pack.units:
+        if args.unit and uu.unit != args.unit:
+            continue
+        objfile = uu.helper if args.helper else uu.primary
+        print(dump_object_text(objfile))
+        print()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    tree = load_tree_from_directory(args.tree, args.version)
+    with open(args.patch, "r", encoding="utf-8") as handle:
+        patch_text = handle.read()
+    print("booting %s ..." % tree.version)
+    machine = boot_kernel(tree, options=_options(args))
+    core = KspliceCore(machine)
+    pack = ksplice_create(tree, patch_text, options=_options(args))
+    print("created %s (replaces: %s)"
+          % (pack.update_id, ", ".join(pack.all_changed_functions())))
+    applied = core.apply(pack)
+    print("Done!  stop_machine window %.3f ms, stack-check attempts %d, "
+          "primary module %d bytes resident"
+          % (applied.stop_report.wall_milliseconds,
+             applied.stack_check_attempts, applied.primary_bytes))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluation import CORPUS
+    from repro.evaluation.harness import evaluate_corpus
+
+    specs = CORPUS[:args.limit] if args.limit else CORPUS
+
+    def progress(result):
+        status = "ok" if result.success else "FAIL"
+        sys.stdout.write("%-16s %-14s %s\n"
+                         % (result.cve_id, result.kernel_version, status))
+
+    report = evaluate_corpus(specs, run_stress=not args.quick,
+                             progress=progress)
+    print("\n%d/%d updates succeeded; %d needed no new code"
+          % (len(report.successes()), report.total(),
+             report.no_new_code_count()))
+    return 0 if len(report.successes()) == report.total() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ksplice reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--opt-level", type=int, default=2,
+                       choices=(0, 1, 2))
+        p.add_argument("--compiler-version", default="kcc-1.0")
+        p.add_argument("--version", default=None,
+                       help="kernel version string (default: dir name)")
+
+    p_create = sub.add_parser("create",
+                              help="build an update pack from a patch")
+    p_create.add_argument("--patch", required=True)
+    p_create.add_argument("--tree", required=True)
+    p_create.add_argument("-o", "--output", default=None)
+    p_create.add_argument("--description", default="")
+    common(p_create)
+    p_create.set_defaults(func=cmd_create)
+
+    p_inspect = sub.add_parser("inspect", help="describe an update pack")
+    p_inspect.add_argument("pack")
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_objdump = sub.add_parser(
+        "objdump", help="disassemble a pack's replacement code")
+    p_objdump.add_argument("pack")
+    p_objdump.add_argument("--unit", default=None,
+                           help="limit to one compilation unit")
+    p_objdump.add_argument("--helper", action="store_true",
+                           help="dump the helper (pre) object instead")
+    p_objdump.set_defaults(func=cmd_objdump)
+
+    p_demo = sub.add_parser("demo",
+                            help="boot the tree and hot-apply the patch")
+    p_demo.add_argument("--patch", required=True)
+    p_demo.add_argument("--tree", required=True)
+    common(p_demo)
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_eval = sub.add_parser("evaluate", help="run the §6 evaluation")
+    p_eval.add_argument("--quick", action="store_true",
+                        help="skip the stress battery")
+    p_eval.add_argument("--limit", type=int, default=0,
+                        help="evaluate only the first N CVEs")
+    p_eval.set_defaults(func=cmd_evaluate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

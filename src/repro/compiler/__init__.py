@@ -1,0 +1,32 @@
+"""The MiniC compiler ("kcc").
+
+The compiler exists to give Ksplice exactly the two build flavours the
+paper needs:
+
+* the **run** flavour (``function_sections=False``): one merged ``.text``
+  per unit, intra-unit calls and jumps resolved at assembly time (short
+  forms where they fit), 16-byte alignment padding between functions —
+  the shape of a distribution kernel binary;
+* the **pre/post** flavour (``function_sections=True`` +
+  ``data_sections=True``): every function and datum in its own section,
+  every cross-reference a relocation — the shape ksplice-create's builds
+  use so pre-post differencing sees position-independent sections.
+
+Inlining happens at ``opt_level >= 2`` and deliberately inlines small
+``static`` functions *without* the ``inline`` keyword, reproducing the
+compiler freedom that makes source-level hot updates unsafe (§4.2).
+"""
+
+from repro.compiler.driver import CompilerOptions, compile_source, compile_unit
+from repro.compiler.inliner import InlineReport, inline_unit
+from repro.compiler.codegen import FunctionCode, compile_function
+
+__all__ = [
+    "CompilerOptions",
+    "FunctionCode",
+    "InlineReport",
+    "compile_function",
+    "compile_source",
+    "compile_unit",
+    "inline_unit",
+]

@@ -1,0 +1,670 @@
+"""Code generation: MiniC AST -> assembler items.
+
+The generated code follows a simple two-register evaluation scheme:
+expressions evaluate into r0, binary operations stash the left operand on
+the machine stack, and all locals live in a frame addressed off ``fp``.
+
+Calling convention (matches the CPU's CALL/RET semantics):
+
+* caller pushes arguments right-to-left, executes ``call``, then pops the
+  arguments with ``addi sp, 4*nargs``;
+* ``call`` pushes the return address; the callee's prologue pushes the
+  caller's ``fp`` and carves the frame, so inside a function
+  ``fp+0`` = saved fp, ``fp+4`` = return address, ``fp+8+4i`` = argument i,
+  ``fp-4-...`` = locals;
+* the result travels in r0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.assembler import Align, Insn, Item, Label, LabelRef, SymRef
+
+#: loop-top alignment applied at opt_level >= 2 (gcc's .p2align on jump
+#: targets); padding is executable nop sequences
+LOOP_ALIGNMENT = 8
+from repro.arch.isa import REG_FP, REG_SP
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.types import (
+    INT,
+    ArrayType,
+    PointerType,
+    StructType,
+    Type,
+    TypeTable,
+    element_type,
+)
+
+_R0, _R1, _R2 = 0, 1, 2
+
+_CMP_JUMPS = {
+    "==": "jz",
+    "!=": "jnz",
+    "<": "jl",
+    ">": "jg",
+    "<=": "jle",
+    ">=": "jge",
+}
+
+_ARITH_OPS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+}
+
+
+@dataclass
+class UnitContext:
+    """Name environment shared by every function in a compilation unit."""
+
+    unit_name: str
+    types: TypeTable
+    global_types: Dict[str, Type] = field(default_factory=dict)
+    function_names: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: align loop heads with executable nop padding (opt_level >= 2)
+    align_loops: bool = False
+
+    @classmethod
+    def for_unit(cls, unit: ast.Unit,
+                 align_loops: bool = False) -> "UnitContext":
+        ctx = cls(unit_name=unit.name, types=unit.types or TypeTable(),
+                  align_loops=align_loops)
+        for gvar in unit.global_vars():
+            ctx.global_types[gvar.name] = gvar.typ
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDef):
+                ctx.function_names[decl.name] = decl
+        return ctx
+
+
+@dataclass
+class StaticLocal:
+    """A ``static`` local promoted to unit-level data with a mangled name."""
+
+    symbol: str          # e.g. "ca_get_slot_info.debug"
+    typ: Type
+    init: int
+
+
+@dataclass
+class FunctionCode:
+    """Result of compiling one function."""
+
+    name: str
+    items: List[Item]
+    static_locals: List[StaticLocal] = field(default_factory=list)
+
+
+class _Scope:
+    """Local variable environment for one function body."""
+
+    def __init__(self) -> None:
+        self.offsets: Dict[str, int] = {}   # name -> fp-relative offset
+        self.types: Dict[str, Type] = {}
+        self.statics: Dict[str, StaticLocal] = {}
+        self.frame_size = 0
+
+    def declare_local(self, name: str, typ: Type) -> int:
+        self.frame_size += max(4, typ.size)
+        offset = -self.frame_size
+        self.offsets[name] = offset
+        self.types[name] = typ
+        return offset
+
+    def declare_param(self, index: int, name: str, typ: Type) -> None:
+        self.offsets[name] = 8 + 4 * index
+        self.types[name] = typ
+
+
+class FunctionCompiler:
+    """Compiles one :class:`ast.FunctionDef` into assembler items."""
+
+    def __init__(self, fn: ast.FunctionDef, ctx: UnitContext):
+        self._fn = fn
+        self._ctx = ctx
+        self._scope = _Scope()
+        self._items: List[Item] = []
+        self._label_counter = 0
+        self._loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _label(self, hint: str) -> str:
+        self._label_counter += 1
+        return ".L%s_%s%d" % (self._fn.name, hint, self._label_counter)
+
+    def _emit(self, mnemonic: str, *operands: object) -> None:
+        self._items.append(Insn(mnemonic, tuple(operands)))
+
+    def _emit_label(self, name: str) -> None:
+        self._items.append(Label(name))
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError("%s: in %s: %s"
+                            % (self._ctx.unit_name, self._fn.name, message))
+
+    # -- type queries --------------------------------------------------------
+
+    def _type_of(self, expr: ast.Expr) -> Type:
+        if isinstance(expr, (ast.Number, ast.SizeOf)):
+            return INT
+        if isinstance(expr, ast.Name):
+            name = expr.ident
+            if name in self._scope.types:
+                return self._scope.types[name]
+            if name in self._scope.statics:
+                return self._scope.statics[name].typ
+            if name in self._ctx.global_types:
+                return self._ctx.global_types[name]
+            if name in self._ctx.function_names:
+                return PointerType(INT)
+            raise self._error("unknown identifier %r" % name)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "*":
+                inner = self._type_of(expr.operand)
+                pointee = element_type(inner)
+                if pointee is None:
+                    raise self._error("cannot dereference non-pointer")
+                return pointee
+            if expr.op == "&":
+                return PointerType(self._type_of(expr.operand))
+            return INT
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("+", "-"):
+                left = self._type_of(expr.left)
+                if element_type(left) is not None:
+                    return left if not isinstance(left, ArrayType) else \
+                        PointerType(left.element)
+                right = self._type_of(expr.right)
+                if expr.op == "+" and element_type(right) is not None:
+                    return right if not isinstance(right, ArrayType) else \
+                        PointerType(right.element)
+            return INT
+        if isinstance(expr, ast.Index):
+            base = self._type_of(expr.base)
+            elem = element_type(base)
+            if elem is None:
+                raise self._error("indexing a non-array/pointer")
+            return elem
+        if isinstance(expr, ast.FieldAccess):
+            return self._field_info(expr)[1]
+        if isinstance(expr, ast.Assign):
+            return self._type_of(expr.target)
+        if isinstance(expr, ast.IncDec):
+            return self._type_of(expr.target)
+        if isinstance(expr, ast.Call):
+            return INT
+        if isinstance(expr, ast.Conditional):
+            return self._type_of(expr.then)
+        return INT
+
+    def _field_info(self, expr: ast.FieldAccess) -> Tuple[int, Type]:
+        base_type = self._type_of(expr.base)
+        if expr.arrow:
+            pointee = element_type(base_type)
+            if not isinstance(pointee, StructType):
+                raise self._error("-> on non-struct-pointer")
+            struct = pointee
+        else:
+            if not isinstance(base_type, StructType):
+                raise self._error(". on non-struct")
+            struct = base_type
+        return struct.field_offset(expr.fieldname), struct.field_type(expr.fieldname)
+
+    # -- entry point ---------------------------------------------------------
+
+    def compile(self) -> FunctionCode:
+        fn = self._fn
+        if fn.body is None:
+            raise self._error("cannot compile a prototype")
+        for index, param in enumerate(fn.params):
+            self._scope.declare_param(index, param.name, param.typ)
+
+        self._collect_statics(fn.body)
+
+        body_items = self._items = []
+        self._compile_block(fn.body)
+
+        items: List[Item] = [Label(fn.name)]
+        items.append(Insn("push", (REG_FP,)))
+        items.append(Insn("movr", (REG_FP, REG_SP)))
+        if self._scope.frame_size:
+            items.append(Insn("addi", (REG_SP, -self._scope.frame_size)))
+        items.extend(body_items)
+        items.append(Label(self._epilogue_label()))
+        items.append(Insn("movr", (REG_SP, REG_FP)))
+        items.append(Insn("pop", (REG_FP,)))
+        items.append(Insn("ret", ()))
+        return FunctionCode(name=fn.name, items=items,
+                            static_locals=list(self._scope.statics.values()))
+
+    def _epilogue_label(self) -> str:
+        return ".L%s_epilogue" % self._fn.name
+
+    def _collect_statics(self, block: ast.Block) -> None:
+        """Find static locals anywhere in the body and mangle their names."""
+        for stmt in block.statements:
+            if isinstance(stmt, ast.LocalDecl) and stmt.is_static:
+                symbol = "%s.%s" % (self._fn.name, stmt.name)
+                self._scope.statics[stmt.name] = StaticLocal(
+                    symbol=symbol, typ=stmt.typ, init=stmt.static_init)
+            elif isinstance(stmt, ast.Block):
+                self._collect_statics(stmt)
+            elif isinstance(stmt, ast.If):
+                self._collect_statics(stmt.then)
+                if stmt.otherwise:
+                    self._collect_statics(stmt.otherwise)
+            elif isinstance(stmt, ast.While):
+                self._collect_statics(stmt.body)
+            elif isinstance(stmt, ast.DoWhile):
+                self._collect_statics(stmt.body)
+            elif isinstance(stmt, ast.Switch):
+                for case in stmt.cases:
+                    self._collect_statics(ast.Block(statements=case.body))
+
+    # -- statements ------------------------------------------------------------
+
+    def _compile_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._compile_stmt(stmt)
+
+    def _compile_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._compile_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._compile_expr(stmt.expr)
+        elif isinstance(stmt, ast.LocalDecl):
+            self._compile_local_decl(stmt)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._compile_expr(stmt.value)
+            else:
+                self._emit("movi", _R0, 0)
+            self._emit("jmp", LabelRef(self._epilogue_label()))
+        elif isinstance(stmt, ast.DoWhile):
+            self._compile_do_while(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._compile_switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._loop_stack:
+                raise self._error("break outside loop")
+            self._emit("jmp", LabelRef(self._loop_stack[-1][1]))
+        elif isinstance(stmt, ast.Continue):
+            target = next((entry[0] for entry in reversed(self._loop_stack)
+                           if entry[0] is not None), None)
+            if target is None:
+                raise self._error("continue outside loop")
+            self._emit("jmp", LabelRef(target))
+        else:
+            raise self._error("unsupported statement %r" % stmt)
+
+    def _compile_local_decl(self, decl: ast.LocalDecl) -> None:
+        if decl.is_static:
+            return  # storage emitted at unit level; nothing to run
+        offset = self._scope.declare_local(decl.name, decl.typ)
+        if decl.init is not None:
+            self._compile_expr(decl.init)
+            self._emit("storer", REG_FP, offset, _R0)
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        self._compile_expr(stmt.cond)
+        self._emit("cmpi", _R0, 0)
+        self._emit("jz", LabelRef(else_label if stmt.otherwise else end_label))
+        self._compile_block(stmt.then)
+        if stmt.otherwise:
+            self._emit("jmp", LabelRef(end_label))
+            self._emit_label(else_label)
+            self._compile_block(stmt.otherwise)
+        self._emit_label(end_label)
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        top = self._label("loop")
+        end = self._label("endloop")
+        step_label = self._label("step") if stmt.step is not None else top
+        if self._ctx.align_loops:
+            self._items.append(Align(LOOP_ALIGNMENT))
+        self._emit_label(top)
+        self._compile_expr(stmt.cond)
+        self._emit("cmpi", _R0, 0)
+        self._emit("jz", LabelRef(end))
+        # continue jumps to the step (for-loops) or the condition.
+        self._loop_stack.append((step_label, end))
+        self._compile_block(stmt.body)
+        self._loop_stack.pop()
+        if stmt.step is not None:
+            self._emit_label(step_label)
+            self._compile_expr(stmt.step)
+        self._emit("jmp", LabelRef(top))
+        self._emit_label(end)
+
+    def _compile_do_while(self, stmt: ast.DoWhile) -> None:
+        top = self._label("dloop")
+        test = self._label("dtest")
+        end = self._label("dend")
+        if self._ctx.align_loops:
+            self._items.append(Align(LOOP_ALIGNMENT))
+        self._emit_label(top)
+        self._loop_stack.append((test, end))  # continue -> the test
+        self._compile_block(stmt.body)
+        self._loop_stack.pop()
+        self._emit_label(test)
+        self._compile_expr(stmt.cond)
+        self._emit("cmpi", _R0, 0)
+        self._emit("jnz", LabelRef(top))
+        self._emit_label(end)
+
+    def _compile_switch(self, stmt: ast.Switch) -> None:
+        """C switch: compare-and-branch dispatch, fallthrough bodies.
+
+        ``break`` exits the switch; ``continue`` still refers to the
+        innermost enclosing *loop* (hence the ``None`` continue slot).
+        """
+        end = self._label("swend")
+        case_labels = [self._label("case") for _ in stmt.cases]
+        self._compile_expr(stmt.selector)
+        default_label = end
+        for case, label in zip(stmt.cases, case_labels):
+            if case.value is None:
+                default_label = label
+                continue
+            self._emit("cmpi", _R0, case.value & 0xFFFFFFFF)
+            self._emit("jz", LabelRef(label))
+        self._emit("jmp", LabelRef(default_label))
+        self._loop_stack.append((None, end))
+        for case, label in zip(stmt.cases, case_labels):
+            self._emit_label(label)
+            for inner in case.body:
+                self._compile_stmt(inner)
+            # no jump: C fallthrough into the next case
+        self._loop_stack.pop()
+        self._emit_label(end)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr) -> None:
+        """Evaluate ``expr`` into r0."""
+        if isinstance(expr, ast.Number):
+            self._emit("movi", _R0, expr.value & 0xFFFFFFFF)
+        elif isinstance(expr, ast.SizeOf):
+            self._emit("movi", _R0, expr.measured.size)
+        elif isinstance(expr, ast.Name):
+            self._compile_name_value(expr)
+        elif isinstance(expr, ast.Unary):
+            self._compile_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._compile_binary(expr)
+        elif isinstance(expr, ast.Assign):
+            self._compile_assign(expr)
+        elif isinstance(expr, ast.Call):
+            self._compile_call(expr)
+        elif isinstance(expr, ast.Index):
+            self._compile_address(expr)
+            self._emit("loadr", _R0, _R0, 0)
+        elif isinstance(expr, ast.FieldAccess):
+            self._compile_address(expr)
+            self._emit("loadr", _R0, _R0, 0)
+        elif isinstance(expr, ast.IncDec):
+            self._compile_incdec(expr)
+        elif isinstance(expr, ast.Conditional):
+            self._compile_conditional(expr)
+        else:
+            raise self._error("unsupported expression %r" % expr)
+
+    def _compile_name_value(self, expr: ast.Name) -> None:
+        name = expr.ident
+        typ = self._type_of(expr)
+        if isinstance(typ, ArrayType):
+            self._compile_address(expr)  # arrays decay to their address
+            return
+        if name in self._scope.offsets:
+            self._emit("loadr", _R0, REG_FP, self._scope.offsets[name])
+        elif name in self._scope.statics:
+            self._emit("load", _R0, SymRef(self._scope.statics[name].symbol))
+        elif name in self._ctx.global_types:
+            self._emit("load", _R0, SymRef(name))
+        elif name in self._ctx.function_names:
+            self._emit("lea", _R0, SymRef(name))
+        else:
+            raise self._error("unknown identifier %r" % name)
+
+    def _compile_unary(self, expr: ast.Unary) -> None:
+        if expr.op == "&":
+            self._compile_address(expr.operand)
+            return
+        if expr.op == "*":
+            self._type_of(expr)  # rejects dereferencing a non-pointer
+            self._compile_expr(expr.operand)
+            self._emit("loadr", _R0, _R0, 0)
+            return
+        self._compile_expr(expr.operand)
+        if expr.op == "-":
+            self._emit("neg", _R0)
+        elif expr.op == "~":
+            self._emit("not", _R0)
+        elif expr.op == "!":
+            true_label = self._label("nz")
+            end_label = self._label("notend")
+            self._emit("cmpi", _R0, 0)
+            self._emit("jnz", LabelRef(true_label))
+            self._emit("movi", _R0, 1)
+            self._emit("jmp", LabelRef(end_label))
+            self._emit_label(true_label)
+            self._emit("movi", _R0, 0)
+            self._emit_label(end_label)
+        else:
+            raise self._error("unsupported unary %r" % expr.op)
+
+    def _compile_binary(self, expr: ast.Binary) -> None:
+        if expr.op in ("&&", "||"):
+            self._compile_short_circuit(expr)
+            return
+        if expr.op in _CMP_JUMPS:
+            self._compile_comparison(expr)
+            return
+
+        scale_left, scale_right = self._pointer_scales(expr)
+        self._compile_expr(expr.left)
+        if scale_left > 1:
+            self._emit("movi", _R1, scale_left)
+            self._emit("mul", _R0, _R1)
+        self._emit("push", _R0)
+        self._compile_expr(expr.right)
+        if scale_right > 1:
+            self._emit("movi", _R1, scale_right)
+            self._emit("mul", _R0, _R1)
+        self._emit("movr", _R1, _R0)
+        self._emit("pop", _R0)
+        mnemonic = _ARITH_OPS.get(expr.op)
+        if mnemonic is None:
+            raise self._error("unsupported binary %r" % expr.op)
+        self._emit(mnemonic, _R0, _R1)
+
+    def _pointer_scales(self, expr: ast.Binary) -> Tuple[int, int]:
+        """Element-size scaling for pointer arithmetic (C semantics)."""
+        if expr.op not in ("+", "-"):
+            return 1, 1
+        left_elem = element_type(self._type_of(expr.left))
+        right_elem = element_type(self._type_of(expr.right))
+        if left_elem is not None and right_elem is None:
+            return 1, left_elem.size
+        if right_elem is not None and left_elem is None and expr.op == "+":
+            return right_elem.size, 1
+        return 1, 1
+
+    def _compile_comparison(self, expr: ast.Binary) -> None:
+        self._compile_expr(expr.left)
+        self._emit("push", _R0)
+        self._compile_expr(expr.right)
+        self._emit("movr", _R1, _R0)
+        self._emit("pop", _R0)
+        self._emit("cmp", _R0, _R1)
+        true_label = self._label("cmpt")
+        end_label = self._label("cmpe")
+        self._emit(_CMP_JUMPS[expr.op], LabelRef(true_label))
+        self._emit("movi", _R0, 0)
+        self._emit("jmp", LabelRef(end_label))
+        self._emit_label(true_label)
+        self._emit("movi", _R0, 1)
+        self._emit_label(end_label)
+
+    def _compile_short_circuit(self, expr: ast.Binary) -> None:
+        out_label = self._label("sc")
+        end_label = self._label("scend")
+        short_jump = "jz" if expr.op == "&&" else "jnz"
+        self._compile_expr(expr.left)
+        self._emit("cmpi", _R0, 0)
+        self._emit(short_jump, LabelRef(out_label))
+        self._compile_expr(expr.right)
+        self._emit("cmpi", _R0, 0)
+        self._emit(short_jump, LabelRef(out_label))
+        self._emit("movi", _R0, 1 if expr.op == "&&" else 0)
+        self._emit("jmp", LabelRef(end_label))
+        self._emit_label(out_label)
+        self._emit("movi", _R0, 0 if expr.op == "&&" else 1)
+        self._emit_label(end_label)
+
+    def _compile_assign(self, expr: ast.Assign) -> None:
+        self._compile_address(expr.target)
+        self._emit("push", _R0)
+        self._compile_expr(expr.value)
+        self._emit("pop", _R1)
+        self._emit("storer", _R1, 0, _R0)
+
+    def _compile_call(self, expr: ast.Call) -> None:
+        if expr.callee in ("__sched", "__hlt", "__syscall", "__cli",
+                           "__sti"):
+            self._compile_builtin(expr)
+            return
+        for arg in reversed(expr.args):
+            self._compile_expr(arg)
+            self._emit("push", _R0)
+        self._emit("call", LabelRef(expr.callee))
+        if expr.args:
+            self._emit("addi", REG_SP, 4 * len(expr.args))
+
+    def _compile_builtin(self, expr: ast.Call) -> None:
+        """Builtins that lower to bare instructions rather than calls.
+
+        ``__sched()`` yields the CPU (the scheduler's core primitive),
+        ``__hlt()`` halts the thread, ``__syscall(n, a, b, c)`` places
+        its operands in r0..r3 and executes the SYSCALL instruction, and
+        ``__cli()``/``__sti()`` bracket critical sections (preemption
+        off/on, nesting allowed).
+        """
+        if expr.callee in ("__cli", "__sti"):
+            if expr.args:
+                raise self._error("%s takes no arguments" % expr.callee)
+            self._emit(expr.callee[2:])  # cli / sti
+            self._emit("movi", _R0, 0)
+            return
+        if expr.callee == "__sched":
+            if expr.args:
+                raise self._error("__sched takes no arguments")
+            self._emit("sched")
+            self._emit("movi", _R0, 0)
+            return
+        if expr.callee == "__hlt":
+            if expr.args:
+                raise self._error("__hlt takes no arguments")
+            self._emit("hlt")
+            return
+        if len(expr.args) != 4:
+            raise self._error("__syscall takes exactly 4 arguments")
+        for arg in reversed(expr.args):
+            self._compile_expr(arg)
+            self._emit("push", _R0)
+        for reg in (0, 1, 2, 3):
+            self._emit("pop", reg)
+        self._emit("syscall")
+
+    def _compile_incdec(self, expr: ast.IncDec) -> None:
+        step = expr.delta
+        elem = element_type(self._type_of(expr.target))
+        if elem is not None:
+            step *= elem.size
+        self._compile_address(expr.target)
+        self._emit("movr", _R2, _R0)
+        self._emit("loadr", _R0, _R2, 0)
+        self._emit("movr", _R1, _R0)
+        self._emit("addi", _R1, step)
+        self._emit("storer", _R2, 0, _R1)
+        if expr.is_prefix:
+            self._emit("movr", _R0, _R1)
+        # postfix leaves the old value in r0
+
+    def _compile_conditional(self, expr: ast.Conditional) -> None:
+        else_label = self._label("celse")
+        end_label = self._label("cend")
+        self._compile_expr(expr.cond)
+        self._emit("cmpi", _R0, 0)
+        self._emit("jz", LabelRef(else_label))
+        self._compile_expr(expr.then)
+        self._emit("jmp", LabelRef(end_label))
+        self._emit_label(else_label)
+        self._compile_expr(expr.otherwise)
+        self._emit_label(end_label)
+
+    # -- lvalue addresses -------------------------------------------------------
+
+    def _compile_address(self, expr: ast.Expr) -> None:
+        """Evaluate the address of an lvalue into r0."""
+        if isinstance(expr, ast.Name):
+            name = expr.ident
+            if name in self._scope.offsets:
+                self._emit("movr", _R0, REG_FP)
+                self._emit("addi", _R0, self._scope.offsets[name])
+            elif name in self._scope.statics:
+                self._emit("lea", _R0, SymRef(self._scope.statics[name].symbol))
+            elif name in self._ctx.global_types:
+                self._emit("lea", _R0, SymRef(name))
+            elif name in self._ctx.function_names:
+                self._emit("lea", _R0, SymRef(name))
+            else:
+                raise self._error("unknown identifier %r" % name)
+        elif isinstance(expr, ast.Unary) and expr.op == "*":
+            self._compile_expr(expr.operand)
+        elif isinstance(expr, ast.Index):
+            elem = element_type(self._type_of(expr.base))
+            if elem is None:
+                raise self._error("indexing a non-array/pointer")
+            self._compile_expr(expr.base)  # array decays to address
+            self._emit("push", _R0)
+            self._compile_expr(expr.index)
+            if elem.size != 1:
+                self._emit("movr", _R1, _R0)
+                self._emit("movi", _R0, elem.size)
+                self._emit("mul", _R0, _R1)
+            self._emit("movr", _R1, _R0)
+            self._emit("pop", _R0)
+            self._emit("add", _R0, _R1)
+        elif isinstance(expr, ast.FieldAccess):
+            offset, _ = self._field_info(expr)
+            if expr.arrow:
+                self._compile_expr(expr.base)
+            else:
+                self._compile_address(expr.base)
+            if offset:
+                self._emit("addi", _R0, offset)
+        else:
+            raise self._error("expression is not an lvalue: %r" % expr)
+
+
+def compile_function(fn: ast.FunctionDef, ctx: UnitContext) -> FunctionCode:
+    """Compile one function definition into assembler items."""
+    return FunctionCompiler(fn, ctx).compile()

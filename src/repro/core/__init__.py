@@ -1,0 +1,38 @@
+"""Ksplice: the paper's contribution.
+
+* :mod:`repro.core.objdiff` — pre-post differencing (§3): find what a
+  patch changed by comparing object code built before and after.
+* :mod:`repro.core.extract` — pull changed functions out of the post
+  objects into primary objects; package whole pre objects as helpers.
+* :mod:`repro.core.update` — the update pack ksplice-create writes.
+* :mod:`repro.core.create` — ``ksplice-create``: patch in, update out.
+* :mod:`repro.core.runpre` — run-pre matching (§4): verify the running
+  kernel against the pre code and recover trusted symbol values.
+* :mod:`repro.core.apply` — ``ksplice-apply``/``ksplice-undo``: the core
+  "kernel module" that loads helpers/primaries, matches, stack-checks
+  under stop_machine, and installs the redirection jumps.
+* :mod:`repro.core.shadow` — shadow data structures for added fields.
+* :mod:`repro.core.hooks` — running programmer-supplied update code.
+"""
+
+from repro.core.objdiff import SectionStatus, UnitDiff, diff_objects
+from repro.core.extract import build_helper_object, build_primary_object
+from repro.core.update import UnitUpdate, UpdatePack
+from repro.core.create import ksplice_create
+from repro.core.runpre import RunPreMatcher, RunPreResult
+from repro.core.apply import AppliedUpdate, KspliceCore
+
+__all__ = [
+    "AppliedUpdate",
+    "KspliceCore",
+    "RunPreMatcher",
+    "RunPreResult",
+    "SectionStatus",
+    "UnitDiff",
+    "UnitUpdate",
+    "UpdatePack",
+    "build_helper_object",
+    "build_primary_object",
+    "diff_objects",
+    "ksplice_create",
+]

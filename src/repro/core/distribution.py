@@ -1,0 +1,142 @@
+"""Hot-update distribution (§8's future work).
+
+"One could use Ksplice to create hot update packages for common starting
+kernel configurations.  People who subscribe their systems to these
+updates would be able to transparently receive kernel hot updates ...
+without any ongoing effort from users."
+
+:class:`UpdateChannel` is the vendor side: an ordered series of update
+packs per kernel release, where each pack is built against the previous
+pack's source state (§5.4 stacking).  :class:`Subscriber` is the client
+side: it tracks which updates a machine has applied and pulls the rest,
+in order, through the machine's Ksplice core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.compiler import CompilerOptions
+from repro.core.apply import AppliedUpdate, KspliceCore
+from repro.core.create import ksplice_create
+from repro.core.update import UpdatePack
+from repro.errors import KspliceError
+from repro.kbuild import SourceTree
+from repro.patch import Patch
+
+
+@dataclass
+class ChannelEntry:
+    """One published update: the pack plus its source provenance."""
+
+    sequence: int
+    pack_bytes: bytes
+    description: str
+    #: tree state *after* this update's patch (the base for the next one)
+    resulting_tree: SourceTree
+
+    def pack(self) -> UpdatePack:
+        return UpdatePack.from_bytes(self.pack_bytes)
+
+
+class UpdateChannel:
+    """Vendor-side: publish a stream of updates for one kernel release.
+
+    Each published patch is diffed against the *previously-patched*
+    source (§5.4), so subscribers at any point in the series can catch
+    up by applying the remaining packs in order.
+    """
+
+    def __init__(self, base_tree: SourceTree,
+                 options: Optional[CompilerOptions] = None):
+        self.base_tree = base_tree
+        self.options = options or CompilerOptions()
+        self.entries: List[ChannelEntry] = []
+
+    @property
+    def kernel_version(self) -> str:
+        return self.base_tree.version
+
+    def current_tree(self) -> SourceTree:
+        if self.entries:
+            return self.entries[-1].resulting_tree
+        return self.base_tree
+
+    def publish(self, patch: Union[Patch, str],
+                description: str = "") -> ChannelEntry:
+        """Build and publish the next update in the series."""
+        tree = self.current_tree()
+        pack = ksplice_create(tree, patch, options=self.options,
+                              description=description)
+        entry = ChannelEntry(
+            sequence=len(self.entries) + 1,
+            pack_bytes=pack.to_bytes(),
+            description=description,
+            resulting_tree=tree.patched(patch, version_suffix=""),
+        )
+        self.entries.append(entry)
+        return entry
+
+    def entries_after(self, sequence: int) -> List[ChannelEntry]:
+        return [e for e in self.entries if e.sequence > sequence]
+
+    def latest_sequence(self) -> int:
+        return self.entries[-1].sequence if self.entries else 0
+
+
+@dataclass
+class SyncResult:
+    """Outcome of one subscriber sync."""
+
+    applied: List[AppliedUpdate] = field(default_factory=list)
+    already_current: bool = False
+
+    @property
+    def count(self) -> int:
+        return len(self.applied)
+
+
+class Subscriber:
+    """Client-side: keeps one machine current with a channel."""
+
+    def __init__(self, core: KspliceCore, channel: UpdateChannel):
+        if core.machine.image.version != channel.kernel_version:
+            raise KspliceError(
+                "machine runs %s but the channel serves %s"
+                % (core.machine.image.version, channel.kernel_version))
+        self.core = core
+        self.channel = channel
+        self.applied_sequence = 0
+
+    @property
+    def is_current(self) -> bool:
+        return self.applied_sequence >= self.channel.latest_sequence()
+
+    def pending(self) -> List[ChannelEntry]:
+        return self.channel.entries_after(self.applied_sequence)
+
+    def sync(self) -> SyncResult:
+        """Apply every pending update, oldest first.
+
+        An apply failure stops the sync (later updates stack on earlier
+        ones, so skipping is never sound); updates applied before the
+        failure stay applied, and the failure propagates.
+        """
+        result = SyncResult()
+        pending = self.pending()
+        if not pending:
+            result.already_current = True
+            return result
+        for entry in pending:
+            result.applied.append(self.core.apply(entry.pack()))
+            self.applied_sequence = entry.sequence
+        return result
+
+    def rollback_last(self) -> None:
+        """Undo the most recent synced update."""
+        if self.applied_sequence == 0:
+            raise KspliceError("nothing to roll back")
+        entry = self.channel.entries[self.applied_sequence - 1]
+        self.core.undo(entry.pack().update_id)
+        self.applied_sequence -= 1

@@ -1,0 +1,69 @@
+"""Extraction: post sections -> primary object, pre object -> helper.
+
+The primary object carries the replacement code: every changed or new
+function section from the post build, any *new* data (storage for new
+functions' static locals, new globals added by the patch), and the
+``.ksplice_*`` hook tables.  Its relocations are left symbolic; run-pre
+matching supplies the trusted values at apply time.
+
+The helper object is simply the entire pre object ("the helper module
+must contain the entire optimization unit corresponding to each patched
+function", §5.1) — which is why it is much larger than the primary and
+why it can be unloaded once matching is done.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.objdiff import SectionStatus, UnitDiff
+from repro.objfile import HOOK_SECTIONS, ObjectFile, Symbol
+
+
+def build_helper_object(pre: ObjectFile) -> ObjectFile:
+    """The helper is a copy of the whole pre object."""
+    helper = pre.copy()
+    helper.name = pre.name
+    return helper
+
+
+def _wanted_sections(diff: UnitDiff, post: ObjectFile) -> List[str]:
+    wanted: List[str] = []
+    for name, status in diff.section_status.items():
+        if name not in post.sections or name in HOOK_SECTIONS:
+            continue
+        if name.startswith(".text.") and status in (SectionStatus.CHANGED,
+                                                    SectionStatus.NEW):
+            wanted.append(name)
+        elif status is SectionStatus.NEW:
+            wanted.append(name)
+    for name in HOOK_SECTIONS:
+        if name in post.sections:
+            wanted.append(name)
+    return wanted
+
+
+def build_primary_object(post: ObjectFile, diff: UnitDiff) -> ObjectFile:
+    """Extract the replacement code from the post object."""
+    primary = ObjectFile(name=post.name)
+    wanted = _wanted_sections(diff, post)
+    for name in wanted:
+        primary.add_section(post.section(name).copy())
+    for symbol in post.symbols:
+        if symbol.is_defined and symbol.section in primary.sections:
+            primary.add_symbol(symbol.copy())
+    # Everything referenced but not carried along becomes undefined; the
+    # apply-time resolver (run-pre values, then kallsyms) fills these in.
+    primary.ensure_undefined(primary.referenced_symbol_names())
+    primary.validate()
+    return primary
+
+
+def replaced_functions(diff: UnitDiff, pre: ObjectFile) -> List[Symbol]:
+    """Pre-object symbols for the functions the update will replace."""
+    symbols: List[Symbol] = []
+    for fn_name in diff.changed_functions:
+        symbol = pre.find_symbol(fn_name)
+        if symbol is not None and symbol.is_defined:
+            symbols.append(symbol)
+    return symbols

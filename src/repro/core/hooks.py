@@ -1,0 +1,53 @@
+"""Running programmer-supplied hook code (§5.3).
+
+Hook functions arrive as ordinary replacement code: the ``ksplice_apply``
+macro family writes function pointers into ``.ksplice_*`` sections of the
+primary object, and the loader relocates those pointers to module-local
+addresses.  At the right moment the core reads each table out of kernel
+memory and calls the functions — on a fresh kernel thread, which works
+even while stop_machine has the scheduler frozen.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import KspliceError
+from repro.kernel.machine import Machine
+from repro.kernel.modules import LoadedModule
+
+#: Budget for a single hook invocation; hooks run with CPUs captured, so
+#: runaways must be bounded.
+HOOK_INSTRUCTION_BUDGET = 500_000
+
+
+def hook_addresses(machine: Machine, module: LoadedModule,
+                   section_name: str) -> List[int]:
+    """Read the function-pointer table of one hook section, if present."""
+    if section_name not in module.objfile.sections:
+        return []
+    section = module.objfile.section(section_name)
+    base = module.section_address(section_name)
+    return [machine.read_u32(base + offset)
+            for offset in range(0, section.size, 4)]
+
+
+def run_hooks(machine: Machine, modules: List[LoadedModule],
+              section_name: str) -> int:
+    """Invoke every hook in ``section_name`` across ``modules``.
+
+    A hook returning nonzero aborts the update (mirrors the paper's
+    transition-function contract).  Returns the number of hooks run.
+    """
+    count = 0
+    for module in modules:
+        for address in hook_addresses(machine, module, section_name):
+            result = machine.call_function(address,
+                                           max_instructions=
+                                           HOOK_INSTRUCTION_BUDGET)
+            if result != 0:
+                raise KspliceError(
+                    "hook %s[%d] in module %s failed with %r"
+                    % (section_name, count, module.name, result))
+            count += 1
+    return count

@@ -1,0 +1,399 @@
+"""run-pre matching (§4.3).
+
+The matcher walks every byte of each pre text section against the run
+code in kernel memory, knowing only two architecture facts: instruction
+lengths and which instructions are pc-relative.  Along the way it
+
+* skips no-op padding present on either side (alignment differs between
+  the merged run build and the function-sections pre build);
+* treats short and long encodings of the same branch as equivalent,
+  checking that their targets *correspond* under the non-linear mapping
+  built during the walk;
+* solves every unresolved pre relocation from the already-relocated run
+  bytes (``S = val + P_run − A``), producing trusted symbol values — the
+  mechanism that disambiguates duplicate local names like ``debug``;
+* aborts on any other difference (``RunPreMismatchError``), which is the
+  safety guarantee: no unchecked assumption about the run code survives.
+
+Function run addresses are found by candidate matching: every kallsyms
+symbol with the right name is tried, and exactly one candidate must
+match.  A ``candidate_override`` lets the Ksplice core redirect lookups
+for functions already replaced by an earlier update (§5.4 stacking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.disassembler import DecodedInstruction
+from repro.arch.info import DEFAULT_ARCH, ArchInfo
+from repro.arch.isa import OperandKind
+from repro.errors import (
+    DisassemblyError,
+    MachineError,
+    RunPreMismatchError,
+    SymbolResolutionError,
+)
+from repro.kernel.memory import Memory
+from repro.linker.kallsyms import KallsymsTable
+from repro.objfile import (
+    ObjectFile,
+    Relocation,
+    RelocationType,
+    Section,
+    SymbolKind,
+)
+
+_FIELD_SIZES = {
+    OperandKind.REG: 1,
+    OperandKind.IMM32: 4,
+    OperandKind.ABS32: 4,
+    OperandKind.REL32: 4,
+    OperandKind.REL8: 1,
+    OperandKind.PAD: 1,
+}
+
+
+class _CandidateMismatch(Exception):
+    """Internal: this candidate address does not match the pre code."""
+
+
+@dataclass
+class RunPreResult:
+    """Outcome of matching one unit's pre object against the run code."""
+
+    unit: str
+    symbol_values: Dict[str, int] = field(default_factory=dict)
+    matched_functions: Dict[str, int] = field(default_factory=dict)
+    bytes_matched: int = 0
+    nop_bytes_skipped: int = 0
+    relocations_solved: int = 0
+
+    def value_of(self, name: str) -> int:
+        try:
+            return self.symbol_values[name]
+        except KeyError:
+            raise SymbolResolutionError(
+                "run-pre matching produced no value for %r in %s"
+                % (name, self.unit)) from None
+
+
+class _SectionMatch:
+    """One attempt to match a pre text section at one run address."""
+
+    def __init__(self, memory: Memory, section: Section, run_start: int,
+                 arch: ArchInfo = DEFAULT_ARCH):
+        self._memory = memory
+        self._arch = arch
+        self._section = section
+        self._pre = section.data
+        self._run_start = run_start
+        self._relocs_by_offset: Dict[int, Relocation] = {
+            r.offset: r for r in section.relocations}
+        self.symbol_values: Dict[str, int] = {}
+        self.bytes_matched = 0
+        self.nop_bytes_skipped = 0
+        self.relocations_solved = 0
+        # pre instruction offset -> run instruction address
+        self._correspondence: Dict[int, int] = {}
+        self._jump_checks: List[Tuple[int, int]] = []
+
+    # -- errors -----------------------------------------------------------
+
+    def _fail(self, pre_off: int, run_addr: int, why: str) -> None:
+        raise _CandidateMismatch(
+            "%s+%d vs run 0x%08x: %s"
+            % (self._section.name, pre_off, run_addr, why))
+
+    def _record_symbol(self, pre_off: int, run_addr: int, name: str,
+                       value: int) -> None:
+        existing = self.symbol_values.get(name)
+        if existing is not None and existing != value:
+            self._fail(pre_off, run_addr,
+                       "symbol %r solved inconsistently: 0x%08x vs 0x%08x"
+                       % (name, existing, value))
+        self.symbol_values[name] = value
+        self.relocations_solved += 1
+
+    # -- decoding ---------------------------------------------------------
+
+    def _decode_run(self, address: int) -> DecodedInstruction:
+        try:
+            opcode = self._memory.read_u8(address)
+            window = self._memory.read_bytes(
+                address, self._arch.instruction_length(opcode))
+            return self._arch.decode_one(window)
+        except (MachineError, DisassemblyError) as exc:
+            raise _CandidateMismatch(
+                "run code at 0x%08x undecodable: %s" % (address, exc))
+
+    # -- the walk -----------------------------------------------------------
+
+    def match(self) -> None:
+        pre_off = 0
+        run_addr = self._run_start
+        pre_len = len(self._pre)
+        while pre_off < pre_len:
+            try:
+                pre_insn = self._arch.decode_one(self._pre, pre_off)
+            except DisassemblyError as exc:
+                self._fail(pre_off, run_addr, "pre undecodable: %s" % exc)
+            run_insn = self._decode_run(run_addr)
+
+            if pre_insn.is_nop and run_insn.is_nop:
+                self._correspondence[pre_off] = run_addr
+                self.nop_bytes_skipped += max(pre_insn.length,
+                                              run_insn.length)
+                pre_off += pre_insn.length
+                run_addr += run_insn.length
+                continue
+            if run_insn.is_nop:  # run-only alignment padding
+                self.nop_bytes_skipped += run_insn.length
+                run_addr += run_insn.length
+                continue
+            if pre_insn.is_nop:  # pre-only padding
+                self.nop_bytes_skipped += pre_insn.length
+                pre_off += pre_insn.length
+                continue
+
+            self._correspondence[pre_off] = run_addr
+            if pre_insn.canonical != run_insn.canonical:
+                self._fail(pre_off, run_addr,
+                           "instruction %s vs %s"
+                           % (pre_insn.mnemonic, run_insn.mnemonic))
+            self._match_operands(pre_insn, run_insn, pre_off, run_addr)
+            self.bytes_matched += pre_insn.length
+            pre_off += pre_insn.length
+            run_addr += run_insn.length
+
+        self._verify_jump_targets(run_addr)
+
+    def _match_operands(self, pre_insn: DecodedInstruction,
+                        run_insn: DecodedInstruction,
+                        pre_off: int, run_addr: int) -> None:
+        pre_kinds = [k for k in pre_insn.instruction.spec.operands
+                     if k is not OperandKind.PAD]
+        run_kinds = [k for k in run_insn.instruction.spec.operands
+                     if k is not OperandKind.PAD]
+        pre_field = 1
+        run_field = 1
+        for index, (pk, rk) in enumerate(zip(pre_kinds, run_kinds)):
+            pre_value = pre_insn.instruction.operands[index]
+            run_value = run_insn.instruction.operands[index]
+            if pk is OperandKind.REG:
+                if pre_value != run_value:
+                    self._fail(pre_off, run_addr,
+                               "register operand %d differs" % index)
+            elif pk in (OperandKind.IMM32, OperandKind.ABS32):
+                reloc = self._relocs_by_offset.get(pre_off + pre_field)
+                if reloc is not None:
+                    solved = reloc.solve_symbol(
+                        run_value, place=run_addr + run_field)
+                    self._record_symbol(pre_off, run_addr, reloc.symbol,
+                                        solved)
+                elif pre_value != run_value:
+                    self._fail(pre_off, run_addr,
+                               "immediate operand differs: 0x%x vs 0x%x"
+                               % (pre_value, run_value))
+            else:  # pc-relative
+                pre_target = pre_off + pre_insn.length + pre_value
+                run_target = run_addr + run_insn.length + run_value
+                reloc = self._relocs_by_offset.get(pre_off + pre_field)
+                if reloc is not None:
+                    self._solve_pc_relative(reloc, pre_off, run_addr,
+                                            run_insn, run_field, run_target)
+                else:
+                    self._jump_checks.append((pre_target, run_target))
+            pre_field += _FIELD_SIZES[pk]
+            run_field += _FIELD_SIZES[rk]
+
+    def _solve_pc_relative(self, reloc: Relocation, pre_off: int,
+                           run_addr: int, run_insn: DecodedInstruction,
+                           run_field: int, run_target: int) -> None:
+        if reloc.type is not RelocationType.PC32:
+            self._fail(pre_off, run_addr,
+                       "abs relocation on a pc-relative field")
+        if reloc.addend == -4:
+            # Canonical call/jump relocation: the addend exactly cancels
+            # the next-instruction bias, so S is the branch target — an
+            # identity that holds whether the run encoding is short or
+            # long.
+            solved = run_target
+        else:
+            # General addend: invert the relocation formula, which needs
+            # the raw run field; only sound when the encodings agree.
+            if run_insn.length != 5:
+                self._fail(pre_off, run_addr,
+                           "cannot solve non-canonical pc32 against a "
+                           "short-form run instruction")
+            raw = self._memory.read_u32(run_addr + run_field)
+            solved = reloc.solve_symbol(raw, place=run_addr + run_field)
+        self._record_symbol(pre_off, run_addr, reloc.symbol, solved)
+
+    def _verify_jump_targets(self, run_end: int) -> None:
+        end_of_pre = len(self._pre)
+        for pre_target, run_target in self._jump_checks:
+            if pre_target == end_of_pre:
+                expected = run_end
+            else:
+                expected = self._correspondence.get(pre_target)
+            if expected != run_target:
+                self._fail(pre_target, run_target,
+                           "relative jump targets do not correspond "
+                           "(expected run 0x%08x)" % (expected or 0))
+
+
+@dataclass
+class RunPreMatcher:
+    """Matches helper (pre) objects against the running kernel."""
+
+    memory: Memory
+    kallsyms: KallsymsTable
+    #: unit, symbol -> run addresses to try instead of kallsyms (stacking)
+    candidate_override: Optional[Callable[[str, str], Optional[List[int]]]] \
+        = None
+    #: the §4.3 architecture-specific information table
+    arch: ArchInfo = DEFAULT_ARCH
+
+    def match_unit(self, helper: ObjectFile) -> RunPreResult:
+        """Match every text section of a pre object against the run code.
+
+        Matching is iterative: functions whose names are in the symbol
+        table (or redirected by the stacking override) anchor the first
+        round; functions whose names are *missing* from the table (§4.1
+        "does not appear at all" — e.g. local symbols stripped from
+        kallsyms) become locatable once some matched caller's relocation
+        solves their address, and are matched in later rounds.
+        """
+        result = RunPreResult(unit=helper.name)
+        pending: List[Tuple[Section, object]] = []
+        for section in helper.sections.values():
+            if not section.kind.is_code:
+                continue
+            fn_symbol = self._function_symbol(helper, section.name)
+            if fn_symbol is not None:
+                pending.append((section, fn_symbol))
+
+        while pending:
+            progress = False
+            deferred: List[Tuple[Section, object]] = []
+            for section, fn_symbol in pending:
+                candidates = self._candidates(helper.name, fn_symbol.name)
+                if not candidates:
+                    solved = result.symbol_values.get(fn_symbol.name)
+                    if solved is None:
+                        deferred.append((section, fn_symbol))
+                        continue
+                    candidates = [solved]
+                run_addr, attempt = self._match_candidates(
+                    helper, section, fn_symbol, candidates)
+                self._merge(result, attempt, fn_symbol, run_addr)
+                progress = True
+            if not progress:
+                raise SymbolResolutionError(
+                    "no run address candidates for function(s) %s "
+                    "(unit %s): not in the symbol table and not "
+                    "referenced by any matched code"
+                    % (sorted(sym.name for _, sym in deferred),
+                       helper.name))
+            pending = deferred
+
+        self._match_rodata(helper, result)
+        return result
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _function_symbol(helper: ObjectFile, section_name: str):
+        for symbol in helper.symbols_in_section(section_name):
+            if symbol.kind is SymbolKind.FUNC and symbol.value == 0:
+                return symbol
+        return None
+
+    def _candidates(self, unit: str, name: str) -> List[int]:
+        if self.candidate_override is not None:
+            override = self.candidate_override(unit, name)
+            if override is not None:
+                return override
+        return [entry.address for entry in self.kallsyms.candidates(name)
+                if entry.kind is SymbolKind.FUNC]
+
+    def _match_candidates(self, helper: ObjectFile, section: Section,
+                          fn_symbol,
+                          candidates: Optional[List[int]] = None
+                          ) -> Tuple[int, _SectionMatch]:
+        if candidates is None:
+            candidates = self._candidates(helper.name, fn_symbol.name)
+        if not candidates:
+            raise SymbolResolutionError(
+                "no run address candidates for function %r (unit %s)"
+                % (fn_symbol.name, helper.name))
+        successes: List[Tuple[int, _SectionMatch]] = []
+        failures: List[str] = []
+        for address in candidates:
+            attempt = _SectionMatch(self.memory, section, address,
+                                    arch=self.arch)
+            try:
+                attempt.match()
+            except _CandidateMismatch as exc:
+                failures.append(str(exc))
+                continue
+            successes.append((address, attempt))
+        if not successes:
+            raise RunPreMismatchError(
+                "run-pre mismatch for %s in %s:\n  %s"
+                % (fn_symbol.name, helper.name, "\n  ".join(failures)))
+        if len(successes) > 1:
+            raise SymbolResolutionError(
+                "function %r in %s matches %d run locations; cannot "
+                "disambiguate" % (fn_symbol.name, helper.name,
+                                  len(successes)))
+        return successes[0]
+
+    def _merge(self, result: RunPreResult, attempt: _SectionMatch,
+               fn_symbol, run_addr: int) -> None:
+        for name, value in attempt.symbol_values.items():
+            existing = result.symbol_values.get(name)
+            if existing is not None and existing != value:
+                raise RunPreMismatchError(
+                    "unit %s: symbol %r solved inconsistently across "
+                    "functions (0x%08x vs 0x%08x)"
+                    % (result.unit, name, existing, value))
+            result.symbol_values[name] = value
+        result.symbol_values[fn_symbol.name] = run_addr
+        result.matched_functions[fn_symbol.name] = run_addr
+        result.bytes_matched += attempt.bytes_matched
+        result.nop_bytes_skipped += attempt.nop_bytes_skipped
+        result.relocations_solved += attempt.relocations_solved
+
+    def _match_rodata(self, helper: ObjectFile, result: RunPreResult) -> None:
+        """Byte-match read-only data whose address is already known."""
+        for section in helper.sections.values():
+            if not section.name.startswith(".rodata"):
+                continue
+            symbols = helper.symbols_in_section(section.name)
+            anchor = next((s for s in symbols if s.value == 0), None)
+            if anchor is None:
+                continue
+            address = result.symbol_values.get(anchor.name)
+            if address is None:
+                entries = self.kallsyms.candidates(anchor.name)
+                if len(entries) != 1:
+                    continue
+                address = entries[0].address
+            reloc_holes = {r.offset for r in section.relocations}
+            try:
+                run_bytes = self.memory.read_bytes(address, section.size)
+            except MachineError:
+                raise RunPreMismatchError(
+                    "rodata %s not mapped at 0x%08x"
+                    % (section.name, address))
+            for offset, (pre_byte, run_byte) in enumerate(
+                    zip(section.data, run_bytes)):
+                if any(h <= offset < h + 4 for h in reloc_holes):
+                    continue
+                if pre_byte != run_byte:
+                    raise RunPreMismatchError(
+                        "rodata %s differs at +%d" % (section.name, offset))
+            result.bytes_matched += section.size

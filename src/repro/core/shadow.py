@@ -1,0 +1,142 @@
+"""Shadow data structures (DynAMOS's method, adopted by Ksplice §7.1).
+
+When a patch adds a field to a struct, existing instances cannot grow.
+Instead, the new field lives in a *shadow table* keyed by (object
+address, field key).  The table and its accessors are real kernel code:
+MiniC compiled into the ``ksplice_core`` module that the Ksplice core
+loads at initialization, so patched functions and programmer hook code
+can call ``ksplice_shadow_get``/``..._attach`` like any kernel function.
+
+:class:`ShadowRegistry` is the Python-side handle used by tests and
+examples; it calls the same in-kernel functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler import CompilerOptions
+from repro.errors import KspliceError
+from repro.kbuild import SourceTree, build_tree
+from repro.kernel.machine import Machine
+from repro.kernel.modules import LoadedModule
+
+#: Capacity of the in-kernel shadow table.
+SHADOW_CAPACITY = 256
+
+#: The ksplice core module's kernel-space implementation.
+KSPLICE_CORE_SOURCE = """
+int ksplice_shadow_objs[%(cap)d];
+int ksplice_shadow_keys[%(cap)d];
+int ksplice_shadow_vals[%(cap)d];
+int ksplice_shadow_count;
+
+static int ksplice_shadow_find(int obj, int key) {
+    int i = 0;
+    while (i < ksplice_shadow_count) {
+        if (ksplice_shadow_objs[i] == obj) {
+            if (ksplice_shadow_keys[i] == key) {
+                return i;
+            }
+        }
+        i++;
+    }
+    return -1;
+}
+
+int ksplice_shadow_attach(int obj, int key, int val) {
+    int slot = ksplice_shadow_find(obj, key);
+    if (slot >= 0) {
+        ksplice_shadow_vals[slot] = val;
+        return 0;
+    }
+    if (ksplice_shadow_count >= %(cap)d) {
+        return -1;
+    }
+    ksplice_shadow_objs[ksplice_shadow_count] = obj;
+    ksplice_shadow_keys[ksplice_shadow_count] = key;
+    ksplice_shadow_vals[ksplice_shadow_count] = val;
+    ksplice_shadow_count++;
+    return 0;
+}
+
+int ksplice_shadow_has(int obj, int key) {
+    return ksplice_shadow_find(obj, key) >= 0;
+}
+
+int ksplice_shadow_get(int obj, int key) {
+    int slot = ksplice_shadow_find(obj, key);
+    if (slot < 0) {
+        return 0;
+    }
+    return ksplice_shadow_vals[slot];
+}
+
+int ksplice_shadow_set(int obj, int key, int val) {
+    int slot = ksplice_shadow_find(obj, key);
+    if (slot < 0) {
+        return ksplice_shadow_attach(obj, key, val);
+    }
+    ksplice_shadow_vals[slot] = val;
+    return 0;
+}
+
+int ksplice_shadow_detach(int obj, int key) {
+    int slot = ksplice_shadow_find(obj, key);
+    if (slot < 0) {
+        return -1;
+    }
+    ksplice_shadow_count--;
+    ksplice_shadow_objs[slot] = ksplice_shadow_objs[ksplice_shadow_count];
+    ksplice_shadow_keys[slot] = ksplice_shadow_keys[ksplice_shadow_count];
+    ksplice_shadow_vals[slot] = ksplice_shadow_vals[ksplice_shadow_count];
+    return 0;
+}
+""" % {"cap": SHADOW_CAPACITY}
+
+
+def load_ksplice_core_module(machine: Machine) -> LoadedModule:
+    """Compile and load the in-kernel half of the Ksplice core."""
+    tree = SourceTree(version="ksplice-core", files={
+        "ksplice_core.c": KSPLICE_CORE_SOURCE})
+    build = build_tree(tree, CompilerOptions(opt_level=0))
+
+    def resolver(name: str) -> int:
+        return machine.symbol(name)
+
+    return machine.loader.load(build.objects["ksplice_core.c"], resolver)
+
+
+class ShadowRegistry:
+    """Python-side handle over the in-kernel shadow table."""
+
+    def __init__(self, machine: Machine, core_module: LoadedModule):
+        self._machine = machine
+        self._module = core_module
+
+    def _call(self, name: str, args) -> Optional[int]:
+        return self._machine.call_function(
+            self._module.symbol_address(name), args)
+
+    def attach(self, obj: int, key: int, value: int) -> None:
+        if self._call("ksplice_shadow_attach", [obj, key, value]) != 0:
+            raise KspliceError("shadow table full")
+
+    def has(self, obj: int, key: int) -> bool:
+        return self._call("ksplice_shadow_has", [obj, key]) == 1
+
+    def get(self, obj: int, key: int) -> int:
+        return self._call("ksplice_shadow_get", [obj, key]) or 0
+
+    def set(self, obj: int, key: int, value: int) -> None:
+        if self._call("ksplice_shadow_set", [obj, key, value]) != 0:
+            raise KspliceError("shadow table full")
+
+    def detach(self, obj: int, key: int) -> None:
+        if self._call("ksplice_shadow_detach", [obj, key]) != 0:
+            raise KspliceError("no such shadow entry")
+
+    @property
+    def count(self) -> int:
+        return self._machine.read_u32(
+            self._module.symbol_address("ksplice_shadow_count"))

@@ -1,0 +1,79 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every failure mode that the Ksplice paper names has a dedicated exception so
+that callers (and the evaluation harness) can distinguish, e.g., a run-pre
+mismatch abort from a stack-check abort.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblyError(ReproError):
+    """Malformed assembly source or un-encodable operand."""
+
+
+class DisassemblyError(ReproError):
+    """Byte stream does not decode to a valid k86 instruction."""
+
+
+class ObjectFormatError(ReproError):
+    """Malformed KELF object file or serialization failure."""
+
+
+class CompileError(ReproError):
+    """MiniC source failed to lex, parse, type-check, or compile."""
+
+
+class PatchError(ReproError):
+    """Unified diff failed to parse or apply (hunk mismatch)."""
+
+
+class BuildError(ReproError):
+    """Kernel build (kbuild) failure."""
+
+
+class LinkError(ReproError):
+    """Undefined or duplicate symbols, image overflow, bad relocation."""
+
+
+class MachineError(ReproError):
+    """Simulated machine fault (bad memory access, invalid opcode, ...)."""
+
+
+class ModuleLoadError(ReproError):
+    """Kernel module failed to load (policy, relocation, or memory)."""
+
+
+class KspliceError(ReproError):
+    """Base class for Ksplice-specific failures."""
+
+
+class KspliceCreateError(KspliceError):
+    """ksplice-create could not build an update from the patch."""
+
+
+class DataSemanticsError(KspliceCreateError):
+    """The patch changes persistent data semantics and no custom hook code
+    was supplied (the paper's Table 1 failure reason)."""
+
+
+class RunPreMismatchError(KspliceError):
+    """run-pre matching found a difference between run and pre code and
+    aborted the update (the paper's safety guarantee)."""
+
+
+class SymbolResolutionError(KspliceError):
+    """A symbol referenced by the replacement code could not be resolved,
+    or an ambiguous symbol could not be disambiguated."""
+
+
+class StackCheckError(KspliceError):
+    """A thread's instruction pointer or stack held an address inside a
+    to-be-replaced function across every retry; the update was abandoned."""
+
+
+class UpdateStateError(KspliceError):
+    """Invalid update lifecycle operation (e.g., undoing a non-applied
+    update, or undoing out of stacking order)."""

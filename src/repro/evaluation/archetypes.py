@@ -1,0 +1,338 @@
+"""Vulnerability archetypes: generators for the bulk of the corpus.
+
+Each generator returns a :class:`Fragments` bundle — the vulnerable and
+fixed source fragments, the syscalls the fragment wires into the table,
+an optional exploit, and a semantics *probe* (a call that returns one
+value while vulnerable and another once fixed, used as the harness's
+update-effectiveness check for CVEs without a full exploit program).
+
+The fragments are real kernel code: they compile, link, execute, and the
+patches between them flow through the entire Ksplice pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.evaluation.specs import ExploitSpec
+
+
+@dataclass
+class ProbeSpec:
+    """Call ``function(args)``; expect ``pre`` before, ``post`` after.
+
+    ``setup`` calls run (in order, results ignored) before the measured
+    call — e.g. unregister an entry before probing use-after-unregister.
+    """
+
+    function: str
+    args: Tuple[int, int, int]
+    pre: int
+    post: int
+    setup: Tuple[Tuple[str, Tuple[int, int, int]], ...] = ()
+
+
+@dataclass
+class Fragments:
+    vulnerable: str
+    fixed: str
+    syscalls: List[str] = field(default_factory=list)
+    exploit: Optional[ExploitSpec] = None
+    probe: Optional[ProbeSpec] = None
+
+
+def _as_i32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value
+
+
+def missing_bounds_read(name: str, table_len: int = 4, secret: int = 7001,
+                        extra_checks: int = 0) -> Fragments:
+    """Info disclosure: table read without an upper bound; the adjacent
+    initialized word leaks.  ``extra_checks`` pads the fix with further
+    validation lines to hit larger Figure-3 bins."""
+    init = ", ".join(str(10 + i) for i in range(table_len))
+    body = """\
+int %(name)s_table[%(len)d] = { %(init)s };
+int %(name)s_reserved = %(secret)d;
+
+int sys_%(name)s_query(int idx, int b, int c) {
+    if (idx < 0) { return -22; }
+    int value = %(name)s_table[idx];
+    return value;
+}
+""" % {"name": name, "len": table_len, "init": init, "secret": secret}
+    guard_lines = ["    if (idx >= %d) { return -22; }" % table_len]
+    for i in range(extra_checks):
+        guard_lines.append(
+            "    if (idx == %d && b != 0) { return -22; }" % (table_len + i))
+    fixed = body.replace(
+        "    if (idx < 0) { return -22; }",
+        "    if (idx < 0) { return -22; }\n" + "\n".join(guard_lines))
+    probe = ProbeSpec(function="sys_%s_query" % name,
+                      args=(table_len, 0, 0), pre=secret,
+                      post=_as_i32(-22))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_query" % name], probe=probe)
+
+
+def missing_priv_check(name: str, cap_bits: int = 0x4) -> Fragments:
+    """Privilege escalation: an operation grants capability bits without
+    checking the caller's identity."""
+    body = """\
+extern int current_uid;
+extern int current_caps;
+int %(name)s_mode;
+
+int sys_%(name)s_ctl(int op, int val, int c) {
+    if (op == 1) {
+        %(name)s_mode = val;
+        return 0;
+    }
+    if (op == 2) {
+        current_caps = current_caps | val;
+        return 0;
+    }
+    return -22;
+}
+""" % {"name": name}
+    fixed = body.replace(
+        "    if (op == 2) {\n",
+        "    if (op == 2) {\n"
+        "        if (current_uid != 0) { return -1; }\n")
+    exploit = ExploitSpec(
+        source="""
+int main(void) {
+    __syscall({sys_%(name)s_ctl}, 2, %(bits)d, 0);
+    return __syscall({sys_capget}, 0, 0, 0);
+}
+""" % {"name": name, "bits": cap_bits},
+        escalated_value=cap_bits,
+        blocked_values=(0,))
+    probe = ProbeSpec(function="sys_%s_ctl" % name, args=(2, cap_bits, 0),
+                      pre=0, post=_as_i32(-1))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_ctl" % name], exploit=exploit,
+                     probe=probe)
+
+
+def signedness_write(name: str, leak_value: int = 5550) -> Fragments:
+    """Signedness bug: a slot write checks only the upper bound, so a
+    negative slot clobbers the ACL word placed just before the buffer."""
+    body = """\
+int %(name)s_acl = 1;
+int %(name)s_buf[8] = { 0, 0, 0, 0, 0, 0, 0, 0 };
+int %(name)s_audit = %(leak)d;
+
+int sys_%(name)s_put(int slot, int val, int c) {
+    if (slot > 7) { return -22; }
+    %(name)s_buf[slot] = val;
+    return 0;
+}
+
+int sys_%(name)s_fetch(int a, int b, int c) {
+    if (%(name)s_acl) { return -13; }
+    return %(name)s_audit;
+}
+""" % {"name": name, "leak": leak_value}
+    fixed = body.replace("    if (slot > 7) { return -22; }",
+                         "    if (slot < 0 || slot > 7) { return -22; }")
+    exploit = ExploitSpec(
+        source="""
+int main(void) {
+    __syscall({sys_%(name)s_put}, 0 - 1, 0, 0);
+    return __syscall({sys_%(name)s_fetch}, 0, 0, 0);
+}
+""" % {"name": name},
+        escalated_value=leak_value,
+        blocked_values=(_as_i32(-13), _as_i32(-22)))
+    probe = ProbeSpec(function="sys_%s_put" % name, args=(-1, 0, 0),
+                      pre=0, post=_as_i32(-22))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_put" % name,
+                               "sys_%s_fetch" % name],
+                     exploit=exploit, probe=probe)
+
+
+def inline_guard(name: str, declared_inline: bool = False,
+                 limit: int = 1000, extra_hardening: int = 0) -> Fragments:
+    """The patched function is a one-liner the compiler inlines into its
+    caller — with or without the ``inline`` keyword (§4.2).
+
+    ``extra_hardening`` adds further caller-side validation lines to the
+    fix, letting corpus entries land in larger Figure-3 bins while still
+    exercising the inlined-helper replacement."""
+    keyword = "static inline" if declared_inline else "static"
+    body = """\
+%(kw)s int %(name)s_ok(int req) { return req >= 0; }
+int %(name)s_count;
+
+int sys_%(name)s_do(int req, int b, int c) {
+    if (!%(name)s_ok(req)) { return -22; }
+    %(name)s_count += 1;
+    return req * 2;
+}
+""" % {"kw": keyword, "name": name}
+    fixed = body.replace(
+        "{ return req >= 0; }",
+        "{ return req >= 0 && req < %d; }" % limit)
+    if extra_hardening:
+        hardening = "\n".join(
+            "    if (b == %d && c != 0) { return -22; }" % (i + 1)
+            for i in range(extra_hardening))
+        fixed = fixed.replace(
+            "    %s_count += 1;" % name,
+            hardening + "\n    %s_count += 1;" % name)
+    probe = ProbeSpec(function="sys_%s_do" % name, args=(limit + 5, 0, 0),
+                      pre=(limit + 5) * 2, post=_as_i32(-22))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_do" % name], probe=probe)
+
+
+def ambiguous_static(name: str, shared: str = "debug",
+                     scale: int = 3) -> Fragments:
+    """The patched function manipulates a file-scope static whose name
+    collides with other units' statics (the paper's ``debug`` case)."""
+    body = """\
+static int %(shared)s;
+int %(name)s_slots[4] = { 1, 2, 3, 4 };
+
+int sys_%(name)s_info(int slot, int b, int c) {
+    %(shared)s = slot;
+    if (slot < 0) { return -22; }
+    return %(name)s_slots[slot & 3] * %(scale)d + %(shared)s;
+}
+""" % {"name": name, "shared": shared, "scale": scale}
+    fixed = body.replace(
+        "    if (slot < 0) { return -22; }",
+        "    if (slot < 0 || slot > 3) { return -22; }")
+    probe = ProbeSpec(function="sys_%s_info" % name, args=(9, 0, 0),
+                      pre=2 * scale + 9, post=_as_i32(-22))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_info" % name], probe=probe)
+
+
+def signature_change(name: str) -> Fragments:
+    """The fix adds a parameter to a static helper and updates callers —
+    unsupported by source-level updaters, routine for Ksplice."""
+    body = """\
+static int %(name)s_check(int req) {
+    if (req < 0) { return 0; }
+    return 1;
+}
+int %(name)s_grants;
+
+int sys_%(name)s_req(int req, int b, int c) {
+    if (!%(name)s_check(req)) { return -22; }
+    %(name)s_grants += 1;
+    return req + 100;
+}
+""" % {"name": name}
+    fixed = """\
+static int %(name)s_check(int req, int strict) {
+    if (req < 0) { return 0; }
+    if (strict && req > 500) { return 0; }
+    return 1;
+}
+int %(name)s_grants;
+
+int sys_%(name)s_req(int req, int b, int c) {
+    if (!%(name)s_check(req, 1)) { return -22; }
+    %(name)s_grants += 1;
+    return req + 100;
+}
+""" % {"name": name}
+    probe = ProbeSpec(function="sys_%s_req" % name, args=(900, 0, 0),
+                      pre=1000, post=_as_i32(-22))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_req" % name], probe=probe)
+
+
+def static_local_counter(name: str, threshold: int = 64) -> Fragments:
+    """The patched function keeps a ``static`` local — the other capability
+    source-level systems lack (§6.3)."""
+    body = """\
+int sys_%(name)s_tick(int amount, int b, int c) {
+    static int total = 0;
+    total += amount;
+    return total;
+}
+""" % {"name": name}
+    fixed = body.replace(
+        "    total += amount;",
+        "    if (amount < 0 || amount > %d) { return -22; }\n"
+        "    total += amount;" % threshold)
+    probe = ProbeSpec(function="sys_%s_tick" % name,
+                      args=(threshold + 1, 0, 0),
+                      pre=threshold + 1, post=_as_i32(-22))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_tick" % name], probe=probe)
+
+
+def hardening_sweep(name: str, added_lines: int,
+                    fields: int = 3) -> Fragments:
+    """A larger fix: the validator gains ``added_lines`` new checks.
+    Used to populate the long tail of the Figure 3 histogram."""
+    field_params = ", ".join("int v%d" % i for i in range(fields))
+    checks = "\n".join(
+        "    if (v%d < 0) { return -22; }" % i for i in range(fields))
+    body = """\
+int %(name)s_accepted;
+int %(name)s_limit = 4096;
+
+int %(name)s_validate(%(params)s) {
+%(checks)s
+    %(name)s_accepted += 1;
+    return 0;
+}
+
+int sys_%(name)s_submit(int v0, int v1, int v2) {
+    if (%(name)s_validate(%(args)s) < 0) { return -22; }
+    return v0 + v1 + v2;
+}
+""" % {"name": name, "params": field_params, "checks": checks,
+       "args": ", ".join("v%d" % i for i in range(fields))}
+    new_checks: List[str] = []
+    for i in range(added_lines):
+        target = i % fields
+        new_checks.append("    if (v%d > %s_limit + %d) { return -22; }"
+                          % (target, name, i))
+    fixed = body.replace(
+        "    %s_accepted += 1;" % name,
+        "\n".join(new_checks) + "\n    %s_accepted += 1;" % name)
+    probe = ProbeSpec(function="sys_%s_submit" % name,
+                      args=(5000, 1, 2), pre=5003, post=_as_i32(-22))
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_submit" % name], probe=probe)
+
+
+def uninitialized_leak(name: str, words: int = 6) -> Fragments:
+    """Info disclosure: a reply buffer is only partially initialized, so
+    stale kernel data leaks through the untouched words."""
+    stale = 4000 + words
+    body = """\
+int %(name)s_reply[%(words)d];
+int %(name)s_stale = %(stale)d;
+
+static int %(name)s_fill(int request) {
+    %(name)s_reply[0] = request;
+    %(name)s_reply[1] = request + 1;
+    return 2;
+}
+
+int sys_%(name)s_get(int request, int idx, int c) {
+    if (idx < 0 || idx >= %(words)d) { return -22; }
+    %(name)s_reply[%(words)d - 1] = %(name)s_stale;
+    %(name)s_fill(request);
+    return %(name)s_reply[idx];
+}
+""" % {"name": name, "words": words, "stale": stale}
+    fixed = body.replace(
+        "    %(name)s_fill(request);" % {"name": name},
+        "    for (int i = 0; i < %(words)d; i++) %(name)s_reply[i] = 0;\n"
+        "    %(name)s_fill(request);" % {"name": name, "words": words})
+    probe = ProbeSpec(function="sys_%s_get" % name, args=(1, words - 1, 0),
+                      pre=stale, post=0)
+    return Fragments(vulnerable=body, fixed=fixed,
+                     syscalls=["sys_%s_get" % name], probe=probe)

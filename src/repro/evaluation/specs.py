@@ -1,0 +1,102 @@
+"""Corpus data model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class CveCategory(enum.Enum):
+    PRIVILEGE_ESCALATION = "privilege escalation"
+    INFORMATION_DISCLOSURE = "information disclosure"
+
+
+@dataclass(frozen=True)
+class ProbeCall:
+    """One kernel function invocation used by probes."""
+
+    function: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class ExploitSpec:
+    """A user program demonstrating the vulnerability.
+
+    ``source`` may reference syscall numbers through ``{sys_<name>}``
+    placeholders, filled in from the generated kernel's syscall map.
+    ``escalated_value``: exit value proving success pre-patch.
+    ``blocked_values``: acceptable exit values post-patch.
+    """
+
+    source: str
+    escalated_value: int
+    blocked_values: tuple
+    setup_syscalls: tuple = ()
+
+
+@dataclass(frozen=True)
+class Table1Info:
+    """Data for the paper's Table 1 (patches that need new code)."""
+
+    reason: str  # "changes data init" or "adds field to struct"
+    new_code_lines: int  # logical (semicolon-terminated) lines
+
+
+@dataclass
+class CveSpec:
+    """One synthetic vulnerability, indexed by a real CVE id."""
+
+    cve_id: str
+    patch_id: str  # short fake commit id, Table-1 style
+    category: CveCategory
+    kernel_version: str  # the kernel the paper-style evaluation tests on
+    unit: str  # file the patch touches
+    description: str
+    #: source fragment present in the vulnerable kernel
+    vulnerable_fragment: str
+    #: replacement fragment in the fixed kernel
+    fixed_fragment: str
+    #: programmer-written custom code appended to the unit by the
+    #: augmented patch (Table 1 patches only)
+    custom_code: str = ""
+    #: syscall handler functions this CVE wires into the syscall table
+    syscalls: List[str] = field(default_factory=list)
+    #: init functions the generated kernel calls from kernel_init at boot
+    init_functions: List[str] = field(default_factory=list)
+    exploit: Optional[ExploitSpec] = None
+    #: semantics probe: call ``probe.function(args)``; expect ``probe.pre``
+    #: while vulnerable and ``probe.post`` once properly fixed
+    probe: Optional[object] = None
+    #: health probe: a legitimate operation that must keep working after
+    #: the update (``pre`` == ``post``); catches over-blocking fixes,
+    #: e.g. a Table-1 patch applied without its migration hook
+    health: Optional[object] = None
+    table1: Optional[Table1Info] = None
+    #: design intent flags, verified against the build by the harness
+    expect_inlined: bool = False
+    declared_inline: bool = False
+    ambiguous_symbol: bool = False
+    signature_change: bool = False
+    static_local: bool = False
+    is_asm: bool = False
+    #: target patch size (max of added/removed lines) for Figure 3
+    target_patch_lines: int = 0
+
+    @property
+    def needs_new_code(self) -> bool:
+        return self.table1 is not None
+
+    def custom_code_logical_lines(self) -> int:
+        """Logical (semicolon-terminated) lines of the custom code, the
+        Table 1 metric.  The ``__ksplice_*`` registration macros are
+        boilerplate, not logic, and are excluded."""
+        return count_logical_lines(self.custom_code)
+
+
+def count_logical_lines(code: str) -> int:
+    """Semicolon-terminated line count (the paper's 'logical lines'),
+    excluding ksplice registration macro lines."""
+    return sum(1 for line in code.splitlines()
+               if ";" in line and "__ksplice_" not in line)

@@ -1,0 +1,20 @@
+"""kbuild: the kernel source tree and its (incremental) build system.
+
+ksplice-create performs two builds per update — the original tree (*pre*)
+and the patched tree (*post*) — recompiling only the compilation units the
+patch touches (§3.2).  This package provides the tree representation, the
+kernel configuration (units can be disabled, the way distributions disable
+subsystems), and the build driver.
+"""
+
+from repro.kbuild.source_tree import SourceTree
+from repro.kbuild.config import KernelConfig
+from repro.kbuild.build import BuildResult, build_tree, build_units
+
+__all__ = [
+    "BuildResult",
+    "KernelConfig",
+    "SourceTree",
+    "build_tree",
+    "build_units",
+]

@@ -1,0 +1,34 @@
+"""Kernel configuration: which units a given kernel actually compiles.
+
+Distributions disable whole subsystems; the paper notes that some
+vulnerabilities "affect portions of the kernel that are completely
+disabled by Linux distributors" (§6.2).  A :class:`KernelConfig` models
+that by excluding units from the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Build configuration; ``disabled_units`` are excluded from the image."""
+
+    name: str = "defconfig"
+    disabled_units: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def default(cls) -> "KernelConfig":
+        return cls()
+
+    def without(self, units: Iterable[str]) -> "KernelConfig":
+        return KernelConfig(name=self.name,
+                            disabled_units=self.disabled_units | set(units))
+
+    def is_enabled(self, unit_path: str) -> bool:
+        return unit_path not in self.disabled_units
+
+    def filter_units(self, unit_paths: Iterable[str]) -> List[str]:
+        return [path for path in unit_paths if self.is_enabled(path)]

@@ -1,0 +1,56 @@
+"""Kernel source trees: immutable mappings from path to source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.errors import BuildError
+from repro.patch import Patch, apply_patch
+
+SOURCE_SUFFIXES = (".c", ".s")
+
+
+@dataclass(frozen=True)
+class SourceTree:
+    """One kernel version's source.
+
+    ``version`` is the kernel release string (e.g. ``2.6.16-deb3``);
+    ``files`` maps tree-relative paths to file contents.
+    """
+
+    version: str
+    files: Dict[str, str] = field(default_factory=dict)
+
+    def source_units(self) -> List[str]:
+        """Compilation-unit paths, in deterministic order."""
+        return sorted(path for path in self.files
+                      if path.endswith(SOURCE_SUFFIXES))
+
+    def read(self, path: str) -> str:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise BuildError(
+                "%s: no file %s in tree" % (self.version, path)) from None
+
+    def patched(self, patch: Union[Patch, str],
+                version_suffix: str = "+") -> "SourceTree":
+        """Return a new tree with ``patch`` applied."""
+        return SourceTree(version=self.version + version_suffix,
+                          files=apply_patch(self.files, patch))
+
+    def changed_units(self, other: "SourceTree") -> List[str]:
+        """Units whose source differs between this tree and ``other``."""
+        changed = []
+        for path in sorted(set(self.files) | set(other.files)):
+            if not path.endswith(SOURCE_SUFFIXES):
+                continue
+            if self.files.get(path) != other.files.get(path):
+                changed.append(path)
+        return changed
+
+    def with_file(self, path: str, content: str) -> "SourceTree":
+        files = dict(self.files)
+        files[path] = content
+        return SourceTree(version=self.version, files=files)

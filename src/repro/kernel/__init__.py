@@ -1,0 +1,35 @@
+"""The simulated running kernel.
+
+A :class:`~repro.kernel.machine.Machine` owns a flat physical memory with
+the linked kernel image mapped at its base, a module area, kernel stacks,
+and a user area; threads execute real k86 instructions through the CPU
+interpreter under a preemptive round-robin scheduler.  Syscalls are calls
+into the kernel's ``syscall_entry`` code, so kernel code genuinely runs on
+thread stacks — which is what makes the Ksplice stack check (§5.2)
+meaningful here.
+"""
+
+from repro.kernel.memory import Memory, Segment
+from repro.kernel.cpu import CPUState, StepEvent, step
+from repro.kernel.threads import Thread, ThreadStatus
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.stop_machine import StopMachine, StopMachineReport
+from repro.kernel.modules import LoadedModule, ModuleLoader
+from repro.kernel.machine import Machine, boot_kernel
+
+__all__ = [
+    "CPUState",
+    "LoadedModule",
+    "Machine",
+    "Memory",
+    "ModuleLoader",
+    "Scheduler",
+    "Segment",
+    "StepEvent",
+    "StopMachine",
+    "StopMachineReport",
+    "Thread",
+    "ThreadStatus",
+    "boot_kernel",
+    "step",
+]

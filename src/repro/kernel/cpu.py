@@ -1,0 +1,432 @@
+"""The k86 CPU interpreter.
+
+``step`` executes exactly one instruction against a :class:`CPUState`
+and a :class:`~repro.kernel.memory.Memory` and reports what happened via
+:class:`StepEvent`.  The scheduler turns SYSCALL events into calls
+through the kernel's syscall entry point and SCHED events into yields.
+
+For speed, every decoded instruction is *compiled to a closure* the
+first time it is fetched; the closure is cached per address and
+invalidated whenever an executable segment is written (so self-modifying
+code — Ksplice's jump insertion — is observed immediately; see
+:class:`_DecodeCache`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.arch.isa import (
+    Instruction,
+    Opcode,
+    decode_instruction,
+    instruction_length,
+)
+from repro.errors import DisassemblyError, MachineError
+from repro.kernel.memory import Memory
+
+_MASK = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class StepEvent(enum.Enum):
+    NORMAL = "normal"
+    SYSCALL = "syscall"
+    SCHED = "sched"
+    HALT = "halt"
+
+
+_NORMAL = StepEvent.NORMAL
+
+
+@dataclass
+class CPUState:
+    """Per-thread architectural state."""
+
+    regs: List[int] = field(default_factory=lambda: [0] * 8)
+    ip: int = 0
+    zf: bool = False
+    sf: bool = False
+    #: CLI/STI nesting depth; >0 means the scheduler must not preempt
+    preempt_disable_depth: int = 0
+
+    def reg(self, index: int) -> int:
+        return self.regs[index] & _MASK
+
+    def set_reg(self, index: int, value: int) -> None:
+        self.regs[index] = value & _MASK
+
+
+_Op = Callable[[CPUState, Memory], StepEvent]
+
+
+def _compile_insn(insn: Instruction) -> _Op:
+    """Translate one decoded instruction into an executable closure."""
+    opcode = insn.spec.opcode
+    length = insn.spec.length
+    ops = insn.operands
+
+    if opcode is Opcode.HLT:
+        def op_hlt(state: CPUState, memory: Memory) -> StepEvent:
+            return StepEvent.HALT
+        return op_hlt
+
+    if insn.spec.is_nop:
+        def op_nop(state: CPUState, memory: Memory) -> StepEvent:
+            state.ip += length
+            return _NORMAL
+        return op_nop
+
+    if opcode is Opcode.MOVI:
+        rd, imm = ops[0], ops[1] & _MASK
+
+        def op_movi(state, memory):
+            state.regs[rd] = imm
+            state.ip += length
+            return _NORMAL
+        return op_movi
+
+    if opcode is Opcode.MOVR:
+        rd, rs = ops
+
+        def op_movr(state, memory):
+            state.regs[rd] = state.regs[rs]
+            state.ip += length
+            return _NORMAL
+        return op_movr
+
+    if opcode is Opcode.LOAD:
+        rd, address = ops
+
+        def op_load(state, memory):
+            state.regs[rd] = memory.read_u32(address)
+            state.ip += length
+            return _NORMAL
+        return op_load
+
+    if opcode is Opcode.STORE:
+        address, rs = ops
+
+        def op_store(state, memory):
+            memory.write_u32(address, state.regs[rs])
+            state.ip += length
+            return _NORMAL
+        return op_store
+
+    if opcode is Opcode.LOADR:
+        rd, rb, offset = ops
+
+        def op_loadr(state, memory):
+            state.regs[rd] = memory.read_u32(
+                (state.regs[rb] + offset) & _MASK)
+            state.ip += length
+            return _NORMAL
+        return op_loadr
+
+    if opcode is Opcode.STORER:
+        rb, offset, rs = ops
+
+        def op_storer(state, memory):
+            memory.write_u32((state.regs[rb] + offset) & _MASK,
+                             state.regs[rs])
+            state.ip += length
+            return _NORMAL
+        return op_storer
+
+    if opcode is Opcode.LEA:
+        rd, address = ops
+
+        def op_lea(state, memory):
+            state.regs[rd] = address
+            state.ip += length
+            return _NORMAL
+        return op_lea
+
+    if opcode in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                  Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.MUL):
+        rd, rs = ops
+        if opcode is Opcode.ADD:
+            def op_alu(state, memory):
+                state.regs[rd] = (state.regs[rd] + state.regs[rs]) & _MASK
+                state.ip += length
+                return _NORMAL
+        elif opcode is Opcode.SUB:
+            def op_alu(state, memory):
+                state.regs[rd] = (state.regs[rd] - state.regs[rs]) & _MASK
+                state.ip += length
+                return _NORMAL
+        elif opcode is Opcode.AND:
+            def op_alu(state, memory):
+                state.regs[rd] &= state.regs[rs]
+                state.ip += length
+                return _NORMAL
+        elif opcode is Opcode.OR:
+            def op_alu(state, memory):
+                state.regs[rd] |= state.regs[rs]
+                state.ip += length
+                return _NORMAL
+        elif opcode is Opcode.XOR:
+            def op_alu(state, memory):
+                state.regs[rd] ^= state.regs[rs]
+                state.ip += length
+                return _NORMAL
+        elif opcode is Opcode.SHL:
+            def op_alu(state, memory):
+                state.regs[rd] = (state.regs[rd]
+                                  << (state.regs[rs] & 31)) & _MASK
+                state.ip += length
+                return _NORMAL
+        elif opcode is Opcode.SHR:
+            def op_alu(state, memory):
+                state.regs[rd] = state.regs[rd] >> (state.regs[rs] & 31)
+                state.ip += length
+                return _NORMAL
+        else:  # MUL: signed multiply, truncated to 32 bits
+            def op_alu(state, memory):
+                state.regs[rd] = (_signed(state.regs[rd])
+                                  * _signed(state.regs[rs])) & _MASK
+                state.ip += length
+                return _NORMAL
+        return op_alu
+
+    if opcode in (Opcode.DIV, Opcode.MOD):
+        rd, rs = ops
+        want_div = opcode is Opcode.DIV
+
+        def op_divmod(state, memory):
+            divisor = _signed(state.regs[rs])
+            if divisor == 0:
+                raise MachineError("divide by zero at 0x%08x" % state.ip)
+            dividend = _signed(state.regs[rd])
+            quotient = int(dividend / divisor)  # C truncation
+            if want_div:
+                state.regs[rd] = quotient & _MASK
+            else:
+                state.regs[rd] = (dividend - quotient * divisor) & _MASK
+            state.ip += length
+            return _NORMAL
+        return op_divmod
+
+    if opcode is Opcode.ADDI:
+        rd, imm = ops[0], _signed(ops[1])
+
+        def op_addi(state, memory):
+            state.regs[rd] = (state.regs[rd] + imm) & _MASK
+            state.ip += length
+            return _NORMAL
+        return op_addi
+
+    if opcode is Opcode.CMP:
+        ra, rb = ops
+
+        def op_cmp(state, memory):
+            left, right = _signed(state.regs[ra]), _signed(state.regs[rb])
+            state.zf, state.sf = left == right, left < right
+            state.ip += length
+            return _NORMAL
+        return op_cmp
+
+    if opcode is Opcode.CMPI:
+        ra, imm = ops[0], _signed(ops[1])
+
+        def op_cmpi(state, memory):
+            left = _signed(state.regs[ra])
+            state.zf, state.sf = left == imm, left < imm
+            state.ip += length
+            return _NORMAL
+        return op_cmpi
+
+    if opcode is Opcode.NEG:
+        rd = ops[0]
+
+        def op_neg(state, memory):
+            state.regs[rd] = (-_signed(state.regs[rd])) & _MASK
+            state.ip += length
+            return _NORMAL
+        return op_neg
+
+    if opcode is Opcode.NOT:
+        rd = ops[0]
+
+        def op_not(state, memory):
+            state.regs[rd] = (~state.regs[rd]) & _MASK
+            state.ip += length
+            return _NORMAL
+        return op_not
+
+    if insn.spec.is_pc_relative and opcode not in (Opcode.CALL,):
+        displacement = ops[0]
+
+        if opcode in (Opcode.JMP, Opcode.JMPS):
+            def op_jump(state, memory):
+                state.ip += length + displacement
+                return _NORMAL
+            return op_jump
+
+        def taken(state) -> bool:  # pragma: no cover - replaced below
+            return False
+
+        if opcode in (Opcode.JZ, Opcode.JZS):
+            def taken(state):
+                return state.zf
+        elif opcode in (Opcode.JNZ, Opcode.JNZS):
+            def taken(state):
+                return not state.zf
+        elif opcode in (Opcode.JL, Opcode.JLS):
+            def taken(state):
+                return state.sf
+        elif opcode in (Opcode.JG, Opcode.JGS):
+            def taken(state):
+                return not state.sf and not state.zf
+        elif opcode in (Opcode.JLE, Opcode.JLES):
+            def taken(state):
+                return state.sf or state.zf
+        elif opcode in (Opcode.JGE, Opcode.JGES):
+            def taken(state):
+                return not state.sf
+
+        def op_condjump(state, memory):
+            if taken(state):
+                state.ip += length + displacement
+            else:
+                state.ip += length
+            return _NORMAL
+        return op_condjump
+
+    if opcode is Opcode.CALL:
+        displacement = ops[0]
+
+        def op_call(state, memory):
+            next_ip = state.ip + length
+            sp = (state.regs[6] - 4) & _MASK
+            memory.write_u32(sp, next_ip)
+            state.regs[6] = sp
+            state.ip = next_ip + displacement
+            return _NORMAL
+        return op_call
+
+    if opcode is Opcode.CALLR:
+        rs = ops[0]
+
+        def op_callr(state, memory):
+            next_ip = state.ip + length
+            sp = (state.regs[6] - 4) & _MASK
+            memory.write_u32(sp, next_ip)
+            state.regs[6] = sp
+            state.ip = state.regs[rs]
+            return _NORMAL
+        return op_callr
+
+    if opcode is Opcode.RET:
+        def op_ret(state, memory):
+            sp = state.regs[6]
+            state.ip = memory.read_u32(sp)
+            state.regs[6] = (sp + 4) & _MASK
+            return _NORMAL
+        return op_ret
+
+    if opcode is Opcode.PUSH:
+        rs = ops[0]
+
+        def op_push(state, memory):
+            sp = (state.regs[6] - 4) & _MASK
+            memory.write_u32(sp, state.regs[rs])
+            state.regs[6] = sp
+            state.ip += length
+            return _NORMAL
+        return op_push
+
+    if opcode is Opcode.POP:
+        rd = ops[0]
+
+        def op_pop(state, memory):
+            sp = state.regs[6]
+            state.regs[rd] = memory.read_u32(sp)
+            state.regs[6] = (sp + 4) & _MASK
+            state.ip += length
+            return _NORMAL
+        return op_pop
+
+    if opcode is Opcode.SYSCALL:
+        def op_syscall(state, memory):
+            state.ip += length
+            return StepEvent.SYSCALL
+        return op_syscall
+
+    if opcode is Opcode.SCHED:
+        def op_sched(state, memory):
+            state.ip += length
+            return StepEvent.SCHED
+        return op_sched
+
+    if opcode is Opcode.CLI:
+        def op_cli(state, memory):
+            state.preempt_disable_depth += 1
+            state.ip += length
+            return _NORMAL
+        return op_cli
+
+    if opcode is Opcode.STI:
+        def op_sti(state, memory):
+            if state.preempt_disable_depth > 0:
+                state.preempt_disable_depth -= 1
+            state.ip += length
+            return _NORMAL
+        return op_sti
+
+    raise MachineError(  # pragma: no cover - table is exhaustive
+        "unimplemented opcode %s" % insn.mnemonic)
+
+
+class _DecodeCache:
+    """Caches compiled instructions per address.
+
+    Invalidated wholesale whenever an executable segment is written —
+    rare (module loads, Ksplice jump insertion), so the common case is a
+    dictionary hit per step.  The cache lives on the Memory instance
+    itself: a global registry keyed by ``id()`` would leak stale
+    instructions into a new Memory reusing a collected one's address.
+    """
+
+    __slots__ = ("version", "entries")
+
+    def __init__(self) -> None:
+        self.version = -1
+        self.entries: dict = {}
+
+
+def _cache_for(memory: Memory) -> _DecodeCache:
+    cache = getattr(memory, "_decode_cache", None)
+    if cache is None:
+        cache = _DecodeCache()
+        memory._decode_cache = cache
+    return cache
+
+
+def step(state: CPUState, memory: Memory) -> StepEvent:
+    """Execute one instruction; ``state.ip`` advances appropriately."""
+    cache = _cache_for(memory)
+    if cache.version != memory.write_version:
+        cache.version = memory.write_version
+        cache.entries.clear()
+    op = cache.entries.get(state.ip)
+    if op is None:
+        try:
+            opcode_byte = memory.read_u8(state.ip)
+            raw = memory.read_bytes(state.ip,
+                                    instruction_length(opcode_byte))
+            insn = decode_instruction(raw)
+        except DisassemblyError as exc:
+            # Executing garbage is a machine fault (kernel oops), not a
+            # toolchain error.
+            raise MachineError("illegal instruction at 0x%08x: %s"
+                               % (state.ip, exc)) from None
+        op = _compile_insn(insn)
+        cache.entries[state.ip] = op
+    return op(state, memory)

@@ -1,0 +1,113 @@
+"""Flat segmented physical memory."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import MachineError
+
+
+@dataclass
+class Segment:
+    """One mapped region of memory.
+
+    ``executable`` marks segments instructions may be fetched from;
+    writes to them invalidate the CPU's decode cache (self-modifying
+    code — Ksplice's jump insertion — must be observed immediately).
+    """
+
+    name: str
+    base: int
+    data: bytearray
+    writable: bool = True
+    executable: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, count: int = 1) -> bool:
+        return self.base <= address and address + count <= self.end
+
+
+class Memory:
+    """A sparse 32-bit address space built from non-overlapping segments."""
+
+    def __init__(self) -> None:
+        self._segments: List[Segment] = []
+        self._last_hit: Optional[Segment] = None
+        #: bumped on every write; lets the CPU cache decoded instructions
+        #: and still observe self-modifying code (jump insertion).
+        self.write_version = 0
+
+    def map_segment(self, name: str, base: int, size: int = 0,
+                    data: Optional[bytes] = None,
+                    writable: bool = True,
+                    executable: bool = False) -> Segment:
+        payload = bytearray(data) if data is not None else bytearray(size)
+        segment = Segment(name=name, base=base, data=payload,
+                          writable=writable, executable=executable)
+        for existing in self._segments:
+            if segment.base < existing.end and existing.base < segment.end:
+                raise MachineError(
+                    "segment %s overlaps %s" % (name, existing.name))
+        self._segments.append(segment)
+        self._segments.sort(key=lambda s: s.base)
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        for segment in self._segments:
+            if segment.name == name:
+                return segment
+        raise MachineError("no segment named %s" % name)
+
+    def segment_for(self, address: int, count: int = 1) -> Segment:
+        last = self._last_hit
+        if last is not None and last.contains(address, count):
+            return last
+        for segment in self._segments:
+            if segment.contains(address, count):
+                self._last_hit = segment
+                return segment
+        raise MachineError(
+            "unmapped memory access at 0x%08x (+%d)" % (address, count))
+
+    # -- accessors ------------------------------------------------------------
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        segment = self.segment_for(address, count)
+        offset = address - segment.base
+        return bytes(segment.data[offset:offset + count])
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        segment = self.segment_for(address, len(payload))
+        if not segment.writable:
+            raise MachineError(
+                "write to read-only segment %s at 0x%08x"
+                % (segment.name, address))
+        offset = address - segment.base
+        segment.data[offset:offset + len(payload)] = payload
+        if segment.executable:
+            self.write_version += 1
+
+    def read_u8(self, address: int) -> int:
+        return self.read_bytes(address, 1)[0]
+
+    def read_u32(self, address: int) -> int:
+        return struct.unpack("<I", self.read_bytes(address, 4))[0]
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write_bytes(address, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def is_mapped(self, address: int, count: int = 1) -> bool:
+        try:
+            self.segment_for(address, count)
+            return True
+        except MachineError:
+            return False

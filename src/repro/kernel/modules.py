@@ -1,0 +1,147 @@
+"""Loadable kernel modules.
+
+The module loader places an object file's sections into the machine's
+module area, resolves its relocations through a caller-supplied symbol
+resolver, and exposes the resulting addresses.  Ksplice's helper and
+primary modules (§5.1) load through this path; the "signed modules only"
+policy switch models why run-pre matching must run in kernel space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ModuleLoadError
+from repro.kernel.memory import Memory
+from repro.linker.link import resolve_section_relocations
+from repro.objfile import ObjectFile, SymbolBinding
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass
+class LoadedModule:
+    """One module resident in the module area."""
+
+    name: str
+    objfile: ObjectFile
+    section_addresses: Dict[str, int] = field(default_factory=dict)
+    symbol_addresses: Dict[str, int] = field(default_factory=dict)
+    base: int = 0
+    size: int = 0
+    loaded: bool = True
+    signed: bool = True
+
+    def section_address(self, section_name: str) -> int:
+        try:
+            return self.section_addresses[section_name]
+        except KeyError:
+            raise ModuleLoadError(
+                "module %s has no section %s" % (self.name, section_name)
+            ) from None
+
+    def symbol_address(self, name: str) -> int:
+        try:
+            return self.symbol_addresses[name]
+        except KeyError:
+            raise ModuleLoadError(
+                "module %s defines no symbol %s" % (self.name, name)
+            ) from None
+
+
+class ModuleLoader:
+    """Bump-allocating loader over the machine's module segment."""
+
+    def __init__(self, memory: Memory, segment_name: str = "modules",
+                 require_signed: bool = False):
+        self._memory = memory
+        self._segment = memory.segment(segment_name)
+        self._cursor = self._segment.base
+        self._require_signed = require_signed
+        self.loaded: List[LoadedModule] = []
+
+    def load(self, objfile: ObjectFile,
+             resolver: Callable[[str], int],
+             signed: bool = True,
+             defer_relocations_for: Optional[List[str]] = None) -> LoadedModule:
+        """Load ``objfile``, resolving every relocation via ``resolver``.
+
+        ``defer_relocations_for``: section names whose relocations should
+        NOT be applied yet (Ksplice's primary module defers until run-pre
+        matching has produced trusted symbol values).
+        """
+        if self._require_signed and not signed:
+            raise ModuleLoadError(
+                "kernel policy forbids loading unsigned module %s"
+                % objfile.name)
+        module = LoadedModule(name=objfile.name, objfile=objfile,
+                              signed=signed)
+        module.base = _align(self._cursor, 16)
+        cursor = module.base
+        for section in objfile.sections.values():
+            cursor = _align(cursor, max(section.alignment, 1))
+            if cursor + section.size > self._segment.end:
+                raise ModuleLoadError(
+                    "module area exhausted while loading %s" % objfile.name)
+            module.section_addresses[section.name] = cursor
+            self._memory.write_bytes(cursor, bytes(section.data))
+            cursor += section.size
+        module.size = cursor - module.base
+        self._cursor = cursor
+
+        deferred = set(defer_relocations_for or ())
+        for section in objfile.sections.values():
+            if section.name in deferred:
+                continue
+            self._apply_relocations(module, section, resolver)
+
+        for symbol in objfile.defined_symbols():
+            module.symbol_addresses[symbol.name] = \
+                module.section_addresses[symbol.section] + symbol.value
+
+        self.loaded.append(module)
+        return module
+
+    def _apply_relocations(self, module: LoadedModule, section,
+                           resolver: Callable[[str], int]) -> None:
+        address = module.section_addresses[section.name]
+        segment = self._memory.segment_for(address, max(section.size, 1))
+        resolve_section_relocations(
+            section, address,
+            self._module_resolver(module, resolver),
+            segment.data, address - segment.base)
+
+    def apply_deferred_relocations(self, module: LoadedModule,
+                                   section_name: str,
+                                   resolver: Callable[[str], int]) -> None:
+        """Apply the relocations that were deferred at load time."""
+        self._apply_relocations(module, module.objfile.section(section_name),
+                                resolver)
+
+    def _module_resolver(self, module: LoadedModule,
+                         external: Callable[[str], int]) -> Callable[[str], int]:
+        def resolve(name: str) -> int:
+            symbol = module.objfile.find_symbol(name)
+            if symbol is not None and symbol.is_defined:
+                return (module.section_addresses[symbol.section]
+                        + symbol.value)
+            return external(name)
+        return resolve
+
+    def unload(self, module: LoadedModule) -> None:
+        """Unload a module (the paper unloads helper modules to save
+        memory).  The bump allocator does not reclaim the region; the
+        module is marked dead and its memory zeroed."""
+        if not module.loaded:
+            raise ModuleLoadError("module %s already unloaded" % module.name)
+        module.loaded = False
+        self._memory.write_bytes(module.base, bytes(module.size))
+        self.loaded.remove(module)
+
+    def resident_bytes(self) -> int:
+        return sum(m.size for m in self.loaded)

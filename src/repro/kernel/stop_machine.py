@@ -1,0 +1,57 @@
+"""The stop_machine facility (§5.2).
+
+``stop_machine`` captures every CPU — in the simulation, freezes the
+scheduler so no thread executes — runs a function on one CPU, and
+releases.  The report records both the wall-clock time of the stopped
+window (the paper measures ~0.7 ms) and the simulated-instruction count
+(always 0: nothing else runs while stopped).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List
+
+from repro.kernel.scheduler import Scheduler
+
+
+@dataclass
+class StopMachineReport:
+    """Timing of one stop_machine window."""
+
+    wall_seconds: float
+    instructions_during_stop: int
+
+    @property
+    def wall_milliseconds(self) -> float:
+        return self.wall_seconds * 1000.0
+
+
+@dataclass
+class StopMachine:
+    scheduler: Scheduler
+    reports: List[StopMachineReport] = field(default_factory=list)
+
+    def run(self, fn: Callable[[], Any]) -> Any:
+        """Capture all CPUs, run ``fn`` on one, release, return its result."""
+        before = self.scheduler.total_instructions
+        self.scheduler.frozen = True
+        start = time.perf_counter()
+        try:
+            result = fn()
+        finally:
+            elapsed = time.perf_counter() - start
+            self.scheduler.frozen = False
+            self.reports.append(StopMachineReport(
+                wall_seconds=elapsed,
+                instructions_during_stop=(
+                    self.scheduler.total_instructions - before),
+            ))
+        return result
+
+    @property
+    def last_report(self) -> StopMachineReport:
+        if not self.reports:
+            raise RuntimeError("stop_machine has not run")
+        return self.reports[-1]

@@ -1,0 +1,52 @@
+"""Threads: execution contexts with kernel stacks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.kernel.cpu import CPUState
+
+
+class ThreadStatus(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    EXITED = "exited"
+    FAULTED = "faulted"
+
+
+@dataclass
+class Thread:
+    """One schedulable execution context.
+
+    ``stack_base``/``stack_size`` delimit the thread's stack segment so
+    the Ksplice stack check can scan every word the thread may return
+    through.
+    """
+
+    tid: int
+    name: str
+    cpu: CPUState
+    stack_base: int
+    stack_size: int
+    status: ThreadStatus = ThreadStatus.READY
+    exit_value: Optional[int] = None
+    fault: Optional[str] = None
+    is_user: bool = False
+    instructions_executed: int = 0
+
+    @property
+    def stack_top(self) -> int:
+        return self.stack_base + self.stack_size
+
+    @property
+    def alive(self) -> bool:
+        return self.status in (ThreadStatus.READY, ThreadStatus.RUNNING)
+
+    def live_stack_words(self) -> List[int]:
+        """Addresses of every word between sp and the stack top."""
+        sp = self.cpu.reg(6)
+        if not self.stack_base <= sp <= self.stack_top:
+            return []
+        return list(range(sp, self.stack_top, 4))

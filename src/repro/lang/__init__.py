@@ -1,0 +1,33 @@
+"""MiniC: the C subset the simulated kernel is written in.
+
+MiniC keeps every C feature the Ksplice evaluation leans on — function
+prototypes with implicit casts at call sites, ``static`` file-scope
+variables (ambiguous local symbols), ``static`` locals, structs whose
+layout a patch can change, ``inline`` (and compiler-chosen inlining of
+functions *without* the keyword) — while staying small enough to compile
+with a from-scratch code generator.
+"""
+
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.parser import parse_unit
+from repro.lang import ast
+from repro.lang.types import (
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    TypeTable,
+)
+
+__all__ = [
+    "IntType",
+    "PointerType",
+    "StructType",
+    "Token",
+    "TokenKind",
+    "Type",
+    "TypeTable",
+    "ast",
+    "parse_unit",
+    "tokenize",
+]

@@ -1,0 +1,243 @@
+"""Abstract syntax tree node definitions for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang.types import Type
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+
+
+class Expr:
+    pass
+
+
+@dataclass
+class Number(Expr):
+    value: int
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # "-", "!", "~", "*", "&"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr  # Name, Unary("*"), Index, FieldAccess
+    value: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: str
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class FieldAccess(Expr):
+    base: Expr
+    fieldname: str
+    arrow: bool  # True for ->, False for .
+
+
+@dataclass
+class SizeOf(Expr):
+    measured: Type
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--`` (desugared in codegen)."""
+
+    target: Expr
+    delta: int       # +1 or -1
+    is_prefix: bool
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+
+
+class Stmt:
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str
+    typ: Type
+    init: Optional[Expr] = None
+    is_static: bool = False
+    static_init: int = 0  # constant initializer for static locals
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    otherwise: Optional["Block"] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+    #: for-loop step expression; ``continue`` jumps to it, not the top
+    step: Optional[Expr] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do body while (cond);`` — body runs at least once; ``continue``
+    jumps to the condition test."""
+
+    cond: Expr
+    body: "Block"
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SwitchCase:
+    """One ``case N:`` (or ``default:``) arm; bodies fall through."""
+
+    value: Optional[int]  # None for default
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    selector: Expr
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+
+
+@dataclass
+class Param:
+    name: str
+    typ: Type
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    params: List[Param]
+    return_type: Type
+    body: Optional[Block]  # None for prototypes
+    is_static: bool = False
+    is_inline: bool = False
+
+    @property
+    def is_prototype(self) -> bool:
+        return self.body is None
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    typ: Type
+    init: Optional[List[int]] = None  # flattened constant initializer words
+    is_static: bool = False
+    is_extern: bool = False
+
+
+@dataclass
+class StructDef:
+    tag: str
+    fields: List[Tuple[str, Type]]
+
+
+@dataclass
+class KspliceHook:
+    """``__ksplice_apply__(fn);`` and friends (§5.3 of the paper)."""
+
+    section: str  # one of repro.objfile.HOOK_SECTIONS
+    function: str
+
+
+@dataclass
+class Unit:
+    """One parsed compilation unit."""
+
+    name: str
+    decls: List[object] = field(default_factory=list)
+    types: Optional[object] = None  # TypeTable, set by the parser
+
+    def functions(self) -> List[FunctionDef]:
+        return [d for d in self.decls
+                if isinstance(d, FunctionDef) and not d.is_prototype]
+
+    def prototypes(self) -> List[FunctionDef]:
+        return [d for d in self.decls
+                if isinstance(d, FunctionDef) and d.is_prototype]
+
+    def global_vars(self) -> List[GlobalVar]:
+        return [d for d in self.decls if isinstance(d, GlobalVar)]
+
+    def hooks(self) -> List[KspliceHook]:
+        return [d for d in self.decls if isinstance(d, KspliceHook)]
+
+    def find_function(self, name: str) -> Optional[FunctionDef]:
+        for fn in self.functions():
+            if fn.name == name:
+                return fn
+        return None

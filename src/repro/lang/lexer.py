@@ -1,0 +1,86 @@
+"""Tokenizer for MiniC."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "void", "struct", "static", "inline", "extern",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "switch", "case", "default", "sizeof",
+}
+
+# Longest-match-first punctuation.
+PUNCTUATION = (
+    "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^", "?", ":",
+)
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, line=%d)" % (self.kind.value, self.text, self.line)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<num>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>%s)
+    """ % "|".join(re.escape(p) for p in PUNCTUATION),
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CompileError(
+                "line %d: unexpected character %r" % (line, source[pos]))
+        text = match.group(0)
+        line += text.count("\n")
+        pos = match.end()
+        if match.lastgroup in ("ws", "line_comment", "block_comment"):
+            continue
+        token_line = line - text.count("\n")
+        if match.lastgroup in ("hex", "num"):
+            yield Token(TokenKind.NUMBER, text, token_line)
+        elif match.lastgroup == "ident":
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, token_line)
+        else:
+            yield Token(TokenKind.PUNCT, text, token_line)
+    yield Token(TokenKind.EOF, "", line)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC ``source``; the list always ends with an EOF token."""
+    return list(_iter_tokens(source))

@@ -1,0 +1,20 @@
+"""Static linker and the linked kernel image.
+
+Linking a full build produces a :class:`~repro.linker.image.KernelImage`:
+a flat byte image at a fixed base address with every relocation resolved,
+plus a kallsyms table that — like the real one — happily contains
+duplicate local names from different compilation units.
+"""
+
+from repro.linker.kallsyms import KallsymsEntry, KallsymsTable
+from repro.linker.image import KernelImage, PlacedSection
+from repro.linker.link import link_kernel, resolve_section_relocations
+
+__all__ = [
+    "KallsymsEntry",
+    "KallsymsTable",
+    "KernelImage",
+    "PlacedSection",
+    "link_kernel",
+    "resolve_section_relocations",
+]

@@ -1,0 +1,105 @@
+"""kallsyms: the kernel's symbol table, duplicates and all.
+
+The paper reports that 7.9% of the symbols in a Linux 2.6.27 default
+build share their name with another symbol and that 21.1% of compilation
+units contain at least one such symbol (§6.3).  The census methods here
+compute the same statistics for the simulated kernel, and
+:meth:`KallsymsTable.candidates` is the ambiguity that run-pre matching
+exists to resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SymbolResolutionError
+from repro.objfile import SymbolBinding, SymbolKind
+
+
+@dataclass(frozen=True)
+class KallsymsEntry:
+    name: str
+    address: int
+    size: int
+    kind: SymbolKind
+    binding: SymbolBinding
+    unit: str  # defining compilation unit
+
+
+@dataclass
+class KallsymsTable:
+    entries: List[KallsymsEntry] = field(default_factory=list)
+    _by_name: Dict[str, List[KallsymsEntry]] = field(default_factory=dict,
+                                                     repr=False)
+
+    def add(self, entry: KallsymsEntry) -> None:
+        self.entries.append(entry)
+        self._by_name.setdefault(entry.name, []).append(entry)
+
+    # -- lookups ------------------------------------------------------------
+
+    def candidates(self, name: str) -> List[KallsymsEntry]:
+        """Every symbol with this name (possibly several — ambiguity)."""
+        return list(self._by_name.get(name, ()))
+
+    def unique_address(self, name: str) -> int:
+        """Address of ``name`` iff unambiguous; raises otherwise.
+
+        This models what a naive symbol-table-driven updater does — and
+        why it fails on names like the paper's ``notesize``/``debug``.
+        """
+        found = self.candidates(name)
+        if not found:
+            raise SymbolResolutionError("symbol %r not in kallsyms" % name)
+        if len(found) > 1:
+            raise SymbolResolutionError(
+                "symbol %r is ambiguous: %d definitions (%s)"
+                % (name, len(found),
+                   ", ".join(sorted(e.unit for e in found))))
+        return found[0].address
+
+    def is_ambiguous(self, name: str) -> bool:
+        return len(self._by_name.get(name, ())) > 1
+
+    def symbol_at(self, address: int) -> Optional[KallsymsEntry]:
+        """The function/object whose extent covers ``address``, if any."""
+        best: Optional[KallsymsEntry] = None
+        for entry in self.entries:
+            if entry.address <= address < entry.address + max(entry.size, 1):
+                if best is None or entry.address > best.address:
+                    best = entry
+        return best
+
+    def stripped_of_locals(self) -> "KallsymsTable":
+        """A copy without local symbols — the shape of a kernel symbol
+        table built without CONFIG_KALLSYMS_ALL, where static functions
+        "do not appear at all" (§4.1)."""
+        stripped = KallsymsTable()
+        for entry in self.entries:
+            if entry.binding is not SymbolBinding.LOCAL:
+                stripped.add(entry)
+        return stripped
+
+    # -- census (§6.3 statistics) --------------------------------------------
+
+    def total_symbols(self) -> int:
+        return len(self.entries)
+
+    def ambiguous_symbols(self) -> List[KallsymsEntry]:
+        return [e for e in self.entries if self.is_ambiguous(e.name)]
+
+    def ambiguous_fraction(self) -> float:
+        if not self.entries:
+            return 0.0
+        return len(self.ambiguous_symbols()) / len(self.entries)
+
+    def units_with_ambiguous_symbols(self) -> List[str]:
+        units = {e.unit for e in self.ambiguous_symbols()}
+        return sorted(units)
+
+    def unit_ambiguous_fraction(self) -> float:
+        all_units = {e.unit for e in self.entries}
+        if not all_units:
+            return 0.0
+        return len(self.units_with_ambiguous_symbols()) / len(all_units)

@@ -1,0 +1,105 @@
+"""Linking object files into a kernel image."""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import LinkError
+from repro.kbuild import BuildResult
+from repro.linker.image import KernelImage, PlacedSection
+from repro.linker.kallsyms import KallsymsEntry, KallsymsTable
+from repro.objfile import ObjectFile, Section, SectionKind, SymbolBinding
+
+DEFAULT_KERNEL_BASE = 0xC0100000
+
+#: Image layout order; BSS last so a file-backed image could omit it.
+_KIND_ORDER = (SectionKind.TEXT, SectionKind.RODATA, SectionKind.DATA,
+               SectionKind.KSPLICE, SectionKind.BSS)
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def resolve_section_relocations(section: Section, section_address: int,
+                                resolver: Callable[[str], int],
+                                image: bytearray, image_offset: int) -> None:
+    """Patch ``section``'s relocation fields inside ``image``.
+
+    ``resolver`` maps a symbol name to its address; ``image_offset`` is
+    where the section's bytes start inside ``image``.  Shared between the
+    kernel linker and the module loader.
+    """
+    for reloc in section.relocations:
+        symbol_value = resolver(reloc.symbol)
+        place = section_address + reloc.offset
+        value = reloc.compute(symbol_value, place)
+        struct.pack_into("<I", image, image_offset + reloc.offset, value)
+
+
+def link_kernel(build: BuildResult,
+                base: int = DEFAULT_KERNEL_BASE) -> KernelImage:
+    """Link all objects of ``build`` into a kernel image at ``base``."""
+    objects = [build.objects[path] for path in sorted(build.objects)]
+
+    placements: Dict[Tuple[str, str], PlacedSection] = {}
+    cursor = base
+    ordered: List[Tuple[ObjectFile, Section, int]] = []
+    for kind in _KIND_ORDER:
+        for obj in objects:
+            for section in obj.sections.values():
+                if section.kind is not kind:
+                    continue
+                cursor = _align(cursor, max(section.alignment, 1))
+                ordered.append((obj, section, cursor))
+                placements[(obj.name, section.name)] = PlacedSection(
+                    unit=obj.name, name=section.name, address=cursor,
+                    size=section.size)
+                cursor += section.size
+
+    image = bytearray(cursor - base)
+    for obj, section, address in ordered:
+        offset = address - base
+        image[offset:offset + section.size] = section.data
+
+    global_symbols: Dict[str, int] = {}
+    global_owner: Dict[str, str] = {}
+    local_symbols: Dict[Tuple[str, str], int] = {}
+    kallsyms = KallsymsTable()
+    for obj in objects:
+        for symbol in obj.defined_symbols():
+            address = placements[(obj.name, symbol.section)].address \
+                + symbol.value
+            if symbol.binding is SymbolBinding.GLOBAL:
+                if symbol.name in global_symbols:
+                    raise LinkError(
+                        "duplicate global symbol %r in %s and %s"
+                        % (symbol.name, global_owner[symbol.name], obj.name))
+                global_symbols[symbol.name] = address
+                global_owner[symbol.name] = obj.name
+            else:
+                local_symbols[(obj.name, symbol.name)] = address
+            kallsyms.add(KallsymsEntry(
+                name=symbol.name, address=address, size=symbol.size,
+                kind=symbol.kind, binding=symbol.binding, unit=obj.name))
+
+    def resolver_for(obj: ObjectFile) -> Callable[[str], int]:
+        def resolve(name: str) -> int:
+            local = local_symbols.get((obj.name, name))
+            if local is not None:
+                return local
+            if name in global_symbols:
+                return global_symbols[name]
+            raise LinkError("undefined symbol %r referenced by %s"
+                            % (name, obj.name))
+        return resolve
+
+    for obj, section, address in ordered:
+        resolve_section_relocations(section, address, resolver_for(obj),
+                                    image, address - base)
+
+    return KernelImage(version=build.tree_version, base=base, data=image,
+                       kallsyms=kallsyms, placements=placements)

@@ -1,0 +1,36 @@
+"""KELF: the object-code container format used by the toolchain.
+
+KELF is a deliberately ELF-shaped format: named sections holding code or
+data, a symbol table with local/global bindings, and per-section relocation
+lists with explicit addends.  This is the metadata layer at which Ksplice's
+pre-post differencing and run-pre matching operate.
+"""
+
+from repro.objfile.section import Section, SectionKind
+from repro.objfile.symbol import Symbol, SymbolBinding, SymbolKind
+from repro.objfile.relocation import Relocation, RelocationType
+from repro.objfile.objectfile import ObjectFile
+from repro.objfile.serialize import load_object, dump_object
+
+HOOK_SECTIONS = (
+    ".ksplice_pre_apply",
+    ".ksplice_apply",
+    ".ksplice_post_apply",
+    ".ksplice_pre_reverse",
+    ".ksplice_reverse",
+    ".ksplice_post_reverse",
+)
+
+__all__ = [
+    "HOOK_SECTIONS",
+    "ObjectFile",
+    "Relocation",
+    "RelocationType",
+    "Section",
+    "SectionKind",
+    "Symbol",
+    "SymbolBinding",
+    "SymbolKind",
+    "dump_object",
+    "load_object",
+]

@@ -1,0 +1,123 @@
+"""Object files: the unit the compiler emits and the linker consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ObjectFormatError
+from repro.objfile.section import Section
+from repro.objfile.symbol import Symbol, SymbolBinding, SymbolKind
+
+
+@dataclass
+class ObjectFile:
+    """One compilation unit's worth of sections and symbols.
+
+    ``name`` is the unit path (e.g. ``drivers/dst_ca.c``); it doubles as
+    the namespace for local symbols when several units define the same
+    local name (the paper's ambiguous ``debug`` example).
+    """
+
+    name: str
+    sections: Dict[str, Section] = field(default_factory=dict)
+    symbols: List[Symbol] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------
+
+    def add_section(self, section: Section) -> Section:
+        if section.name in self.sections:
+            raise ObjectFormatError(
+                "duplicate section %s in %s" % (section.name, self.name))
+        self.sections[section.name] = section
+        return section
+
+    def add_symbol(self, symbol: Symbol) -> Symbol:
+        if symbol.is_defined and symbol.section not in self.sections:
+            raise ObjectFormatError(
+                "symbol %s defined in missing section %s"
+                % (symbol.name, symbol.section))
+        self.symbols.append(symbol)
+        return symbol
+
+    # -- queries -----------------------------------------------------------
+
+    def section(self, name: str) -> Section:
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise ObjectFormatError(
+                "no section %s in %s" % (name, self.name)) from None
+
+    def find_symbol(self, name: str) -> Optional[Symbol]:
+        for symbol in self.symbols:
+            if symbol.name == name:
+                return symbol
+        return None
+
+    def symbol(self, name: str) -> Symbol:
+        found = self.find_symbol(name)
+        if found is None:
+            raise ObjectFormatError(
+                "no symbol %s in %s" % (name, self.name))
+        return found
+
+    def defined_symbols(self) -> List[Symbol]:
+        return [s for s in self.symbols if s.is_defined]
+
+    def undefined_symbols(self) -> List[Symbol]:
+        return [s for s in self.symbols if not s.is_defined]
+
+    def symbols_in_section(self, section_name: str) -> List[Symbol]:
+        return [s for s in self.symbols if s.section == section_name]
+
+    def text_sections(self) -> List[Section]:
+        return [s for s in self.sections.values() if s.kind.is_code]
+
+    def referenced_symbol_names(self) -> List[str]:
+        """All symbol names referenced by any relocation, deduplicated."""
+        seen: List[str] = []
+        for section in self.sections.values():
+            for reloc in section.relocations:
+                if reloc.symbol not in seen:
+                    seen.append(reloc.symbol)
+        return seen
+
+    # -- maintenance --------------------------------------------------------
+
+    def ensure_undefined(self, names: Iterable[str]) -> None:
+        """Add undefined symbol entries for referenced-but-missing names."""
+        defined = {s.name for s in self.symbols}
+        for name in names:
+            if name not in defined:
+                self.add_symbol(Symbol(name=name, binding=SymbolBinding.GLOBAL,
+                                       kind=SymbolKind.NOTYPE, section=None))
+                defined.add(name)
+
+    def copy(self) -> "ObjectFile":
+        return ObjectFile(
+            name=self.name,
+            sections={name: sec.copy() for name, sec in self.sections.items()},
+            symbols=[s.copy() for s in self.symbols],
+        )
+
+    def validate(self) -> None:
+        """Internal-consistency check; raises ObjectFormatError on problems."""
+        defined = {s.name for s in self.symbols}
+        for section in self.sections.values():
+            for reloc in section.relocations:
+                if reloc.offset < 0 or reloc.offset + reloc.FIELD_SIZE > section.size:
+                    raise ObjectFormatError(
+                        "relocation at %d outside section %s (size %d)"
+                        % (reloc.offset, section.name, section.size))
+                if reloc.symbol not in defined:
+                    raise ObjectFormatError(
+                        "relocation against unknown symbol %s in %s"
+                        % (reloc.symbol, section.name))
+        for symbol in self.symbols:
+            if symbol.is_defined:
+                section = self.sections[symbol.section]
+                if not 0 <= symbol.value <= section.size:
+                    raise ObjectFormatError(
+                        "symbol %s at %d outside section %s"
+                        % (symbol.name, symbol.value, symbol.section))

@@ -1,0 +1,54 @@
+"""Relocations with explicit addends (RELA style).
+
+The stored field value after relocation is:
+
+* ``R_ABS32``:  S + A
+* ``R_PC32``:   S + A - P
+
+where S is the symbol value, A the addend, and P the run-time address of
+the field being relocated.  These are exactly the formulas run-pre matching
+inverts to recover S from already-relocated run code (§4.3):
+``S = val - A`` resp. ``S = val + P_run - A``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RelocationType(enum.Enum):
+    ABS32 = "abs32"
+    PC32 = "pc32"
+
+
+@dataclass
+class Relocation:
+    """One fix-up: write the relocated value at ``offset`` in the section."""
+
+    offset: int
+    symbol: str
+    type: RelocationType
+    addend: int = 0
+
+    FIELD_SIZE = 4
+
+    def compute(self, symbol_value: int, place: int) -> int:
+        """Field value given the symbol value S and field address P."""
+        if self.type is RelocationType.ABS32:
+            return (symbol_value + self.addend) & 0xFFFFFFFF
+        return (symbol_value + self.addend - place) & 0xFFFFFFFF
+
+    def solve_symbol(self, field_value: int, place: int) -> int:
+        """Invert :meth:`compute`: recover S from a relocated field.
+
+        This is the core run-pre matching equation from §4.3 of the paper
+        (``S = val + P_run - A`` for pc-relative fields).
+        """
+        if self.type is RelocationType.ABS32:
+            return (field_value - self.addend) & 0xFFFFFFFF
+        return (field_value + place - self.addend) & 0xFFFFFFFF
+
+    def copy(self) -> "Relocation":
+        return Relocation(offset=self.offset, symbol=self.symbol,
+                          type=self.type, addend=self.addend)

@@ -1,0 +1,47 @@
+"""Symbols: named, possibly local, positions within sections."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SymbolBinding(enum.Enum):
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+class SymbolKind(enum.Enum):
+    FUNC = "func"
+    OBJECT = "object"
+    NOTYPE = "notype"
+
+
+@dataclass
+class Symbol:
+    """A symbol-table entry.
+
+    ``section`` names the defining section, or is ``None`` for undefined
+    symbols (externs to be resolved at link or run-pre time).  ``value`` is
+    the offset within the defining section.
+    """
+
+    name: str
+    binding: SymbolBinding = SymbolBinding.GLOBAL
+    kind: SymbolKind = SymbolKind.NOTYPE
+    section: Optional[str] = None
+    value: int = 0
+    size: int = 0
+
+    @property
+    def is_defined(self) -> bool:
+        return self.section is not None
+
+    @property
+    def is_local(self) -> bool:
+        return self.binding is SymbolBinding.LOCAL
+
+    def copy(self) -> "Symbol":
+        return Symbol(name=self.name, binding=self.binding, kind=self.kind,
+                      section=self.section, value=self.value, size=self.size)

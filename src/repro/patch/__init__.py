@@ -1,0 +1,28 @@
+"""Unified-diff patches: the input format of ksplice-create.
+
+The paper's pipeline starts from "a patch in the standard patch format,
+the unified diff patch format" (§5).  This package implements that
+format — generation (for building the CVE corpus), parsing, and strict
+application with context verification (what ``patch(1)`` does at fuzz 0).
+"""
+
+from repro.patch.unified_diff import (
+    FilePatch,
+    Hunk,
+    Patch,
+    count_patch_lines,
+    make_patch,
+    parse_patch,
+)
+from repro.patch.apply import apply_patch, reverse_patch
+
+__all__ = [
+    "FilePatch",
+    "Hunk",
+    "Patch",
+    "apply_patch",
+    "count_patch_lines",
+    "make_patch",
+    "parse_patch",
+    "reverse_patch",
+]

@@ -1,0 +1,81 @@
+"""Strict patch application (fuzz 0) and reversal."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import PatchError
+from repro.patch.unified_diff import FilePatch, Hunk, Patch, parse_patch
+
+
+def apply_patch(tree: Dict[str, str],
+                patch: Union[Patch, str]) -> Dict[str, str]:
+    """Apply ``patch`` to a file tree, returning a new tree.
+
+    Context lines are verified exactly; any mismatch raises
+    :class:`~repro.errors.PatchError` (no fuzz).  The input tree is not
+    modified.
+    """
+    if isinstance(patch, str):
+        patch = parse_patch(patch)
+    result = dict(tree)
+    for fp in patch.files:
+        result[fp.path] = _apply_file(result, fp)
+        if fp.deletes_file:
+            del result[fp.path]
+    return result
+
+
+def _apply_file(tree: Dict[str, str], fp: FilePatch) -> str:
+    if fp.creates_file:
+        if fp.path in tree:
+            raise PatchError("patch creates %s but it already exists" % fp.path)
+        old_lines: List[str] = []
+    else:
+        if fp.path not in tree:
+            raise PatchError("patch modifies missing file %s" % fp.path)
+        old_lines = tree[fp.path].split("\n")
+
+    new_lines: List[str] = []
+    cursor = 0  # index into old_lines
+    for hunk in fp.hunks:
+        # difflib line numbers are 1-based; start 0 with count 0 means
+        # "insert at the very beginning".
+        start = hunk.old_start - 1 if hunk.old_count else hunk.old_start
+        if start < cursor:
+            raise PatchError("overlapping hunks in %s" % fp.path)
+        new_lines.extend(old_lines[cursor:start])
+        cursor = start
+        expected = hunk.old_lines()
+        actual = old_lines[cursor:cursor + len(expected)]
+        if actual != expected:
+            raise PatchError(
+                "hunk %s does not apply to %s:\n  expected %r\n  found %r"
+                % (hunk.header(), fp.path, expected[:3], actual[:3]))
+        new_lines.extend(hunk.new_lines())
+        cursor += len(expected)
+    new_lines.extend(old_lines[cursor:])
+    return "\n".join(new_lines)
+
+
+def reverse_patch(patch: Union[Patch, str]) -> Patch:
+    """Swap the polarity of a patch so applying it undoes the original."""
+    if isinstance(patch, str):
+        patch = parse_patch(patch)
+    reversed_patch = Patch()
+    for fp in patch.files:
+        rfp = FilePatch(old_path=fp.new_path, new_path=fp.old_path)
+        for hunk in fp.hunks:
+            rhunk = Hunk(old_start=hunk.new_start, old_count=hunk.new_count,
+                         new_start=hunk.old_start, new_count=hunk.old_count)
+            for line in hunk.lines:
+                tag = line[:1]
+                if tag == "+":
+                    rhunk.lines.append("-" + line[1:])
+                elif tag == "-":
+                    rhunk.lines.append("+" + line[1:])
+                else:
+                    rhunk.lines.append(line)
+            rfp.hunks.append(rhunk)
+        reversed_patch.files.append(rfp)
+    return reversed_patch

@@ -1,0 +1,21 @@
+"""Developer tooling around the toolchain: object dumpers, the kernel
+debugger's stack unwinder, and the text integrity scanner."""
+
+from repro.tools.objdump import dump_object_text, dump_section_disassembly
+from repro.tools.unwind import Backtrace, Frame, backtrace_thread
+from repro.tools.integrity import (
+    IntegrityReport,
+    TextModification,
+    check_kernel_text,
+)
+
+__all__ = [
+    "Backtrace",
+    "Frame",
+    "IntegrityReport",
+    "TextModification",
+    "backtrace_thread",
+    "check_kernel_text",
+    "dump_object_text",
+    "dump_section_disassembly",
+]

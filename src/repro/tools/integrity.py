@@ -1,0 +1,140 @@
+"""Kernel text integrity checking.
+
+§7.2 of the paper discusses hot-patching as practiced by rootkits.  The
+defender-side counterpart is this scanner: compare the running kernel's
+text against the pristine booted image, and reconcile every difference
+against the Ksplice core's ledger of applied updates.  A legitimate
+update explains exactly one ``jump_size`` window at each replaced
+function's entry; anything else is an unexplained modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.apply import KspliceCore
+from repro.kernel.machine import Machine
+
+
+@dataclass(frozen=True)
+class TextModification:
+    """One contiguous modified byte range in kernel text."""
+
+    address: int
+    original: bytes
+    current: bytes
+    #: update id when the Ksplice ledger explains this range
+    explained_by: Optional[str] = None
+    symbol: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.current)
+
+    def render(self) -> str:
+        where = ("%s (0x%08x)" % (self.symbol, self.address)
+                 if self.symbol else "0x%08x" % self.address)
+        status = ("ok: %s" % self.explained_by if self.explained_by
+                  else "UNEXPLAINED")
+        return "%-40s %2d bytes  %s -> %s  [%s]" % (
+            where, self.size, self.original.hex(), self.current.hex(),
+            status)
+
+
+@dataclass
+class IntegrityReport:
+    modifications: List[TextModification] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.modifications
+
+    def unexplained(self) -> List[TextModification]:
+        return [m for m in self.modifications if m.explained_by is None]
+
+    @property
+    def compromised(self) -> bool:
+        """Modified in ways the update ledger does not account for."""
+        return bool(self.unexplained())
+
+    def render(self) -> str:
+        if self.clean:
+            return "kernel text pristine"
+        lines = ["%d modified region(s):" % len(self.modifications)]
+        lines += ["  " + m.render() for m in self.modifications]
+        if self.compromised:
+            lines.append("WARNING: %d unexplained modification(s) — "
+                         "kernel text does not match the trusted image"
+                         % len(self.unexplained()))
+        return "\n".join(lines)
+
+
+def _diff_ranges(original: bytes, current: bytes, base: int,
+                 merge_gap: int = 2) -> List[tuple]:
+    """Contiguous [start, end) differing ranges, merging near-adjacent
+    ones (a 5-byte jump shows up as one range even if a byte inside
+    happens to coincide)."""
+    ranges: List[tuple] = []
+    start = None
+    for offset, (a, b) in enumerate(zip(original, current)):
+        if a != b:
+            if start is None:
+                start = offset
+            end = offset + 1
+        elif start is not None and offset - end >= merge_gap:
+            ranges.append((start, end))
+            start = None
+        elif start is not None:
+            continue
+    if start is not None:
+        ranges.append((start, end))
+    merged: List[tuple] = []
+    for lo, hi in ranges:
+        if merged and lo - merged[-1][1] <= merge_gap:
+            merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return [(base + lo, base + hi) for lo, hi in merged]
+
+
+def check_kernel_text(machine: Machine,
+                      core: Optional[KspliceCore] = None) -> IntegrityReport:
+    """Scan every kernel text section for modifications.
+
+    ``core`` supplies the ledger of legitimate updates; without it every
+    modification is unexplained.
+    """
+    report = IntegrityReport()
+    image = machine.image
+    explained = {}
+    if core is not None:
+        for applied in core.applied:
+            for replaced in applied.replaced:
+                explained[replaced.old_address] = (
+                    applied.update_id, len(replaced.saved_bytes),
+                    replaced.name)
+
+    for (unit, name), placed in image.placements.items():
+        if not (name == ".text" or name.startswith(".text.")):
+            continue
+        original = image.read_bytes(placed.address, placed.size)
+        current = machine.read_bytes(placed.address, placed.size)
+        if original == current:
+            continue
+        for lo, hi in _diff_ranges(original, current, placed.address):
+            update_id = None
+            symbol = None
+            ledger = explained.get(lo)
+            if ledger is not None and hi - lo <= ledger[1]:
+                update_id, _, symbol = ledger
+            if symbol is None:
+                entry = image.kallsyms.symbol_at(lo)
+                symbol = entry.name if entry else None
+            report.modifications.append(TextModification(
+                address=lo,
+                original=original[lo - placed.address:hi - placed.address],
+                current=current[lo - placed.address:hi - placed.address],
+                explained_by=update_id,
+                symbol=symbol))
+    return report

@@ -1,0 +1,72 @@
+"""objdump for KELF: human-readable object file listings.
+
+Disassembly annotates relocation sites the way ``objdump -dr`` does, so
+developers can eyeball exactly the metadata pre-post differencing and
+run-pre matching consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.disassembler import format_instruction, iter_instructions
+from repro.errors import DisassemblyError
+from repro.objfile import ObjectFile, Section
+
+
+def dump_section_disassembly(section: Section) -> str:
+    """Disassemble one text section with inline relocation annotations."""
+    relocs_by_offset: Dict[int, List] = {}
+    for reloc in section.sorted_relocations():
+        relocs_by_offset.setdefault(reloc.offset, []).append(reloc)
+
+    lines: List[str] = []
+    try:
+        for decoded in iter_instructions(section.data):
+            lines.append("  " + format_instruction(decoded))
+            for field_offset in range(decoded.offset,
+                                      decoded.offset + decoded.length):
+                for reloc in relocs_by_offset.get(field_offset, ()):
+                    lines.append("        %04x: %s  %s%+d"
+                                 % (reloc.offset, reloc.type.value,
+                                    reloc.symbol, reloc.addend))
+    except DisassemblyError as exc:
+        lines.append("  <undecodable: %s>" % exc)
+    return "\n".join(lines)
+
+
+def _dump_data_section(section: Section) -> str:
+    lines: List[str] = []
+    data = section.data
+    for offset in range(0, len(data), 16):
+        chunk = data[offset:offset + 16]
+        hexpart = " ".join("%02x" % b for b in chunk)
+        lines.append("  %04x: %s" % (offset, hexpart))
+    for reloc in section.sorted_relocations():
+        lines.append("        %04x: %s  %s%+d"
+                     % (reloc.offset, reloc.type.value, reloc.symbol,
+                        reloc.addend))
+    return "\n".join(lines)
+
+
+def dump_object_text(obj: ObjectFile) -> str:
+    """Full listing: sections (disassembled or hexdumped) and symbols."""
+    lines: List[str] = ["object %s" % obj.name, ""]
+    for section in obj.sections.values():
+        lines.append("section %s  (%s, %d bytes, align %d, %d relocs)"
+                     % (section.name, section.kind.value, section.size,
+                        section.alignment, len(section.relocations)))
+        if section.size:
+            if section.kind.is_code:
+                lines.append(dump_section_disassembly(section))
+            else:
+                lines.append(_dump_data_section(section))
+        lines.append("")
+    lines.append("symbols:")
+    for symbol in obj.symbols:
+        where = ("%s+0x%x" % (symbol.section, symbol.value)
+                 if symbol.is_defined else "*UND*")
+        lines.append("  %-7s %-6s %-24s %s  size %d"
+                     % (symbol.binding.value, symbol.kind.value,
+                        symbol.name, where, symbol.size))
+    return "\n".join(lines)

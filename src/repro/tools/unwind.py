@@ -1,0 +1,118 @@
+"""Kernel stack unwinding: symbolized backtraces for threads and oopses.
+
+The unwinder walks the frame-pointer chain the compiler's prologues
+maintain (``push fp; movr fp, sp``): at each frame, ``[fp]`` holds the
+caller's fp and ``[fp+4]`` the return address.  Where the chain is
+broken (assembly routines do not set up frames) it falls back to a
+conservative scan of the remaining stack words, tagging those frames as
+unreliable — the same presentation the Linux oops unwinder uses with
+its ``?`` markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import MachineError
+from repro.kernel.machine import Machine
+from repro.kernel.threads import Thread
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One backtrace entry."""
+
+    address: int
+    symbol: Optional[str]
+    offset: int
+    unit: Optional[str]
+    reliable: bool
+
+    def render(self) -> str:
+        marker = "" if self.reliable else "? "
+        if self.symbol is None:
+            return "%s0x%08x" % (marker, self.address)
+        where = " [%s]" % self.unit if self.unit else ""
+        return "%s%s+0x%x%s" % (marker, self.symbol, self.offset, where)
+
+
+@dataclass
+class Backtrace:
+    thread_name: str
+    frames: List[Frame] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = ["Call trace (%s):" % self.thread_name]
+        lines += ["  " + frame.render() for frame in self.frames]
+        return "\n".join(lines)
+
+    def symbols(self) -> List[str]:
+        return [f.symbol for f in self.frames if f.symbol]
+
+
+def _frame_for(machine: Machine, address: int, reliable: bool) -> Frame:
+    entry = machine.image.kallsyms.symbol_at(address)
+    if entry is None:
+        return Frame(address=address, symbol=None, offset=0, unit=None,
+                     reliable=reliable)
+    return Frame(address=address, symbol=entry.name,
+                 offset=address - entry.address, unit=entry.unit,
+                 reliable=reliable)
+
+
+def backtrace_thread(machine: Machine, thread: Thread,
+                     max_frames: int = 32) -> Backtrace:
+    """Unwind ``thread``'s kernel stack."""
+    trace = Backtrace(thread_name=thread.name)
+    trace.frames.append(_frame_for(machine, thread.cpu.ip, reliable=True))
+
+    lo, hi = machine.image.text_range()
+    seen_words = set()
+
+    fp = thread.cpu.reg(5)
+    walked_to = thread.cpu.reg(6)
+    while (len(trace.frames) < max_frames
+           and thread.stack_base <= fp <= thread.stack_top - 8):
+        try:
+            saved_fp = machine.read_u32(fp)
+            ret = machine.read_u32(fp + 4)
+        except MachineError:
+            break
+        if lo <= ret < hi:
+            trace.frames.append(_frame_for(machine, ret, reliable=True))
+            seen_words.add(fp + 4)
+        walked_to = max(walked_to, fp + 8)
+        if saved_fp <= fp:  # must strictly ascend toward the stack top
+            break
+        fp = saved_fp
+
+    # Conservative tail scan above the last reliable frame.
+    for addr in range(walked_to, thread.stack_top, 4):
+        if addr in seen_words:
+            continue
+        try:
+            value = machine.read_u32(addr)
+        except MachineError:
+            continue
+        if lo <= value < hi:
+            frame = _frame_for(machine, value, reliable=False)
+            if trace.frames and frame.symbol == trace.frames[-1].symbol \
+                    and frame.address == trace.frames[-1].address:
+                continue
+            trace.frames.append(frame)
+        if len(trace.frames) >= max_frames:
+            break
+    return trace
+
+
+def render_oops(machine: Machine, thread: Thread, message: str) -> str:
+    """A Linux-style oops report for a faulted thread."""
+    trace = backtrace_thread(machine, thread)
+    header = ["kernel oops: %s" % message,
+              "thread: %s  ip: 0x%08x  sp: 0x%08x"
+              % (thread.name, thread.cpu.ip, thread.cpu.reg(6))]
+    regs = "  ".join("r%d=%08x" % (i, thread.cpu.reg(i)) for i in range(5))
+    header.append(regs + "  fp=%08x sp=%08x"
+                  % (thread.cpu.reg(5), thread.cpu.reg(6)))
+    return "\n".join(header) + "\n" + trace.render()

@@ -1,0 +1,122 @@
+"""Applying updates while the kernel is under load.
+
+The paper's §6.2 criterion is that the kernel "continue functioning
+without any observed problems while running a correctness-checking POSIX
+stress test" — and §2 stresses that open applications and connections
+survive.  Here the stress battery is *mid-flight* when the update lands:
+in-progress syscalls, threads bouncing through the patched function, and
+the stack check doing real work.
+"""
+
+import pytest
+
+from repro.core import KspliceCore, ksplice_create
+from repro.evaluation import corpus_by_id
+from repro.evaluation.kernels import kernel_for_version
+from repro.evaluation.stress import STRESS_OK, BATTERY
+from repro.kernel import boot_kernel
+from repro.kernel.threads import ThreadStatus
+
+
+def test_update_applies_while_stress_battery_runs():
+    spec = corpus_by_id("CVE-2006-2451")
+    kernel = kernel_for_version(spec.kernel_version)
+    machine = boot_kernel(kernel.tree, quantum=20)
+    core = KspliceCore(machine)
+
+    threads = [(name, machine.load_user_program(source,
+                                                name="mid-%s" % name))
+               for name, source in BATTERY]
+    machine.run(max_instructions=3_000)  # everyone is mid-flight
+    in_flight = [t for _, t in threads if t.alive]
+    assert in_flight, "battery finished too quickly to be a load test"
+
+    pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
+    applied = core.apply(pack)
+    assert applied.stop_report.instructions_during_stop == 0
+
+    machine.run(max_instructions=5_000_000)
+    for name, thread in threads:
+        assert thread.status is ThreadStatus.EXITED, name
+        assert thread.exit_value == STRESS_OK, (name, thread.exit_value)
+
+    # And the update is effective.
+    exploit = kernel.exploit_source(spec)
+    assert machine.run_user_program(exploit, name="x") == 1000
+
+
+def test_update_to_hot_function_waits_for_callers():
+    """Patch the very syscall the load is hammering: the stack check
+    retries until a stop window finds it quiescent, then succeeds."""
+    spec = corpus_by_id("CVE-2006-2451")
+    kernel = kernel_for_version(spec.kernel_version)
+    machine = boot_kernel(kernel.tree, quantum=13)
+    core = KspliceCore(machine, stack_check_retries=50,
+                       retry_run_instructions=3_000)
+
+    hammer = machine.load_user_program("""
+int main(void) {
+    int denials = 0;
+    for (int i = 0; i < 60; i++) {
+        if (__syscall({sys_prctl}, 4, 2, 0) != 0) { denials++; }
+    }
+    return denials;
+}
+""".replace("{sys_prctl}", str(kernel.syscall_numbers["sys_prctl"])),
+        name="hammer")
+    machine.run(max_instructions=1_500)
+    assert hammer.alive
+
+    pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
+    applied = core.apply(pack)
+    machine.run(max_instructions=3_000_000)
+    assert hammer.status is ThreadStatus.EXITED
+    # Calls before the update were allowed (dumpable=2 accepted), calls
+    # after were denied: the flip happened mid-run.
+    assert 0 < hammer.exit_value <= 60
+
+
+def test_many_concurrent_updates_under_load():
+    """Three stacked updates land while spinners run; everything stays
+    coherent."""
+    spec = corpus_by_id("CVE-2006-2451")
+    kernel = kernel_for_version(spec.kernel_version)
+    machine = boot_kernel(kernel.tree, quantum=17)
+    core = KspliceCore(machine)
+
+    spin_num = kernel.syscall_numbers["sys_spin"]
+    spinners = [machine.load_user_program(
+        "int main(void) { return __syscall(%d, 2500, 0, 0); }" % spin_num,
+        name="spin-%d" % i) for i in range(3)]
+    machine.run(max_instructions=3_000)
+
+    tree = kernel.tree
+    current = tree.read("kernel/prctl.c")
+    packs = []
+    thresholds = [(2, 1), (1, 0), (0, 1)]  # each a real code change
+    for old_limit, new_limit in thresholds:
+        new = current.replace(
+            "if (val < 0 || val > %d)" % old_limit,
+            "if (val < 0 || val > %d)" % new_limit)
+        assert new != current
+        from repro.patch import make_patch
+
+        files_old = dict(tree.files)
+        files_old["kernel/prctl.c"] = current
+        files_new = dict(files_old)
+        files_new["kernel/prctl.c"] = new
+        pack = ksplice_create(
+            type(tree)(version=tree.version, files=files_old),
+            make_patch(files_old, files_new))
+        packs.append(pack)
+        core.apply(pack)
+        machine.run(max_instructions=50_000)
+        current = new
+
+    machine.run(max_instructions=5_000_000)
+    for spinner in spinners:
+        assert spinner.exit_value == 2500
+    # LIFO undo of the whole stack while the machine stays healthy.
+    for pack in reversed(packs):
+        core.undo(pack.update_id)
+    assert machine.call_function("sys_getuid", [0, 0, 0]) == 1000

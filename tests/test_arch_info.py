@@ -1,0 +1,119 @@
+"""Tests for the ArchInfo abstraction: the §4.3 architecture-specific
+information table and the paper's architecture-independence claim."""
+
+import pytest
+
+from repro.arch.info import DEFAULT_ARCH, K86, K86_WIDE
+from repro.arch.disassembler import disassemble
+from repro.core import KspliceCore, ksplice_create
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+TREE = SourceTree(version="arch-test", files={
+    "kernel/calc.c": """
+int factor = 3;
+
+int calc(int x) {
+    int total = 0;
+    for (int i = 0; i < x; i++) { total += factor; }
+    return total;
+}
+
+int twice_calc(int x) { return calc(x) + calc(x); }
+""",
+})
+
+
+def patched_files():
+    files = dict(TREE.files)
+    files["kernel/calc.c"] = TREE.files["kernel/calc.c"].replace(
+        "total += factor;", "total += factor + 1;")
+    return files
+
+
+def test_default_arch_is_k86():
+    assert DEFAULT_ARCH is K86
+    assert K86.jump_size == 5
+    assert K86_WIDE.jump_size == 8
+
+
+def test_k86_jump_encoding_round_trips():
+    encoded = K86.encode_jump(0x1000, 0x2000)
+    decoded = disassemble(encoded)
+    assert len(decoded) == 1
+    assert decoded[0].canonical == "jmp"
+    # Target computes back to the requested address.
+    assert 0x1000 + decoded[0].length + \
+        decoded[0].instruction.operands[0] == 0x2000
+
+
+def test_k86_wide_jump_is_jump_plus_nops():
+    encoded = K86_WIDE.encode_jump(0x1000, 0x2000)
+    assert len(encoded) == 8
+    decoded = disassemble(encoded)
+    assert decoded[0].canonical == "jmp"
+    assert all(d.is_nop for d in decoded[1:])
+    assert 0x1000 + decoded[0].length + \
+        decoded[0].instruction.operands[0] == 0x2000
+
+
+def test_nop_length_at_and_instruction_length_delegates():
+    from repro.arch.nops import nop_sequence
+
+    seq = nop_sequence(4)
+    assert K86.nop_length_at(seq, 0) == 4
+    assert K86.instruction_length(seq[0]) == 4
+
+
+@pytest.mark.parametrize("arch", [K86, K86_WIDE],
+                         ids=lambda a: a.name)
+def test_full_update_cycle_on_both_architectures(arch):
+    """The §5 claim: only the jump assembly is per-architecture; the
+    whole create/match/apply/undo pipeline runs unchanged."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine, arch=arch)
+    assert machine.call_function("calc", [4]) == 12
+
+    pack = ksplice_create(TREE, make_patch(TREE.files, patched_files()))
+    applied = core.apply(pack)
+    assert machine.call_function("calc", [4]) == 16
+    assert machine.call_function("twice_calc", [4]) == 32
+    assert all(len(r.saved_bytes) == arch.jump_size
+               for r in applied.replaced)
+
+    core.undo(pack.update_id)
+    assert machine.call_function("calc", [4]) == 12
+
+
+def test_wide_arch_rejects_functions_too_small_for_its_jump():
+    from repro.errors import KspliceError
+
+    # tiny_fn is the *last* function in .text, so no alignment padding
+    # follows it: its run extent is exactly 7 bytes.
+    tree = SourceTree(version="tiny", files={
+        "k.s": """
+.global caller
+caller:
+    call tiny_fn
+    ret
+.align 16
+.global tiny_fn
+tiny_fn:
+    movi r0, 7
+    ret
+""",
+    })
+    machine = boot_kernel(tree)
+    core = KspliceCore(machine, arch=K86_WIDE)
+    files = dict(tree.files)
+    files["k.s"] = tree.files["k.s"].replace("movi r0, 7", "movi r0, 8")
+    pack = ksplice_create(tree, make_patch(tree.files, files))
+    # tiny_fn is 7 bytes: enough for the 5-byte k86 jump, not for the
+    # 8-byte wide one.
+    with pytest.raises(KspliceError):
+        core.apply(pack)
+    # The k86 core handles the same pack fine.
+    machine2 = boot_kernel(tree)
+    KspliceCore(machine2, arch=K86).apply(pack)
+    assert machine2.call_function("caller") == 8

@@ -1,0 +1,155 @@
+"""Unit tests for the k86 instruction set: encode/decode round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import isa
+from repro.arch.isa import (
+    Instruction,
+    Opcode,
+    OperandKind,
+    decode_instruction,
+    encode_instruction,
+    instruction_length,
+    spec_for,
+)
+from repro.errors import AssemblyError, DisassemblyError
+
+
+def test_all_opcodes_have_specs():
+    for opcode in Opcode:
+        spec = spec_for(int(opcode))
+        assert spec.opcode is opcode
+        assert spec.length >= 1
+
+
+def test_invalid_opcode_raises():
+    with pytest.raises(DisassemblyError):
+        spec_for(0xFF)
+
+
+def test_instruction_lengths_match_encodings():
+    insn = isa.make("movi", 0, 42)
+    assert len(encode_instruction(insn)) == instruction_length(int(Opcode.MOVI)) == 6
+    assert instruction_length(int(Opcode.RET)) == 1
+    assert instruction_length(int(Opcode.JMP)) == 5
+    assert instruction_length(int(Opcode.JMPS)) == 2
+    assert instruction_length(int(Opcode.LOADR)) == 7
+
+
+def test_short_long_pairs_share_canonical_mnemonic():
+    for long_name, short_name in [("jmp", "jmps"), ("jz", "jzs"),
+                                  ("jnz", "jnzs"), ("jl", "jls"),
+                                  ("jg", "jgs"), ("jle", "jles"),
+                                  ("jge", "jges")]:
+        long_spec = isa.SPEC_BY_MNEMONIC[long_name]
+        short_spec = isa.SPEC_BY_MNEMONIC[short_name]
+        assert long_spec.canonical == short_spec.canonical
+        assert long_spec.length == 5
+        assert short_spec.length == 2
+
+
+def test_encode_decode_movi_roundtrip():
+    insn = isa.make("movi", 3, 0xDEADBEEF)
+    raw = encode_instruction(insn)
+    back = decode_instruction(raw)
+    assert back.mnemonic == "movi"
+    assert back.operands == (3, 0xDEADBEEF)
+
+
+def test_decode_negative_rel8():
+    raw = encode_instruction(isa.make("jmps", -2))
+    back = decode_instruction(raw)
+    assert back.operands == (-2,)
+    assert back.rel_target(100) == 100 + 2 - 2
+
+
+def test_rel_target_for_rel32():
+    insn = isa.make("call", 0x10)
+    assert insn.rel_target(0x1000) == 0x1000 + 5 + 0x10
+
+
+def test_rel_target_on_non_branch_raises():
+    with pytest.raises(ValueError):
+        isa.make("ret").rel_target(0)
+
+
+def test_encode_bad_register_raises():
+    with pytest.raises(AssemblyError):
+        encode_instruction(Instruction(spec=isa.SPEC_BY_MNEMONIC["movr"],
+                                       operands=(9, 0)))
+
+
+def test_encode_rel8_out_of_range_raises():
+    with pytest.raises(AssemblyError):
+        encode_instruction(isa.make("jmps", 300))
+
+
+def test_decode_truncated_raises():
+    raw = encode_instruction(isa.make("movi", 0, 1))
+    with pytest.raises(DisassemblyError):
+        decode_instruction(raw[:-1])
+
+
+def test_decode_bad_register_raises():
+    raw = bytes([int(Opcode.MOVR), 200, 0])
+    with pytest.raises(DisassemblyError):
+        decode_instruction(raw)
+
+
+def test_make_wrong_arity_raises():
+    with pytest.raises(AssemblyError):
+        isa.make("movi", 1)
+    with pytest.raises(AssemblyError):
+        isa.make("ret", 0)
+
+
+def test_make_unknown_mnemonic_raises():
+    with pytest.raises(AssemblyError):
+        isa.make("bogus")
+
+
+def test_pc_relative_operand_offset():
+    assert isa.SPEC_BY_MNEMONIC["jmp"].pc_relative_operand_offset == 1
+    assert isa.SPEC_BY_MNEMONIC["call"].pc_relative_operand_offset == 1
+    assert isa.SPEC_BY_MNEMONIC["movi"].pc_relative_operand_offset is None
+
+
+def test_pc32_addend_matches_x86_convention():
+    # rel32 is relative to the end of the 4-byte field that starts right
+    # after the opcode, hence -4, as in the paper's worked example.
+    assert isa.PC32_ADDEND == -4
+
+
+_ENCODABLE = [
+    ("movi", [st.integers(0, 7), st.integers(0, 0xFFFFFFFF)]),
+    ("movr", [st.integers(0, 7), st.integers(0, 7)]),
+    ("add", [st.integers(0, 7), st.integers(0, 7)]),
+    ("addi", [st.integers(0, 7), st.integers(0, 0xFFFFFFFF)]),
+    ("load", [st.integers(0, 7), st.integers(0, 0xFFFFFFFF)]),
+    ("loadr", [st.integers(0, 7), st.integers(0, 7),
+               st.integers(0, 0xFFFFFFFF)]),
+    ("jmp", [st.integers(-(1 << 31), (1 << 31) - 1)]),
+    ("jmps", [st.integers(-128, 127)]),
+    ("call", [st.integers(-(1 << 31), (1 << 31) - 1)]),
+    ("push", [st.integers(0, 7)]),
+]
+
+
+@given(data=st.data())
+def test_property_encode_decode_roundtrip(data):
+    mnemonic, operand_strategies = data.draw(st.sampled_from(_ENCODABLE))
+    operands = tuple(data.draw(strategy) for strategy in operand_strategies)
+    insn = isa.make(mnemonic, *operands)
+    raw = encode_instruction(insn)
+    assert len(raw) == insn.length
+    back = decode_instruction(raw)
+    assert back.mnemonic == mnemonic
+    # Unsigned fields compare modulo 2**32; signed rel fields exactly.
+    for kind, got, want in zip(
+            [k for k in insn.spec.operands if k is not OperandKind.PAD],
+            back.operands, operands):
+        if kind in (OperandKind.REL32, OperandKind.REL8):
+            assert got == want
+        else:
+            assert got == want & 0xFFFFFFFF or got == want

@@ -1,0 +1,72 @@
+"""Tests for nop-sequence generation and recognition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import nops
+from repro.arch.disassembler import disassemble
+
+
+def test_nop_sequence_exact_lengths():
+    for length in range(0, 33):
+        seq = nops.nop_sequence(length)
+        assert len(seq) == length
+
+
+def test_nop_sequence_negative_raises():
+    with pytest.raises(ValueError):
+        nops.nop_sequence(-1)
+
+
+def test_nop_sequence_decodes_to_only_nops():
+    seq = nops.nop_sequence(11)
+    for decoded in disassemble(seq):
+        assert decoded.is_nop
+
+
+def test_nop_sequence_uses_multibyte_forms():
+    # 8 bytes should be two 4-byte nops, not eight 1-byte nops.
+    seq = nops.nop_sequence(8)
+    decoded = disassemble(seq)
+    assert [d.length for d in decoded] == [4, 4]
+
+
+def test_is_nop():
+    assert nops.is_nop(nops.nop_sequence(1))
+    assert nops.is_nop(nops.nop_sequence(3))
+    assert not nops.is_nop(b"\x42")  # ret
+    assert not nops.is_nop(b"")      # empty
+    assert not nops.is_nop(b"\xff")  # invalid opcode
+
+
+def test_longest_nop_at():
+    code = nops.nop_sequence(3) + b"\x42"
+    assert nops.longest_nop_at(code, 0) == 3
+    assert nops.longest_nop_at(code, 3) == 0
+
+
+def test_skip_nops():
+    code = nops.nop_sequence(7) + b"\x42" + nops.nop_sequence(2)
+    assert nops.skip_nops(code, 0) == 7
+    assert nops.skip_nops(code, 7) == 7
+    assert nops.skip_nops(code, 8) == 10
+
+
+def test_skip_nops_respects_limit():
+    code = nops.nop_sequence(8)
+    assert nops.skip_nops(code, 0, limit=4) == 4
+    # A limit that bisects a multi-byte nop must not step past it.
+    assert nops.skip_nops(code, 0, limit=6) == 4
+
+
+def test_split_nop_run():
+    code = nops.nop_sequence(9)
+    assert nops.split_nop_run(code, 0) == [4, 4, 1]
+    assert nops.split_nop_run(b"\x42", 0) == []
+
+
+@given(st.integers(0, 200))
+def test_property_nop_sequence_length_and_decode(length):
+    seq = nops.nop_sequence(length)
+    assert len(seq) == length
+    assert sum(nops.split_nop_run(seq, 0)) == length

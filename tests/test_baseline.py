@@ -1,0 +1,179 @@
+"""Tests for the source-level baseline updater and its failure modes."""
+
+import pytest
+
+from repro.baseline import BaselineFailure, SourceLevelUpdater
+from repro.core import KspliceCore, ksplice_create
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 2
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+.section .data
+sys_call_table:
+    .word sys_setuid, sys_getuid
+"""
+
+CRED_C = """
+int current_uid = 1000;
+
+static int uid_ok(int uid) { return uid >= 0; }
+
+int sys_setuid(int uid, int b, int c) {
+    if (!uid_ok(uid)) { return -1; }
+    current_uid = uid;
+    return 0;
+}
+
+int sys_getuid(int a, int b, int c) {
+    return current_uid;
+}
+"""
+
+TREE = SourceTree(version="base-test", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/cred.c": CRED_C,
+})
+
+EXPLOIT = """
+int main(void) {
+    __syscall(0, 0, 0, 0);
+    return __syscall(1, 0, 0, 0);
+}
+"""
+
+
+def patch_for(new_cred, tree=TREE):
+    files = dict(tree.files)
+    files["kernel/cred.c"] = new_cred
+    return make_patch(tree.files, files)
+
+
+def test_baseline_succeeds_on_simple_patch():
+    machine = boot_kernel(TREE)
+    updater = SourceLevelUpdater(machine)
+    diff = patch_for(CRED_C.replace(
+        "    current_uid = uid;",
+        "    if (uid == 0 && current_uid != 0) { return -1; }\n"
+        "    current_uid = uid;"))
+    result = updater.apply(TREE, diff)
+    assert result.success
+    assert result.replaced_functions == ["sys_setuid"]
+    assert machine.run_user_program(EXPLOIT, name="x") == 1000
+
+
+def test_baseline_refuses_assembly_patch():
+    machine = boot_kernel(TREE)
+    updater = SourceLevelUpdater(machine)
+    files = dict(TREE.files)
+    files["arch/entry.s"] = ENTRY_S.replace("cmpi r0, 2", "cmpi r0, 1")
+    result = updater.apply(TREE, make_patch(TREE.files, files))
+    assert not result.success
+    assert result.failure is BaselineFailure.ASSEMBLY_FILE
+
+
+def test_baseline_refuses_signature_change():
+    machine = boot_kernel(TREE)
+    updater = SourceLevelUpdater(machine)
+    new_cred = CRED_C.replace(
+        "static int uid_ok(int uid) { return uid >= 0; }",
+        "static int uid_ok(int uid, int strict) "
+        "{ return uid >= 0 && (!strict || uid > 0); }").replace(
+        "if (!uid_ok(uid)) { return -1; }",
+        "if (!uid_ok(uid, 1)) { return -1; }")
+    result = updater.apply(TREE, patch_for(new_cred))
+    assert not result.success
+    assert result.failure is BaselineFailure.SIGNATURE_CHANGE
+
+
+def test_baseline_refuses_static_local():
+    tree = SourceTree(version="t", files={
+        "arch/entry.s": ENTRY_S,
+        "kernel/cred.c": CRED_C.replace(
+            "int sys_getuid(int a, int b, int c) {\n    return current_uid;",
+            "int sys_getuid(int a, int b, int c) {\n"
+            "    static int queries = 0;\n"
+            "    queries++;\n"
+            "    return current_uid;"),
+    })
+    machine = boot_kernel(tree)
+    updater = SourceLevelUpdater(machine)
+    new = tree.files["kernel/cred.c"].replace("return current_uid;",
+                                              "return current_uid + 0;")
+    result = updater.apply(tree, patch_for(new, tree))
+    assert not result.success
+    assert result.failure is BaselineFailure.STATIC_LOCAL
+
+
+def test_baseline_fails_on_ambiguous_symbol():
+    tree = SourceTree(version="t", files={
+        "arch/entry.s": ENTRY_S,
+        "kernel/cred.c": CRED_C.replace(
+            "int current_uid = 1000;",
+            "int current_uid = 1000;\nstatic int debug;").replace(
+            "    current_uid = uid;",
+            "    debug = uid;\n    current_uid = uid;"),
+        "drivers/dst.c": "static int debug;\n"
+                         "int dst_probe(void) { debug = 1; return debug; }",
+    })
+    machine = boot_kernel(tree)
+    updater = SourceLevelUpdater(machine)
+    new = tree.files["kernel/cred.c"].replace(
+        "    debug = uid;", "    debug = uid + 1;")
+    result = updater.apply(tree, patch_for(new, tree))
+    assert not result.success
+    assert result.failure is BaselineFailure.AMBIGUOUS_SYMBOL
+
+    # Ksplice handles the same patch via run-pre matching.
+    core = KspliceCore(machine)
+    pack = ksplice_create(tree, patch_for(new, tree))
+    core.apply(pack)
+
+
+def test_baseline_misses_inlined_copy_ksplice_does_not():
+    """The unsafe case: patching uid_ok only replaces uid_ok's standalone
+    body; the copy inlined into sys_setuid keeps running.  The baseline
+    reports success, but the exploit still works."""
+    new_cred = CRED_C.replace("{ return uid >= 0; }",
+                              "{ return uid > 0; }")
+
+    machine = boot_kernel(TREE)
+    updater = SourceLevelUpdater(machine)
+    result = updater.apply(TREE, patch_for(new_cred))
+    assert result.success  # silently unsafe!
+    assert machine.run_user_program(EXPLOIT, name="bx") == 0  # still root
+
+    fresh = boot_kernel(TREE)
+    core = KspliceCore(fresh)
+    core.apply(ksplice_create(TREE, patch_for(new_cred)))
+    assert fresh.run_user_program(EXPLOIT, name="kx") == 1000  # fixed
+
+
+def test_baseline_no_changes():
+    machine = boot_kernel(TREE)
+    updater = SourceLevelUpdater(machine)
+    new = CRED_C.replace("int current_uid = 1000;",
+                         "int current_uid = 1000; // audited")
+    result = updater.apply(TREE, patch_for(new))
+    assert not result.success
+    assert result.failure is BaselineFailure.NO_CHANGES

@@ -1,0 +1,144 @@
+"""Tests for the command-line front-end."""
+
+import os
+
+import pytest
+
+from repro.cli import load_tree_from_directory, main
+from repro.errors import ReproError
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 1
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+.section .data
+sys_call_table:
+    .word sys_ping
+"""
+
+PING_C = """
+int ping_count;
+
+int sys_ping(int a, int b, int c) {
+    ping_count++;
+    return 41;
+}
+"""
+
+PATCH = """--- kernel/ping.c
++++ kernel/ping.c
+@@ -3,5 +3,5 @@
+
+ int sys_ping(int a, int b, int c) {
+     ping_count++;
+-    return 41;
++    return 42;
+ }
+"""
+
+
+@pytest.fixture
+def tree_dir(tmp_path):
+    (tmp_path / "arch").mkdir()
+    (tmp_path / "kernel").mkdir()
+    (tmp_path / "arch" / "entry.s").write_text(ENTRY_S)
+    (tmp_path / "kernel" / "ping.c").write_text(PING_C)
+    (tmp_path / "README").write_text("not source")
+    return tmp_path
+
+
+def test_load_tree_from_directory(tree_dir):
+    tree = load_tree_from_directory(str(tree_dir), version="v1")
+    assert sorted(tree.files) == ["arch/entry.s", "kernel/ping.c"]
+    assert tree.version == "v1"
+
+
+def test_load_tree_empty_directory_raises(tmp_path):
+    with pytest.raises(ReproError):
+        load_tree_from_directory(str(tmp_path))
+
+
+def test_create_and_inspect(tree_dir, tmp_path, capsys):
+    patch_file = tmp_path / "fix.patch"
+    patch_file.write_text(PATCH)
+    out = tmp_path / "update.kspl"
+
+    rc = main(["create", "--patch", str(patch_file),
+               "--tree", str(tree_dir), "-o", str(out),
+               "--version", "cli-test", "--description", "bump ping"])
+    assert rc == 0
+    assert out.exists()
+    captured = capsys.readouterr()
+    assert "update pack written" in captured.out
+
+    rc = main(["inspect", str(out)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "cli-test" in captured.out
+    assert "sys_ping" in captured.out
+    assert "bump ping" in captured.out
+
+
+def test_objdump_command(tree_dir, tmp_path, capsys):
+    patch_file = tmp_path / "fix.patch"
+    patch_file.write_text(PATCH)
+    out = tmp_path / "update.kspl"
+    main(["create", "--patch", str(patch_file), "--tree", str(tree_dir),
+          "-o", str(out)])
+    capsys.readouterr()
+
+    rc = main(["objdump", str(out)])
+    assert rc == 0
+    dumped = capsys.readouterr().out
+    assert "section .text.sys_ping" in dumped
+    assert "movi" in dumped
+
+    rc = main(["objdump", str(out), "--helper"])
+    assert rc == 0
+    helper_dump = capsys.readouterr().out
+    assert "section .bss.ping_count" in helper_dump
+
+
+def test_demo_applies_to_running_kernel(tree_dir, tmp_path, capsys):
+    patch_file = tmp_path / "fix.patch"
+    patch_file.write_text(PATCH)
+    rc = main(["demo", "--patch", str(patch_file),
+               "--tree", str(tree_dir), "--version", "cli-demo"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "Done!" in captured.out
+    assert "stop_machine window" in captured.out
+
+
+def test_evaluate_subset(capsys):
+    rc = main(["evaluate", "--quick", "--limit", "2"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "2/2 updates succeeded" in captured.out
+
+
+def test_bad_patch_reports_error(tree_dir, tmp_path, capsys):
+    patch_file = tmp_path / "bad.patch"
+    patch_file.write_text("--- kernel/ping.c\n+++ kernel/ping.c\n"
+                          "@@ -1,1 +1,1 @@\n-nonexistent line\n+other\n")
+    rc = main(["create", "--patch", str(patch_file),
+               "--tree", str(tree_dir)])
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err

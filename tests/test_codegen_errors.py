@@ -1,0 +1,86 @@
+"""Codegen diagnostics: programs that must be rejected with clear
+errors rather than miscompiled."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.errors import CompileError
+
+
+def reject(source, fragment=None):
+    with pytest.raises(CompileError) as exc:
+        compile_source(source, "u.c", CompilerOptions())
+    if fragment:
+        assert fragment in str(exc.value)
+    return exc.value
+
+
+def test_continue_outside_loop():
+    reject("int f(void) { continue; return 0; }", "continue outside loop")
+
+
+def test_assignment_to_rvalue():
+    reject("int f(int a, int b) { (a + b) = 3; return a; }",
+           "not an lvalue")
+
+
+def test_assignment_to_literal():
+    reject("int f(void) { 5 = 6; return 0; }")
+
+
+def test_unknown_function_like_builtin_arity():
+    reject("int f(void) { return __syscall(1, 2); }",
+           "__syscall takes exactly 4 arguments")
+    reject("int f(void) { return __sched(1); }", "__sched takes no")
+    reject("int f(void) { return __hlt(1); }", "__hlt takes no")
+
+
+def test_unknown_identifier_in_address_context():
+    reject("int f(void) { return &mystery; }", "unknown identifier")
+
+
+def test_arrow_on_plain_int():
+    reject("int f(int x) { return x->field; }")
+
+
+def test_dot_on_pointer():
+    reject("""
+        struct s { int a; };
+        int f(struct s *p) { return p.a; }
+    """)
+
+
+def test_unknown_struct_field():
+    reject("""
+        struct s { int a; };
+        struct s g;
+        int f(void) { return g.b; }
+    """, "no field")
+
+
+def test_indexing_scalar():
+    reject("int f(int x) { return x[0]; }")
+
+
+def test_inline_keyword_on_variable():
+    reject("inline int x;", "inline on a variable")
+
+
+def test_error_message_names_unit_and_function():
+    error = reject("int broken_fn(void) { return ghost; }")
+    assert "u.c" in str(error)
+    assert "broken_fn" in str(error)
+
+
+def test_call_undefined_function_is_link_error_not_compile_error():
+    """Calling an undeclared function compiles (implicit extern, like C)
+    but fails at link when nothing defines it."""
+    from repro.errors import LinkError
+    from repro.kbuild import SourceTree, build_tree
+    from repro.linker import link_kernel
+
+    compile_source("int f(void) { return missing_fn(); }", "u.c",
+                   CompilerOptions())  # compiles fine
+    with pytest.raises(LinkError):
+        link_kernel(build_tree(SourceTree(version="t", files={
+            "u.c": "int f(void) { return missing_fn(); }"})))

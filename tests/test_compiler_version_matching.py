@@ -1,0 +1,100 @@
+"""§4.3: compiler-version discipline.
+
+"Ksplice does not strictly require that the hot update be prepared using
+exactly the same compiler version ... but doing so is advisable since
+the run-pre check will, in order to be safe, abort the upgrade if it
+detects unexpected object code differences.  Obtaining exactly the same
+compiler version ... is straightforward."
+
+The evaluation (§6.2) did exactly that: "we began by fetching the
+compiler and assembler versions originally used by Debian in order to
+compile that binary kernel".
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.core import KspliceCore, ksplice_create
+from repro.errors import RunPreMismatchError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+TREE = SourceTree(version="cv-test", files={
+    "kernel/mod.c": """
+int knob = 10;
+
+int read_knob(void) { return knob * 2; }
+int set_knob(int v) {
+    if (v < 0) { return -1; }
+    knob = v;
+    return 0;
+}
+""",
+})
+
+
+def patch_text():
+    files = dict(TREE.files)
+    files["kernel/mod.c"] = TREE.files["kernel/mod.c"].replace(
+        "knob * 2", "knob * 2 + 1")
+    return make_patch(TREE.files, files)
+
+
+@pytest.mark.parametrize("version", ["kcc-1.0", "kcc-1.1"])
+def test_matching_compiler_versions_always_work(version):
+    """Whatever compiler built the running kernel, preparing the update
+    with the *same* version succeeds — including non-default ones."""
+    options = CompilerOptions(compiler_version=version)
+    machine = boot_kernel(TREE, options=options)
+    core = KspliceCore(machine)
+    pack = ksplice_create(TREE, patch_text(), options=options)
+    core.apply(pack)
+    assert machine.call_function("read_knob") == 21
+
+
+def test_mismatched_compiler_versions_abort():
+    machine = boot_kernel(TREE,
+                          options=CompilerOptions(compiler_version="kcc-1.1"))
+    core = KspliceCore(machine)
+    pack = ksplice_create(TREE, patch_text(),
+                          options=CompilerOptions(compiler_version="kcc-1.0"))
+    with pytest.raises(RunPreMismatchError):
+        core.apply(pack)
+    # Untouched: old behaviour intact.
+    assert machine.call_function("read_knob") == 20
+
+
+def test_mismatched_opt_levels_abort():
+    """Optimization level is part of 'how the kernel was compiled' too:
+    an -O0 kernel cannot take an update prepared at -O2 when inlining
+    decisions differ."""
+    tree = SourceTree(version="cv-opt", files={
+        "kernel/mod.c": """
+int knob = 10;
+
+static int double_it(int v) { return v * 2; }
+
+int read_knob(void) { return double_it(knob); }
+""",
+    })
+    files = dict(tree.files)
+    files["kernel/mod.c"] = tree.files["kernel/mod.c"].replace(
+        "double_it(knob)", "double_it(knob) + 1")
+    patch = make_patch(tree.files, files)
+
+    machine = boot_kernel(tree, options=CompilerOptions(opt_level=0))
+    core = KspliceCore(machine)
+    pack = ksplice_create(tree, patch,
+                          options=CompilerOptions(opt_level=2))
+    with pytest.raises(RunPreMismatchError):
+        core.apply(pack)
+
+
+def test_same_opt_level_zero_works():
+    options = CompilerOptions(opt_level=0)
+    machine = boot_kernel(TREE, options=options)
+    core = KspliceCore(machine)
+    pack = ksplice_create(TREE, patch_text(), options=options)
+    core.apply(pack)
+    assert machine.call_function("read_knob") == 21

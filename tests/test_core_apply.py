@@ -1,0 +1,384 @@
+"""End-to-end Ksplice tests: create an update from a patch, hot-apply it
+to a running kernel, observe behaviour change, undo, stack updates."""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.core import KspliceCore, ksplice_create
+from repro.core.update import UpdatePack
+from repro.errors import (
+    DataSemanticsError,
+    KspliceCreateError,
+    RunPreMismatchError,
+    StackCheckError,
+    UpdateStateError,
+)
+from repro.kbuild import SourceTree, build_tree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 4
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+
+.section .data
+sys_call_table:
+    .word sys_getuid, sys_setuid, sys_read_val, sys_spin
+"""
+
+CRED_C = """
+static int debug;
+int current_uid = 1000;
+int secret_val = 777;
+
+static int uid_ok(int uid) { return uid >= 0; }
+
+int sys_getuid(int a, int b, int c) {
+    return current_uid;
+}
+
+int sys_setuid(int uid, int b, int c) {
+    debug = uid;
+    if (!uid_ok(uid)) { return -1; }
+    current_uid = uid;
+    return 0;
+}
+
+int sys_read_val(int a, int b, int c) {
+    return secret_val;
+}
+
+int sys_spin(int n, int b, int c) {
+    int i = 0;
+    while (i < n) { i++; __sched(); }
+    return i;
+}
+"""
+
+TREE = SourceTree(version="2.6.16-test", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/cred.c": CRED_C,
+})
+
+# The security fix: unprivileged setuid(0) must be refused.
+PATCHED_CRED = CRED_C.replace(
+    "    if (!uid_ok(uid)) { return -1; }",
+    "    if (!uid_ok(uid)) { return -1; }\n"
+    "    if (uid == 0 && current_uid != 0) { return -1; }")
+
+EXPLOIT = """
+int main(void) {
+    __syscall(1, 0, 0, 0);
+    return __syscall(0, 0, 0, 0);
+}
+"""
+
+
+def fresh_machine():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    return machine, core
+
+
+def make_update(old=CRED_C, new=PATCHED_CRED, tree=TREE):
+    old_files = dict(tree.files)
+    new_files = dict(tree.files)
+    old_files["kernel/cred.c"] = old
+    new_files["kernel/cred.c"] = new
+    diff = make_patch(old_files, new_files)
+    base = SourceTree(version=tree.version, files=old_files)
+    return ksplice_create(base, diff)
+
+
+def test_exploit_works_before_and_fails_after_update():
+    machine, core = fresh_machine()
+    assert machine.run_user_program(EXPLOIT, name="x1") == 0  # got root
+
+    # Reset and hot-apply the fix.
+    machine.write_u32(machine.symbol("current_uid"), 1000)
+    pack = make_update()
+    applied = core.apply(pack)
+    assert machine.run_user_program(EXPLOIT, name="x2") == 1000  # refused
+    assert applied.stop_report is not None
+    assert applied.stop_report.instructions_during_stop == 0
+
+
+def test_update_replaces_only_setuid():
+    machine, core = fresh_machine()
+    pack = make_update()
+    assert pack.all_changed_functions() == ["sys_setuid"]
+    core.apply(pack)
+    # Other syscalls still behave.
+    assert machine.call_function("sys_getuid", [0, 0, 0]) == 1000
+    assert machine.call_function("sys_read_val", [0, 0, 0]) == 777
+
+
+def test_legitimate_setuid_still_works_after_update():
+    machine, core = fresh_machine()
+    core.apply(make_update())
+    assert machine.run_user_program(
+        "int main(void) { __syscall(1, 500, 0, 0);"
+        " return __syscall(0, 0, 0, 0); }", name="drop") == 500
+    # Root can still setuid(0).
+    machine.write_u32(machine.symbol("current_uid"), 0)
+    assert machine.run_user_program(EXPLOIT, name="root-ok") == 0
+
+
+def test_undo_restores_original_behaviour():
+    machine, core = fresh_machine()
+    pack = make_update()
+    core.apply(pack)
+    assert machine.run_user_program(EXPLOIT, name="pre-undo") == 1000
+    machine.write_u32(machine.symbol("current_uid"), 1000)
+    core.undo(pack.update_id)
+    assert machine.run_user_program(EXPLOIT, name="post-undo") == 0
+    assert not core.applied
+
+
+def test_undo_unknown_update_raises():
+    _, core = fresh_machine()
+    with pytest.raises(UpdateStateError):
+        core.undo("ksplice-zzzzzz")
+
+
+def test_double_apply_rejected():
+    machine, core = fresh_machine()
+    pack_bytes = make_update().to_bytes()
+    core.apply(UpdatePack.from_bytes(pack_bytes))
+    with pytest.raises(UpdateStateError):
+        core.apply(UpdatePack.from_bytes(pack_bytes))
+
+
+def test_helper_unloaded_after_apply_primary_stays():
+    machine, core = fresh_machine()
+    resident_before = machine.loader.resident_bytes()
+    applied = core.apply(make_update())
+    resident_after = machine.loader.resident_bytes()
+    assert applied.helper_bytes > applied.primary_bytes
+    # Helpers are gone; only the primary remains resident.
+    assert resident_after - resident_before == applied.primary_bytes
+
+
+def test_apply_via_serialized_pack():
+    """The update survives the write-to-disk / read-back cycle (the
+    paper's update tarball)."""
+    machine, core = fresh_machine()
+    raw = make_update().to_bytes()
+    pack = UpdatePack.from_bytes(raw)
+    core.apply(pack)
+    assert machine.run_user_program(EXPLOIT, name="ser") == 1000
+
+
+def test_stacked_updates_and_lifo_undo():
+    """§5.4: patch a previously-patched kernel; run-pre matches against
+    the replacement code already in the kernel."""
+    machine, core = fresh_machine()
+    first = make_update()
+    core.apply(first)
+
+    # Second patch on top of the first: also forbid negative uids.
+    second_source = PATCHED_CRED.replace(
+        "int sys_getuid(int a, int b, int c) {\n    return current_uid;",
+        "int sys_getuid(int a, int b, int c) {\n"
+        "    debug = debug + 1;\n    return current_uid;")
+    patched_tree = SourceTree(version=TREE.version + "+", files={
+        "arch/entry.s": ENTRY_S, "kernel/cred.c": PATCHED_CRED})
+    second = make_update(old=PATCHED_CRED, new=second_source,
+                         tree=patched_tree)
+    core.apply(second)
+    assert machine.run_user_program(EXPLOIT, name="stacked") == 1000
+
+    # Undo must be LIFO for functions, but these touch different
+    # functions, so either order works; undo the second first anyway.
+    core.undo(second.update_id)
+    machine.write_u32(machine.symbol("current_uid"), 1000)
+    assert machine.run_user_program(EXPLOIT, name="second-gone") == 1000
+    core.undo(first.update_id)
+    machine.write_u32(machine.symbol("current_uid"), 1000)
+    assert machine.run_user_program(EXPLOIT, name="all-gone") == 0
+
+
+def test_stacked_update_on_same_function():
+    machine, core = fresh_machine()
+    first = make_update()
+    core.apply(first)
+
+    # Patch sys_setuid again on top of the first patch.
+    third_source = PATCHED_CRED.replace(
+        "    current_uid = uid;",
+        "    if (uid < 0) { return -1; }\n    current_uid = uid;")
+    patched_tree = SourceTree(version=TREE.version + "+", files={
+        "arch/entry.s": ENTRY_S, "kernel/cred.c": PATCHED_CRED})
+    second = make_update(old=PATCHED_CRED, new=third_source,
+                         tree=patched_tree)
+    core.apply(second)
+    assert machine.run_user_program(EXPLOIT, name="v2") == 1000
+    neg = machine.run_user_program(
+        "int main(void) { return __syscall(1, 0 - 5, 0, 0); }", name="neg")
+    assert neg == (-1) & 0xFFFFFFFF
+
+    # Undoing the first while the second sits on the same function must
+    # be refused.
+    with pytest.raises(UpdateStateError):
+        core.undo(first.update_id)
+    core.undo(second.update_id)
+    core.undo(first.update_id)
+
+
+def test_apply_aborts_on_wrong_source():
+    """Run-pre matching protects against 'original' source that does not
+    correspond to the running kernel (§4.2)."""
+    machine, core = fresh_machine()
+    wrong_base = CRED_C.replace("int secret_val = 777;",
+                                "int secret_val = 777;\n"
+                                "int phantom_counter;").replace(
+        "    return current_uid;",
+        "    return current_uid + phantom_counter;")
+    pack = make_update(old=wrong_base,
+                       new=wrong_base.replace(
+                           "    if (!uid_ok(uid)) { return -1; }",
+                           "    if (!uid_ok(uid)) { return -1; }\n"
+                           "    if (uid == 0) { return -1; }"),
+                       tree=SourceTree(version=TREE.version, files={
+                           "arch/entry.s": ENTRY_S,
+                           "kernel/cred.c": wrong_base}))
+    with pytest.raises(RunPreMismatchError):
+        core.apply(pack)
+    # Nothing changed; the machine still runs and the exploit still works
+    # (the update was not half-applied).
+    assert machine.run_user_program(EXPLOIT, name="unharmed") == 0
+    assert machine.loader.resident_bytes() == core.core_module.size
+
+
+def test_data_init_change_refused_without_hooks():
+    machine, core = fresh_machine()
+    with pytest.raises(DataSemanticsError):
+        make_update(new=PATCHED_CRED.replace("int secret_val = 777;",
+                                             "int secret_val = 778;"))
+
+
+def test_empty_patch_rejected():
+    with pytest.raises(KspliceCreateError):
+        ksplice_create(TREE, "")
+
+
+def test_comment_only_patch_rejected():
+    new = CRED_C.replace("static int debug;",
+                         "// bookkeeping\nstatic int debug;")
+    files = dict(TREE.files)
+    files["kernel/cred.c"] = new
+    diff = make_patch(TREE.files, files)
+    with pytest.raises(KspliceCreateError):
+        ksplice_create(TREE, diff)
+
+
+def test_stack_check_aborts_on_non_quiescent_function():
+    """Patching a function that is always on some thread's stack (the
+    paper's ``schedule`` example) must abort with StackCheckError."""
+    machine, core = fresh_machine()
+    # Park a thread inside sys_spin forever.
+    spinner = machine.load_user_program(
+        "int main(void) { return __syscall(3, 100000000, 0, 0); }",
+        name="sleeper")
+    machine.run(max_instructions=2_000)
+    assert spinner.alive
+
+    pack = make_update(new=CRED_C.replace(
+        "    while (i < n) { i++; __sched(); }",
+        "    while (i < n) { i = i + 1; debug = i; __sched(); }"))
+    assert pack.all_changed_functions() == ["sys_spin"]
+    with pytest.raises(StackCheckError):
+        core.apply(pack)
+    # The kernel is untouched and still runs.
+    assert machine.call_function("sys_getuid", [0, 0, 0]) == 1000
+
+
+def test_stack_check_retries_then_succeeds():
+    """A thread that leaves the patched function after a while lets a
+    retry succeed."""
+    machine, core = fresh_machine()
+    walker = machine.load_user_program(
+        "int main(void) { return __syscall(3, 40, 0, 0); }", name="walker")
+    machine.run(max_instructions=300)
+    assert walker.alive  # currently inside sys_spin
+
+    pack = make_update(new=CRED_C.replace(
+        "    while (i < n) { i++; __sched(); }",
+        "    while (i < n) { i = i + 1; debug = i; __sched(); }"))
+    applied = core.apply(pack)
+    assert applied.stack_check_attempts >= 1
+    machine.run(max_instructions=100_000)
+    assert walker.exit_value == 40
+
+
+def test_patch_to_assembly_file_applies():
+    """The paper's CVE-2007-4573 case: a patch to a pure assembly unit is
+    handled with the same machinery."""
+    machine, core = fresh_machine()
+    # Harden the entry path: reject syscall numbers >= 3 (drop sys_spin).
+    new_entry = ENTRY_S.replace("cmpi r0, 4", "cmpi r0, 3")
+    files = dict(TREE.files)
+    files["arch/entry.s"] = new_entry
+    diff = make_patch(TREE.files, files)
+    pack = ksplice_create(TREE, diff)
+    assert pack.all_changed_functions() == ["syscall_entry"]
+    core.apply(pack)
+    blocked = machine.run_user_program(
+        "int main(void) { return __syscall(3, 5, 0, 0); }", name="spin-no")
+    assert blocked == (-38) & 0xFFFFFFFF
+    assert machine.run_user_program(EXPLOIT, name="still-vuln") == 0
+
+
+def test_inlined_function_patch_replaces_caller():
+    """uid_ok is inlined into sys_setuid in the run kernel; patching
+    uid_ok must replace sys_setuid (§4.2's safety argument)."""
+    machine, core = fresh_machine()
+    pack = make_update(new=CRED_C.replace(
+        "static int uid_ok(int uid) { return uid >= 0; }",
+        "static int uid_ok(int uid) { return uid > 0; }"))
+    changed = pack.all_changed_functions()
+    assert "sys_setuid" in changed
+    core.apply(pack)
+    # setuid(0) now fails because the *inlined copy* inside sys_setuid
+    # was replaced along with it.
+    assert machine.run_user_program(EXPLOIT, name="inline") == 1000
+
+
+def test_new_function_added_by_patch_is_callable():
+    machine, core = fresh_machine()
+    new_source = CRED_C.replace(
+        "int sys_read_val(int a, int b, int c) {\n    return secret_val;",
+        "static int clamp_val(int v) {\n"
+        "    if (v > 100) { return 100; }\n"
+        "    return v;\n"
+        "}\n\n"
+        "int sys_read_val(int a, int b, int c) {\n"
+        "    return clamp_val(secret_val);")
+    pack = make_update(new=new_source)
+    core.apply(pack)
+    assert machine.call_function("sys_read_val", [0, 0, 0]) == 100
+
+
+def test_apply_all_is_atomic_per_stop_window():
+    machine, core = fresh_machine()
+    applied = core.apply(make_update())
+    assert len(machine.stop_machine.reports) >= 1
+    assert applied.stop_report.wall_milliseconds < 1000

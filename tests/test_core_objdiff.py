@@ -1,0 +1,170 @@
+"""Tests for pre-post differencing, extraction, and update packs."""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.core import (
+    SectionStatus,
+    UnitUpdate,
+    UpdatePack,
+    build_primary_object,
+    diff_objects,
+)
+from repro.core.extract import build_helper_object
+from repro.core.update import update_id_for
+from repro.errors import KspliceError
+from repro.kbuild import SourceTree, build_units
+
+FLAVOR = CompilerOptions().pre_post_flavor()
+
+BASE = """
+static int debug;
+int counter = 5;
+
+static int check(int x) { return x > 0; }
+
+int outer(int x) {
+    if (!check(x)) { return -1; }
+    debug = x;
+    return counter + x;
+}
+
+int untouched(int x) { return x * 3; }
+"""
+
+
+def compile_one(source, name="u.c"):
+    return build_units(SourceTree(version="t", files={name: source}),
+                       [name], FLAVOR).object_for(name)
+
+
+def test_identical_sources_produce_no_differences():
+    diff = diff_objects(compile_one(BASE), compile_one(BASE))
+    assert not diff.has_code_changes
+    assert not diff.changes_persistent_data
+    statuses = set(diff.section_status.values())
+    assert statuses == {SectionStatus.UNCHANGED}
+
+
+def test_changed_function_detected():
+    post = BASE.replace("return counter + x;", "return counter + x + 1;")
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert diff.changed_functions == ["outer"]
+    assert "untouched" not in diff.changed_functions
+    assert not diff.changes_persistent_data
+
+
+def test_inlined_callee_change_marks_caller_changed():
+    """check() is inlined into outer() at -O2; patching check must mark
+    outer changed even though outer's source is untouched (§4.2)."""
+    post = BASE.replace("return x > 0;", "return x > 0 && x < 100;")
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert "outer" in diff.changed_functions
+
+
+def test_new_function_detected():
+    post = BASE + "\nint added(int y) { return y - 1; }\n"
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert diff.new_functions == ["added"]
+    assert diff.changed_functions == []
+
+
+def test_changed_data_init_detected():
+    post = BASE.replace("int counter = 5;", "int counter = 6;")
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert "counter" in diff.changed_data
+    assert diff.changes_persistent_data
+
+
+def test_bss_to_data_transition_is_persistent_change():
+    post = BASE.replace("static int debug;", "static int debug = 3;")
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert diff.changes_persistent_data
+
+
+def test_new_static_local_is_new_data_not_persistent_change():
+    post = BASE + """
+int with_static(void) {
+    static int hits = 0;
+    hits++;
+    return hits;
+}
+"""
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert "with_static.hits" in diff.new_data
+    assert not diff.changes_persistent_data
+
+
+def test_hook_sections_reported():
+    post = BASE + """
+int fixup(void) { return 0; }
+__ksplice_apply__(fixup);
+"""
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert ".ksplice_apply" in diff.hook_sections
+    assert diff.has_hooks
+
+
+def test_primary_contains_only_changed_and_new():
+    post_src = BASE.replace("return counter + x;", "return counter + 2 * x;") \
+        + "\nint added(void) { return 9; }\n"
+    pre = compile_one(BASE)
+    post = compile_one(post_src)
+    diff = diff_objects(pre, post)
+    primary = build_primary_object(post, diff)
+    assert ".text.outer" in primary.sections
+    assert ".text.added" in primary.sections
+    assert ".text.untouched" not in primary.sections
+    # Referenced kernel symbols become undefined entries for the resolver.
+    undefined = {s.name for s in primary.undefined_symbols()}
+    assert "counter" in undefined
+    assert "debug" in undefined
+
+
+def test_primary_much_smaller_than_helper():
+    post_src = BASE.replace("return counter + x;", "return counter - x;")
+    pre = compile_one(BASE)
+    post = compile_one(post_src)
+    diff = diff_objects(pre, post)
+    helper = build_helper_object(pre)
+    primary = build_primary_object(post, diff)
+    helper_size = sum(s.size for s in helper.sections.values())
+    primary_size = sum(s.size for s in primary.sections.values())
+    assert primary_size < helper_size
+
+
+def test_update_pack_roundtrip():
+    post_src = BASE.replace("return counter + x;", "return counter;")
+    pre = compile_one(BASE)
+    post = compile_one(post_src)
+    diff = diff_objects(pre, post)
+    pack = UpdatePack(update_id="ksplice-test01", kernel_version="t",
+                      description="demo", patch_lines=2)
+    pack.units.append(UnitUpdate(
+        unit="u.c", helper=build_helper_object(pre),
+        primary=build_primary_object(post, diff),
+        changed_functions=list(diff.changed_functions)))
+    back = UpdatePack.from_bytes(pack.to_bytes())
+    assert back.update_id == pack.update_id
+    assert back.kernel_version == "t"
+    assert back.units[0].changed_functions == diff.changed_functions
+    assert back.units[0].helper.sections.keys() == \
+        pack.units[0].helper.sections.keys()
+    assert back.units[0].primary.section(".text.outer").data == \
+        pack.units[0].primary.section(".text.outer").data
+
+
+def test_update_pack_rejects_garbage():
+    with pytest.raises(KspliceError):
+        UpdatePack.from_bytes(b"not json at all")
+    with pytest.raises(KspliceError):
+        UpdatePack.from_bytes(b'{"format": 99}')
+
+
+def test_update_id_deterministic_and_distinct():
+    a = update_id_for("patch-a", "2.6.16")
+    b = update_id_for("patch-a", "2.6.16")
+    c = update_id_for("patch-b", "2.6.16")
+    assert a == b
+    assert a != c
+    assert a.startswith("ksplice-") and len(a) == len("ksplice-") + 6

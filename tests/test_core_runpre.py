@@ -1,0 +1,196 @@
+"""Tests for run-pre matching against a live simulated kernel."""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.core.runpre import RunPreMatcher
+from repro.errors import RunPreMismatchError, SymbolResolutionError
+from repro.kbuild import SourceTree, build_tree, build_units
+from repro.kernel import boot_kernel
+
+FLAVOR = CompilerOptions().pre_post_flavor()
+
+TREE = SourceTree(version="rp-test", files={
+    "kernel/core.c": """
+        static int debug;
+        int tick_count = 3;
+
+        static int scale(int x) {
+            int total = 0;
+            int i = 0;
+            while (i < x) { total += tick_count; i++; }
+            return total;
+        }
+
+        int account(int x) {
+            debug = x;
+            if (x < 0) { return -1; }
+            return scale(x) + debug;
+        }
+
+        int idle_loop(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) acc += account(i);
+            return acc;
+        }
+    """,
+    "drivers/dst.c": """
+        static int debug;
+        int dst_ready(void) { debug = 7; return debug; }
+    """,
+    "drivers/dst_ca.c": """
+        static int debug;
+        int ca_get_slot_info(int slot) {
+            debug = slot;
+            return debug * 2;
+        }
+    """,
+})
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return boot_kernel(TREE)
+
+
+def pre_object(unit, tree=TREE):
+    return build_units(tree, [unit], FLAVOR).object_for(unit)
+
+
+def matcher_for(machine):
+    return RunPreMatcher(memory=machine.memory,
+                         kallsyms=machine.image.kallsyms)
+
+
+def test_match_unit_succeeds_against_unmodified_kernel(machine):
+    result = matcher_for(machine).match_unit(pre_object("kernel/core.c"))
+    assert set(result.matched_functions) == {"scale", "account", "idle_loop"}
+    assert result.bytes_matched > 0
+
+
+def test_matched_addresses_agree_with_kallsyms(machine):
+    result = matcher_for(machine).match_unit(pre_object("kernel/core.c"))
+    assert result.matched_functions["account"] == \
+        machine.image.kallsyms.unique_address("account")
+
+
+def test_relocations_solved_for_data_symbols(machine):
+    result = matcher_for(machine).match_unit(pre_object("kernel/core.c"))
+    assert result.relocations_solved > 0
+    # tick_count is unambiguous; run-pre must agree with kallsyms.
+    assert result.value_of("tick_count") == \
+        machine.image.kallsyms.unique_address("tick_count")
+
+
+def test_ambiguous_debug_symbol_resolved_per_unit(machine):
+    """Three units define a local ``debug``; matching each unit must
+    recover that unit's own instance (the paper's CVE-2005-4639 case)."""
+    kallsyms = machine.image.kallsyms
+    debug_addrs = {e.unit: e.address for e in kallsyms.candidates("debug")}
+    assert len(debug_addrs) == 3
+
+    for unit in ("kernel/core.c", "drivers/dst.c", "drivers/dst_ca.c"):
+        result = matcher_for(machine).match_unit(pre_object(unit))
+        assert result.value_of("debug") == debug_addrs[unit], unit
+
+
+def test_nops_skipped_against_merged_run_code(machine):
+    """The run kernel is a merged build with alignment padding; the pre
+    build is function-sections.  Matching still succeeds and reports
+    the padding it skipped somewhere in the unit."""
+    result = matcher_for(machine).match_unit(pre_object("kernel/core.c"))
+    assert set(result.matched_functions) == {"scale", "account", "idle_loop"}
+
+
+def test_mismatch_when_pre_source_differs(machine):
+    doctored = TREE.with_file("kernel/core.c", TREE.files[
+        "kernel/core.c"].replace("return scale(x) + debug;",
+                                 "return scale(x) - debug;"))
+    with pytest.raises(RunPreMismatchError):
+        matcher_for(machine).match_unit(
+            pre_object("kernel/core.c", doctored))
+
+
+def test_mismatch_when_compiler_version_differs():
+    """§4.3: preparing the update with a different compiler version makes
+    run-pre matching abort rather than install wrong code."""
+    machine = boot_kernel(TREE)
+    skewed = build_units(
+        TREE, ["kernel/core.c"],
+        CompilerOptions(compiler_version="kcc-1.1").pre_post_flavor())
+    with pytest.raises(RunPreMismatchError):
+        matcher_for(machine).match_unit(skewed.object_for("kernel/core.c"))
+
+
+def test_missing_function_raises_symbol_resolution_error(machine):
+    ghost_tree = SourceTree(version="x", files={
+        "kernel/core.c": "int nonexistent_fn(void) { return 1; }"})
+    with pytest.raises(SymbolResolutionError):
+        matcher_for(machine).match_unit(
+            pre_object("kernel/core.c", ghost_tree))
+
+
+def test_candidate_override_redirects_lookup(machine):
+    """Stacking support: an override pointing at garbage must fail the
+    match (proving the override is actually used)."""
+    matcher = RunPreMatcher(
+        memory=machine.memory, kallsyms=machine.image.kallsyms,
+        candidate_override=lambda unit, name:
+            [machine.image.base] if name == "account" else None)
+    with pytest.raises(RunPreMismatchError):
+        matcher.match_unit(pre_object("kernel/core.c"))
+
+
+def test_ambiguous_static_function_disambiguated_by_matching():
+    """Two units define a static function with the same name but different
+    bodies; candidate matching must pick the right one for each unit."""
+    tree = SourceTree(version="amb", files={
+        "fs/a.c": """
+            static int notesize(int x) {
+                int pad = x % 4;
+                if (pad) { return x + 4 - pad; }
+                return x;
+            }
+            int a_entry(int x) { return notesize(x) + 1; }
+        """,
+        "fs/b.c": """
+            static int notesize(int x) {
+                return x * 2 + 7;
+            }
+            int b_entry(int x) { return notesize(x) - 1; }
+        """,
+    }, )
+    machine = boot_kernel(tree, options=CompilerOptions(opt_level=0))
+    kallsyms = machine.image.kallsyms
+    assert len(kallsyms.candidates("notesize")) == 2
+
+    matcher = RunPreMatcher(memory=machine.memory, kallsyms=kallsyms)
+    note_addrs = {e.unit: e.address for e in kallsyms.candidates("notesize")}
+    for unit in ("fs/a.c", "fs/b.c"):
+        pre = build_units(tree, [unit],
+                          CompilerOptions(opt_level=0).pre_post_flavor()
+                          ).object_for(unit)
+        result = matcher.match_unit(pre)
+        assert result.matched_functions["notesize"] == note_addrs[unit]
+
+
+def test_identical_static_functions_cannot_be_disambiguated():
+    """If two candidates both match byte-for-byte, Ksplice must refuse
+    rather than guess."""
+    tree = SourceTree(version="dup", files={
+        "fs/a.c": """
+            static int helper(int x) { if (x > 3) { return x - 3; } return 0; }
+            int a_entry(int x) { return helper(x); }
+        """,
+        "fs/b.c": """
+            static int helper(int x) { if (x > 3) { return x - 3; } return 0; }
+            int b_entry(int x) { return helper(x); }
+        """,
+    })
+    machine = boot_kernel(tree, options=CompilerOptions(opt_level=0))
+    pre = build_units(tree, ["fs/a.c"],
+                      CompilerOptions(opt_level=0).pre_post_flavor()
+                      ).object_for("fs/a.c")
+    with pytest.raises(SymbolResolutionError):
+        RunPreMatcher(memory=machine.memory,
+                      kallsyms=machine.image.kallsyms).match_unit(pre)

@@ -1,0 +1,59 @@
+"""Tests for the applied-update status view."""
+
+from repro.core import KspliceCore, ksplice_create
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+TREE = SourceTree(version="status-test", files={
+    "kernel/a.c": "int get_a(void) { return 1; }",
+    "kernel/b.c": "int get_b(void) { return 2; }",
+})
+
+
+def make_pack(unit, old, new, description):
+    files = dict(TREE.files)
+    files[unit] = files[unit].replace(old, new)
+    return ksplice_create(TREE, make_patch(TREE.files, files),
+                          description=description)
+
+
+def test_status_empty():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    assert core.status() == []
+    assert "no ksplice updates" in core.render_status()
+
+
+def test_status_lists_updates_in_order():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    pack_a = make_pack("kernel/a.c", "return 1;", "return 10;", "bump a")
+    pack_b = make_pack("kernel/b.c", "return 2;", "return 20;", "bump b")
+    core.apply(pack_a)
+    core.apply(pack_b)
+
+    rows = core.status()
+    assert [r["update_id"] for r in rows] == [pack_a.update_id,
+                                              pack_b.update_id]
+    assert rows[0]["functions"][0]["name"] == "get_a"
+    assert rows[0]["units"] == ["kernel/a.c"]
+    assert rows[0]["primary_bytes"] > 0
+    assert rows[0]["stop_ms"] is not None
+
+    rendered = core.render_status()
+    assert pack_a.update_id in rendered and "bump a" in rendered
+    assert "get_b" in rendered
+    # Addresses render as old -> new.
+    old = machine.image.kallsyms.unique_address("get_a")
+    assert "0x%08x" % old in rendered
+
+
+def test_status_shrinks_after_undo():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    pack = make_pack("kernel/a.c", "return 1;", "return 11;", "x")
+    core.apply(pack)
+    assert len(core.status()) == 1
+    core.undo(pack.update_id)
+    assert core.status() == []

@@ -1,0 +1,138 @@
+"""Tests for CLI/STI critical sections and the preemption watchdog."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.kernel.threads import ThreadStatus
+
+# A shared counter incremented with a deliberately racy read-modify-
+# write: load, yield-inducing delay, store.  Without a critical section,
+# preemption between the load and the store loses increments.
+RACY_C = """
+int shared_counter;
+
+static int delay(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) { acc += i; }
+    return acc;
+}
+
+int racy_add(int rounds) {
+    for (int i = 0; i < rounds; i++) {
+        int value = shared_counter;
+        delay(20);
+        shared_counter = value + 1;
+    }
+    return 0;
+}
+
+int safe_add(int rounds) {
+    for (int i = 0; i < rounds; i++) {
+        __cli();
+        int value = shared_counter;
+        delay(20);
+        shared_counter = value + 1;
+        __sti();
+    }
+    return 0;
+}
+
+int nested_sections(void) {
+    __cli();
+    __cli();
+    shared_counter = shared_counter + 1;
+    __sti();
+    shared_counter = shared_counter + 1;
+    __sti();
+    return shared_counter;
+}
+
+int spin_forever_with_cli(void) {
+    __cli();
+    int x = 1;
+    while (x) { x = x + 1; if (!x) { x = 1; } }
+    return 0;
+}
+"""
+
+TREE = SourceTree(version="cs-test", files={"kernel/racy.c": RACY_C})
+
+ROUNDS = 60
+WORKERS = 3
+
+
+def run_workers(fn):
+    machine = boot_kernel(TREE, quantum=11)
+    threads = [machine.create_thread(fn, args=[ROUNDS],
+                                     name="w%d" % i)
+               for i in range(WORKERS)]
+    machine.run(max_instructions=20_000_000)
+    assert all(t.status is ThreadStatus.EXITED for t in threads)
+    return machine.read_u32(machine.symbol("shared_counter"))
+
+
+def test_racy_increment_loses_updates():
+    """The control: without critical sections, preemption between load
+    and store loses increments (this is the bug class __cli exists for)."""
+    assert run_workers("racy_add") < ROUNDS * WORKERS
+
+
+def test_cli_sti_makes_increment_atomic():
+    assert run_workers("safe_add") == ROUNDS * WORKERS
+
+
+def test_nested_critical_sections():
+    machine = boot_kernel(TREE)
+    assert machine.call_function("nested_sections") == 2
+    # Depth is balanced afterwards: the machine still schedules.
+    assert machine.call_function("nested_sections") == 4
+
+
+def test_watchdog_kills_stuck_critical_section():
+    machine = boot_kernel(TREE, quantum=50)
+    thread = machine.create_thread("spin_forever_with_cli", name="stuck")
+    machine.run(max_instructions=200_000)
+    assert thread.status is ThreadStatus.FAULTED
+    assert "watchdog" in thread.fault
+
+
+def test_sti_without_cli_is_harmless():
+    tree = SourceTree(version="t", files={"k.c": """
+int f(void) { __sti(); __sti(); return 5; }
+"""})
+    machine = boot_kernel(tree)
+    assert machine.call_function("f") == 5
+
+
+def test_cli_sti_reject_arguments():
+    with pytest.raises(CompileError):
+        boot_kernel(SourceTree(version="t", files={
+            "k.c": "int f(void) { __cli(1); return 0; }"}))
+
+
+def test_voluntary_yield_inside_critical_section_still_yields():
+    """__sched() is an explicit yield; CLI only suppresses *preemption*.
+    (Matches real kernels: schedule() inside a critical section is a
+    choice, if usually a bug.)"""
+    tree = SourceTree(version="t", files={"k.c": """
+int progress_a;
+int progress_b;
+int yielder(void) {
+    __cli();
+    for (int i = 0; i < 50; i++) { progress_a++; __sched(); }
+    __sti();
+    return 0;
+}
+int watcher(void) {
+    for (int i = 0; i < 50; i++) { progress_b++; __sched(); }
+    return 0;
+}
+"""})
+    machine = boot_kernel(tree, quantum=1000)
+    machine.create_thread("yielder", name="y")
+    machine.create_thread("watcher", name="w")
+    machine.run(max_instructions=1_000_000)
+    assert machine.read_u32(machine.symbol("progress_a")) == 50
+    assert machine.read_u32(machine.symbol("progress_b")) == 50

@@ -1,0 +1,159 @@
+"""Tests for update channels and subscribers (§8 future work)."""
+
+import pytest
+
+from repro.core import KspliceCore
+from repro.core.distribution import Subscriber, UpdateChannel
+from repro.errors import KspliceError, RunPreMismatchError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 1
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+.section .data
+sys_call_table:
+    .word sys_level
+"""
+
+LEVEL_C = """
+int level_floor = 0;
+
+int sys_level(int x, int b, int c) {
+    if (x < level_floor) { return -22; }
+    return x + 1;
+}
+"""
+
+TREE = SourceTree(version="chan-1.0", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/level.c": LEVEL_C,
+})
+
+V1 = LEVEL_C.replace("return x + 1;", "return x + 2;")
+V2 = V1.replace("if (x < level_floor) { return -22; }",
+                "if (x < level_floor || x > 100) { return -22; }")
+V3 = V2.replace("return x + 2;", "return x + 3;")
+
+
+def series_patch(old, new, tree=TREE):
+    old_files = dict(tree.files)
+    old_files["kernel/level.c"] = old
+    new_files = dict(old_files)
+    new_files["kernel/level.c"] = new
+    return make_patch(old_files, new_files)
+
+
+@pytest.fixture
+def channel():
+    chan = UpdateChannel(TREE)
+    chan.publish(series_patch(LEVEL_C, V1), "bump increment")
+    chan.publish(series_patch(V1, V2), "bound the input")
+    chan.publish(series_patch(V2, V3), "bump increment again")
+    return chan
+
+
+def probe(machine, x):
+    return machine.call_function("sys_level", [x, 0, 0])
+
+
+def test_channel_publishes_stacked_series(channel):
+    assert channel.latest_sequence() == 3
+    assert [e.sequence for e in channel.entries] == [1, 2, 3]
+    # Each entry's pack was built against the previous state.
+    assert channel.current_tree().read("kernel/level.c") == V3
+
+
+def test_subscriber_syncs_all_pending(channel):
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    assert probe(machine, 5) == 6  # original behaviour
+
+    sub = Subscriber(core, channel)
+    assert not sub.is_current
+    assert len(sub.pending()) == 3
+    result = sub.sync()
+    assert result.count == 3
+    assert sub.is_current
+    assert probe(machine, 5) == 8          # v3 behaviour
+    assert probe(machine, 500) == (-22) & 0xFFFFFFFF  # v2's bound
+
+
+def test_subscriber_catches_up_incrementally(channel):
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    sub = Subscriber(core, channel)
+
+    # Sync after each publish-equivalent point.
+    sub.channel = channel
+    first_two = channel.entries[:2]
+    channel_entries_backup = channel.entries
+    channel.entries = first_two
+    assert sub.sync().count == 2
+    assert probe(machine, 5) == 7  # v2: +2 and bounded
+    channel.entries = channel_entries_backup
+    assert sub.sync().count == 1
+    assert probe(machine, 5) == 8
+    assert sub.sync().already_current
+
+
+def test_subscriber_rejects_wrong_kernel(channel):
+    other = SourceTree(version="other-2.0", files=TREE.files)
+    machine = boot_kernel(other)
+    core = KspliceCore(machine)
+    with pytest.raises(KspliceError):
+        Subscriber(core, channel)
+
+
+def test_out_of_order_application_fails_safely(channel):
+    """Applying update 2 without update 1 must be refused by run-pre
+    matching: the pre code of update 2 expects update 1's replacement
+    code in the kernel."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    with pytest.raises(RunPreMismatchError):
+        core.apply(channel.entries[1].pack())
+    # The machine is untouched and the proper sync still works.
+    sub = Subscriber(core, channel)
+    assert sub.sync().count == 3
+
+
+def test_rollback_last(channel):
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    sub = Subscriber(core, channel)
+    sub.sync()
+    assert probe(machine, 5) == 8
+    sub.rollback_last()
+    assert probe(machine, 5) == 7  # back to v2
+    assert len(sub.pending()) == 1
+    # Re-sync reapplies the rolled-back update.
+    assert sub.sync().count == 1
+    assert probe(machine, 5) == 8
+
+
+def test_rollback_without_sync_raises(channel):
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    sub = Subscriber(core, channel)
+    with pytest.raises(KspliceError):
+        sub.rollback_last()

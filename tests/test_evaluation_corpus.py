@@ -1,0 +1,151 @@
+"""Tests for the CVE corpus and kernel generation: the paper's published
+statistics must hold by construction."""
+
+import pytest
+
+from repro.evaluation import CORPUS, corpus_by_id
+from repro.evaluation.kernels import (
+    ALL_VERSIONS,
+    DEBIAN_VERSIONS,
+    VANILLA_VERSIONS,
+    kernel_for_version,
+)
+from repro.evaluation.specs import CveCategory, count_logical_lines
+from repro.kernel import boot_kernel
+from repro.patch import apply_patch, parse_patch
+
+TABLE1_EXPECTED = [
+    ("CVE-2008-0007", "2f98735", "changes data init", 34),
+    ("CVE-2007-4571", "ccec6e2", "changes data init", 10),
+    ("CVE-2007-3851", "21f1628", "changes data init", 1),
+    ("CVE-2006-5753", "be6aab0", "changes data init", 1),
+    ("CVE-2006-2071", "b78b6af", "changes data init", 14),
+    ("CVE-2006-1056", "7466f9e", "changes data init", 4),
+    ("CVE-2005-3179", "c075814", "changes data init", 20),
+    ("CVE-2005-2709", "330d57f", "adds field to struct", 48),
+]
+
+
+def test_corpus_has_64_entries_with_unique_ids():
+    assert len(CORPUS) == 64
+    assert len({c.cve_id for c in CORPUS}) == 64
+
+
+def test_fourteen_kernel_versions_six_debian_eight_vanilla():
+    assert len(DEBIAN_VERSIONS) == 6
+    assert len(VANILLA_VERSIONS) == 8
+    used = {c.kernel_version for c in CORPUS}
+    assert used <= set(ALL_VERSIONS)
+
+
+def test_table1_matches_paper():
+    table1 = {c.cve_id: c for c in CORPUS if c.table1}
+    assert len(table1) == 8
+    for cve_id, patch_id, reason, lines in TABLE1_EXPECTED:
+        spec = table1[cve_id]
+        assert spec.patch_id == patch_id
+        assert spec.table1.reason == reason
+        assert spec.table1.new_code_lines == lines
+        # The shipped hook code really has that many logical lines.
+        assert spec.custom_code_logical_lines() == lines
+
+
+def test_mean_new_code_lines_is_about_17():
+    lines = [c.table1.new_code_lines for c in CORPUS if c.table1]
+    assert 16 <= sum(lines) / len(lines) <= 18
+
+
+def test_inline_statistics():
+    assert sum(1 for c in CORPUS if c.expect_inlined) == 20
+    assert sum(1 for c in CORPUS if c.declared_inline) == 4
+
+
+def test_ambiguity_statistics():
+    assert sum(1 for c in CORPUS if c.ambiguous_symbol) == 5
+
+
+def test_object_level_capability_patches():
+    signature = sum(1 for c in CORPUS if c.signature_change)
+    static_local = sum(1 for c in CORPUS if c.static_local)
+    assert signature + static_local == 8
+
+
+def test_paper_exploit_cves_have_exploits():
+    for cve_id in ("CVE-2006-2451", "CVE-2006-3626", "CVE-2007-4573",
+                   "CVE-2008-0600"):
+        assert corpus_by_id(cve_id).exploit is not None
+
+
+def test_categories_roughly_two_thirds_escalation():
+    pe = sum(1 for c in CORPUS
+             if c.category is CveCategory.PRIVILEGE_ESCALATION)
+    assert 40 <= pe <= 48  # "about two-thirds"
+
+
+def test_count_logical_lines_excludes_macros():
+    code = "int f(void) {\n    x = 1;\n    return 0;\n}\n" \
+           "__ksplice_apply__(f);\n"
+    assert count_logical_lines(code) == 2
+
+
+@pytest.mark.parametrize("version", ALL_VERSIONS)
+def test_every_kernel_version_builds_and_boots(version):
+    kernel = kernel_for_version(version)
+    machine = boot_kernel(kernel.tree)
+    # The boot ran kernel_init.
+    assert machine.read_u32(machine.symbol("boot_complete")) == 1
+    # Base syscalls answer.
+    assert machine.call_function("sys_getuid", [0, 0, 0]) == 1000
+
+
+@pytest.mark.parametrize("spec", CORPUS, ids=lambda s: s.cve_id)
+def test_every_patch_parses_and_applies_to_its_tree(spec):
+    kernel = kernel_for_version(spec.kernel_version)
+    patch_text = kernel.patch_for(spec.cve_id, augmented=bool(spec.table1))
+    parsed = parse_patch(patch_text)
+    assert parsed.files, spec.cve_id
+    patched = apply_patch(kernel.tree.files, parsed)
+    assert patched != kernel.tree.files
+
+
+def test_vulnerable_fragments_anchor_uniquely():
+    for spec in CORPUS:
+        kernel = kernel_for_version(spec.kernel_version)
+        text = kernel.tree.read(spec.unit)
+        assert text.count(spec.vulnerable_fragment) == 1, spec.cve_id
+
+
+def test_collision_hosts_make_debug_state_notesize_ambiguous():
+    kernel = kernel_for_version("2.6.12-deb2")  # hosts dst_ca + lease
+    from repro.kbuild import build_tree
+    from repro.linker import link_kernel
+
+    image = link_kernel(build_tree(kernel.tree))
+    assert image.kallsyms.is_ambiguous("debug")
+    assert image.kallsyms.is_ambiguous("state")
+
+
+def test_exploit_source_substitutes_syscall_numbers():
+    spec = corpus_by_id("CVE-2006-2451")
+    kernel = kernel_for_version(spec.kernel_version)
+    source = kernel.exploit_source(spec)
+    assert "{sys_" not in source
+    assert "__syscall(%d" % kernel.syscall_numbers["sys_prctl"] in source
+
+
+def test_asm_cve_kernel_lacks_negative_check():
+    kernel = kernel_for_version("2.6.22")  # hosts CVE-2007-4573
+    entry = kernel.tree.read("arch/entry.s")
+    assert "jl bad_sys" not in entry
+    assert "compat_helpers" in entry
+    other = kernel_for_version("2.6.23")
+    assert "jl bad_sys" in other.tree.read("arch/entry.s")
+
+
+def test_fixed_tree_augmented_includes_custom_code():
+    spec = corpus_by_id("CVE-2008-0007")
+    kernel = kernel_for_version(spec.kernel_version)
+    plain = kernel.fixed_tree(spec.cve_id, augmented=False)
+    augmented = kernel.fixed_tree(spec.cve_id, augmented=True)
+    assert "__ksplice_apply__" not in plain.read(spec.unit)
+    assert "__ksplice_apply__" in augmented.read(spec.unit)

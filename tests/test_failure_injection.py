@@ -1,0 +1,296 @@
+"""Failure injection: every abort path must leave the kernel untouched.
+
+The paper's safety story is that Ksplice *aborts* rather than installs a
+wrong update.  These tests corrupt inputs and exhaust resources at each
+stage and verify (a) the right error surfaces and (b) the running kernel
+is exactly as it was — memory, modules, and behaviour.
+"""
+
+import pytest
+
+from repro.core import KspliceCore, UpdatePack, ksplice_create
+from repro.errors import (
+    KspliceError,
+    MachineError,
+    ModuleLoadError,
+    RunPreMismatchError,
+    StackCheckError,
+    SymbolResolutionError,
+    UpdateStateError,
+)
+from repro.kbuild import SourceTree
+from repro.kernel import Machine, boot_kernel
+from repro.linker import link_kernel
+from repro.kbuild import build_tree
+from repro.patch import make_patch
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 2
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+.section .data
+sys_call_table:
+    .word sys_value, sys_spin
+"""
+
+VALUE_C = """
+int stored_value = 7;
+
+int sys_value(int a, int b, int c) {
+    return stored_value * 3;
+}
+
+int sys_spin(int n, int b, int c) {
+    int i = 0;
+    while (i < n) { i++; __sched(); }
+    return i;
+}
+"""
+
+TREE = SourceTree(version="inject-test", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/value.c": VALUE_C,
+})
+
+
+def fresh():
+    machine = boot_kernel(TREE)
+    return machine, KspliceCore(machine)
+
+
+def good_pack():
+    new_files = dict(TREE.files)
+    new_files["kernel/value.c"] = VALUE_C.replace("stored_value * 3",
+                                                  "stored_value * 4")
+    return ksplice_create(TREE, make_patch(TREE.files, new_files))
+
+
+def kernel_behaves_originally(machine):
+    return machine.call_function("sys_value", [0, 0, 0]) == 21
+
+
+def snapshot(machine, core):
+    return (machine.loader.resident_bytes(),
+            bytes(machine.memory.segment("kernel").data),
+            len(core.applied))
+
+
+def assert_untouched(machine, core, before):
+    assert snapshot(machine, core) == before
+    assert kernel_behaves_originally(machine)
+
+
+def test_corrupted_pack_bytes_rejected():
+    machine, core = fresh()
+    raw = bytearray(good_pack().to_bytes())
+    raw[10] ^= 0xFF
+    with pytest.raises(KspliceError):
+        UpdatePack.from_bytes(bytes(raw))
+
+
+def test_truncated_pack_rejected():
+    raw = good_pack().to_bytes()
+    with pytest.raises(KspliceError):
+        UpdatePack.from_bytes(raw[: len(raw) // 2])
+
+
+def test_corrupted_helper_section_aborts_cleanly():
+    machine, core = fresh()
+    before = snapshot(machine, core)
+    pack = good_pack()
+    helper = pack.units[0].helper
+    section = helper.section(".text.sys_value")
+    data = bytearray(section.data)
+    data[6] ^= 0x01  # flip a bit inside an instruction operand
+    section.data = bytes(data)
+    with pytest.raises((RunPreMismatchError, SymbolResolutionError)):
+        core.apply(pack)
+    assert_untouched(machine, core, before)
+
+
+def test_primary_referencing_ghost_symbol_aborts_cleanly():
+    machine, core = fresh()
+    before = snapshot(machine, core)
+    pack = good_pack()
+    primary = pack.units[0].primary
+    section = primary.section(".text.sys_value")
+    for reloc in section.relocations:
+        if reloc.symbol == "stored_value":
+            reloc.symbol = "ghost_symbol"
+    primary.ensure_undefined(["ghost_symbol"])
+    with pytest.raises(SymbolResolutionError):
+        core.apply(pack)
+    assert_untouched(machine, core, before)
+
+
+def test_module_area_exhaustion_aborts_cleanly():
+    machine, core = fresh()
+    # Burn almost the whole module area with junk modules.
+    from repro.objfile import ObjectFile, Section, SectionKind
+
+    filler = ObjectFile(name="filler")
+    filler.add_section(Section(name=".data", kind=SectionKind.DATA,
+                               data=bytes(1 << 20), alignment=4))
+    for _ in range(3):
+        machine.loader.load(filler, resolver=lambda name: 0)
+    # Leave just a few hundred bytes: far too little for the helper.
+    remaining = machine.memory.segment("modules").end \
+        - machine.loader._cursor
+    junk = ObjectFile(name="junk")
+    junk.add_section(Section(name=".data", kind=SectionKind.DATA,
+                             data=bytes(remaining - 64), alignment=4))
+    machine.loader.load(junk, resolver=lambda name: 0)
+
+    before_behaviour = kernel_behaves_originally(machine)
+    with pytest.raises(ModuleLoadError):
+        core.apply(good_pack())
+    assert before_behaviour and kernel_behaves_originally(machine)
+    assert not core.applied
+
+
+def test_hook_runaway_loop_hits_budget_and_rolls_back():
+    machine, core = fresh()
+    before = snapshot(machine, core)
+    new_files = dict(TREE.files)
+    new_files["kernel/value.c"] = VALUE_C.replace(
+        "stored_value * 3", "stored_value * 4") + """
+int ksplice_runaway(void) {
+    int x = 1;
+    while (x) { x = x + 1; if (!x) { x = 1; } }
+    return 0;
+}
+__ksplice_apply__(ksplice_runaway);
+"""
+    pack = ksplice_create(TREE, make_patch(TREE.files, new_files))
+    with pytest.raises((KspliceError, MachineError)):
+        core.apply(pack)
+    assert kernel_behaves_originally(machine)
+    assert not core.applied
+
+
+def test_hook_oops_aborts_and_rolls_back():
+    machine, core = fresh()
+    new_files = dict(TREE.files)
+    new_files["kernel/value.c"] = VALUE_C.replace(
+        "stored_value * 3", "stored_value * 4") + """
+int ksplice_crasher(void) {
+    int z = 0;
+    return 1 / z;
+}
+__ksplice_apply__(ksplice_crasher);
+"""
+    pack = ksplice_create(TREE, make_patch(TREE.files, new_files))
+    with pytest.raises((KspliceError, MachineError)):
+        core.apply(pack)
+    assert kernel_behaves_originally(machine)
+    assert not core.applied
+
+
+def test_stack_check_catches_return_address_not_just_ip():
+    """Park a thread whose *stack* (not instruction pointer) holds a
+    return address into the patched function: the conservative scan
+    must refuse."""
+    machine, core = fresh()
+    # sys_spin calls __sched in a loop; a thread inside it has sys_spin
+    # frames on its stack while its IP may sit in the scheduler's path.
+    spinner = machine.load_user_program(
+        "int main(void) { return __syscall(1, 100000000, 0, 0); }",
+        name="deep-sleeper")
+    machine.run(max_instructions=2_000)
+    assert spinner.alive
+
+    new_files = dict(TREE.files)
+    new_files["kernel/value.c"] = VALUE_C.replace(
+        "    int i = 0;",
+        "    int i = 0;\n    if (n < 0) { return -22; }")
+    pack = ksplice_create(TREE, make_patch(TREE.files, new_files))
+    assert pack.all_changed_functions() == ["sys_spin"]
+    with pytest.raises(StackCheckError):
+        core.apply(pack)
+    assert kernel_behaves_originally(machine)
+
+
+def test_undo_waits_for_threads_to_leave_replacement_code():
+    machine, core = fresh()
+    pack = good_pack()
+    core.apply(pack)
+    # A thread bounded inside the *replacement* sys_spin?  sys_spin was
+    # not replaced; park one inside it anyway and undo sys_value, which
+    # is unaffected: undo must succeed.
+    spinner = machine.load_user_program(
+        "int main(void) { return __syscall(1, 60, 0, 0); }", name="s")
+    machine.run(max_instructions=500)
+    core.undo(pack.update_id)
+    assert kernel_behaves_originally(machine)
+    machine.run(max_instructions=100_000)
+    assert spinner.exit_value == 60
+
+
+def test_double_undo_rejected():
+    machine, core = fresh()
+    pack = good_pack()
+    core.apply(pack)
+    core.undo(pack.update_id)
+    with pytest.raises(UpdateStateError):
+        core.undo(pack.update_id)
+
+
+def test_failed_apply_can_be_retried_after_fixing_cause():
+    """A stack-check abort is not fatal: once the offending thread
+    leaves, the same pack applies."""
+    machine, core = fresh()
+    spinner = machine.load_user_program(
+        "int main(void) { return __syscall(1, 120, 0, 0); }", name="w")
+    machine.run(max_instructions=300)
+
+    new_files = dict(TREE.files)
+    new_files["kernel/value.c"] = VALUE_C.replace(
+        "    int i = 0;", "    int i = 0;\n    if (n < 0) { return -22; }")
+    pack = ksplice_create(TREE, make_patch(TREE.files, new_files))
+    core_strict = KspliceCore(machine, stack_check_retries=1,
+                              retry_run_instructions=10)
+    try:
+        core_strict.apply(pack)
+        applied_first_time = True
+    except StackCheckError:
+        applied_first_time = False
+    if applied_first_time:
+        return  # thread left quickly; nothing more to show
+    machine.run(max_instructions=200_000)  # let the spinner finish
+    assert not spinner.alive
+    core_strict.apply(pack)  # retry succeeds
+    assert machine.call_function("sys_spin", [3, 0, 0]) == 3
+
+
+def test_signed_module_policy_blocks_unsigned_core():
+    image = link_kernel(build_tree(TREE))
+    machine = Machine(image, require_signed_modules=True)
+    # The ksplice core module loads as signed; policy holds for others.
+    core = KspliceCore(machine)
+    from repro.objfile import ObjectFile, Section, SectionKind
+
+    rogue = ObjectFile(name="rogue")
+    rogue.add_section(Section(name=".text", kind=SectionKind.TEXT,
+                              data=b"\x42", alignment=4))
+    with pytest.raises(ModuleLoadError):
+        machine.loader.load(rogue, resolver=lambda n: 0, signed=False)
+    # Signed updates still apply under the policy.
+    core.apply(good_pack())
+    assert machine.call_function("sys_value", [0, 0, 0]) == 28

@@ -1,0 +1,136 @@
+"""Unit tests for the inliner's internals and report bookkeeping."""
+
+import pytest
+
+from repro.compiler.inliner import (
+    InlineReport,
+    _expr_size,
+    _has_side_effects,
+    _single_return_expr,
+    inline_unit,
+)
+from repro.lang import ast, parse_unit
+
+
+def parse_fn(source, name):
+    unit = parse_unit(source)
+    return unit.find_function(name)
+
+
+def test_inline_report_record_and_merge():
+    report = InlineReport()
+    report.record("callee", "caller_a")
+    report.record("callee", "caller_a")
+    report.record("callee", "caller_b")
+    assert report.inlined["callee"] == [("caller_a", 2), ("caller_b", 1)]
+    assert report.was_inlined("callee")
+    assert sorted(report.callers_of("callee")) == ["caller_a", "caller_b"]
+
+    other = InlineReport()
+    other.record("callee", "caller_a", count=3)
+    other.record("other_fn", "caller_c")
+    report.merge(other)
+    assert report.inlined["callee"][0] == ("caller_a", 5)
+    assert report.was_inlined("other_fn")
+
+
+def test_expr_size_counts_nodes():
+    fn = parse_fn("int f(int a, int b) { return a + b * 2; }", "f")
+    expr = fn.body.statements[0].value
+    assert _expr_size(expr) == 5  # +, a, *, b, 2
+
+
+def test_has_side_effects_detection():
+    cases = {
+        "a + b": False,
+        "a = b": True,
+        "f(a)": True,
+        "a++": True,
+        "a[b]": False,
+        "a ? b : c": False,
+        "a ? (b = 1) : c": True,
+    }
+    for text, expected in cases.items():
+        fn = parse_fn("int f(int a, int b, int c) { return %s; }" % text,
+                      "f")
+        expr = fn.body.statements[0].value
+        assert _has_side_effects(expr) is expected, text
+
+
+def test_single_return_expr_extraction():
+    simple = parse_fn("int f(int x) { return x * 2; }", "f")
+    assert _single_return_expr(simple) is not None
+    multi = parse_fn("int f(int x) { x = x + 1; return x; }", "f")
+    assert _single_return_expr(multi) is None
+    no_body = parse_fn("int f(int x);", "f")
+    assert no_body is None  # prototypes are not definitions
+
+
+def test_inline_into_condition_and_loop():
+    unit = parse_unit("""
+        static int positive(int v) { return v > 0; }
+        int f(int x) {
+            int total = 0;
+            while (positive(x)) { total += x; x--; }
+            if (positive(total)) { return total; }
+            return 0;
+        }
+    """)
+    report = inline_unit(unit, opt_level=2)
+    assert report.was_inlined("positive")
+    # The calls are gone from the AST.
+    source_repr = repr(unit.find_function("f").body)
+    assert "positive" not in source_repr
+
+
+def test_inline_chain_through_two_levels():
+    unit = parse_unit("""
+        static int base(int v) { return v + 1; }
+        static int wrap(int v) { return base(v) * 2; }
+        int f(int x) { return wrap(x); }
+    """)
+    report = inline_unit(unit, opt_level=2)
+    assert report.was_inlined("wrap")
+    assert report.was_inlined("base")
+    body = repr(unit.find_function("f").body)
+    assert "Call" not in body
+
+
+def test_param_reused_with_pure_arg_is_inlined():
+    unit = parse_unit("""
+        static int square(int v) { return v * v; }
+        int f(int x) { return square(x + 1); }
+    """)
+    report = inline_unit(unit, opt_level=2)
+    # (x+1) is pure, so duplicating it is safe.
+    assert report.was_inlined("square")
+
+
+def test_unused_param_with_side_effect_arg_not_inlined():
+    unit = parse_unit("""
+        int sink;
+        static int constant(int v) { return 7; }
+        int f(int x) { return constant(sink = x); }
+    """)
+    report = inline_unit(unit, opt_level=2)
+    assert not report.was_inlined("constant")
+
+
+def test_opt_level_zero_disables_inlining():
+    unit = parse_unit("""
+        inline int one(void) { return 1; }
+        int f(void) { return one(); }
+    """)
+    report = inline_unit(unit, opt_level=0)
+    assert not report.was_inlined("one")
+
+
+def test_arity_mismatch_call_left_alone():
+    # MiniC has no strict call-arity sema; the inliner must simply skip
+    # such calls rather than corrupt them.
+    unit = parse_unit("""
+        static int two(int a, int b) { return a + b; }
+        int f(int x) { return two(x); }
+    """)
+    report = inline_unit(unit, opt_level=2)
+    assert not report.was_inlined("two")

@@ -1,0 +1,107 @@
+"""Tests for the kernel-text integrity scanner."""
+
+import pytest
+
+from repro.core import KspliceCore, ksplice_create
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+from repro.tools.integrity import check_kernel_text
+
+TREE = SourceTree(version="integ-test", files={
+    "kernel/srv.c": """
+int srv_state = 5;
+
+int srv_get(void) { return srv_state; }
+
+int srv_set(int v) {
+    if (v < 0) { return -1; }
+    srv_state = v;
+    return 0;
+}
+""",
+})
+
+
+def make_pack(tree=TREE):
+    files = dict(tree.files)
+    files["kernel/srv.c"] = files["kernel/srv.c"].replace(
+        "srv_state = v;", "srv_state = v & 0xffff;")
+    return ksplice_create(tree, make_patch(tree.files, files))
+
+
+def test_pristine_kernel_is_clean():
+    machine = boot_kernel(TREE)
+    report = check_kernel_text(machine)
+    assert report.clean
+    assert not report.compromised
+    assert "pristine" in report.render()
+
+
+def test_applied_update_is_explained():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    pack = make_pack()
+    core.apply(pack)
+
+    report = check_kernel_text(machine, core)
+    assert not report.clean
+    assert not report.compromised
+    assert len(report.modifications) == 1
+    mod = report.modifications[0]
+    assert mod.explained_by == pack.update_id
+    assert mod.symbol == "srv_set"
+    assert mod.size <= core.arch.jump_size
+    assert "ok: %s" % pack.update_id in report.render()
+
+
+def test_update_without_ledger_is_unexplained():
+    """The same modification without the core's ledger looks exactly
+    like a rootkit — which is the §7.2 point: the techniques are the
+    same; the ledger is what distinguishes administration from attack."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    core.apply(make_pack())
+    report = check_kernel_text(machine)  # no ledger passed
+    assert report.compromised
+
+
+def test_rootkit_style_poke_is_detected():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    # An attacker patches srv_get's entry to return a constant:
+    # movi r0, 0; ret
+    target = machine.symbol("srv_get")
+    from repro.arch import isa
+
+    payload = isa.encode_instruction(isa.make("movi", 0, 0)) + \
+        isa.encode_instruction(isa.make("ret"))
+    machine.memory.write_bytes(target, payload)
+
+    report = check_kernel_text(machine, core)
+    assert report.compromised
+    assert any(m.symbol == "srv_get" for m in report.unexplained())
+    assert "UNEXPLAINED" in report.render()
+    assert "WARNING" in report.render()
+
+
+def test_legitimate_and_rogue_modifications_distinguished():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    pack = make_pack()
+    core.apply(pack)
+    machine.memory.write_bytes(machine.symbol("srv_get"), b"\x42")  # ret
+
+    report = check_kernel_text(machine, core)
+    assert len(report.modifications) == 2
+    assert len(report.unexplained()) == 1
+    assert report.unexplained()[0].symbol == "srv_get"
+
+
+def test_undo_returns_kernel_to_pristine():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    pack = make_pack()
+    core.apply(pack)
+    core.undo(pack.update_id)
+    assert check_kernel_text(machine, core).clean

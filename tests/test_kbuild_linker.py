@@ -1,0 +1,159 @@
+"""Tests for the build system and linker."""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.errors import BuildError, LinkError, SymbolResolutionError
+from repro.kbuild import KernelConfig, SourceTree, build_tree, build_units
+from repro.linker import link_kernel
+from repro.patch import make_patch
+
+TREE = SourceTree(version="2.6.16", files={
+    "kernel/main.c": """
+        extern int helper_value(int x);
+        int boot_flag = 1;
+        int kernel_main(void) { return helper_value(boot_flag); }
+    """,
+    "kernel/helper.c": """
+        static int debug;
+        int helper_value(int x) { debug = x; return debug + 41; }
+    """,
+    "drivers/dst.c": """
+        static int debug;
+        int dst_probe(void) { debug = 1; return debug; }
+    """,
+    "README": "not a source file",
+})
+
+
+def test_source_units_sorted_and_filtered():
+    assert TREE.source_units() == [
+        "drivers/dst.c", "kernel/helper.c", "kernel/main.c"]
+
+
+def test_read_missing_file_raises():
+    with pytest.raises(BuildError):
+        TREE.read("kernel/nope.c")
+
+
+def test_patched_tree_and_changed_units():
+    new_files = dict(TREE.files)
+    new_files["kernel/helper.c"] = TREE.files["kernel/helper.c"].replace(
+        "41", "42")
+    diff = make_patch(TREE.files, new_files)
+    patched = TREE.patched(diff)
+    assert patched.version == "2.6.16+"
+    assert TREE.changed_units(patched) == ["kernel/helper.c"]
+
+
+def test_config_disables_units():
+    config = KernelConfig.default().without(["drivers/dst.c"])
+    build = build_tree(TREE, config=config)
+    assert "drivers/dst.c" not in build.objects
+    assert "kernel/main.c" in build.objects
+
+
+def test_build_units_incremental():
+    build = build_units(TREE, ["kernel/helper.c"])
+    assert list(build.objects) == ["kernel/helper.c"]
+
+
+def test_build_empty_raises():
+    empty = SourceTree(version="x", files={})
+    with pytest.raises(BuildError):
+        build_tree(empty)
+
+
+def test_link_produces_image_with_resolved_symbols():
+    image = link_kernel(build_tree(TREE))
+    main_addr = image.kallsyms.unique_address("kernel_main")
+    assert image.contains(main_addr)
+    helper_addr = image.kallsyms.unique_address("helper_value")
+    assert image.contains(helper_addr)
+    # boot_flag's initial value is in the image.
+    flag_addr = image.kallsyms.unique_address("boot_flag")
+    assert image.read_u32(flag_addr) == 1
+
+
+def test_link_places_text_before_data_before_bss():
+    image = link_kernel(build_tree(TREE))
+    text = image.placement("kernel/main.c", ".text")
+    data = image.placement("kernel/main.c", ".data")
+    bss = image.placement("kernel/helper.c", ".bss")
+    assert text.address < data.address < bss.address
+
+
+def test_ambiguous_local_symbols_coexist():
+    image = link_kernel(build_tree(TREE))
+    debugs = image.kallsyms.candidates("debug")
+    assert len(debugs) == 2
+    assert {e.unit for e in debugs} == {"kernel/helper.c", "drivers/dst.c"}
+    assert image.kallsyms.is_ambiguous("debug")
+    with pytest.raises(SymbolResolutionError):
+        image.kallsyms.unique_address("debug")
+
+
+def test_kallsyms_census():
+    image = link_kernel(build_tree(TREE))
+    table = image.kallsyms
+    assert table.total_symbols() > 0
+    ambiguous = table.ambiguous_symbols()
+    assert all(e.name == "debug" for e in ambiguous)
+    assert 0 < table.ambiguous_fraction() < 1
+    assert set(table.units_with_ambiguous_symbols()) == {
+        "kernel/helper.c", "drivers/dst.c"}
+
+
+def test_symbol_at_finds_enclosing_function():
+    image = link_kernel(build_tree(TREE))
+    main_addr = image.kallsyms.unique_address("kernel_main")
+    entry = image.kallsyms.symbol_at(main_addr + 3)
+    assert entry is not None and entry.name == "kernel_main"
+
+
+def test_undefined_symbol_raises_link_error():
+    tree = SourceTree(version="x", files={
+        "a.c": "extern int ghost; int f(void) { return ghost; }"})
+    with pytest.raises(LinkError):
+        link_kernel(build_tree(tree))
+
+
+def test_duplicate_global_symbol_raises():
+    tree = SourceTree(version="x", files={
+        "a.c": "int f(void) { return 1; }",
+        "b.c": "int f(void) { return 2; }"})
+    with pytest.raises(LinkError):
+        link_kernel(build_tree(tree))
+
+
+def test_cross_unit_call_relocated():
+    """The call in kernel_main must land on helper_value's entry."""
+    from repro.arch.disassembler import iter_instructions
+
+    image = link_kernel(build_tree(TREE, CompilerOptions(opt_level=0)))
+    main = image.kallsyms.unique_address("kernel_main")
+    main_entry = image.kallsyms.symbol_at(main)
+    code = image.read_bytes(main, main_entry.size)
+    helper = image.kallsyms.unique_address("helper_value")
+    call_targets = [
+        main + d.offset + d.length + d.instruction.operands[0]
+        for d in iter_instructions(code)
+        if d.mnemonic == "call"
+    ]
+    assert helper in call_targets
+
+
+def test_text_range_covers_all_functions():
+    image = link_kernel(build_tree(TREE))
+    lo, hi = image.text_range()
+    for name in ("kernel_main", "helper_value", "dst_probe"):
+        addr = image.kallsyms.unique_address(name)
+        assert lo <= addr < hi
+
+
+def test_read_outside_image_raises():
+    image = link_kernel(build_tree(TREE))
+    with pytest.raises(LinkError):
+        image.read_bytes(image.base - 4, 4)
+    with pytest.raises(LinkError):
+        image.read_bytes(image.end - 2, 4)

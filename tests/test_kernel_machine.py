@@ -1,0 +1,360 @@
+"""End-to-end tests of the simulated kernel: boot, syscalls, threads,
+faults, modules, stop_machine."""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.errors import MachineError, ModuleLoadError
+from repro.kbuild import SourceTree, build_tree
+from repro.kernel import Machine, ThreadStatus, boot_kernel
+from repro.kernel.machine import GADGET_BASE
+from repro.linker import link_kernel
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 4
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+
+.section .data
+sys_call_table:
+    .word sys_getval, sys_setval, sys_add, sys_spin
+"""
+
+SYS_C = """
+int kernel_value = 100;
+int init_ran;
+
+int kernel_init(void) {
+    init_ran = 1;
+    kernel_value = kernel_value + 11;
+    return 0;
+}
+
+int sys_getval(int a, int b, int c) {
+    return kernel_value;
+}
+
+int sys_setval(int a, int b, int c) {
+    kernel_value = a;
+    return 0;
+}
+
+int sys_add(int a, int b, int c) {
+    return a + b + c;
+}
+
+int sys_spin(int a, int b, int c) {
+    int i = 0;
+    while (i < a) {
+        i++;
+        __sched();
+    }
+    return i;
+}
+"""
+
+TREE = SourceTree(version="test-0.1", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/sys.c": SYS_C,
+})
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return boot_kernel(TREE)
+
+
+def test_boot_runs_kernel_init(machine):
+    assert machine.read_u32(machine.symbol("init_ran")) == 1
+    assert machine.read_u32(machine.symbol("kernel_value")) == 111
+
+
+def test_call_kernel_function_directly(machine):
+    assert machine.call_function("sys_add", [5, 6, 7]) == 18
+
+
+def test_user_program_syscall_roundtrip(machine):
+    value = machine.run_user_program("""
+        int main(void) {
+            return __syscall(0, 0, 0, 0);
+        }
+    """, name="getval")
+    assert value == 111
+
+
+def test_user_program_sets_kernel_state():
+    machine = boot_kernel(TREE)
+    machine.run_user_program("""
+        int main(void) {
+            __syscall(1, 4242, 0, 0);
+            return __syscall(0, 0, 0, 0);
+        }
+    """, name="setval")
+    assert machine.read_u32(machine.symbol("kernel_value")) == 4242
+
+
+def test_bad_syscall_number_returns_enosys(machine):
+    value = machine.run_user_program(
+        "int main(void) { return __syscall(99, 0, 0, 0); }", name="bad")
+    assert value == (-38) & 0xFFFFFFFF
+
+
+def test_negative_syscall_number_rejected(machine):
+    value = machine.run_user_program(
+        "int main(void) { return __syscall(0 - 5, 0, 0, 0); }", name="neg")
+    assert value == (-38) & 0xFFFFFFFF
+
+
+def test_exit_value_through_gadget(machine):
+    thread = machine.load_user_program(
+        "int main(void) { return 7; }", name="seven")
+    machine.run_thread(thread)
+    assert thread.status is ThreadStatus.EXITED
+    assert thread.exit_value == 7
+
+
+def test_two_threads_interleave():
+    machine = boot_kernel(TREE, quantum=10)
+    a = machine.load_user_program(
+        "int main(void) { return __syscall(3, 50, 0, 0); }", name="spin-a")
+    b = machine.load_user_program(
+        "int main(void) { return __syscall(3, 50, 0, 0); }", name="spin-b")
+    machine.run(max_instructions=2_000_000)
+    assert a.status is ThreadStatus.EXITED and a.exit_value == 50
+    assert b.status is ThreadStatus.EXITED and b.exit_value == 50
+    # Preemption: neither thread ran to completion before the other started.
+    assert a.instructions_executed > 0 and b.instructions_executed > 0
+
+
+def test_divide_by_zero_is_oops_not_crash():
+    machine = boot_kernel(TREE)
+    thread = machine.load_user_program(
+        "int main(void) { int z = 0; return 5 / z; }", name="div0")
+    machine.run(max_instructions=10_000)
+    assert thread.status is ThreadStatus.FAULTED
+    assert any("divide by zero" in o.message for o in machine.oopses)
+    # The rest of the machine still works.
+    assert machine.call_function("sys_add", [1, 2, 3]) == 6
+
+
+def test_unmapped_memory_access_faults():
+    machine = boot_kernel(TREE)
+    thread = machine.load_user_program("""
+        int main(void) {
+            int *p = 0;
+            return *p;
+        }
+    """, name="nullderef")
+    machine.run(max_instructions=10_000)
+    assert thread.status is ThreadStatus.FAULTED
+
+
+def test_run_thread_raises_on_fault():
+    machine = boot_kernel(TREE)
+    thread = machine.load_user_program(
+        "int main(void) { int z = 0; return 1 / z; }", name="boom")
+    with pytest.raises(MachineError):
+        machine.run_thread(thread)
+
+
+def test_stack_scan_sees_return_addresses():
+    """A thread paused inside a syscall has kernel return addresses on its
+    stack (the substrate of the Ksplice stack check)."""
+    machine = boot_kernel(TREE, quantum=5)
+    thread = machine.load_user_program(
+        "int main(void) { return __syscall(3, 1000, 0, 0); }", name="spinner")
+    machine.run(max_instructions=400)
+    assert thread.alive
+    lo, hi = machine.image.text_range()
+    stack_values = [machine.read_u32(addr)
+                    for addr in thread.live_stack_words()]
+    kernel_text_refs = [v for v in stack_values if lo <= v < hi]
+    assert kernel_text_refs, "expected kernel return addresses on the stack"
+
+
+def test_stop_machine_freezes_other_threads():
+    machine = boot_kernel(TREE, quantum=10)
+    spinner = machine.load_user_program(
+        "int main(void) { return __syscall(3, 100000, 0, 0); }", name="s")
+    machine.run(max_instructions=500)
+    before = spinner.instructions_executed
+
+    def while_stopped():
+        assert machine.scheduler.frozen
+        return machine.read_u32(machine.symbol("kernel_value"))
+
+    result = machine.stop_machine.run(while_stopped)
+    assert result == machine.read_u32(machine.symbol("kernel_value"))
+    assert spinner.instructions_executed == before
+    report = machine.stop_machine.last_report
+    assert report.instructions_during_stop == 0
+    assert report.wall_seconds >= 0
+    # And the scheduler resumes afterwards.
+    machine.run(max_instructions=500)
+    assert spinner.instructions_executed > before
+
+
+def test_module_loading_and_calls():
+    machine = boot_kernel(TREE)
+    module_build = build_tree(SourceTree(version="mod", files={
+        "mod.c": """
+            extern int kernel_value;
+            int mod_double(void) { return kernel_value + kernel_value; }
+        """,
+    }))
+    objfile = module_build.objects["mod.c"]
+
+    def resolver(name):
+        return machine.symbol(name)
+
+    module = machine.loader.load(objfile, resolver)
+    address = module.symbol_address("mod_double")
+    assert machine.call_function(address) == 222
+
+
+def test_unsigned_module_rejected_when_policy_requires():
+    image = link_kernel(build_tree(TREE))
+    machine = Machine(image, require_signed_modules=True)
+    module_build = build_tree(SourceTree(version="mod", files={
+        "mod.c": "int nop_fn(void) { return 0; }"}))
+    with pytest.raises(ModuleLoadError):
+        machine.loader.load(module_build.objects["mod.c"],
+                            lambda name: 0, signed=False)
+
+
+def test_module_unload_zeroes_memory():
+    machine = boot_kernel(TREE)
+    module_build = build_tree(SourceTree(version="mod", files={
+        "mod.c": "int marker = 1234; int get_marker(void) { return marker; }"}))
+    module = machine.loader.load(module_build.objects["mod.c"],
+                                 lambda name: 0)
+    marker_addr = module.symbol_address("marker")
+    assert machine.read_u32(marker_addr) == 1234
+    resident_before = machine.loader.resident_bytes()
+    machine.loader.unload(module)
+    assert machine.read_u32(marker_addr) == 0
+    assert machine.loader.resident_bytes() < resident_before
+    with pytest.raises(ModuleLoadError):
+        machine.loader.unload(module)
+
+
+def test_kmalloc_returns_distinct_zeroed_chunks(machine):
+    a = machine.kmalloc(16)
+    b = machine.kmalloc(16)
+    assert a != b
+    assert machine.read_bytes(a, 16) == bytes(16)
+    machine.write_u32(a, 7)
+    assert machine.read_u32(b) == 0
+
+
+def test_gadget_is_read_only(machine):
+    with pytest.raises(MachineError):
+        machine.memory.write_bytes(GADGET_BASE, b"\x01")
+
+
+def test_static_local_persists_across_calls():
+    tree = SourceTree(version="t", files={"k.c": """
+        int bump(void) {
+            static int count = 0;
+            count++;
+            return count;
+        }
+    """})
+    machine = boot_kernel(tree)
+    assert machine.call_function("bump") == 1
+    assert machine.call_function("bump") == 2
+    assert machine.call_function("bump") == 3
+
+
+def test_struct_field_access_executes():
+    tree = SourceTree(version="t", files={"k.c": """
+        struct task { int pid; int uid; int flags; };
+        struct task current_task;
+        int setup(void) {
+            current_task.pid = 42;
+            current_task.uid = 1000;
+            current_task.flags = 7;
+            return 0;
+        }
+        int get_uid(void) {
+            struct task *t = &current_task;
+            return t->uid;
+        }
+    """})
+    machine = boot_kernel(tree)
+    machine.call_function("setup")
+    assert machine.call_function("get_uid") == 1000
+
+
+def test_array_indexing_executes():
+    tree = SourceTree(version="t", files={"k.c": """
+        int table[8];
+        int fill(void) {
+            for (int i = 0; i < 8; i++) table[i] = i * i;
+            return 0;
+        }
+        int probe(int i) { return table[i]; }
+    """})
+    machine = boot_kernel(tree)
+    machine.call_function("fill")
+    assert machine.call_function("probe", [5]) == 25
+    assert machine.call_function("probe", [7]) == 49
+
+
+def test_pointer_arithmetic_scaling():
+    tree = SourceTree(version="t", files={"k.c": """
+        int data[4];
+        int init(void) { data[0] = 10; data[1] = 20; data[2] = 30; return 0; }
+        int second(void) {
+            int *p = data;
+            p = p + 2;
+            return *p;
+        }
+    """})
+    machine = boot_kernel(tree)
+    machine.call_function("init")
+    assert machine.call_function("second") == 30
+
+
+def test_recursion_executes():
+    tree = SourceTree(version="t", files={"k.c": """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+    """})
+    machine = boot_kernel(tree)
+    assert machine.call_function("fib", [10]) == 55
+
+
+def test_ternary_and_logical_ops_execute():
+    tree = SourceTree(version="t", files={"k.c": """
+        int clamp(int x) { return x < 0 ? 0 : (x > 10 ? 10 : x); }
+        int both(int a, int b) { return a && b; }
+        int either(int a, int b) { return a || b; }
+    """})
+    machine = boot_kernel(tree)
+    assert machine.call_function("clamp", [-5]) == 0
+    assert machine.call_function("clamp", [5]) == 5
+    assert machine.call_function("clamp", [15]) == 10
+    assert machine.call_function("both", [1, 0]) == 0
+    assert machine.call_function("both", [2, 3]) == 1
+    assert machine.call_function("either", [0, 0]) == 0
+    assert machine.call_function("either", [0, 9]) == 1

@@ -1,0 +1,66 @@
+"""Tests for the MiniC tokenizer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.lexer import TokenKind, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_keywords_vs_identifiers():
+    tokens = kinds_and_texts("int foo static struct bar")
+    assert tokens == [
+        (TokenKind.KEYWORD, "int"),
+        (TokenKind.IDENT, "foo"),
+        (TokenKind.KEYWORD, "static"),
+        (TokenKind.KEYWORD, "struct"),
+        (TokenKind.IDENT, "bar"),
+    ]
+
+
+def test_numbers_decimal_and_hex():
+    tokens = kinds_and_texts("42 0x2A 0XFF")
+    assert all(kind is TokenKind.NUMBER for kind, _ in tokens)
+    assert [text for _, text in tokens] == ["42", "0x2A", "0XFF"]
+
+
+def test_multi_char_punctuation_longest_match():
+    tokens = [text for _, text in kinds_and_texts("a->b <<= >> == != ++ i--")]
+    assert tokens == ["a", "->", "b", "<<=", ">>", "==", "!=", "++",
+                      "i", "--"]
+
+
+def test_line_comments_ignored():
+    assert kinds_and_texts("x // comment\ny") == [
+        (TokenKind.IDENT, "x"), (TokenKind.IDENT, "y")]
+
+
+def test_block_comments_ignored_and_multiline():
+    assert kinds_and_texts("a /* line1\nline2 */ b") == [
+        (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b")]
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n\nc")
+    lines = {t.text: t.line for t in tokens[:-1]}
+    assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+def test_bad_character_raises_with_line():
+    with pytest.raises(CompileError) as exc:
+        tokenize("x\n@")
+    assert "line 2" in str(exc.value)
+
+
+def test_underscore_identifiers():
+    tokens = kinds_and_texts("__ksplice_apply__ _x x_1")
+    assert all(kind is TokenKind.IDENT for kind, _ in tokens)

@@ -1,0 +1,424 @@
+"""MiniC execution torture tests: compile on the real toolchain, run on
+the real machine, compare against C semantics."""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+
+
+def run(source, fn="f", args=(), opt_level=2):
+    tree = SourceTree(version="x", files={"u.c": source})
+    machine = boot_kernel(tree, options=CompilerOptions(opt_level=opt_level))
+    value = machine.call_function(fn, list(args))
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+# ---------------------------------------------------------------------------
+# Operators and precedence
+
+
+@pytest.mark.parametrize("expr,expected", [
+    ("2 + 3 * 4", 14),
+    ("(2 + 3) * 4", 20),
+    ("20 / 3", 6),
+    ("20 % 3", 2),
+    ("-20 / 3", -6),          # C truncates toward zero
+    ("-20 % 3", -2),
+    ("1 << 10", 1024),
+    ("1024 >> 3", 128),
+    ("0xF0 & 0x3C", 0x30),
+    ("0xF0 | 0x0F", 0xFF),
+    ("0xFF ^ 0x0F", 0xF0),
+    ("~0", -1),
+    ("-(5)", -5),
+    ("!0", 1),
+    ("!7", 0),
+    ("1 < 2", 1),
+    ("2 < 1", 0),
+    ("2 <= 2", 1),
+    ("3 > 2", 1),
+    ("3 >= 4", 0),
+    ("5 == 5", 1),
+    ("5 != 5", 0),
+    ("1 && 2", 1),
+    ("1 && 0", 0),
+    ("0 || 0", 0),
+    ("0 || 3", 1),
+    ("1 + 2 == 3 && 4 < 5", 1),
+    ("2 & 1 | 4", 4),          # precedence: (2&1)|4
+    ("1 ? 10 : 20", 10),
+    ("0 ? 10 : 20", 20),
+    ("0 ? 1 : 0 ? 2 : 3", 3),  # right-associative ternary
+], ids=lambda v: str(v)[:30])
+def test_expression(expr, expected):
+    assert run("int f(void) { return %s; }" % expr) == expected
+
+
+def test_short_circuit_skips_side_effects():
+    source = """
+    int hits;
+    static int bump(void) { hits = hits + 1; return 1; }
+    int f(void) {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        return hits * 10 + a + b;
+    }
+    """
+    assert run(source) == 1  # bump never ran; a=0, b=1
+
+
+def test_assignment_chains_and_compound():
+    source = """
+    int f(void) {
+        int a = 1, b = 2, c = 3;
+        a = b = c = 7;
+        a += 3; b -= 1; c *= 2;
+        a <<= 1; b |= 8; c %= 5;
+        return a * 10000 + b * 100 + c;
+    }
+    """
+    assert run(source) == 20 * 10000 + 14 * 100 + 4
+
+
+def test_incdec_prefix_vs_postfix():
+    source = """
+    int f(void) {
+        int i = 5;
+        int a = i++;
+        int b = ++i;
+        int c = i--;
+        int d = --i;
+        return a * 1000 + b * 100 + c * 10 + d;
+    }
+    """
+    assert run(source) == 5 * 1000 + 7 * 100 + 7 * 10 + 5
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+
+
+def test_nested_loops_with_break_continue():
+    source = """
+    int f(void) {
+        int total = 0;
+        for (int i = 0; i < 10; i++) {
+            if (i == 7) break;
+            for (int j = 0; j < 10; j++) {
+                if (j % 2) continue;
+                if (j > 4) break;
+                total += i * j;
+            }
+        }
+        return total;
+    }
+    """
+    # inner sum over j in {0,2,4} = 6i, i in 0..6 -> 6*21 = 126
+    assert run(source) == 126
+
+
+def test_while_with_complex_condition():
+    source = """
+    int f(int n) {
+        int steps = 0;
+        while (n != 1 && steps < 1000) {
+            if (n % 2) { n = 3 * n + 1; } else { n = n / 2; }
+            steps++;
+        }
+        return steps;
+    }
+    """
+    assert run(source, args=[27]) == 111  # Collatz
+
+
+def test_early_returns():
+    source = """
+    int f(int x) {
+        if (x < 0) return -1;
+        if (x == 0) return 0;
+        if (x < 10) { return 1; }
+        return 2;
+    }
+    """
+    assert run(source, args=[(-5) & 0xFFFFFFFF]) == -1
+    assert run(source, args=[0]) == 0
+    assert run(source, args=[9]) == 1
+    assert run(source, args=[99]) == 2
+
+
+def test_dangling_else_binds_to_nearest_if():
+    source = """
+    int f(int x) {
+        if (x > 0)
+            if (x > 10) return 1;
+            else return 2;
+        return 3;
+    }
+    """
+    assert run(source, args=[20]) == 1
+    assert run(source, args=[5]) == 2
+    assert run(source, args=[0]) == 3
+
+
+# ---------------------------------------------------------------------------
+# Data: arrays, pointers, structs
+
+
+def test_two_dimensional_emulation_via_flat_array():
+    source = """
+    int grid[16];
+    int f(void) {
+        for (int r = 0; r < 4; r++)
+            for (int c = 0; c < 4; c++)
+                grid[r * 4 + c] = r * 10 + c;
+        return grid[2 * 4 + 3];
+    }
+    """
+    assert run(source) == 23
+
+
+def test_pointer_to_pointer():
+    source = """
+    int f(void) {
+        int x = 5;
+        int *p = &x;
+        int **pp = &p;
+        **pp = 42;
+        return x;
+    }
+    """
+    assert run(source) == 42
+
+
+def test_pointer_walk_over_array():
+    source = """
+    int data[5];
+    int f(void) {
+        for (int i = 0; i < 5; i++) data[i] = i + 1;
+        int *p = data;
+        int total = 0;
+        for (int i = 0; i < 5; i++) { total += *p; p++; }
+        return total;
+    }
+    """
+    assert run(source) == 15
+
+
+def test_swap_through_pointers():
+    source = """
+    int swap(int *a, int *b) {
+        int t = *a;
+        *a = *b;
+        *b = t;
+        return 0;
+    }
+    int f(void) {
+        int x = 3, y = 9;
+        swap(&x, &y);
+        return x * 100 + y;
+    }
+    """
+    assert run(source) == 903
+
+
+def test_struct_nested_updates():
+    source = """
+    struct point { int x; int y; };
+    struct rect { int x0; int y0; int x1; int y1; };
+    struct rect box;
+    int area(struct rect *r) {
+        return (r->x1 - r->x0) * (r->y1 - r->y0);
+    }
+    int f(void) {
+        box.x0 = 2; box.y0 = 3; box.x1 = 10; box.y1 = 7;
+        struct rect *r = &box;
+        r->x1 = r->x1 + 2;
+        return area(r);
+    }
+    """
+    assert run(source) == 40
+
+
+def test_struct_array_of_values_via_sizeof_stride():
+    source = """
+    struct entry { int key; int val; };
+    int storage[8];
+    int f(void) {
+        struct entry *entries = storage;
+        for (int i = 0; i < 4; i++) {
+            struct entry *e = entries + i;
+            e->key = i;
+            e->val = i * i;
+        }
+        struct entry *third = entries + 2;
+        return third->val * 10 + sizeof(struct entry);
+    }
+    """
+    assert run(source) == 48  # val 4 * 10 + sizeof 8
+
+
+def test_global_initializer_expressions():
+    source = """
+    struct pair { int a; int b; };
+    int word = sizeof(int) * 8;
+    int both = sizeof(struct pair);
+    int masked = 0xFF & 0x3C;
+    int f(void) { return word * 10000 + both * 100 + masked; }
+    """
+    assert run(source) == 32 * 10000 + 8 * 100 + 0x3C
+
+
+# ---------------------------------------------------------------------------
+# Functions
+
+
+def test_mutual_recursion():
+    source = """
+    int is_odd(int n);
+    int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+    int f(int n) { return is_even(n) * 10 + is_odd(n); }
+    """
+    assert run(source, args=[10]) == 10
+    assert run(source, args=[7]) == 1
+
+
+def test_many_arguments_passed_on_stack():
+    source = """
+    int sum6(int a, int b, int c, int d, int e, int g) {
+        return a + b * 2 + c * 3 + d * 4 + e * 5 + g * 6;
+    }
+    int f(void) { return sum6(1, 2, 3, 4, 5, 6); }
+    """
+    assert run(source) == 1 + 4 + 9 + 16 + 25 + 36
+
+
+def test_argument_evaluation_uses_values_not_references():
+    source = """
+    int touch(int v) { v = v + 100; return v; }
+    int f(void) {
+        int x = 1;
+        int y = touch(x);
+        return x * 1000 + y;
+    }
+    """
+    assert run(source) == 1101
+
+
+def test_static_locals_are_per_function():
+    source = """
+    int count_a(void) { static int n = 0; n++; return n; }
+    int count_b(void) { static int n = 10; n++; return n; }
+    int f(void) {
+        count_a(); count_a();
+        count_b();
+        return count_a() * 100 + count_b();
+    }
+    """
+    assert run(source) == 3 * 100 + 12
+
+
+def test_void_return_yields_zero():
+    source = """
+    int side;
+    int poke(void) { side = 9; return 0; }
+    int f(void) {
+        poke();
+        return side;
+    }
+    """
+    assert run(source) == 9
+
+
+@pytest.mark.parametrize("opt_level", [0, 1, 2])
+def test_same_results_across_opt_levels(opt_level):
+    source = """
+    static int helper(int v) { return v * 3 + 1; }
+    int f(int x) {
+        int acc = 0;
+        for (int i = 0; i < x; i++) acc += helper(i) % 7;
+        return acc;
+    }
+    """
+    assert run(source, args=[20], opt_level=opt_level) == \
+        sum((i * 3 + 1) % 7 for i in range(20))
+
+
+def test_comments_everywhere():
+    source = """
+    // leading comment
+    int f(void) { /* inline */ return /* mid */ 5; } // trailing
+    /* block
+       spanning
+       lines */
+    """
+    assert run(source) == 5
+
+
+# ---------------------------------------------------------------------------
+# do-while
+
+
+def test_do_while_runs_body_at_least_once():
+    source = """
+    int f(int n) {
+        int count = 0;
+        do {
+            count++;
+            n--;
+        } while (n > 0);
+        return count;
+    }
+    """
+    assert run(source, args=[5]) == 5
+    assert run(source, args=[0]) == 1   # body runs once even when false
+    assert run(source, args=[(-3) & 0xFFFFFFFF]) == 1
+
+
+def test_do_while_with_break_and_continue():
+    source = """
+    int f(void) {
+        int i = 0, total = 0;
+        do {
+            i++;
+            if (i % 2) continue;    // continue -> the condition test
+            if (i > 8) break;
+            total += i;
+        } while (i < 100);
+        return total;
+    }
+    """
+    # evens 2+4+6+8 = 20; breaks at i == 10.
+    assert run(source) == 20
+
+
+def test_nested_do_while_in_loop():
+    source = """
+    int f(void) {
+        int total = 0;
+        for (int i = 1; i <= 3; i++) {
+            int j = 0;
+            do { total += i; j++; } while (j < i);
+        }
+        return total;
+    }
+    """
+    # i repeated i times: 1*1 + 2*2 + 3*3 = 14
+    assert run(source) == 14
+
+
+def test_do_while_static_local_inside():
+    source = """
+    int f(void) {
+        int rounds = 0;
+        do {
+            static int persistent = 100;
+            persistent++;
+            rounds = persistent;
+        } while (rounds < 103);
+        return rounds;
+    }
+    """
+    assert run(source) == 103

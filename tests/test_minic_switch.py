@@ -1,0 +1,207 @@
+"""Tests for MiniC switch statements (parse + execution semantics)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.lang import ast, parse_unit
+
+
+def run(source, fn="f", args=()):
+    machine = boot_kernel(SourceTree(version="x", files={"u.c": source}))
+    value = machine.call_function(fn, list(args))
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def test_parse_switch_structure():
+    unit = parse_unit("""
+        int f(int x) {
+            switch (x) {
+            case 1:
+                return 10;
+            case 2:
+            case 3:
+                return 23;
+            default:
+                return -1;
+            }
+        }
+    """)
+    switch = unit.functions()[0].body.statements[0]
+    assert isinstance(switch, ast.Switch)
+    assert [c.value for c in switch.cases] == [1, 2, 3, None]
+    assert switch.cases[1].body == []  # shared-body case label
+
+
+def test_basic_dispatch():
+    source = """
+    int f(int x) {
+        switch (x) {
+        case 1: return 100;
+        case 2: return 200;
+        default: return -1;
+        }
+    }
+    """
+    assert run(source, args=[1]) == 100
+    assert run(source, args=[2]) == 200
+    assert run(source, args=[9]) == -1
+
+
+def test_fallthrough_accumulates():
+    source = """
+    int f(int x) {
+        int acc = 0;
+        switch (x) {
+        case 3: acc += 100;
+        case 2: acc += 10;
+        case 1: acc += 1;
+        }
+        return acc;
+    }
+    """
+    assert run(source, args=[3]) == 111
+    assert run(source, args=[2]) == 11
+    assert run(source, args=[1]) == 1
+    assert run(source, args=[7]) == 0  # no default: falls past
+
+
+def test_break_exits_switch():
+    source = """
+    int f(int x) {
+        int acc = 0;
+        switch (x) {
+        case 1:
+            acc = 1;
+            break;
+        case 2:
+            acc = 2;
+            break;
+        default:
+            acc = 99;
+        }
+        return acc * 10;
+    }
+    """
+    assert run(source, args=[1]) == 10
+    assert run(source, args=[2]) == 20
+    assert run(source, args=[5]) == 990
+
+
+def test_default_in_middle():
+    source = """
+    int f(int x) {
+        switch (x) {
+        case 1: return 1;
+        default: return 50;
+        case 2: return 2;
+        }
+    }
+    """
+    assert run(source, args=[1]) == 1
+    assert run(source, args=[2]) == 2
+    assert run(source, args=[3]) == 50
+
+
+def test_negative_case_values():
+    source = """
+    int f(int x) {
+        switch (x) {
+        case -1: return 10;
+        case 0: return 20;
+        }
+        return 30;
+    }
+    """
+    assert run(source, args=[(-1) & 0xFFFFFFFF]) == 10
+    assert run(source, args=[0]) == 20
+
+
+def test_continue_inside_switch_targets_enclosing_loop():
+    source = """
+    int f(void) {
+        int total = 0;
+        for (int i = 0; i < 6; i++) {
+            switch (i % 3) {
+            case 0:
+                continue;
+            case 1:
+                total += 10;
+                break;
+            default:
+                total += 1;
+            }
+            total += 100;
+        }
+        return total;
+    }
+    """
+    # i=0,3: continue (skip +100).  i=1,4: +10+100.  i=2,5: +1+100.
+    assert run(source) == 2 * 110 + 2 * 101
+
+
+def test_switch_in_kernel_dispatch_is_hot_patchable():
+    """switch-based ioctl-style dispatch goes through the whole Ksplice
+    pipeline like any code."""
+    from repro.core import KspliceCore, ksplice_create
+    from repro.patch import make_patch
+
+    source = """
+    int dev_state;
+    int dev_ioctl(int cmd, int arg) {
+        switch (cmd) {
+        case 1:
+            dev_state = arg;
+            return 0;
+        case 2:
+            return dev_state;
+        case 3:
+            dev_state = 0;
+            return 0;
+        }
+        return -25;
+    }
+    """
+    tree = SourceTree(version="sw", files={"drivers/dev.c": source})
+    machine = boot_kernel(tree)
+    core = KspliceCore(machine)
+    machine.call_function("dev_ioctl", [1, 77])
+    assert machine.call_function("dev_ioctl", [2, 0]) == 77
+
+    files = {"drivers/dev.c": source.replace(
+        "        case 1:\n            dev_state = arg;",
+        "        case 1:\n            if (arg < 0) { return -22; }\n"
+        "            dev_state = arg;")}
+    core.apply(ksplice_create(tree, make_patch(tree.files, files)))
+    bad = machine.call_function("dev_ioctl", [1, (-5) & 0xFFFFFFFF])
+    assert bad == (-22) & 0xFFFFFFFF
+    assert machine.call_function("dev_ioctl", [2, 0]) == 77  # state kept
+
+
+def test_duplicate_case_rejected():
+    with pytest.raises(CompileError):
+        parse_unit("int f(int x) { switch (x) { case 1: case 1: return 0; } }")
+
+
+def test_multiple_defaults_rejected():
+    with pytest.raises(CompileError):
+        parse_unit("int f(int x) { switch (x) "
+                   "{ default: return 0; default: return 1; } }")
+
+
+def test_statement_before_case_rejected():
+    with pytest.raises(CompileError):
+        parse_unit("int f(int x) { switch (x) { return 0; } }")
+
+
+def test_continue_in_switch_outside_loop_rejected():
+    from repro.compiler import CompilerOptions, compile_source
+
+    with pytest.raises(CompileError):
+        compile_source("""
+            int f(int x) {
+                switch (x) { case 1: continue; }
+                return 0;
+            }
+        """, "u.c", CompilerOptions())

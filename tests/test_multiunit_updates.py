@@ -1,0 +1,149 @@
+"""Multi-unit updates: one patch touching several compilation units,
+including cross-unit references to code the patch itself adds."""
+
+import pytest
+
+from repro.core import KspliceCore, ksplice_create
+from repro.errors import KspliceCreateError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+TREE = SourceTree(version="multi-test", files={
+    "net/input.c": """
+extern int audit_event(int kind);
+
+int handle_input(int value) {
+    if (value < 0) { return -22; }
+    return value * 2;
+}
+""",
+    "kernel/audit.c": """
+int audit_log[8];
+int audit_cursor;
+
+int audit_event(int kind) {
+    audit_log[audit_cursor & 7] = kind;
+    audit_cursor++;
+    return 0;
+}
+""",
+})
+
+
+def test_patch_spanning_two_units():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+
+    files = dict(TREE.files)
+    files["net/input.c"] = TREE.files["net/input.c"].replace(
+        "    if (value < 0) { return -22; }",
+        "    if (value < 0) { audit_event(900); return -22; }")
+    files["kernel/audit.c"] = TREE.files["kernel/audit.c"].replace(
+        "    audit_cursor++;",
+        "    if (kind > 899) { audit_cursor++; }\n    audit_cursor++;")
+    pack = ksplice_create(TREE, make_patch(TREE.files, files))
+    assert {uu.unit for uu in pack.units} == {"net/input.c",
+                                              "kernel/audit.c"}
+    core.apply(pack)
+
+    neg = machine.call_function("handle_input", [(-3) & 0xFFFFFFFF])
+    assert neg == (-22) & 0xFFFFFFFF
+    # The rejected input was audited through the (also-patched) audit
+    # path; kind > 899 double-increments the cursor.
+    assert machine.read_u32(machine.symbol("audit_log")) == 900
+    assert machine.read_u32(machine.symbol("audit_cursor")) == 2
+
+
+def test_cross_unit_reference_to_new_function():
+    """Unit A's patched code calls a function the patch ADDS to unit B:
+    resolvable only through the update-wide exports."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+
+    files = dict(TREE.files)
+    files["kernel/audit.c"] = TREE.files["kernel/audit.c"] + """
+int audit_rate_ok(int kind) {
+    if (kind < 0) { return 0; }
+    if (audit_cursor > 6) { return 0; }
+    return 1;
+}
+"""
+    files["net/input.c"] = TREE.files["net/input.c"].replace(
+        "extern int audit_event(int kind);",
+        "extern int audit_event(int kind);\n"
+        "extern int audit_rate_ok(int kind);").replace(
+        "    if (value < 0) { return -22; }",
+        "    if (value < 0) { return -22; }\n"
+        "    if (!audit_rate_ok(value)) { return -105; }\n"
+        "    audit_event(value);")
+    pack = ksplice_create(TREE, make_patch(TREE.files, files))
+    by_unit = {uu.unit: uu for uu in pack.units}
+    assert "audit_rate_ok" in by_unit["kernel/audit.c"].new_functions
+
+    core.apply(pack)
+    # The new cross-unit path works end to end.
+    assert machine.call_function("handle_input", [5]) == 10
+    assert machine.read_u32(machine.symbol("audit_cursor")) == 1
+    # Saturate the audit log; the new rate limiter kicks in.
+    for value in range(10):
+        machine.call_function("handle_input", [value + 1])
+    assert machine.call_function("handle_input", [3]) == \
+        (-105) & 0xFFFFFFFF
+
+
+def test_multiunit_undo_restores_both_units():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    files = dict(TREE.files)
+    files["net/input.c"] = TREE.files["net/input.c"].replace(
+        "value * 2", "value * 3")
+    files["kernel/audit.c"] = TREE.files["kernel/audit.c"].replace(
+        "audit_log[audit_cursor & 7] = kind;",
+        "audit_log[audit_cursor & 7] = kind + 1;")
+    pack = ksplice_create(TREE, make_patch(TREE.files, files))
+    core.apply(pack)
+    assert machine.call_function("handle_input", [4]) == 12
+    core.undo(pack.update_id)
+    assert machine.call_function("handle_input", [4]) == 8
+    machine.call_function("audit_event", [7])
+    assert machine.read_u32(machine.symbol("audit_log")) == 7
+
+
+def test_patch_deleting_a_unit_is_refused():
+    files = dict(TREE.files)
+    del files["kernel/audit.c"]
+    files["net/input.c"] = TREE.files["net/input.c"].replace(
+        "extern int audit_event(int kind);\n", "").replace(
+        "value * 2", "value * 2 + 0")
+    with pytest.raises(KspliceCreateError):
+        ksplice_create(TREE, make_patch(TREE.files, files))
+
+
+def test_patch_adding_whole_new_unit():
+    """A patch may create an entirely new compilation unit whose code is
+    pulled in by changes to an existing unit."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    files = dict(TREE.files)
+    files["lib/clamp.c"] = """
+int clamp_to_bound(int v, int bound) {
+    if (v > bound) { return bound; }
+    return v;
+}
+"""
+    files["net/input.c"] = TREE.files["net/input.c"].replace(
+        "extern int audit_event(int kind);",
+        "extern int audit_event(int kind);\n"
+        "extern int clamp_to_bound(int v, int bound);").replace(
+        "return value * 2;", "return clamp_to_bound(value * 2, 100);")
+    pack = ksplice_create(TREE, make_patch(TREE.files, files))
+    units = {uu.unit for uu in pack.units}
+    assert units == {"net/input.c", "lib/clamp.c"}
+    new_unit = next(uu for uu in pack.units if uu.unit == "lib/clamp.c")
+    assert new_unit.new_functions == ["clamp_to_bound"]
+    assert new_unit.changed_functions == []
+
+    core.apply(pack)
+    assert machine.call_function("handle_input", [3]) == 6
+    assert machine.call_function("handle_input", [600]) == 100

@@ -1,0 +1,151 @@
+"""Updating non-quiescent functions (§5.2, §7.1).
+
+``schedule`` is the paper's example of a non-quiescent function: sleeping
+threads block inside it, so its text is always on some thread's stack
+and a plain update aborts.  DynAMOS describes the manual remedy —
+drain the sleepers — and "Ksplice's hooks for running custom code during
+the update process allow a programmer to use the DynAMOS method for
+updating non-quiescent kernel threads".  These tests reproduce both the
+abort and the hook-assisted success.
+"""
+
+import pytest
+
+from repro.core import KspliceCore, ksplice_create
+from repro.errors import StackCheckError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 1
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+.section .data
+sys_call_table:
+    .word sys_nanosleep
+"""
+
+SCHED_C = """
+int jiffies;
+int sched_drain;
+
+int schedule(void) {
+    jiffies++;
+    __sched();
+    return 0;
+}
+
+int sys_nanosleep(int ticks, int b, int c) {
+    int i = 0;
+    while (i < ticks) {
+        if (sched_drain) { return -11; }
+        i++;
+        schedule();
+    }
+    return i;
+}
+"""
+
+TREE = SourceTree(version="nq-test", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/sched.c": SCHED_C,
+})
+
+#: the actual change: schedule() gets accounting
+PATCHED_SCHED = SCHED_C.replace(
+    "    jiffies++;\n    __sched();",
+    "    jiffies++;\n    jiffies = jiffies + 0;\n    __sched();")
+
+#: the programmer's DynAMOS-style drain hooks
+DRAIN_HOOKS = """
+int ksplice_drain_on(void) {
+    sched_drain = 1;
+    return 0;
+}
+int ksplice_drain_off(void) {
+    sched_drain = 0;
+    return 0;
+}
+__ksplice_pre_apply__(ksplice_drain_on);
+__ksplice_post_apply__(ksplice_drain_off);
+"""
+
+
+def sleeper(machine):
+    thread = machine.load_user_program(
+        "int main(void) { return __syscall(0, 100000000, 0, 0); }",
+        name="sleeper")
+    machine.run(max_instructions=2_000)
+    assert thread.alive
+    return thread
+
+
+def patch_text(new_sched):
+    files = dict(TREE.files)
+    files["kernel/sched.c"] = new_sched
+    return make_patch(TREE.files, files)
+
+
+def test_schedule_is_non_quiescent_without_drain():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine, stack_check_retries=3,
+                       retry_run_instructions=2_000)
+    sleeper(machine)
+    pack = ksplice_create(TREE, patch_text(PATCHED_SCHED))
+    assert "schedule" in pack.all_changed_functions()
+    with pytest.raises(StackCheckError):
+        core.apply(pack)
+
+
+def test_drain_hooks_make_schedule_updatable():
+    """The DynAMOS method through Ksplice hooks: pre_apply sets the
+    drain flag, sleepers exit the kernel, the stack-check retry loop
+    finds quiescence, post_apply clears the flag."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine, stack_check_retries=10,
+                       retry_run_instructions=20_000)
+    thread = sleeper(machine)
+
+    pack = ksplice_create(TREE,
+                          patch_text(PATCHED_SCHED + DRAIN_HOOKS))
+    applied = core.apply(pack)
+    assert applied.stack_check_attempts >= 2  # it really had to drain
+
+    # The sleeper was kicked out with -EAGAIN by the drain.
+    machine.run(max_instructions=50_000)
+    assert thread.exit_value == (-11) & 0xFFFFFFFF
+    # The drain flag was cleared by post_apply: new sleeps work.
+    assert machine.call_function("sys_nanosleep", [5, 0, 0]) == 5
+    # And the patched schedule() is live.
+    jiffies_before = machine.read_u32(machine.symbol("jiffies"))
+    machine.call_function("sys_nanosleep", [3, 0, 0])
+    assert machine.read_u32(machine.symbol("jiffies")) > jiffies_before
+
+
+def test_drained_update_is_reversible():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine, stack_check_retries=10,
+                       retry_run_instructions=20_000)
+    pack = ksplice_create(TREE,
+                          patch_text(PATCHED_SCHED + DRAIN_HOOKS))
+    core.apply(pack)
+    core.undo(pack.update_id)
+    assert machine.call_function("sys_nanosleep", [4, 0, 0]) == 4

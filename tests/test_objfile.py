@@ -1,0 +1,178 @@
+"""Tests for the KELF object format and its serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ObjectFormatError
+from repro.objfile import (
+    ObjectFile,
+    Relocation,
+    RelocationType,
+    Section,
+    SectionKind,
+    Symbol,
+    SymbolBinding,
+    SymbolKind,
+    dump_object,
+    load_object,
+)
+from repro.objfile.section import kind_for_name
+
+
+def make_simple_object() -> ObjectFile:
+    obj = ObjectFile(name="kernel/demo.c")
+    text = Section(name=".text.fn", kind=SectionKind.TEXT,
+                   data=b"\x10\x00\x2a\x00\x00\x00\x42", alignment=16)
+    text.relocations.append(Relocation(offset=2, symbol="counter",
+                                       type=RelocationType.ABS32, addend=0))
+    obj.add_section(text)
+    data = Section(name=".data.counter", kind=SectionKind.DATA,
+                   data=b"\x00\x00\x00\x00", alignment=4)
+    obj.add_section(data)
+    obj.add_symbol(Symbol(name="fn", binding=SymbolBinding.GLOBAL,
+                          kind=SymbolKind.FUNC, section=".text.fn",
+                          value=0, size=7))
+    obj.add_symbol(Symbol(name="counter", binding=SymbolBinding.LOCAL,
+                          kind=SymbolKind.OBJECT, section=".data.counter",
+                          value=0, size=4))
+    return obj
+
+
+def test_kind_for_name():
+    assert kind_for_name(".text") is SectionKind.TEXT
+    assert kind_for_name(".text.foo") is SectionKind.TEXT
+    assert kind_for_name(".data.x") is SectionKind.DATA
+    assert kind_for_name(".rodata.s") is SectionKind.RODATA
+    assert kind_for_name(".bss.buf") is SectionKind.BSS
+    assert kind_for_name(".ksplice_apply") is SectionKind.KSPLICE
+
+
+def test_duplicate_section_raises():
+    obj = make_simple_object()
+    with pytest.raises(ObjectFormatError):
+        obj.add_section(Section(name=".text.fn", kind=SectionKind.TEXT))
+
+
+def test_symbol_in_missing_section_raises():
+    obj = make_simple_object()
+    with pytest.raises(ObjectFormatError):
+        obj.add_symbol(Symbol(name="x", section=".nope"))
+
+
+def test_find_symbol_and_queries():
+    obj = make_simple_object()
+    assert obj.find_symbol("fn").kind is SymbolKind.FUNC
+    assert obj.find_symbol("missing") is None
+    with pytest.raises(ObjectFormatError):
+        obj.symbol("missing")
+    assert [s.name for s in obj.defined_symbols()] == ["fn", "counter"]
+    assert obj.undefined_symbols() == []
+    assert [s.name for s in obj.symbols_in_section(".text.fn")] == ["fn"]
+    assert [s.name for s in obj.text_sections()[0].relocations and
+            obj.text_sections()] == [".text.fn"]
+
+
+def test_referenced_symbol_names():
+    obj = make_simple_object()
+    assert obj.referenced_symbol_names() == ["counter"]
+
+
+def test_ensure_undefined_adds_only_missing():
+    obj = make_simple_object()
+    obj.ensure_undefined(["counter", "extern_fn"])
+    extern = obj.find_symbol("extern_fn")
+    assert extern is not None and not extern.is_defined
+    assert len([s for s in obj.symbols if s.name == "counter"]) == 1
+
+
+def test_validate_accepts_good_object():
+    make_simple_object().validate()
+
+
+def test_validate_rejects_reloc_outside_section():
+    obj = make_simple_object()
+    obj.section(".text.fn").relocations.append(
+        Relocation(offset=100, symbol="counter",
+                   type=RelocationType.ABS32))
+    with pytest.raises(ObjectFormatError):
+        obj.validate()
+
+
+def test_validate_rejects_reloc_against_unknown_symbol():
+    obj = make_simple_object()
+    obj.section(".text.fn").relocations.append(
+        Relocation(offset=0, symbol="ghost", type=RelocationType.ABS32))
+    with pytest.raises(ObjectFormatError):
+        obj.validate()
+
+
+def test_copy_is_deep():
+    obj = make_simple_object()
+    clone = obj.copy()
+    clone.section(".text.fn").relocations[0].addend = 99
+    assert obj.section(".text.fn").relocations[0].addend == 0
+
+
+def test_relocation_compute_and_solve_abs32():
+    reloc = Relocation(offset=0, symbol="x", type=RelocationType.ABS32,
+                       addend=8)
+    value = reloc.compute(symbol_value=0xC0001000, place=0xDEAD)
+    assert value == 0xC0001008
+    assert reloc.solve_symbol(value, place=0xBEEF) == 0xC0001000
+
+
+def test_relocation_compute_and_solve_pc32():
+    # The paper's worked example: val = A + S - P_run, S = val + P_run - A.
+    reloc = Relocation(offset=0, symbol="x", type=RelocationType.PC32,
+                       addend=-4)
+    place = 0xF0000003
+    symbol = 0xF0111107
+    value = reloc.compute(symbol_value=symbol, place=place)
+    assert reloc.solve_symbol(value, place=place) == symbol
+
+
+@given(symbol=st.integers(0, 0xFFFFFFFF), place=st.integers(0, 0xFFFFFFFF),
+       addend=st.integers(-1 << 31, (1 << 31) - 1),
+       kind=st.sampled_from(list(RelocationType)))
+def test_property_solve_inverts_compute(symbol, place, addend, kind):
+    reloc = Relocation(offset=0, symbol="s", type=kind, addend=addend)
+    assert reloc.solve_symbol(reloc.compute(symbol, place), place) == symbol
+
+
+def test_serialize_roundtrip():
+    obj = make_simple_object()
+    back = load_object(dump_object(obj))
+    assert back.name == obj.name
+    assert set(back.sections) == set(obj.sections)
+    for name in obj.sections:
+        assert back.section(name).data == obj.section(name).data
+        assert back.section(name).kind == obj.section(name).kind
+        assert back.section(name).alignment == obj.section(name).alignment
+        got = [(r.offset, r.symbol, r.type, r.addend)
+               for r in back.section(name).sorted_relocations()]
+        want = [(r.offset, r.symbol, r.type, r.addend)
+                for r in obj.section(name).sorted_relocations()]
+        assert got == want
+    assert [(s.name, s.binding, s.kind, s.section, s.value, s.size)
+            for s in back.symbols] == \
+           [(s.name, s.binding, s.kind, s.section, s.value, s.size)
+            for s in obj.symbols]
+
+
+def test_serialize_rejects_bad_magic():
+    with pytest.raises(ObjectFormatError):
+        load_object(b"NOPE" + b"\0" * 16)
+
+
+def test_serialize_rejects_truncation():
+    raw = dump_object(make_simple_object())
+    with pytest.raises(ObjectFormatError):
+        load_object(raw[:len(raw) // 2])
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_property_loader_never_crashes_on_garbage(raw):
+    try:
+        load_object(raw)
+    except ObjectFormatError:
+        pass

@@ -1,0 +1,141 @@
+"""Tests for the unified-diff engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PatchError
+from repro.patch import (
+    apply_patch,
+    count_patch_lines,
+    make_patch,
+    parse_patch,
+    reverse_patch,
+)
+
+OLD = "\n".join("line %d" % i for i in range(1, 21))
+NEW = OLD.replace("line 10", "line ten").replace("line 3", "line three")
+
+
+def test_make_patch_empty_for_identical_trees():
+    assert make_patch({"a.c": OLD}, {"a.c": OLD}) == ""
+
+
+def test_roundtrip_modify():
+    diff = make_patch({"a.c": OLD}, {"a.c": NEW})
+    assert "-line 10" in diff and "+line ten" in diff
+    assert apply_patch({"a.c": OLD}, diff) == {"a.c": NEW}
+
+
+def test_roundtrip_create_and_delete():
+    diff = make_patch({"gone.c": "bye"}, {"fresh.c": "hi"})
+    result = apply_patch({"gone.c": "bye"}, diff)
+    assert result == {"fresh.c": "hi"}
+
+
+def test_roundtrip_multiple_files():
+    old = {"a.c": OLD, "b.c": "alpha\nbeta", "c.c": "same"}
+    new = {"a.c": NEW, "b.c": "alpha\ngamma", "c.c": "same"}
+    diff = make_patch(old, new)
+    assert apply_patch(old, diff) == new
+    parsed = parse_patch(diff)
+    assert sorted(parsed.changed_paths()) == ["a.c", "b.c"]
+
+
+def test_apply_is_strict_on_context():
+    diff = make_patch({"a.c": OLD}, {"a.c": NEW})
+    corrupted = {"a.c": OLD.replace("line 9", "line nine")}
+    with pytest.raises(PatchError):
+        apply_patch(corrupted, diff)
+
+
+def test_apply_missing_file_raises():
+    diff = make_patch({"a.c": OLD}, {"a.c": NEW})
+    with pytest.raises(PatchError):
+        apply_patch({}, diff)
+
+
+def test_apply_create_over_existing_raises():
+    diff = make_patch({}, {"a.c": "new"})
+    with pytest.raises(PatchError):
+        apply_patch({"a.c": "old"}, diff)
+
+
+def test_parse_counts():
+    diff = make_patch({"a.c": OLD}, {"a.c": NEW})
+    parsed = parse_patch(diff)
+    assert parsed.removed() == 2
+    assert parsed.added() == 2
+    assert count_patch_lines(diff) == 4
+
+
+def test_parse_tolerates_git_noise():
+    diff = make_patch({"a.c": OLD}, {"a.c": NEW})
+    noisy = ("diff --git a/a.c b/a.c\nindex 123..456 100644\n"
+             + diff + "-- \n2.30.0\n")
+    parsed = parse_patch(noisy)
+    assert parsed.changed_paths() == ["a.c"]
+    assert apply_patch({"a.c": OLD}, parsed) == {"a.c": NEW}
+
+
+def test_parse_strips_ab_prefixes():
+    diff = make_patch({"a.c": "x\n"}, {"a.c": "y\n"})
+    prefixed = diff.replace("--- a.c", "--- a/a.c").replace(
+        "+++ a.c", "+++ b/a.c")
+    parsed = parse_patch(prefixed)
+    assert parsed.changed_paths() == ["a.c"]
+
+
+def test_parse_rejects_bad_hunk_counts():
+    bad = ("--- a.c\n+++ a.c\n@@ -1,5 +1,2 @@\n x\n-y\n+z\n")
+    with pytest.raises(PatchError):
+        parse_patch(bad)
+
+
+def test_parse_rejects_hunk_before_header():
+    with pytest.raises(PatchError):
+        parse_patch("@@ -1,1 +1,1 @@\n-x\n+y\n")
+
+
+def test_reverse_patch_undoes():
+    diff = make_patch({"a.c": OLD}, {"a.c": NEW})
+    forward = apply_patch({"a.c": OLD}, diff)
+    back = apply_patch(forward, reverse_patch(diff))
+    assert back == {"a.c": OLD}
+
+
+def test_insert_at_start_and_end():
+    old = {"a.c": "middle"}
+    new = {"a.c": "first\nmiddle\nlast"}
+    diff = make_patch(old, new)
+    assert apply_patch(old, diff) == new
+
+
+def test_pure_deletion_hunk():
+    old = {"a.c": "a\nb\nc\nd"}
+    new = {"a.c": "a\nd"}
+    diff = make_patch(old, new)
+    assert apply_patch(old, diff) == new
+    assert count_patch_lines(diff) == 2
+
+
+_tree_lines = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=0, max_size=12),
+    min_size=0, max_size=30)
+
+
+@given(old_lines=_tree_lines, new_lines=_tree_lines)
+def test_property_make_then_apply_roundtrips(old_lines, new_lines):
+    old = {"f.c": "\n".join(old_lines)}
+    new = {"f.c": "\n".join(new_lines)}
+    diff = make_patch(old, new)
+    assert apply_patch(old, diff) == new
+
+
+@given(old_lines=_tree_lines, new_lines=_tree_lines)
+def test_property_reverse_roundtrips(old_lines, new_lines):
+    old = {"f.c": "\n".join(old_lines)}
+    new = {"f.c": "\n".join(new_lines)}
+    diff = make_patch(old, new)
+    if diff:
+        assert apply_patch(new, reverse_patch(diff)) == old

@@ -1,0 +1,180 @@
+"""Property-based tests over the whole toolchain.
+
+Random MiniC programs are generated, compiled under both layout
+flavours, linked, executed, and run-pre matched.  These fuzz the
+assembler's branch relaxation, the alignment machinery, the CPU
+interpreter, and the matcher's short/long + nop bridging far beyond the
+handwritten cases.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler import CompilerOptions
+from repro.core.runpre import RunPreMatcher
+from repro.kbuild import SourceTree, build_tree, build_units
+from repro.kernel import boot_kernel
+
+FLAVOR = CompilerOptions().pre_post_flavor()
+
+# -- random program generation ---------------------------------------------
+
+_NAMES = ["a", "b"]
+
+
+@st.composite
+def arith_expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        leaf = draw(st.sampled_from(
+            ["a", "b", str(draw(st.integers(0, 200)))]))
+        return leaf
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    left = draw(arith_expr(depth=depth + 1))
+    right = draw(arith_expr(depth=depth + 1))
+    return "(%s %s %s)" % (left, op, right)
+
+
+@st.composite
+def cond_expr(draw):
+    op = draw(st.sampled_from(["<", ">", "<=", ">=", "==", "!="]))
+    return "(a %s %s)" % (op, draw(st.integers(-50, 50)))
+
+
+@st.composite
+def statements(draw, depth=0):
+    out = []
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(
+            ["assign", "if", "while"] if depth < 2 else ["assign"]))
+        if kind == "assign":
+            target = draw(st.sampled_from(_NAMES))
+            out.append("%s = %s;" % (target, draw(arith_expr())))
+        elif kind == "if":
+            body = draw(statements(depth=depth + 1))
+            out.append("if %s {\n%s\n}" % (draw(cond_expr()),
+                                           "\n".join(body)))
+        else:
+            # Bounded loop: mutate a fresh counter, not a/b.
+            body = draw(statements(depth=depth + 1))
+            out.append(
+                "for (int i%d = 0; i%d < %d; i%d++) {\n%s\n}"
+                % (depth, depth, draw(st.integers(1, 5)), depth,
+                   "\n".join(body)))
+    return out
+
+
+@st.composite
+def random_unit(draw):
+    fns = []
+    for index in range(draw(st.integers(1, 3))):
+        body = "\n    ".join(draw(statements()))
+        fns.append("""
+int fn%d(int a, int b) {
+    %s
+    return a + b;
+}
+""" % (index, body))
+    return "int shared_state;\n" + "\n".join(fns)
+
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow,
+                                            HealthCheck.data_too_large])
+
+
+@_SETTINGS
+@given(source=random_unit())
+def test_property_random_programs_runpre_match(source):
+    """Any compilable program's split pre build must match its merged
+    run build, and every function symbol must resolve."""
+    tree = SourceTree(version="fuzz", files={"u.c": source})
+    machine = boot_kernel(tree)
+    pre = build_units(tree, ["u.c"], FLAVOR).object_for("u.c")
+    matcher = RunPreMatcher(memory=machine.memory,
+                            kallsyms=machine.image.kallsyms)
+    result = matcher.match_unit(pre)
+    for name, address in result.matched_functions.items():
+        assert address == machine.image.kallsyms.unique_address(name)
+
+
+@_SETTINGS
+@given(source=random_unit(), a=st.integers(-1000, 1000),
+       b=st.integers(-1000, 1000))
+def test_property_both_layouts_compute_identically(source, a, b):
+    """The merged and split builds of the same program must produce the
+    same results when executed (they are the same code, differently
+    encoded)."""
+    tree = SourceTree(version="fuzz", files={"u.c": source})
+    merged_machine = boot_kernel(tree)
+    split_machine = boot_kernel(tree, options=FLAVOR)
+    merged = merged_machine.call_function("fn0", [a, b],
+                                          max_instructions=200_000)
+    split = split_machine.call_function("fn0", [a, b],
+                                        max_instructions=200_000)
+    assert merged == split
+
+
+_C_BINOPS = {
+    "+": lambda x, y: x + y,
+    "-": lambda x, y: x - y,
+    "*": lambda x, y: x * y,
+    "&": lambda x, y: x & y,
+    "|": lambda x, y: x | y,
+    "^": lambda x, y: x ^ y,
+}
+
+
+def _as_u32(value):
+    return value & 0xFFFFFFFF
+
+
+@settings(max_examples=60, deadline=None)
+@given(op=st.sampled_from(sorted(_C_BINOPS)),
+       x=st.integers(-(1 << 31), (1 << 31) - 1),
+       y=st.integers(-(1 << 31), (1 << 31) - 1))
+def test_property_cpu_arithmetic_matches_c_semantics(op, x, y):
+    tree = SourceTree(version="arith", files={
+        "u.c": "int f(int x, int y) { return x %s y; }" % op})
+    machine = boot_kernel(tree)
+    got = machine.call_function("f", [_as_u32(x), _as_u32(y)])
+    want = _as_u32(_C_BINOPS[op](x, y))
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=st.integers(-10000, 10000), y=st.integers(-10000, 10000))
+def test_property_division_truncates_toward_zero(x, y):
+    if y == 0:
+        return
+    tree = SourceTree(version="div", files={
+        "u.c": "int q(int x, int y) { return x / y; }\n"
+               "int r(int x, int y) { return x % y; }"})
+    machine = boot_kernel(tree)
+    quotient = machine.call_function("q", [_as_u32(x), _as_u32(y)])
+    remainder = machine.call_function("r", [_as_u32(x), _as_u32(y)])
+    assert quotient == _as_u32(int(x / y))       # C truncation
+    assert remainder == _as_u32(x - int(x / y) * y)
+    # The C invariant (x/y)*y + x%y == x holds.
+    assert _as_u32(int(x / y) * y + (x - int(x / y) * y)) == _as_u32(x)
+
+
+@settings(max_examples=20, deadline=None)
+@given(source=random_unit())
+def test_property_objdiff_identity(source):
+    """Differencing a unit against itself finds nothing; mutating one
+    function's constant is detected in exactly that function."""
+    from repro.core import diff_objects
+
+    tree = SourceTree(version="d", files={"u.c": source})
+    obj_a = build_units(tree, ["u.c"], FLAVOR).object_for("u.c")
+    obj_b = build_units(tree, ["u.c"], FLAVOR).object_for("u.c")
+    diff = diff_objects(obj_a, obj_b)
+    assert not diff.has_code_changes
+
+    mutated = source.replace("return a + b;", "return a + b + 1;", 1)
+    if mutated == source:
+        return
+    tree_m = SourceTree(version="d", files={"u.c": mutated})
+    obj_m = build_units(tree_m, ["u.c"], FLAVOR).object_for("u.c")
+    diff_m = diff_objects(obj_a, obj_m)
+    assert diff_m.changed_functions == ["fn0"]

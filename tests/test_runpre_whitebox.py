@@ -1,0 +1,147 @@
+"""White-box tests of _SectionMatch: hand-crafted code windows exercise
+matcher paths the compiler never emits (non-canonical pc32 addends,
+abs-relocation on a pc field, register operand mismatches)."""
+
+import pytest
+
+from repro.arch import isa
+from repro.arch.nops import nop_sequence
+from repro.core.runpre import _CandidateMismatch, _SectionMatch
+from repro.kernel.memory import Memory
+from repro.objfile import Relocation, RelocationType, Section, SectionKind
+
+BASE = 0x1000
+
+
+def make_memory(run_bytes):
+    memory = Memory()
+    memory.map_segment("code", BASE, data=run_bytes, executable=True)
+    return memory
+
+
+def section_with(code, relocs=()):
+    section = Section(name=".text.fn", kind=SectionKind.TEXT,
+                      data=bytes(code))
+    section.relocations.extend(relocs)
+    return section
+
+
+def encode(*insns):
+    return b"".join(isa.encode_instruction(i) for i in insns)
+
+
+def test_canonical_pc32_solved_via_target_identity():
+    # pre: call <reloc helper, addend -4>;  run: call rel32 to BASE+100.
+    pre = encode(isa.make("call", 0))
+    run = encode(isa.make("call", 100 - 5))
+    match = _SectionMatch(make_memory(run), section_with(
+        pre, [Relocation(offset=1, symbol="helper",
+                         type=RelocationType.PC32, addend=-4)]), BASE)
+    match.match()
+    assert match.symbol_values["helper"] == BASE + 100
+
+
+def test_noncanonical_addend_solved_from_raw_field():
+    # Addend -8: the stored run field is S - 8 - P; solving must invert
+    # the general formula, which requires the long-form run encoding.
+    symbol_value = BASE + 64
+    place = BASE + 1
+    stored = (symbol_value - 8 - place) & 0xFFFFFFFF
+    stored_signed = stored - (1 << 32) if stored >= (1 << 31) else stored
+    run = encode(isa.make("jmp", stored_signed))
+    pre = encode(isa.make("jmp", 0))
+    match = _SectionMatch(make_memory(run), section_with(
+        pre, [Relocation(offset=1, symbol="oddball",
+                         type=RelocationType.PC32, addend=-8)]), BASE)
+    match.match()
+    assert match.symbol_values["oddball"] == symbol_value
+
+
+def test_noncanonical_addend_rejects_short_run_form():
+    run = encode(isa.make("jmps", 10))
+    pre = encode(isa.make("jmp", 0)) + nop_sequence(0)
+    match = _SectionMatch(make_memory(run), section_with(
+        pre, [Relocation(offset=1, symbol="oddball",
+                         type=RelocationType.PC32, addend=-8)]), BASE)
+    with pytest.raises(_CandidateMismatch):
+        match.match()
+
+
+def test_abs_relocation_on_pc_field_rejected():
+    run = encode(isa.make("call", 0))
+    pre = encode(isa.make("call", 0))
+    match = _SectionMatch(make_memory(run), section_with(
+        pre, [Relocation(offset=1, symbol="x",
+                         type=RelocationType.ABS32, addend=0)]), BASE)
+    with pytest.raises(_CandidateMismatch):
+        match.match()
+
+
+def test_register_operand_mismatch():
+    run = encode(isa.make("movr", 1, 2))
+    pre = encode(isa.make("movr", 1, 3))
+    match = _SectionMatch(make_memory(run), section_with(pre), BASE)
+    with pytest.raises(_CandidateMismatch) as exc:
+        match.match()
+    assert "register operand" in str(exc.value)
+
+
+def test_immediate_mismatch_without_reloc():
+    run = encode(isa.make("movi", 0, 5))
+    pre = encode(isa.make("movi", 0, 6))
+    match = _SectionMatch(make_memory(run), section_with(pre), BASE)
+    with pytest.raises(_CandidateMismatch) as exc:
+        match.match()
+    assert "immediate operand differs" in str(exc.value)
+
+
+def test_short_long_equivalence_with_corresponding_targets():
+    # pre: long jz over one movi; run: short jzs over the same movi
+    # padded so both streams stay aligned through nop skipping.
+    pre = encode(isa.make("jz", 6), isa.make("movi", 0, 1),
+                 isa.make("ret"))
+    run = encode(isa.make("jzs", 6), isa.make("movi", 0, 1),
+                 isa.make("ret"))
+    # pre jz target: 5 + 6 = 11 == ret offset; run: 2 + 6 = 8... make
+    # targets correspond by recomputing: pre ret at 5+6=11, run ret at
+    # 2+6=8.
+    match = _SectionMatch(make_memory(run), section_with(pre), BASE)
+    match.match()
+
+
+def test_inconsistent_symbol_solutions_abort():
+    # Two loads relocated against the same symbol but the run code holds
+    # two different addresses.
+    pre = encode(isa.make("load", 0, 0), isa.make("load", 1, 0))
+    run = encode(isa.make("load", 0, 0x2000), isa.make("load", 1, 0x3000))
+    relocs = [
+        Relocation(offset=2, symbol="gvar", type=RelocationType.ABS32),
+        Relocation(offset=8, symbol="gvar", type=RelocationType.ABS32),
+    ]
+    match = _SectionMatch(make_memory(run), section_with(pre, relocs), BASE)
+    with pytest.raises(_CandidateMismatch) as exc:
+        match.match()
+    assert "inconsistently" in str(exc.value)
+
+
+def test_jump_target_correspondence_violation():
+    # Both jumps are long, but they land on non-corresponding
+    # instructions.
+    pre = encode(isa.make("jmp", 6), isa.make("movi", 0, 1),
+                 isa.make("ret"))
+    run = encode(isa.make("jmp", 0), isa.make("movi", 0, 1),
+                 isa.make("ret"))
+    match = _SectionMatch(make_memory(run), section_with(pre), BASE)
+    with pytest.raises(_CandidateMismatch) as exc:
+        match.match()
+    assert "do not correspond" in str(exc.value)
+
+
+def test_run_side_alignment_nops_skipped():
+    body = encode(isa.make("movi", 0, 3), isa.make("ret"))
+    pre = body
+    run = encode(isa.make("movi", 0, 3)) + nop_sequence(5) + \
+        encode(isa.make("ret"))
+    match = _SectionMatch(make_memory(run), section_with(pre), BASE)
+    match.match()
+    assert match.nop_bytes_skipped == 5

@@ -1,0 +1,119 @@
+"""§4.1's hardest symbol case: the name "does not appear at all".
+
+On kernels whose symbol table omits local symbols, a static function
+cannot be looked up by name.  Run-pre matching still locates it: some
+matched caller's relocation solves its address, and the matcher then
+verifies its body there.  A full hot update of a static function works
+on such a kernel end to end.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.core import KspliceCore, ksplice_create
+from repro.core.runpre import RunPreMatcher
+from repro.errors import SymbolResolutionError
+from repro.kbuild import SourceTree, build_units
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+FLAVOR = CompilerOptions().pre_post_flavor()
+
+TREE = SourceTree(version="stripped-test", files={
+    "kernel/policy.c": """
+int policy_hits;
+
+static int policy_check(int req) {
+    if (req < 0) { return 0; }
+    if (req > 5000) { return 0; }
+    return 1;
+}
+
+static int policy_log(int req) {
+    policy_hits++;
+    if (req > 100) { policy_hits++; }
+    return policy_hits;
+}
+
+int policy_enter(int req) {
+    if (!policy_check(req)) { return -22; }
+    policy_log(req);
+    return req + 1;
+}
+""",
+})
+
+
+def stripped_machine():
+    machine = boot_kernel(TREE, options=CompilerOptions(opt_level=0))
+    machine.image.kallsyms = machine.image.kallsyms.stripped_of_locals()
+    return machine
+
+
+def test_static_functions_absent_from_stripped_table():
+    machine = stripped_machine()
+    assert machine.image.kallsyms.candidates("policy_check") == []
+    assert machine.image.kallsyms.candidates("policy_enter") != []
+
+
+def test_matcher_locates_statics_through_relocations():
+    machine = stripped_machine()
+    pre = build_units(TREE, ["kernel/policy.c"],
+                      CompilerOptions(opt_level=0).pre_post_flavor()
+                      ).object_for("kernel/policy.c")
+    matcher = RunPreMatcher(memory=machine.memory,
+                            kallsyms=machine.image.kallsyms)
+    result = matcher.match_unit(pre)
+    # All three functions matched although two are unlisted.
+    assert set(result.matched_functions) == {"policy_check",
+                                             "policy_log",
+                                             "policy_enter"}
+
+
+def test_hot_update_of_unlisted_static_function():
+    machine = stripped_machine()
+    core = KspliceCore(machine)
+    files = dict(TREE.files)
+    files["kernel/policy.c"] = TREE.files["kernel/policy.c"].replace(
+        "if (req > 5000) { return 0; }",
+        "if (req > 1000) { return 0; }")
+    pack = ksplice_create(TREE, make_patch(TREE.files, files),
+                          options=CompilerOptions(opt_level=0))
+    assert pack.all_changed_functions() == ["policy_check"]
+    core.apply(pack)
+    assert machine.call_function("policy_enter", [999]) == 1000
+    assert machine.call_function("policy_enter", [2000]) == \
+        (-22) & 0xFFFFFFFF
+
+
+def test_unreferenced_static_cannot_be_located():
+    """Dead static code reachable from nowhere has no anchor; the
+    matcher must refuse rather than guess."""
+    tree = SourceTree(version="dead", files={"k.c": """
+static int dead_code(int x) { if (x > 2) { return x - 2; } return 0; }
+int live_entry(int x) { if (x < 0) { return -1; } return x * 2; }
+"""})
+    machine = boot_kernel(tree, options=CompilerOptions(opt_level=0))
+    machine.image.kallsyms = machine.image.kallsyms.stripped_of_locals()
+    pre = build_units(tree, ["k.c"],
+                      CompilerOptions(opt_level=0).pre_post_flavor()
+                      ).object_for("k.c")
+    matcher = RunPreMatcher(memory=machine.memory,
+                            kallsyms=machine.image.kallsyms)
+    with pytest.raises(SymbolResolutionError) as exc:
+        matcher.match_unit(pre)
+    assert "dead_code" in str(exc.value)
+
+
+def test_full_table_still_matches_identically():
+    """The iterative matcher must behave exactly as before on kernels
+    with complete symbol tables."""
+    machine = boot_kernel(TREE, options=CompilerOptions(opt_level=0))
+    pre = build_units(TREE, ["kernel/policy.c"],
+                      CompilerOptions(opt_level=0).pre_post_flavor()
+                      ).object_for("kernel/policy.c")
+    matcher = RunPreMatcher(memory=machine.memory,
+                            kallsyms=machine.image.kallsyms)
+    result = matcher.match_unit(pre)
+    for name, address in result.matched_functions.items():
+        assert address == machine.image.kallsyms.unique_address(name)
