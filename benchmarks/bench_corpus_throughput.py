@@ -1,0 +1,99 @@
+"""Corpus-scale evaluation throughput (the engine's three layers).
+
+The full §6 run pushes 64 CVEs through create+apply on 14 kernel
+versions.  These benchmarks measure what the evaluation engine buys:
+
+* sequential throughput with the content-addressed caches cold vs warm,
+  and with the caches disabled entirely (the seed's effective behaviour
+  minus the old bare build memo);
+* parallel (``jobs=4``) wall clock, and that its results are identical
+  to the sequential order;
+* cache hit rates over a full pass.
+
+Absolute times depend on the host; the assertions check relative
+speedups and exact result equality, not wall-clock constants.
+"""
+
+import time
+
+from repro.compiler.cache import COMPILE_CACHE, PARSE_CACHE
+from repro.evaluation import (
+    clear_caches,
+    evaluate_corpus,
+    normalize_result,
+)
+from repro.evaluation.engine import EngineStats
+
+#: Stress/exploit phases dominate and are identical in every variant;
+#: skipping them sharpens the cache comparison and keeps rounds short.
+_RUN_STRESS = False
+
+
+def _run(jobs=1, cold=True):
+    if cold:
+        clear_caches()
+    stats = EngineStats()
+    start = time.perf_counter()
+    report = evaluate_corpus(run_stress=_RUN_STRESS, jobs=jobs,
+                             stats=stats)
+    return report, stats, time.perf_counter() - start
+
+
+def test_sequential_cache_speedup(benchmark):
+    """Caches off vs cold vs warm, one sequential pass each.
+
+    The "uncached" variant disables only the parse/compile caches and
+    keeps the run-build memo, which is what the seed harness had — so
+    the ratio isolates what the new content-addressed layer buys.
+    """
+    PARSE_CACHE.enabled = COMPILE_CACHE.enabled = False
+    try:
+        clear_caches()
+        _, _, uncached = _run()
+    finally:
+        PARSE_CACHE.enabled = COMPILE_CACHE.enabled = True
+    report, _, cold = _run()
+    _, warm_stats, warm = _run(cold=False)
+
+    benchmark.pedantic(lambda: evaluate_corpus(run_stress=_RUN_STRESS),
+                       rounds=1, iterations=1)
+    print("\ncorpus, sequential: %.2fs uncached, %.2fs cold caches "
+          "(%.2fx), %.2fs warm (%.2fx)"
+          % (uncached, cold, uncached / cold, warm, uncached / warm))
+    rate = warm_stats.combined_cache_stats().hit_rate
+    print("warm-pass cache hit rate: %.0f%%" % (100 * rate))
+    assert len(report.successes()) == report.total()
+    # Acceptance: caching alone buys >=1.3x on a sequential pass.
+    assert uncached / cold >= 1.3
+    assert warm <= cold
+    assert rate > 0.9
+
+
+def test_parallel_matches_sequential(benchmark):
+    seq_report, _, seq_time = _run()
+    par_report, par_stats, par_time = benchmark.pedantic(
+        lambda: _run(jobs=4), rounds=1, iterations=1)
+    print("\ncorpus: %.2fs sequential (cold), %.2fs with jobs=4 "
+          "(%d groups%s)"
+          % (seq_time, par_time, par_stats.groups,
+             ", fell back" if par_stats.fell_back else ""))
+    assert [normalize_result(r) for r in par_report.results] == \
+        [normalize_result(r) for r in seq_report.results]
+    assert not par_stats.fell_back
+
+
+def test_throughput_headline(benchmark):
+    """CVEs/second with everything on — the number ROADMAP tracks."""
+    clear_caches()
+    stats = EngineStats()
+    report = benchmark.pedantic(
+        lambda: evaluate_corpus(run_stress=_RUN_STRESS, jobs=4,
+                                stats=stats),
+        rounds=1, iterations=1)
+    print("\nheadline: %d CVEs in %.2fs = %.1f CVEs/s (jobs=%d)"
+          % (stats.cves, stats.wall_seconds, stats.cves_per_second,
+             stats.jobs))
+    for name, cache in sorted(stats.caches.items()):
+        print("  %-10s cache: %d hits / %d misses (%.0f%% hit rate)"
+              % (name, cache.hits, cache.misses, 100 * cache.hit_rate))
+    assert len(report.successes()) == report.total()

@@ -3,7 +3,7 @@
     python -m repro.cli create --patch fix.patch --tree src/ -o update.kspl
     python -m repro.cli inspect update.kspl
     python -m repro.cli demo --patch fix.patch --tree src/
-    python -m repro.cli evaluate [--quick]
+    python -m repro.cli evaluate [--quick] [--jobs N]
 
 ``create`` reads a kernel source tree from a directory (every ``*.c`` /
 ``*.s`` file, tree-relative paths as unit names) and a unified diff, and
@@ -11,7 +11,8 @@ writes a serialized update pack — the ksplice-create workflow.
 ``demo`` additionally boots the tree, applies the pack to the running
 kernel, and reports the stop_machine window — create + apply in one
 shot, since a simulated machine does not outlive the process.
-``evaluate`` runs the paper's §6 evaluation.
+``evaluate`` runs the paper's §6 evaluation; ``--jobs N`` spreads the
+kernel-version groups across N worker processes.
 """
 
 from __future__ import annotations
@@ -131,11 +132,20 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         sys.stdout.write("%-16s %-14s %s\n"
                          % (result.cve_id, result.kernel_version, status))
 
+    from repro.evaluation.engine import EngineStats
+
+    stats = EngineStats()
     report = evaluate_corpus(specs, run_stress=not args.quick,
-                             progress=progress)
+                             progress=progress, jobs=args.jobs,
+                             stats=stats)
     print("\n%d/%d updates succeeded; %d needed no new code"
           % (len(report.successes()), report.total(),
              report.no_new_code_count()))
+    print("%.1f s with %d job%s (%.1f CVEs/s); build cache hit rate %.0f%%"
+          % (stats.wall_seconds, stats.jobs,
+             "s" if stats.jobs != 1 else "",
+             stats.cves_per_second,
+             100 * stats.combined_cache_stats().hit_rate))
     return 0 if len(report.successes()) == report.total() else 1
 
 
@@ -185,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the stress battery")
     p_eval.add_argument("--limit", type=int, default=0,
                         help="evaluate only the first N CVEs")
+    p_eval.add_argument("--jobs", type=int, default=1,
+                        help="evaluate kernel-version groups in N "
+                             "worker processes (default 1)")
     p_eval.set_defaults(func=cmd_evaluate)
     return parser
 

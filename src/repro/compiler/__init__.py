@@ -17,16 +17,32 @@ Inlining happens at ``opt_level >= 2`` and deliberately inlines small
 compiler freedom that makes source-level hot updates unsafe (§4.2).
 """
 
-from repro.compiler.driver import CompilerOptions, compile_source, compile_unit
+from repro.compiler.driver import (
+    CompilerOptions,
+    compile_source,
+    compile_source_cached,
+    compile_unit,
+)
+from repro.compiler.cache import (
+    CacheStats,
+    cache_stats,
+    clear_caches,
+    parse_unit_cached,
+)
 from repro.compiler.inliner import InlineReport, inline_unit
 from repro.compiler.codegen import FunctionCode, compile_function
 
 __all__ = [
+    "CacheStats",
     "CompilerOptions",
     "FunctionCode",
     "InlineReport",
+    "cache_stats",
+    "clear_caches",
     "compile_function",
     "compile_source",
+    "compile_source_cached",
     "compile_unit",
     "inline_unit",
+    "parse_unit_cached",
 ]

@@ -1,0 +1,184 @@
+"""Content-addressed caches for parse and compile results.
+
+The evaluation pushes the same sources through ``parse_unit`` and
+``compile_source`` over and over: the run kernel of a version is built
+for every boot, the base units are byte-identical across all fourteen
+versions, ksplice-create's *pre* build recompiles unpatched units, and
+the stress battery recompiles the same six user programs for every CVE.
+
+Entries are keyed by content, not identity:
+
+* parse cache — ``(unit path, sha256(source))`` → ``ast.Unit``
+* compile cache — ``(unit path, sha256(source), CompilerOptions)`` →
+  ``CompileResult``
+
+so a patched unit *cannot* hit a stale entry: rewriting the source
+changes the digest and therefore the key (this is the invalidation
+story — there is nothing to invalidate explicitly, only entries that can
+no longer be reached).  Options participate in the compile key because
+flavor matters: a merged-section build and a function-sections build of
+the same source are different objects.
+
+Cached values are shared, never copied, which is safe because every
+consumer treats them as immutable: the compiler deep-copies ASTs before
+inlining mutates them, the linker writes relocations into its own image
+buffer, and extraction copies sections (see ``core/extract.py``).
+
+Caches are bounded (LRU eviction) and expose :class:`CacheStats`
+counters; ``clear_caches()`` resets everything for test isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.lang import ast, parse_unit
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/volume counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: approximate payload volume (source bytes the cache saved reparsing
+    #: or recompiling on hits / paid for on misses)
+    bytes_cached: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.bytes_cached += other.bytes_cached
+
+
+class ContentCache:
+    """A bounded mapping with LRU eviction and stats.
+
+    ``max_entries`` bounds memory (the seed's ``_BUILD_CACHE`` module
+    global had no size control at all); the default is generous enough
+    that a full corpus evaluation never evicts.
+    """
+
+    def __init__(self, name: str, max_entries: int = 4096):
+        self.name = name
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.enabled = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, size: int = 0) -> Optional[Any]:
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.bytes_cached += size
+        return value
+
+    def put(self, key: Hashable, value: Any, size: int = 0) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.stats.bytes_cached += size
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self, reset_stats: bool = True) -> None:
+        self._entries.clear()
+        if reset_stats:
+            self.stats = CacheStats()
+
+    def reset_stats(self) -> None:
+        """Zero the counters without dropping entries (for measuring the
+        hit rate of one specific pass over warm caches)."""
+        self.stats = CacheStats()
+
+
+#: every cache registered here is covered by clear_caches()/cache_stats()
+_REGISTRY: List[ContentCache] = []
+
+
+def register_cache(cache: ContentCache) -> ContentCache:
+    _REGISTRY.append(cache)
+    return cache
+
+
+PARSE_CACHE = register_cache(ContentCache("parse"))
+COMPILE_CACHE = register_cache(ContentCache("compile"))
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def parse_unit_cached(source: str, unit_name: str = "<unit>") -> ast.Unit:
+    """Content-addressed ``parse_unit``.
+
+    The returned Unit is shared — callers that mutate must deep-copy
+    first (``compile_unit`` already does).
+    """
+    key = (unit_name, source_digest(source))
+    cached = PARSE_CACHE.get(key, size=len(source))
+    if cached is None:
+        cached = parse_unit(source, unit_name)
+        PARSE_CACHE.put(key, cached, size=len(source))
+    return cached
+
+
+def set_caches_enabled(enabled: bool) -> None:
+    """Benchmark/bisection aid: bypass every registered cache."""
+    for cache in _REGISTRY:
+        cache.enabled = enabled
+
+
+def clear_caches() -> None:
+    """Drop every registered cache's entries and counters."""
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+def reset_cache_stats() -> None:
+    for cache in _REGISTRY:
+        cache.reset_stats()
+
+
+def cache_stats() -> Dict[str, CacheStats]:
+    """Current counters, keyed by cache name."""
+    return {cache.name: cache.stats for cache in _REGISTRY}
+
+
+def combined_stats() -> CacheStats:
+    total = CacheStats()
+    for cache in _REGISTRY:
+        total.merge(cache.stats)
+    return total
+
+
+def compile_cache_key(source: str, unit_name: str,
+                      options: Any) -> Tuple[str, str, Any]:
+    """The content-addressed key for one compile: ``CompilerOptions`` is
+    a frozen dataclass, so it hashes by value, not identity."""
+    return (unit_name, source_digest(source), options)

@@ -204,3 +204,34 @@ def compile_source(source: str, unit_name: str,
         return compile_asm(source, unit_name, options)
     unit = parse_unit(source, unit_name)
     return compile_unit(unit, options)
+
+
+def compile_source_cached(source: str, unit_name: str,
+                          options: Optional[CompilerOptions] = None,
+                          ) -> CompileResult:
+    """Content-addressed :func:`compile_source`.
+
+    Keyed by ``(unit path, sha256(source), options)``, so a patched unit
+    can never hit the pre-patch entry.  The returned CompileResult is
+    shared: every consumer (linker, extraction, objdiff) treats object
+    files as immutable.  On a miss the parse itself goes through the
+    parse cache, so two option flavors of one source (merged run-kernel
+    build vs function-sections pre/post build) share one AST.
+    """
+    from repro.compiler.cache import (
+        COMPILE_CACHE,
+        compile_cache_key,
+        parse_unit_cached,
+    )
+
+    options = options or CompilerOptions()
+    key = compile_cache_key(source, unit_name, options)
+    cached = COMPILE_CACHE.get(key, size=len(source))
+    if cached is None:
+        if unit_name.endswith(".s"):
+            cached = compile_asm(source, unit_name, options)
+        else:
+            cached = compile_unit(parse_unit_cached(source, unit_name),
+                                  options)
+        COMPILE_CACHE.put(key, cached, size=len(source))
+    return cached

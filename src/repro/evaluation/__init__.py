@@ -40,6 +40,13 @@ from repro.evaluation.harness import (
     evaluate_corpus,
     evaluate_cve,
 )
+from repro.evaluation.engine import (
+    EngineStats,
+    cache_stats,
+    clear_caches,
+    normalize_result,
+    run_build_for,
+)
 from repro.evaluation.stress import run_stress_battery
 
 __all__ = [
@@ -48,14 +55,19 @@ __all__ = [
     "CveResult",
     "CveSpec",
     "DEBIAN_VERSIONS",
+    "EngineStats",
     "EvaluationReport",
     "ExploitSpec",
     "GeneratedKernel",
     "Table1Info",
     "VANILLA_VERSIONS",
+    "cache_stats",
+    "clear_caches",
     "corpus_by_id",
     "evaluate_corpus",
     "evaluate_cve",
     "kernel_for_version",
+    "normalize_result",
+    "run_build_for",
     "run_stress_battery",
 ]

@@ -1,0 +1,262 @@
+"""Corpus-scale evaluation engine (§6.2-6.3 at fleet speed).
+
+The paper's headline run pushes all 64 CVE patches through
+ksplice-create/ksplice-apply on 14 kernel versions.  This module makes
+that corpus-scale run fast along three layers:
+
+1. **Parallelism** — :func:`evaluate_corpus` with ``jobs > 1`` fans the
+   corpus out over a ``ProcessPoolExecutor``.  Work is grouped by kernel
+   version so each worker generates and builds a version's run kernel at
+   most once; each worker owns its whole simulated machine, so isolation
+   between concurrent evaluations is free.  Results are merged back into
+   the caller's spec order, so a parallel run is deterministic and
+   (timing fields aside) identical to a sequential one.  Unpicklable
+   specs or a broken pool degrade gracefully to in-process execution.
+
+2. **Content-addressed caching** — per-unit compiles and parses hit the
+   caches in :mod:`repro.compiler.cache`; this module adds the
+   per-version *run build* cache (the seed harness's bare
+   ``_BUILD_CACHE`` module global, now bounded, instrumented, and
+   covered by :func:`clear_caches`).
+
+3. The **interpreter fast path** lives in :mod:`repro.kernel.cpu`
+   (``run_slice``); the engine simply benefits from it.
+
+``clear_caches()`` resets every layer for test isolation;
+``cache_stats()``/``EngineStats`` surface hit/miss/byte counters.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, \
+    as_completed
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler import CompilerOptions
+from repro.compiler.cache import (
+    CacheStats,
+    ContentCache,
+    cache_stats as _layer_cache_stats,
+    clear_caches as _clear_layer_caches,
+    register_cache,
+)
+from repro.evaluation.corpus import CORPUS
+from repro.evaluation.kernels import GeneratedKernel, kernel_for_version
+from repro.evaluation.specs import CveSpec
+from repro.kbuild import BuildResult, build_tree
+
+#: Run-kernel builds per (version, options).  Generated trees are
+#: immutable per version (``kernel_for_version`` is itself memoized), so
+#: the version string is a faithful content key; patched trees never go
+#: through here.  Registered, so clear_caches()/cache_stats() cover it.
+RUN_BUILD_CACHE = register_cache(ContentCache("run-build", max_entries=64))
+
+ProgressFn = Callable[..., None]
+
+
+def run_build_for(kernel: GeneratedKernel,
+                  options: Optional[CompilerOptions] = None) -> BuildResult:
+    """The run kernel's build, cached per (version, options)."""
+    options = options or CompilerOptions()
+    key = (kernel.version, options)
+    build = RUN_BUILD_CACHE.get(key)
+    if build is None:
+        build = build_tree(kernel.tree, options)
+        RUN_BUILD_CACHE.put(key, build)
+    return build
+
+
+def clear_caches() -> None:
+    """Reset every evaluation cache (test isolation).
+
+    Covers the parse, compile, and run-build content caches plus the
+    generated-kernel memo, so a test that patches corpus data or
+    compiler behaviour observes a cold world.
+    """
+    _clear_layer_caches()
+    kernel_for_version.cache_clear()
+
+
+def cache_stats() -> Dict[str, CacheStats]:
+    """Live counters for every registered cache, keyed by name."""
+    return _layer_cache_stats()
+
+
+def normalize_result(result: "CveResult") -> "CveResult":
+    """A copy with wall-clock fields zeroed.
+
+    Everything the evaluation records is deterministic except the
+    stop_machine window, which is wall time; comparing normalized
+    results is how "parallel == sequential" is checked.
+    """
+    return replace(result, stop_ms=0.0)
+
+
+@dataclass
+class EngineStats:
+    """What one evaluate_corpus run cost and how the caches behaved."""
+
+    jobs: int = 1
+    cves: int = 0
+    wall_seconds: float = 0.0
+    #: number of per-version groups dispatched (parallel runs only)
+    groups: int = 0
+    #: parallel execution was requested but fell back to in-process
+    fell_back: bool = False
+    #: per-cache counters; for parallel runs these are the summed deltas
+    #: reported by the workers, for sequential runs the parent's deltas
+    caches: Dict[str, CacheStats] = field(default_factory=dict)
+
+    @property
+    def cves_per_second(self) -> float:
+        return self.cves / self.wall_seconds if self.wall_seconds else 0.0
+
+    def combined_cache_stats(self) -> CacheStats:
+        total = CacheStats()
+        for stats in self.caches.values():
+            total.merge(stats)
+        return total
+
+
+def _stats_snapshot() -> Dict[str, Tuple[int, int, int, int]]:
+    return {name: (s.hits, s.misses, s.evictions, s.bytes_cached)
+            for name, s in _layer_cache_stats().items()}
+
+
+def _stats_delta(before: Dict[str, Tuple[int, int, int, int]],
+                 ) -> Dict[str, CacheStats]:
+    delta: Dict[str, CacheStats] = {}
+    for name, stats in _layer_cache_stats().items():
+        h0, m0, e0, b0 = before.get(name, (0, 0, 0, 0))
+        delta[name] = CacheStats(hits=stats.hits - h0,
+                                 misses=stats.misses - m0,
+                                 evictions=stats.evictions - e0,
+                                 bytes_cached=stats.bytes_cached - b0)
+    return delta
+
+
+def _merge_stats_into(target: Dict[str, CacheStats],
+                      delta: Dict[str, CacheStats]) -> None:
+    for name, stats in delta.items():
+        target.setdefault(name, CacheStats()).merge(stats)
+
+
+def _evaluate_group(payload: Tuple[str, List[CveSpec], bool, bool]):
+    """Worker entry point: evaluate one kernel version's CVEs in order.
+
+    Grouping by version means this process builds the version's run
+    kernel exactly once (run-build cache, warm after the first CVE) and
+    shares parse/compile cache entries across the group.  Returns the
+    results plus this group's cache-stats delta so the parent can
+    aggregate counters across processes.
+    """
+    from repro.evaluation.harness import evaluate_cve
+
+    _version, specs, run_stress, verify_undo = payload
+    before = _stats_snapshot()
+    results = [evaluate_cve(spec, run_stress=run_stress,
+                            verify_undo=verify_undo)
+               for spec in specs]
+    return results, _stats_delta(before)
+
+
+def _group_by_version(specs: Sequence[CveSpec],
+                      ) -> List[Tuple[str, List[int]]]:
+    """Spec indices grouped by kernel version, first-appearance order."""
+    order: List[str] = []
+    groups: Dict[str, List[int]] = {}
+    for index, spec in enumerate(specs):
+        if spec.kernel_version not in groups:
+            groups[spec.kernel_version] = []
+            order.append(spec.kernel_version)
+        groups[spec.kernel_version].append(index)
+    return [(version, groups[version]) for version in order]
+
+
+def _evaluate_sequential(specs: Sequence[CveSpec], run_stress: bool,
+                         verify_undo: bool,
+                         progress: Optional[ProgressFn]) -> List["CveResult"]:
+    from repro.evaluation.harness import evaluate_cve
+
+    results = []
+    for spec in specs:
+        result = evaluate_cve(spec, run_stress=run_stress,
+                              verify_undo=verify_undo)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def _evaluate_parallel(specs: Sequence[CveSpec], run_stress: bool,
+                       verify_undo: bool, progress: Optional[ProgressFn],
+                       jobs: int, stats: EngineStats,
+                       ) -> Optional[List["CveResult"]]:
+    """Fan groups out over worker processes; None means "fall back"."""
+    try:
+        pickle.dumps(list(specs))
+    except Exception:
+        return None  # e.g. a test spec with a lambda probe
+
+    groups = _group_by_version(specs)
+    stats.groups = len(groups)
+    results: List[Optional["CveResult"]] = [None] * len(specs)
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(groups))) as pool:
+            futures = {}
+            for version, indices in groups:
+                payload = (version, [specs[i] for i in indices],
+                           run_stress, verify_undo)
+                futures[pool.submit(_evaluate_group, payload)] = indices
+            for future in as_completed(futures):
+                group_results, cache_delta = future.result()
+                _merge_stats_into(stats.caches, cache_delta)
+                for index, result in zip(futures[future], group_results):
+                    results[index] = result
+                    if progress is not None:
+                        progress(result)
+    except (BrokenExecutor, OSError, pickle.PicklingError):
+        return None
+    return results  # every slot filled: each index was in exactly 1 group
+
+
+def evaluate_corpus(specs: Optional[Sequence[CveSpec]] = None,
+                    run_stress: bool = True,
+                    verify_undo: bool = False,
+                    progress: Optional[ProgressFn] = None,
+                    jobs: int = 1,
+                    stats: Optional[EngineStats] = None,
+                    ) -> "EvaluationReport":
+    """Evaluate the corpus (default: all 64 CVEs), the full §6 run.
+
+    ``jobs > 1`` evaluates kernel-version groups in parallel worker
+    processes; the returned report is ordered by ``specs`` regardless.
+    ``progress`` fires once per finished CVE (completion order in
+    parallel runs).  Pass an :class:`EngineStats` to receive timing and
+    cache counters.
+    """
+    from repro.evaluation.harness import EvaluationReport
+
+    chosen = list(specs if specs is not None else CORPUS)
+    stats = stats if stats is not None else EngineStats()
+    stats.jobs = jobs
+    stats.cves = len(chosen)
+
+    start = time.perf_counter()
+    results: Optional[List["CveResult"]] = None
+    if jobs > 1 and len(chosen) > 1:
+        results = _evaluate_parallel(chosen, run_stress, verify_undo,
+                                     progress, jobs, stats)
+        if results is None:
+            stats.fell_back = True
+    if results is None:
+        before = _stats_snapshot()
+        results = _evaluate_sequential(chosen, run_stress, verify_undo,
+                                       progress)
+        _merge_stats_into(stats.caches, _stats_delta(before))
+    stats.wall_seconds = time.perf_counter() - start
+    return EvaluationReport(results=results)

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.compiler import CompilerOptions
 from repro.core import KspliceCore, ksplice_create
 from repro.core.create import CreateReport
 from repro.errors import (
@@ -33,11 +32,10 @@ from repro.errors import (
     StackCheckError,
     SymbolResolutionError,
 )
-from repro.evaluation.corpus import CORPUS
 from repro.evaluation.kernels import GeneratedKernel, kernel_for_version
 from repro.evaluation.specs import CveSpec
 from repro.evaluation.stress import StressReport, run_stress_battery
-from repro.kbuild import BuildResult, build_tree
+from repro.kbuild import BuildResult
 from repro.kernel import Machine, boot_kernel
 from repro.patch import parse_patch
 
@@ -97,16 +95,13 @@ class CveResult:
         return True
 
 
-_BUILD_CACHE: Dict[str, BuildResult] = {}
-
-
 def _run_build(kernel: GeneratedKernel) -> BuildResult:
-    """The run kernel's build, cached per version (trees are immutable)."""
-    cached = _BUILD_CACHE.get(kernel.version)
-    if cached is None:
-        cached = build_tree(kernel.tree, CompilerOptions())
-        _BUILD_CACHE[kernel.version] = cached
-    return cached
+    """The run kernel's build, via the engine's content-addressed cache
+    (the seed's bare ``_BUILD_CACHE`` module global, now bounded and
+    resettable through ``engine.clear_caches()``)."""
+    from repro.evaluation.engine import run_build_for
+
+    return run_build_for(kernel)
 
 
 def _boot(kernel: GeneratedKernel) -> Tuple[Machine, BuildResult]:
@@ -125,13 +120,16 @@ def _patched_source_functions(kernel: GeneratedKernel,
                               spec: CveSpec) -> List[str]:
     """Names of the functions whose *source* the original patch edits."""
     patch = parse_patch(kernel.patch_for(spec.cve_id, augmented=False))
+    # One parse for the whole patch scan (the seed re-parsed the unit
+    # once per changed line), and a cached one at that.
+    fn_names = _unit_function_names(kernel, spec)
     names: List[str] = []
     for fp in patch.files:
         for hunk in fp.hunks:
             for line in hunk.lines:
                 if line[:1] in ("-", "+"):
                     # crude but effective: look for known fn definitions
-                    for fn in _unit_function_names(kernel, spec):
+                    for fn in fn_names:
                         if fn + "(" in line and fn not in names:
                             names.append(fn)
     return names
@@ -139,12 +137,12 @@ def _patched_source_functions(kernel: GeneratedKernel,
 
 def _unit_function_names(kernel: GeneratedKernel,
                          spec: CveSpec) -> List[str]:
-    from repro.lang import parse_unit
+    from repro.compiler import parse_unit_cached
 
     if spec.unit.endswith(".s"):
         return ["syscall_entry"]
     try:
-        unit = parse_unit(kernel.tree.read(spec.unit), spec.unit)
+        unit = parse_unit_cached(kernel.tree.read(spec.unit), spec.unit)
     except ReproError:
         return []
     return [fn.name for fn in unit.functions()]
@@ -364,13 +362,17 @@ def _patch_id(cve_id: str) -> str:
 def evaluate_corpus(specs: Optional[List[CveSpec]] = None,
                     run_stress: bool = True,
                     verify_undo: bool = False,
-                    progress=None) -> EvaluationReport:
-    """Evaluate every corpus entry; the full §6 run."""
-    report = EvaluationReport()
-    for spec in (specs if specs is not None else CORPUS):
-        result = evaluate_cve(spec, run_stress=run_stress,
-                              verify_undo=verify_undo)
-        report.results.append(result)
-        if progress is not None:
-            progress(result)
-    return report
+                    progress=None, jobs: int = 1,
+                    stats=None) -> EvaluationReport:
+    """Evaluate every corpus entry; the full §6 run.
+
+    Delegates to :mod:`repro.evaluation.engine`: ``jobs > 1`` fans
+    kernel-version groups out over worker processes (deterministic
+    result order either way); ``stats`` receives an
+    :class:`~repro.evaluation.engine.EngineStats` fill-in.
+    """
+    from repro.evaluation.engine import evaluate_corpus as _engine_evaluate
+
+    return _engine_evaluate(specs=specs, run_stress=run_stress,
+                            verify_undo=verify_undo, progress=progress,
+                            jobs=jobs, stats=stats)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional, Tuple
 
 from repro.arch.isa import (
     Instruction,
@@ -392,6 +392,10 @@ class _DecodeCache:
     dictionary hit per step.  The cache lives on the Memory instance
     itself: a global registry keyed by ``id()`` would leak stale
     instructions into a new Memory reusing a collected one's address.
+    Memory clears ``entries`` *in place* on executable writes (push
+    invalidation), so the hot loop in :func:`run_slice` can alias the
+    dict without a per-instruction version check; ``version`` remains as
+    a pull-based fallback for a cache attached after writes happened.
     """
 
     __slots__ = ("version", "entries")
@@ -402,31 +406,99 @@ class _DecodeCache:
 
 
 def _cache_for(memory: Memory) -> _DecodeCache:
-    cache = getattr(memory, "_decode_cache", None)
+    cache = memory._decode_cache
     if cache is None:
         cache = _DecodeCache()
         memory._decode_cache = cache
+    if cache.version != memory.write_version:
+        cache.version = memory.write_version
+        cache.entries.clear()
     return cache
+
+
+#: Compiled closures keyed by raw instruction bytes.  An op is a pure
+#: function of its encoding (operands, length — never its address), so
+#: one compile serves every machine that ever executes those bytes:
+#: rebooting a version's kernel for the next CVE re-fetches but never
+#: re-decodes.  Process-global and unbounded in principle; the soft cap
+#: guards against pathological byte churn.
+_OP_CACHE: dict = {}
+_OP_CACHE_MAX = 200_000
+
+
+def _decode_at(state: CPUState, memory: Memory) -> _Op:
+    try:
+        opcode_byte = memory.read_u8(state.ip)
+        raw = memory.read_bytes(state.ip,
+                                instruction_length(opcode_byte))
+    except DisassemblyError as exc:
+        # Executing garbage is a machine fault (kernel oops), not a
+        # toolchain error.
+        raise MachineError("illegal instruction at 0x%08x: %s"
+                           % (state.ip, exc)) from None
+    op = _OP_CACHE.get(raw)
+    if op is None:
+        try:
+            insn = decode_instruction(raw)
+        except DisassemblyError as exc:
+            raise MachineError("illegal instruction at 0x%08x: %s"
+                               % (state.ip, exc)) from None
+        op = _compile_insn(insn)
+        if len(_OP_CACHE) >= _OP_CACHE_MAX:
+            _OP_CACHE.clear()
+        _OP_CACHE[raw] = op
+    return op
 
 
 def step(state: CPUState, memory: Memory) -> StepEvent:
     """Execute one instruction; ``state.ip`` advances appropriately."""
     cache = _cache_for(memory)
-    if cache.version != memory.write_version:
-        cache.version = memory.write_version
-        cache.entries.clear()
     op = cache.entries.get(state.ip)
     if op is None:
-        try:
-            opcode_byte = memory.read_u8(state.ip)
-            raw = memory.read_bytes(state.ip,
-                                    instruction_length(opcode_byte))
-            insn = decode_instruction(raw)
-        except DisassemblyError as exc:
-            # Executing garbage is a machine fault (kernel oops), not a
-            # toolchain error.
-            raise MachineError("illegal instruction at 0x%08x: %s"
-                               % (state.ip, exc)) from None
-        op = _compile_insn(insn)
+        op = _decode_at(state, memory)
         cache.entries[state.ip] = op
     return op(state, memory)
+
+
+def run_slice(state: CPUState, memory: Memory,
+              max_steps: int) -> "Tuple[int, StepEvent, Optional[str]]":
+    """Execute up to ``max_steps`` instructions in one tight loop.
+
+    The scheduler's per-quantum fast path: cache and dict lookups are
+    hoisted out of the loop and NORMAL events never leave it, so
+    straight-line runs pay one Python-level dispatch per instruction
+    instead of a ``step()`` call plus scheduler bookkeeping.
+
+    Returns ``(executed, event, fault)``:
+
+    * ``executed`` — instructions that completed (a faulting instruction
+      does not count, matching ``step()``'s raise semantics);
+    * ``event`` — the event that ended the slice (NORMAL when the step
+      budget ran out);
+    * ``fault`` — oops message if a machine fault ended the slice.
+
+    Self-modifying code stays observable without a per-instruction
+    version check because Memory clears the entries dict *in place*
+    whenever an executable segment is written.
+    """
+    entries = _cache_for(memory).entries
+    entries_get = entries.get
+    normal = _NORMAL
+    executed = 0
+    event = normal
+    while executed < max_steps:
+        op = entries_get(state.ip)
+        if op is None:
+            try:
+                op = _decode_at(state, memory)
+            except MachineError as exc:
+                return executed, normal, str(exc)
+            entries[state.ip] = op
+        try:
+            event = op(state, memory)
+        except MachineError as exc:
+            return executed, normal, str(exc)
+        executed += 1
+        if event is not normal:
+            return executed, event, None
+    return executed, normal, None

@@ -71,13 +71,16 @@ class Machine:
                                 executable=True)
         self.memory.map_segment("gadget", GADGET_BASE, data=_HLT,
                                 writable=False, executable=True)
-        self.memory.map_segment("heap", HEAP_BASE, size=HEAP_SIZE)
+        # The big areas reserve address space but materialize backing
+        # bytes lazily: most boots touch a fraction of them, and the
+        # evaluation boots hundreds of machines.
+        self.memory.map_segment("heap", HEAP_BASE, reserve=HEAP_SIZE)
         self.memory.map_segment("modules", MODULE_BASE,
-                                size=MODULE_AREA_SIZE, executable=True)
-        self.memory.map_segment("user", USER_BASE, size=USER_AREA_SIZE,
+                                reserve=MODULE_AREA_SIZE, executable=True)
+        self.memory.map_segment("user", USER_BASE, reserve=USER_AREA_SIZE,
                                 executable=True)
         self.memory.map_segment("stacks", STACK_AREA_BASE,
-                                size=STACK_SIZE * MAX_THREADS)
+                                reserve=STACK_SIZE * MAX_THREADS)
         self.loader = ModuleLoader(self.memory,
                                    require_signed=require_signed_modules)
         self.scheduler = Scheduler(memory=self.memory,

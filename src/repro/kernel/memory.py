@@ -6,6 +6,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.arch.isa import MAX_INSTRUCTION_LENGTH
 from repro.errors import MachineError
 
 
@@ -16,6 +17,11 @@ class Segment:
     ``executable`` marks segments instructions may be fetched from;
     writes to them invalidate the CPU's decode cache (self-modifying
     code — Ksplice's jump insertion — must be observed immediately).
+
+    ``reserved`` is the segment's full addressable size; backing bytes
+    beyond ``len(data)`` are materialized (zero-filled) on first touch.
+    Eagerly zeroing the multi-megabyte stack/user/module areas dominated
+    boot time when the evaluation boots hundreds of machines.
     """
 
     name: str
@@ -23,17 +29,34 @@ class Segment:
     data: bytearray
     writable: bool = True
     executable: bool = False
+    reserved: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reserved < len(self.data):
+            self.reserved = len(self.data)
 
     @property
     def size(self) -> int:
-        return len(self.data)
+        return self.reserved
 
     @property
     def end(self) -> int:
-        return self.base + self.size
+        return self.base + self.reserved
 
     def contains(self, address: int, count: int = 1) -> bool:
         return self.base <= address and address + count <= self.end
+
+    def materialize(self, upto: int) -> None:
+        """Ensure backing bytes exist for offsets below ``upto``.
+
+        Growth is amortized (doubling, 64 KiB floor) so a bump-allocated
+        area costs O(touched bytes), not O(touches).
+        """
+        have = len(self.data)
+        if upto <= have:
+            return
+        target = min(self.reserved, max(upto, have * 2, 1 << 16))
+        self.data.extend(bytes(target - have))
 
 
 class Memory:
@@ -45,14 +68,23 @@ class Memory:
         #: bumped on every write; lets the CPU cache decoded instructions
         #: and still observe self-modifying code (jump insertion).
         self.write_version = 0
+        #: decode cache attached by the CPU (repro.kernel.cpu).  Writes
+        #: to executable segments clear it in place, so the CPU's hot
+        #: loop needs no per-instruction version check.
+        self._decode_cache = None
 
     def map_segment(self, name: str, base: int, size: int = 0,
                     data: Optional[bytes] = None,
                     writable: bool = True,
-                    executable: bool = False) -> Segment:
+                    executable: bool = False,
+                    reserve: int = 0) -> Segment:
+        """Map a region.  ``size``/``data`` bytes are materialized now;
+        ``reserve`` additionally makes the region addressable up to that
+        many bytes, zero-filled lazily on first touch."""
         payload = bytearray(data) if data is not None else bytearray(size)
         segment = Segment(name=name, base=base, data=payload,
-                          writable=writable, executable=executable)
+                          writable=writable, executable=executable,
+                          reserved=reserve)
         for existing in self._segments:
             if segment.base < existing.end and existing.base < segment.end:
                 raise MachineError(
@@ -83,7 +115,10 @@ class Memory:
     def read_bytes(self, address: int, count: int) -> bytes:
         segment = self.segment_for(address, count)
         offset = address - segment.base
-        return bytes(segment.data[offset:offset + count])
+        end = offset + count
+        if end > len(segment.data):
+            segment.materialize(end)
+        return bytes(segment.data[offset:end])
 
     def write_bytes(self, address: int, payload: bytes) -> None:
         segment = self.segment_for(address, len(payload))
@@ -92,9 +127,36 @@ class Memory:
                 "write to read-only segment %s at 0x%08x"
                 % (segment.name, address))
         offset = address - segment.base
+        if offset + len(payload) > len(segment.data):
+            segment.materialize(offset + len(payload))
         segment.data[offset:offset + len(payload)] = payload
         if segment.executable:
-            self.write_version += 1
+            self.notify_exec_write(address, len(payload))
+
+    def notify_exec_write(self, address: int, count: int) -> None:
+        """Record that executable bytes changed (self-modifying code).
+
+        Invalidates only cached instructions overlapping the written
+        range (a cached instruction can start up to max-length minus one
+        bytes before it).  Mutations are in place: the CPU's run loop
+        aliases the entries dict.  Wholesale clears would force a full
+        re-decode of the hot path on every module/program load.  Callers
+        that mutate ``segment.data`` directly (the module loader's
+        relocation patching) must call this themselves.
+        """
+        self.write_version += 1
+        cache = self._decode_cache
+        if cache is not None:
+            entries = cache.entries
+            if entries:
+                lo = address - (MAX_INSTRUCTION_LENGTH - 1)
+                span = count + MAX_INSTRUCTION_LENGTH - 1
+                if span > 4 * len(entries) + 64:
+                    entries.clear()
+                else:
+                    for ip in range(lo, lo + span):
+                        entries.pop(ip, None)
+            cache.version = self.write_version
 
     def read_u8(self, address: int) -> int:
         return self.read_bytes(address, 1)[0]

@@ -110,11 +110,17 @@ class ModuleLoader:
     def _apply_relocations(self, module: LoadedModule, section,
                            resolver: Callable[[str], int]) -> None:
         address = module.section_addresses[section.name]
-        segment = self._memory.segment_for(address, max(section.size, 1))
+        span = max(section.size, 1)
+        segment = self._memory.segment_for(address, span)
+        segment.materialize(address - segment.base + span)
         resolve_section_relocations(
             section, address,
             self._module_resolver(module, resolver),
             segment.data, address - segment.base)
+        if segment.executable and section.relocations:
+            # The patching above bypassed Memory.write_bytes; tell the
+            # decode cache (deferred relocations run after execution).
+            self._memory.notify_exec_write(address, span)
 
     def apply_deferred_relocations(self, module: LoadedModule,
                                    section_name: str,

@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.errors import MachineError
-from repro.kernel.cpu import StepEvent, step
+from repro.kernel.cpu import StepEvent, run_slice
 from repro.kernel.memory import Memory
 from repro.kernel.threads import Thread, ThreadStatus
 
@@ -45,29 +44,33 @@ class Scheduler:
         CPU that way.
         """
         thread.status = ThreadStatus.RUNNING
+        cpu = thread.cpu
         executed = 0
         limit = self.quantum
         hard_limit = self.quantum + self.preempt_watchdog
         while executed < limit:
-            try:
-                event = step(thread.cpu, self.memory)
-            except MachineError as fault:
+            # Fast path: run the rest of the quantum as one uninterrupted
+            # slice.  NORMAL events never re-enter the scheduler; only
+            # quantum exhaustion, a syscall/yield/halt, or a fault do.
+            ran, event, fault = run_slice(cpu, self.memory,
+                                          limit - executed)
+            executed += ran
+            thread.instructions_executed += ran
+            self.total_instructions += ran
+            if fault is not None:
                 thread.status = ThreadStatus.FAULTED
-                thread.fault = str(fault)
+                thread.fault = fault
                 return
-            executed += 1
-            thread.instructions_executed += 1
-            self.total_instructions += 1
             if event is StepEvent.HALT:
                 thread.status = ThreadStatus.EXITED
-                thread.exit_value = thread.cpu.reg(0)
+                thread.exit_value = cpu.reg(0)
                 return
             if event is StepEvent.SYSCALL:
                 self.syscall_entry(thread)
                 continue
             if event is StepEvent.SCHED:
                 break
-            if executed >= limit and thread.cpu.preempt_disable_depth > 0:
+            if executed >= limit and cpu.preempt_disable_depth > 0:
                 if executed >= hard_limit:
                     thread.status = ThreadStatus.FAULTED
                     thread.fault = ("watchdog: preemption disabled for "

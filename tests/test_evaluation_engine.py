@@ -1,0 +1,202 @@
+"""The evaluation engine: caches, parallelism, determinism."""
+
+from dataclasses import fields
+
+import pytest
+
+import repro.compiler.cache as cache_mod
+from repro.compiler import CompilerOptions, compile_source_cached
+from repro.compiler.cache import (
+    COMPILE_CACHE,
+    PARSE_CACHE,
+    CacheStats,
+    ContentCache,
+)
+from repro.evaluation import (
+    CORPUS,
+    clear_caches,
+    evaluate_corpus,
+    kernel_for_version,
+    normalize_result,
+    run_build_for,
+)
+from repro.evaluation.engine import (
+    RUN_BUILD_CACHE,
+    EngineStats,
+    _group_by_version,
+)
+from repro.evaluation.harness import _patched_source_functions
+from repro.evaluation.specs import CveSpec
+
+SRC = "int answer(void) { return 42; }\n"
+PATCHED_SRC = "int answer(void) { return 43; }\n"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+# -- content addressing -----------------------------------------------------
+
+
+def test_same_source_hits_compile_cache():
+    first = compile_source_cached(SRC, "u.c")
+    assert COMPILE_CACHE.stats.misses == 1
+    second = compile_source_cached(SRC, "u.c")
+    assert second is first
+    assert COMPILE_CACHE.stats.hits == 1
+
+
+def test_patched_unit_misses_cache():
+    """Rewriting a unit's source must never reuse the old object."""
+    before = compile_source_cached(SRC, "u.c")
+    patched = compile_source_cached(PATCHED_SRC, "u.c")
+    assert patched is not before
+    assert bytes(patched.objfile.section(".text").data) != \
+        bytes(before.objfile.section(".text").data)
+    assert COMPILE_CACHE.stats.misses == 2
+    # ...and the original source still resolves to the original object.
+    assert compile_source_cached(SRC, "u.c") is before
+
+
+def test_options_participate_in_compile_key():
+    merged = compile_source_cached(SRC, "u.c", CompilerOptions())
+    split = compile_source_cached(
+        SRC, "u.c", CompilerOptions(function_sections=True))
+    assert merged is not split
+    assert COMPILE_CACHE.stats.misses == 2
+    # One source digest, one AST: the second flavor reuses the parse.
+    assert PARSE_CACHE.stats.misses == 1
+    assert PARSE_CACHE.stats.hits >= 1
+
+
+def test_run_build_cache_and_clear():
+    kernel = kernel_for_version(CORPUS[0].kernel_version)
+    build = run_build_for(kernel)
+    assert run_build_for(kernel) is build
+    assert RUN_BUILD_CACHE.stats.hits == 1
+    clear_caches()
+    assert len(RUN_BUILD_CACHE) == 0
+    assert RUN_BUILD_CACHE.stats.lookups == 0
+    assert run_build_for(kernel) is not build
+
+
+def test_patched_source_functions_parse_at_most_once(monkeypatch):
+    """The per-line patch scan must not re-parse the unit (the seed
+    parsed once per changed line); across repeated calls the parse cache
+    bounds work to one parse per (unit, source) pair."""
+    counts = {}
+    real_parse = cache_mod.parse_unit
+
+    def counting_parse(source, unit_name="<unit>"):
+        key = (unit_name, cache_mod.source_digest(source))
+        counts[key] = counts.get(key, 0) + 1
+        return real_parse(source, unit_name)
+
+    monkeypatch.setattr(cache_mod, "parse_unit", counting_parse)
+    for spec in CORPUS[:6]:
+        if spec.is_asm:
+            continue
+        kernel = kernel_for_version(spec.kernel_version)
+        first = _patched_source_functions(kernel, spec)
+        assert _patched_source_functions(kernel, spec) == first
+    assert counts, "expected units to be parsed"
+    assert all(n == 1 for n in counts.values()), counts
+
+
+# -- CacheStats / ContentCache ---------------------------------------------
+
+
+def test_cache_stats_counters_and_lru():
+    cache = ContentCache("t", max_entries=2)
+    assert cache.get("a") is None
+    cache.put("a", 1, size=10)
+    cache.put("b", 2)
+    assert cache.get("a", size=10) == 1  # refreshes LRU position
+    cache.put("c", 3)  # evicts b, the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 3
+    assert cache.stats.evictions == 1
+    assert cache.stats.bytes_cached == 20
+    assert cache.stats.hit_rate == 0.6
+
+
+def test_cache_stats_merge():
+    total = CacheStats(hits=1, misses=2)
+    total.merge(CacheStats(hits=3, misses=4, evictions=5, bytes_cached=6))
+    assert (total.hits, total.misses, total.evictions,
+            total.bytes_cached) == (4, 6, 5, 6)
+
+
+def test_disabled_cache_bypasses():
+    cache = ContentCache("t")
+    cache.enabled = False
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+# -- parallel evaluation ----------------------------------------------------
+
+
+def _subset():
+    """A few CVEs spanning at least two kernel versions."""
+    versions, chosen = [], []
+    for spec in CORPUS:
+        if spec.kernel_version not in versions:
+            if len(versions) == 2:
+                continue
+            versions.append(spec.kernel_version)
+        chosen.append(spec)
+    return [s for s in chosen if s.kernel_version in versions][:8]
+
+
+def test_group_by_version_preserves_order():
+    groups = _group_by_version(_subset())
+    assert len(groups) == 2
+    seen = [i for _, indices in groups for i in indices]
+    assert sorted(seen) == list(range(len(_subset())))
+
+
+def test_parallel_results_identical_to_sequential():
+    specs = _subset()
+    sequential = evaluate_corpus(specs, run_stress=False)
+    clear_caches()
+    stats = EngineStats()
+    parallel = evaluate_corpus(specs, run_stress=False, jobs=4,
+                               stats=stats)
+    assert [normalize_result(r) for r in parallel.results] == \
+        [normalize_result(r) for r in sequential.results]
+    assert stats.jobs == 4
+    assert stats.groups == 2
+    assert stats.cves == len(specs)
+    assert stats.wall_seconds > 0
+    assert stats.combined_cache_stats().lookups > 0
+
+
+def test_unpicklable_specs_fall_back_in_process():
+    class LocalSpec(CveSpec):  # local classes cannot be pickled
+        pass
+
+    spec = CORPUS[0]
+    local = LocalSpec(**{f.name: getattr(spec, f.name)
+                         for f in fields(CveSpec)})
+    stats = EngineStats()
+    report = evaluate_corpus([local, CORPUS[1]], run_stress=False,
+                             jobs=4, stats=stats)
+    assert stats.fell_back
+    assert len(report.results) == 2
+    assert report.results[0].cve_id == spec.cve_id
+
+
+def test_progress_fires_once_per_cve():
+    specs = _subset()[:4]
+    seen = []
+    evaluate_corpus(specs, run_stress=False, jobs=2,
+                    progress=lambda r: seen.append(r.cve_id))
+    assert sorted(seen) == sorted(s.cve_id for s in specs)

@@ -1,0 +1,47 @@
+"""Performance smoke tests: the corpus stays fast.
+
+Not a benchmark — these run in the tier-1 suite with deliberately
+generous budgets, so they only trip on order-of-magnitude regressions
+(a cache silently disabled, the interpreter fast path bypassed, boots
+re-zeroing the big segments).  The seed evaluated the full corpus in
+roughly half a minute on this class of host; with the engine's caches
+it takes a few seconds.
+"""
+
+import time
+
+from repro.compiler.cache import reset_cache_stats
+from repro.evaluation import cache_stats, clear_caches, evaluate_corpus
+
+#: wall-clock ceiling for one full create+apply pass over all 64 CVEs
+#: (stress battery skipped; it measures workloads, not engine speed).
+CORPUS_BUDGET_SECONDS = 60.0
+
+
+def test_corpus_within_budget_and_caches_effective():
+    clear_caches()
+    start = time.perf_counter()
+    report = evaluate_corpus(run_stress=False)
+    cold = time.perf_counter() - start
+    assert len(report.successes()) == report.total()
+    assert cold < CORPUS_BUDGET_SECONDS, (
+        "cold corpus pass took %.1fs (budget %.1fs)"
+        % (cold, CORPUS_BUDGET_SECONDS))
+
+    # A second pass over warm caches must be almost entirely hits.
+    reset_cache_stats()
+    start = time.perf_counter()
+    report = evaluate_corpus(run_stress=False)
+    warm = time.perf_counter() - start
+    assert len(report.successes()) == report.total()
+    assert warm < CORPUS_BUDGET_SECONDS
+
+    stats = cache_stats()
+    total_hits = sum(s.hits for s in stats.values())
+    total_lookups = sum(s.lookups for s in stats.values())
+    assert total_lookups > 0
+    hit_rate = total_hits / total_lookups
+    assert hit_rate > 0.9, (
+        "second-pass cache hit rate %.2f; per-cache: %s"
+        % (hit_rate, {name: "%d/%d" % (s.hits, s.lookups)
+                      for name, s in stats.items()}))

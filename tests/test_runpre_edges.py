@@ -74,7 +74,9 @@ def _pre_with_rodata(machine, payload, relocs=(), anchor="ro_anchor",
     """Craft a helper object with a .rodata section anchored at a chosen
     run address (default: a real rodata-like blob we plant in the kernel
     image copy in machine memory)."""
-    pre = build_units(TREE, ["arch/tbl.s"], FLAVOR).object_for("arch/tbl.s")
+    # build_units returns cache-shared objects; copy before mutating.
+    pre = build_units(TREE, ["arch/tbl.s"],
+                      FLAVOR).object_for("arch/tbl.s").copy()
     section = Section(name=".rodata.%s" % anchor, kind=SectionKind.RODATA,
                       data=payload, alignment=4)
     for reloc in relocs:
