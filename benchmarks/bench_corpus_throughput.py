@@ -12,6 +12,12 @@ versions.  These benchmarks measure what the evaluation engine buys:
 
 Absolute times depend on the host; the assertions check relative
 speedups and exact result equality, not wall-clock constants.
+
+Run directly with ``--smoke`` (no pytest needed) for the CI-sized
+check: a small corpus slice evaluated twice against an on-disk cache
+tier, simulating a process restart in between — the second, disk-warm
+pass must win and produce identical results, and ``clear_caches()``
+must leave the cache directory empty.
 """
 
 import time
@@ -97,3 +103,110 @@ def test_throughput_headline(benchmark):
         print("  %-10s cache: %d hits / %d misses (%.0f%% hit rate)"
               % (name, cache.hits, cache.misses, 100 * cache.hit_rate))
     assert len(report.successes()) == report.total()
+
+
+def run_smoke() -> int:
+    """Disk-tier smoke check (CI entry point; returns an exit status).
+
+    Cold pass populates a temp disk cache; the memory tiers and the
+    generated-kernel memo are then dropped — everything a process
+    restart would lose — and the second pass must be served from disk:
+    faster, with disk hits, byte-identical results after normalization.
+    Finishes with the hygiene check: the disk tier stays within its
+    entry bound and ``clear_caches()`` leaves the directory empty.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.compiler.cache import (
+        disable_disk_cache,
+        drop_memory_tiers,
+        enable_disk_cache,
+    )
+    from repro.evaluation import CORPUS, kernel_for_version
+
+    specs = CORPUS[:8]
+    root = tempfile.mkdtemp(prefix="repro-smoke-cache-")
+    failures = []
+    try:
+        enable_disk_cache(root, max_entries=256)
+        clear_caches()
+
+        cold_stats = EngineStats()
+        start = time.perf_counter()
+        cold = evaluate_corpus(specs, run_stress=False, stats=cold_stats)
+        cold_s = time.perf_counter() - start
+
+        # Simulate a process restart: memory tiers and the kernel memo
+        # are gone, only the disk tier survives.
+        drop_memory_tiers()
+        kernel_for_version.cache_clear()
+
+        warm_stats = EngineStats()
+        start = time.perf_counter()
+        warm = evaluate_corpus(specs, run_stress=False, stats=warm_stats)
+        warm_s = time.perf_counter() - start
+
+        disk_hits = warm_stats.combined_cache_stats().disk_hits
+        print("smoke: %d CVEs, %.2fs cold, %.2fs disk-warm (%.2fx), "
+              "%d disk hits"
+              % (len(specs), cold_s, warm_s,
+                 cold_s / warm_s if warm_s else 0.0, disk_hits))
+        for name, timing in sorted(warm_stats.stages.items()):
+            print("  stage %-12s %5d calls %8.1f ms" %
+                  (name, timing.calls, timing.wall_ms))
+
+        if not len(cold.results) == len(warm.results) == len(specs):
+            failures.append("result counts differ")
+        if [normalize_result(r) for r in cold.results] != \
+                [normalize_result(r) for r in warm.results]:
+            failures.append("disk-warm results differ from cold results")
+        if disk_hits <= 0:
+            failures.append("second pass recorded no disk hits")
+        if warm_s >= cold_s:
+            failures.append("disk-warm pass (%.2fs) not faster than "
+                            "cold (%.2fs)" % (warm_s, cold_s))
+
+        def disk_entries():
+            found = []
+            for dirpath, _dirs, files in os.walk(root):
+                found.extend(os.path.join(dirpath, f) for f in files
+                             if f.endswith(".pkl"))
+            return found
+
+        # hygiene: each cache's subdirectory stays within its bound...
+        for name in sorted(os.listdir(root)):
+            subdir = os.path.join(root, name)
+            if not os.path.isdir(subdir):
+                continue
+            count = len([f for f in os.listdir(subdir)
+                         if f.endswith(".pkl")])
+            if count > 256:
+                failures.append("disk tier %s unbounded: %d entries"
+                                % (name, count))
+        # ... and clear_caches() wipes every tier, disk included
+        clear_caches()
+        leftovers = disk_entries()
+        if leftovers:
+            failures.append("clear_caches() left %d files on disk"
+                            % len(leftovers))
+    finally:
+        disable_disk_cache()
+        clear_caches()
+        shutil.rmtree(root, ignore_errors=True)
+    for failure in failures:
+        print("SMOKE FAIL: %s" % failure)
+    if not failures:
+        print("smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(run_smoke())
+    print("usage: python benchmarks/bench_corpus_throughput.py --smoke\n"
+          "(the full benchmarks run under pytest-benchmark)")
+    sys.exit(2)

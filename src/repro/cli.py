@@ -3,7 +3,8 @@
     python -m repro.cli create --patch fix.patch --tree src/ -o update.kspl
     python -m repro.cli inspect update.kspl
     python -m repro.cli demo --patch fix.patch --tree src/
-    python -m repro.cli evaluate [--quick] [--jobs N]
+    python -m repro.cli evaluate [--quick] [--jobs N] [--cache-dir DIR]
+    python -m repro.cli trace [--cve CVE-id] [--file PATH]
 
 ``create`` reads a kernel source tree from a directory (every ``*.c`` /
 ``*.s`` file, tree-relative paths as unit names) and a unified diff, and
@@ -12,7 +13,12 @@ writes a serialized update pack — the ksplice-create workflow.
 kernel, and reports the stop_machine window — create + apply in one
 shot, since a simulated machine does not outlive the process.
 ``evaluate`` runs the paper's §6 evaluation; ``--jobs N`` spreads the
-kernel-version groups across N worker processes.
+kernel-version groups across N worker processes and ``--cache-dir``
+enables the on-disk cache tier so repeated runs start warm.  Both
+``demo`` and ``evaluate`` record per-stage traces (see
+:mod:`repro.pipeline`) and save them; ``trace`` renders the saved run —
+an aggregate per-stage table by default, the full stage tree of one CVE
+with ``--cve``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,69 @@ from repro.core import KspliceCore, UpdatePack, ksplice_create
 from repro.errors import ReproError
 from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel
+
+#: canonical display order for the lifecycle's top-level stages
+STAGE_ORDER = ("generate", "build", "boot", "observe-pre", "create",
+               "apply", "observe-post", "stress", "undo",
+               "patch", "build-pre", "build-post", "diff")
+
+
+def _ordered_stage_names(names) -> list:
+    known = [name for name in STAGE_ORDER if name in names]
+    return known + sorted(n for n in names if n not in STAGE_ORDER)
+
+
+def _print_stage_table(stages, out=None) -> None:
+    """Render a {name: StageTiming-like} mapping as an aligned table."""
+    out = out or sys.stdout
+    names = _ordered_stage_names(stages)
+    if not names:
+        return
+    out.write("%-14s %6s %10s %10s %6s\n"
+              % ("stage", "calls", "total ms", "mean ms", "fail"))
+    for name in names:
+        timing = stages[name]
+        out.write("%-14s %6d %10.1f %10.1f %6d\n"
+                  % (name, timing.calls, timing.wall_ms,
+                     timing.mean_ms, timing.failures))
+
+
+class _StageAgg:
+    """Local stage accumulator (same shape as engine.StageTiming)."""
+
+    __slots__ = ("calls", "wall_ms", "failures")
+
+    def __init__(self):
+        self.calls = 0
+        self.wall_ms = 0.0
+        self.failures = 0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.wall_ms / self.calls if self.calls else 0.0
+
+
+def _aggregate_traces(traces) -> Dict[str, _StageAgg]:
+    stages: Dict[str, _StageAgg] = {}
+    for trace in traces:
+        for report in trace.reports:
+            timing = stages.setdefault(report.name, _StageAgg())
+            timing.calls += 1
+            timing.wall_ms += report.wall_ms
+            if report.outcome == "failed":
+                timing.failures += 1
+    return stages
+
+
+def _save_traces(traces, meta) -> None:
+    """Best-effort persistence for the ``trace`` subcommand."""
+    from repro.pipeline import save_run
+
+    try:
+        path = save_run(traces, meta=meta)
+    except OSError:
+        return
+    print("(trace saved to %s; view with `repro trace`)" % path)
 
 
 def load_tree_from_directory(root: str,
@@ -104,20 +173,31 @@ def cmd_objdump(args: argparse.Namespace) -> int:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.pipeline import Trace
+
     tree = load_tree_from_directory(args.tree, args.version)
     with open(args.patch, "r", encoding="utf-8") as handle:
         patch_text = handle.read()
+    trace = Trace(label="demo:%s" % tree.version)
     print("booting %s ..." % tree.version)
-    machine = boot_kernel(tree, options=_options(args))
+    with trace.stage("boot"):
+        machine = boot_kernel(tree, options=_options(args))
     core = KspliceCore(machine)
-    pack = ksplice_create(tree, patch_text, options=_options(args))
+    with trace.stage("create"):
+        pack = ksplice_create(tree, patch_text, options=_options(args),
+                              trace=trace)
     print("created %s (replaces: %s)"
           % (pack.update_id, ", ".join(pack.all_changed_functions())))
-    applied = core.apply(pack)
+    with trace.stage("apply"):
+        applied = core.apply(pack, trace=trace)
     print("Done!  stop_machine window %.3f ms, stack-check attempts %d, "
           "primary module %d bytes resident"
           % (applied.stop_report.wall_milliseconds,
              applied.stack_check_attempts, applied.primary_bytes))
+    print()
+    _print_stage_table(_aggregate_traces([trace]))
+    _save_traces([trace], meta={"command": "demo",
+                                "kernel_version": tree.version})
     return 0
 
 
@@ -125,10 +205,19 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evaluation import CORPUS
     from repro.evaluation.harness import evaluate_corpus
 
+    if args.cache_dir:
+        from repro.compiler.cache import enable_disk_cache
+        from repro.pipeline.store import CACHE_DIR_ENV
+
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+        enable_disk_cache()
+
     specs = CORPUS[:args.limit] if args.limit else CORPUS
 
     def progress(result):
         status = "ok" if result.success else "FAIL"
+        if not result.success and result.failed_stage:
+            status += " (in %s)" % result.failed_stage
         sys.stdout.write("%-16s %-14s %s\n"
                          % (result.cve_id, result.kernel_version, status))
 
@@ -146,7 +235,62 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
              "s" if stats.jobs != 1 else "",
              stats.cves_per_second,
              100 * stats.combined_cache_stats().hit_rate))
+    combined = stats.combined_cache_stats()
+    if combined.disk_hits:
+        print("disk cache tier: %d hits" % combined.disk_hits)
+
+    # per-stage timing, broken down by kernel-version group then overall
+    by_version: Dict[str, list] = {}
+    for result in report.results:
+        if result.trace is not None:
+            by_version.setdefault(result.kernel_version, []).append(
+                result.trace)
+    for version in sorted(by_version):
+        print("\nper-stage wall time, %s (%d CVEs):"
+              % (version, len(by_version[version])))
+        _print_stage_table(_aggregate_traces(by_version[version]))
+    if stats.stages:
+        print("\nper-stage wall time, whole corpus:")
+        _print_stage_table(stats.stages)
+
+    traces = [r.trace for r in report.results if r.trace is not None]
+    if traces:
+        _save_traces(traces, meta={
+            "command": "evaluate",
+            "jobs": stats.jobs,
+            "cves": [r.cve_id for r in report.results],
+            "failed": [r.cve_id for r in report.results if not r.success],
+        })
     return 0 if len(report.successes()) == report.total() else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.pipeline import load_run
+
+    meta, traces = load_run(args.file)
+    if not traces:
+        print("trace file holds no traces")
+        return 1
+    if args.cve:
+        wanted = [t for t in traces if t.label == args.cve]
+        if not wanted:
+            print("no trace for %r; run holds: %s"
+                  % (args.cve, ", ".join(t.label for t in traces)))
+            return 1
+        for trace in wanted:
+            print(trace.render())
+        return 0
+    command = meta.get("command", "?")
+    print("last run: %s (%d trace%s)"
+          % (command, len(traces), "s" if len(traces) != 1 else ""))
+    _print_stage_table(_aggregate_traces(traces))
+    failed = [(t.label, t.failed_stage()) for t in traces
+              if t.failed_stage()]
+    if failed:
+        print("\nfailed stages:")
+        for label, stage in failed:
+            print("  %-24s %s" % (label, stage))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,7 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--jobs", type=int, default=1,
                         help="evaluate kernel-version groups in N "
                              "worker processes (default 1)")
+    p_eval.add_argument("--cache-dir", default=None,
+                        help="enable the on-disk cache tier rooted here "
+                             "(also where the run trace is saved)")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_trace = sub.add_parser(
+        "trace", help="show the per-stage trace of the last run")
+    p_trace.add_argument("--file", default=None,
+                         help="trace file (default: the last saved run)")
+    p_trace.add_argument("--cve", default=None,
+                         help="render one CVE's full stage tree")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

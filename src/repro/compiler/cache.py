@@ -24,18 +24,28 @@ consumer treats them as immutable: the compiler deep-copies ASTs before
 inlining mutates them, the linker writes relocations into its own image
 buffer, and extraction copies sections (see ``core/extract.py``).
 
-Caches are bounded (LRU eviction) and expose :class:`CacheStats`
-counters; ``clear_caches()`` resets everything for test isolation.
+Storage sits behind :class:`CacheBackend` tiers.  Every
+:class:`ContentCache` always has a bounded in-memory LRU tier
+(:class:`MemoryBackend`); :func:`enable_disk_cache` attaches a second,
+:class:`DiskBackend` tier that spills pickled values under a shared
+directory — because the keys are already process-stable, a *cold
+process* starts warm from disk.  Disk hits are promoted back into
+memory; both tiers are bounded; ``clear_caches()`` wipes entries in
+every tier (including the files on disk) plus the counters.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.lang import ast, parse_unit
+
+_MISS = object()
 
 
 @dataclass
@@ -48,6 +58,8 @@ class CacheStats:
     #: approximate payload volume (source bytes the cache saved reparsing
     #: or recompiling on hits / paid for on misses)
     bytes_cached: int = 0
+    #: subset of ``hits`` served by the disk tier (cold-process warmth)
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -62,52 +74,222 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
         self.bytes_cached += other.bytes_cached
+        self.disk_hits += other.disk_hits
+
+
+class CacheBackend:
+    """One storage tier: get/put/clear with LRU-bounded capacity.
+
+    ``get`` returns the sentinel-free pair ``(found, value)``; ``put``
+    returns how many entries the insert evicted (for stats).
+    """
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        raise NotImplementedError
+
+    def put(self, key: Hashable, value: Any) -> int:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class MemoryBackend(CacheBackend):
+    """In-process tier: an OrderedDict with LRU eviction."""
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            return False, None
+        self._entries.move_to_end(key)
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> int:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class DiskBackend(CacheBackend):
+    """On-disk tier: one pickle file per entry, LRU-bounded by mtime.
+
+    Keys are process-stable tuples of strings and frozen dataclasses, so
+    ``sha256(repr(key))`` is a faithful content address across
+    processes.  Writes are atomic (temp file + rename) so concurrent
+    evaluation workers can share a directory; reads treat any missing,
+    corrupt, or unpicklable entry as a miss (and drop the file).
+    """
+
+    def __init__(self, directory: str, max_entries: int = 512):
+        self.directory = directory
+        self.max_entries = max_entries
+        #: values that could not be pickled and were skipped
+        self.put_failures = 0
+
+    def _path(self, key: Hashable) -> str:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(self.directory, digest + ".pkl")
+
+    def _files(self) -> List[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [os.path.join(self.directory, n) for n in names
+                if n.endswith(".pkl")]
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            try:  # corrupt or unreadable: drop it, report a miss
+                os.unlink(path)
+            except OSError:
+                pass
+            return False, None
+        try:  # refresh LRU position
+            os.utime(path, None)
+        except OSError:
+            pass
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> int:
+        try:
+            payload = pickle.dumps(value)
+        except Exception:
+            self.put_failures += 1
+            return 0
+        path = self._path(key)
+        tmp = path + ".%d.tmp" % os.getpid()
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            self.put_failures += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return 0
+        return self._evict()
+
+    def _evict(self) -> int:
+        files = self._files()
+        if len(files) <= self.max_entries:
+            return 0
+        def mtime(path: str) -> float:
+            try:
+                return os.path.getmtime(path)
+            except OSError:
+                return 0.0
+        files.sort(key=mtime)
+        evicted = 0
+        for path in files[:len(files) - self.max_entries]:
+            try:
+                os.unlink(path)
+                evicted += 1
+            except OSError:
+                pass
+        return evicted
+
+    def clear(self) -> None:
+        for path in self._files():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return len(self._files())
 
 
 class ContentCache:
-    """A bounded mapping with LRU eviction and stats.
+    """A bounded content-addressed cache over one or two tiers.
 
-    ``max_entries`` bounds memory (the seed's ``_BUILD_CACHE`` module
-    global had no size control at all); the default is generous enough
-    that a full corpus evaluation never evicts.
+    Lookups try memory first, then the disk tier when one is attached;
+    a disk hit is promoted into memory so the process pays the pickle
+    cost once.  Writes go to every tier.  ``len()`` reports the memory
+    tier (the bound the process actually holds).
     """
 
     def __init__(self, name: str, max_entries: int = 4096):
         self.name = name
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.enabled = True
+        self._memory = MemoryBackend(max_entries)
+        self._disk: Optional[DiskBackend] = None
+
+    @property
+    def disk(self) -> Optional[DiskBackend]:
+        return self._disk
+
+    def attach_disk(self, backend: Optional[DiskBackend]) -> None:
+        self._disk = backend
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._memory)
 
     def get(self, key: Hashable, size: int = 0) -> Optional[Any]:
         if not self.enabled:
             self.stats.misses += 1
             return None
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        self.stats.bytes_cached += size
-        return value
+        found, value = self._memory.get(key)
+        if found:
+            self.stats.hits += 1
+            self.stats.bytes_cached += size
+            return value
+        if self._disk is not None:
+            found, value = self._disk.get(key)
+            if found:
+                self.stats.evictions += self._memory.put(key, value)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self.stats.bytes_cached += size
+                return value
+        self.stats.misses += 1
+        return None
 
     def put(self, key: Hashable, value: Any, size: int = 0) -> None:
         if not self.enabled:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
         self.stats.bytes_cached += size
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        self.stats.evictions += self._memory.put(key, value)
+        if self._disk is not None:
+            self.stats.evictions += self._disk.put(key, value)
+
+    def drop_memory(self) -> None:
+        """Empty the memory tier only (simulates a cold process whose
+        disk tier survived)."""
+        self._memory.clear()
 
     def clear(self, reset_stats: bool = True) -> None:
-        self._entries.clear()
+        self._memory.clear()
+        if self._disk is not None:
+            self._disk.clear()
         if reset_stats:
             self.stats = CacheStats()
 
@@ -120,10 +302,54 @@ class ContentCache:
 #: every cache registered here is covered by clear_caches()/cache_stats()
 _REGISTRY: List[ContentCache] = []
 
+#: directory the disk tier spills under, when enabled
+_DISK_ROOT: Optional[str] = None
+_DISK_MAX_ENTRIES = 512
+
 
 def register_cache(cache: ContentCache) -> ContentCache:
     _REGISTRY.append(cache)
+    if _DISK_ROOT is not None:
+        cache.attach_disk(DiskBackend(
+            os.path.join(_DISK_ROOT, cache.name),
+            max_entries=_DISK_MAX_ENTRIES))
     return cache
+
+
+def enable_disk_cache(root: Optional[str] = None,
+                      max_entries: int = 512) -> str:
+    """Attach a disk tier to every registered cache.
+
+    ``root`` defaults to the shared cache root (``REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-ksplice``).  Each cache gets its own subdirectory;
+    each directory is bounded to ``max_entries`` files.  Returns the
+    root actually used.
+    """
+    global _DISK_ROOT, _DISK_MAX_ENTRIES
+    if root is None:
+        from repro.pipeline.store import cache_root
+
+        root = os.path.join(cache_root(), "objects")
+    _DISK_ROOT = root
+    _DISK_MAX_ENTRIES = max_entries
+    for cache in _REGISTRY:
+        cache.attach_disk(DiskBackend(os.path.join(root, cache.name),
+                                      max_entries=max_entries))
+    return root
+
+
+def disable_disk_cache() -> None:
+    """Detach the disk tier everywhere (files are left on disk)."""
+    global _DISK_ROOT
+    _DISK_ROOT = None
+    for cache in _REGISTRY:
+        cache.attach_disk(None)
+
+
+def active_disk_root() -> Optional[str]:
+    """The enabled disk-cache root, or None — forwarded to evaluation
+    workers so child processes share the same tier."""
+    return _DISK_ROOT
 
 
 PARSE_CACHE = register_cache(ContentCache("parse"))
@@ -155,9 +381,17 @@ def set_caches_enabled(enabled: bool) -> None:
 
 
 def clear_caches() -> None:
-    """Drop every registered cache's entries and counters."""
+    """Drop every registered cache's entries (all tiers, including the
+    files of the disk tier) and counters."""
     for cache in _REGISTRY:
         cache.clear()
+
+
+def drop_memory_tiers() -> None:
+    """Empty every cache's memory tier, keeping the disk tier and the
+    counters — the "new cold process, warm disk" simulation."""
+    for cache in _REGISTRY:
+        cache.drop_memory()
 
 
 def reset_cache_stats() -> None:

@@ -21,6 +21,14 @@ Undo reverses the jumps under the same stop_machine/stack-check regime
 reverse hook phases.  Updates stack (§5.4): a later update's run-pre
 matching is pointed at the current replacement code of any function that
 was already replaced.
+
+Both apply and undo run as explicit named stages (see
+:mod:`repro.pipeline`): apply emits ``load-helpers`` → ``run-pre`` →
+``load-primaries`` → ``plan`` → ``pre-hooks`` → ``stop_machine`` (one
+``stack-check`` child per attempt) → ``post-hooks``; undo emits the
+same ``stop_machine``/``stack-check`` reports around its ``plan``,
+hook, and ``unload`` stages.  Every abort carries a ``stage_context``
+naming the stage, unit/function, and retry count.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from repro.kernel.machine import Machine
 from repro.kernel.modules import LoadedModule
 from repro.kernel.stop_machine import StopMachineReport
 from repro.kernel.threads import Thread
+from repro.pipeline import FAILED, StageReport, Trace
 
 #: default redirection-jump size (k86); the core takes it from ArchInfo
 JUMP_SIZE = DEFAULT_ARCH.jump_size
@@ -73,6 +82,9 @@ class AppliedUpdate:
     stop_report: Optional[StopMachineReport] = None
     stack_check_attempts: int = 0
     reversed: bool = False
+    #: stage reports for the apply run, and (after undo) the undo run
+    trace: Optional[Trace] = None
+    undo_trace: Optional[Trace] = None
 
     @property
     def update_id(self) -> str:
@@ -129,13 +141,21 @@ class KspliceCore:
 
     # -- apply -------------------------------------------------------------------
 
-    def apply(self, pack: UpdatePack) -> AppliedUpdate:
+    def apply(self, pack: UpdatePack,
+              trace: Optional[Trace] = None) -> AppliedUpdate:
         """Apply an update pack; raises (leaving the kernel untouched, or
-        restored) on any of the paper's three failure classes."""
+        restored) on any of the paper's three failure classes.
+
+        ``trace`` receives one stage report per pipeline step (pass the
+        enclosing operation's trace to nest them); without one, the
+        reports land on ``applied.trace``.
+        """
         if pack.update_id in {a.update_id for a in self.applied}:
             raise UpdateStateError(
                 "update %s is already applied" % pack.update_id)
-        applied = AppliedUpdate(pack=pack)
+        trace = trace if trace is not None else Trace(
+            label="apply %s" % pack.update_id)
+        applied = AppliedUpdate(pack=pack, trace=trace)
         helpers: List[LoadedModule] = []
         try:
             matcher = RunPreMatcher(
@@ -143,14 +163,24 @@ class KspliceCore:
                 kallsyms=self.machine.image.kallsyms,
                 candidate_override=self._candidate_override,
                 arch=self.arch)
-            for uu in pack.units:
-                helper = self.machine.loader.load(
-                    uu.helper, resolver=lambda name: 0,
-                    defer_relocations_for=list(uu.helper.sections))
-                helpers.append(helper)
-                applied.helper_bytes += helper.size
-                applied.runpre_results[uu.unit] = matcher.match_unit(
-                    uu.helper)
+            with trace.stage("load-helpers") as rep:
+                for uu in pack.units:
+                    rep.artifacts["unit"] = uu.unit
+                    helper = self.machine.loader.load(
+                        uu.helper, resolver=lambda name: 0,
+                        defer_relocations_for=list(uu.helper.sections))
+                    helpers.append(helper)
+                    applied.helper_bytes += helper.size
+                rep.counters["units"] = len(pack.units)
+                rep.counters["helper_bytes"] = applied.helper_bytes
+
+            with trace.stage("run-pre") as rep:
+                for uu in pack.units:
+                    rep.artifacts["unit"] = uu.unit
+                    result = matcher.match_unit(uu.helper)
+                    applied.runpre_results[uu.unit] = result
+                    rep.count("functions", len(result.matched_functions))
+                    rep.count("symbols", len(result.symbol_values))
 
             # Two-phase primary loading: place every unit's replacement
             # code first (relocations deferred), collect the update-wide
@@ -159,34 +189,44 @@ class KspliceCore:
             # code were linked into a single module.
             from repro.objfile import SymbolBinding
 
-            for uu in pack.units:
-                primary = self.machine.loader.load(
-                    uu.primary, resolver=lambda name: 0,
-                    defer_relocations_for=list(uu.primary.sections))
-                applied.primaries[uu.unit] = primary
-                applied.primary_bytes += primary.size
-            update_exports: Dict[str, int] = {}
-            for uu in pack.units:
-                primary = applied.primaries[uu.unit]
-                for symbol in uu.primary.defined_symbols():
-                    if symbol.binding is SymbolBinding.GLOBAL:
-                        update_exports.setdefault(
-                            symbol.name, primary.symbol_addresses[
-                                symbol.name])
-            for uu in pack.units:
-                primary = applied.primaries[uu.unit]
-                solved = applied.runpre_results[uu.unit].symbol_values
-                resolver = self._primary_resolver(solved, update_exports)
-                for section_name in uu.primary.sections:
-                    self.machine.loader.apply_deferred_relocations(
-                        primary, section_name, resolver)
+            with trace.stage("load-primaries") as rep:
+                for uu in pack.units:
+                    rep.artifacts["unit"] = uu.unit
+                    primary = self.machine.loader.load(
+                        uu.primary, resolver=lambda name: 0,
+                        defer_relocations_for=list(uu.primary.sections))
+                    applied.primaries[uu.unit] = primary
+                    applied.primary_bytes += primary.size
+                update_exports: Dict[str, int] = {}
+                for uu in pack.units:
+                    primary = applied.primaries[uu.unit]
+                    for symbol in uu.primary.defined_symbols():
+                        if symbol.binding is SymbolBinding.GLOBAL:
+                            update_exports.setdefault(
+                                symbol.name, primary.symbol_addresses[
+                                    symbol.name])
+                for uu in pack.units:
+                    rep.artifacts["unit"] = uu.unit
+                    primary = applied.primaries[uu.unit]
+                    solved = applied.runpre_results[uu.unit].symbol_values
+                    resolver = self._primary_resolver(solved,
+                                                      update_exports)
+                    for section_name in uu.primary.sections:
+                        self.machine.loader.apply_deferred_relocations(
+                            primary, section_name, resolver)
+                rep.counters["units"] = len(pack.units)
+                rep.counters["primary_bytes"] = applied.primary_bytes
 
-            self._plan_replacements(pack, applied)
-            run_hooks(self.machine, list(applied.primaries.values()),
-                      ".ksplice_pre_apply")
-            self._install_with_stop_machine(applied)
-            run_hooks(self.machine, list(applied.primaries.values()),
-                      ".ksplice_post_apply")
+            with trace.stage("plan") as rep:
+                self._plan_replacements(pack, applied, rep)
+                rep.counters["replacements"] = len(applied.replaced)
+            with trace.stage("pre-hooks"):
+                run_hooks(self.machine, list(applied.primaries.values()),
+                          ".ksplice_pre_apply")
+            self._install_with_stop_machine(applied, trace)
+            with trace.stage("post-hooks"):
+                run_hooks(self.machine, list(applied.primaries.values()),
+                          ".ksplice_post_apply")
         except Exception:
             self._unload_modules(list(applied.primaries.values()))
             self._unload_modules(helpers)
@@ -199,12 +239,15 @@ class KspliceCore:
         self.applied.append(applied)
         return applied
 
-    def _plan_replacements(self, pack: UpdatePack,
-                           applied: AppliedUpdate) -> None:
+    def _plan_replacements(self, pack: UpdatePack, applied: AppliedUpdate,
+                           rep: Optional[StageReport] = None) -> None:
         for uu in pack.units:
             result = applied.runpre_results[uu.unit]
             primary = applied.primaries[uu.unit]
             for fn_name in uu.changed_functions:
+                if rep is not None:
+                    rep.artifacts["unit"] = uu.unit
+                    rep.artifacts["function"] = fn_name
                 old = result.matched_functions.get(fn_name)
                 if old is None:
                     raise SymbolResolutionError(
@@ -231,13 +274,13 @@ class KspliceCore:
             return helper_symbol.size
         return self.arch.jump_size
 
-    def _install_with_stop_machine(self, applied: AppliedUpdate) -> None:
-        ranges = [(r.old_address, r.old_address + r.run_size)
+    def _install_with_stop_machine(self, applied: AppliedUpdate,
+                                   trace: Trace) -> None:
+        ranges = [(r.old_address, r.old_address + r.run_size, r.name)
                   for r in applied.replaced]
 
-        def attempt() -> bool:
-            offender = self._stack_check(ranges)
-            if offender is not None:
+        def attempt(check: StageReport) -> bool:
+            if not self._stack_check_passes(ranges, check):
                 return False
             for replaced in applied.replaced:
                 self._write_jump(replaced.old_address, replaced.new_address)
@@ -249,30 +292,63 @@ class KspliceCore:
                     self.machine.memory.write_bytes(
                         replaced.old_address, replaced.saved_bytes)
                 raise
+            check.counters["installed"] = len(applied.replaced)
             return True
 
-        self._stop_machine_with_retries(applied, attempt,
-                                        "update %s" % applied.update_id)
+        self._stop_machine_with_retries(
+            applied, attempt, "update %s" % applied.update_id, trace)
 
     def _stop_machine_with_retries(self, applied: AppliedUpdate, attempt,
-                                   what: str) -> None:
-        for try_number in range(self.stack_check_retries):
-            applied.stack_check_attempts = try_number + 1
-            done = self.machine.stop_machine.run(attempt)
-            if done:
-                applied.stop_report = self.machine.stop_machine.last_report
-                return
-            # Give threads a chance to leave the affected functions.
-            self.machine.run(self.retry_run_instructions)
-        raise StackCheckError(
-            "%s: a thread stayed inside an affected function across %d "
-            "stop_machine attempts" % (what, self.stack_check_retries))
+                                   what: str, trace: Trace) -> None:
+        """Shared by apply and undo, so both emit identical
+        ``stop_machine``/``stack-check`` stage reports."""
+        with trace.stage("stop_machine") as rep:
+            rep.artifacts["what"] = what
+            for try_number in range(self.stack_check_retries):
+                applied.stack_check_attempts = try_number + 1
+                rep.counters["attempts"] = try_number + 1
+                with trace.stage("stack-check") as check:
+                    done = self.machine.stop_machine.run(
+                        lambda: attempt(check))
+                if done:
+                    applied.stop_report = \
+                        self.machine.stop_machine.last_report
+                    return
+                # Give threads a chance to leave the affected functions.
+                self.machine.run(self.retry_run_instructions)
+            # Exhausted: surface the last offender on the parent report
+            # so the StackCheckError's stage context names it.
+            if rep.children:
+                for key in ("function", "thread", "unit"):
+                    value = rep.children[-1].artifacts.get(key)
+                    if value:
+                        rep.artifacts[key] = value
+            raise StackCheckError(
+                "%s: a thread stayed inside an affected function across %d "
+                "stop_machine attempts" % (what, self.stack_check_retries))
 
     # -- the stack check (§5.2) -----------------------------------------------
 
-    def _stack_check(self,
-                     ranges: List[Tuple[int, int]]) -> Optional[Thread]:
-        """None if safe, else the offending thread.
+    def _stack_check_passes(self, ranges: List[Tuple[int, int, str]],
+                            check: StageReport) -> bool:
+        """Run the stack check, recording the offender (if any) on the
+        attempt's stage report."""
+        offender = self._stack_check(ranges)
+        if offender is None:
+            return True
+        thread, address, fn_name = offender
+        check.outcome = FAILED
+        check.error = "thread %s holds an address inside %s" \
+            % (thread.name, fn_name)
+        check.artifacts["thread"] = thread.name
+        check.artifacts["function"] = fn_name
+        check.artifacts["address"] = "0x%08x" % address
+        return False
+
+    def _stack_check(self, ranges: List[Tuple[int, int, str]],
+                     ) -> Optional[Tuple[Thread, int, str]]:
+        """None if safe, else ``(thread, address, function)`` for the
+        offending thread.
 
         Conservative: any stack word that *looks like* an address inside
         an affected function counts, exactly like a conservative return-
@@ -282,12 +358,14 @@ class KspliceCore:
             if not thread.alive:
                 continue
             ip = thread.cpu.ip
-            if any(lo <= ip < hi for lo, hi in ranges):
-                return thread
+            for lo, hi, label in ranges:
+                if lo <= ip < hi:
+                    return thread, ip, label
             for word_addr in thread.live_stack_words():
                 value = self.machine.read_u32(word_addr)
-                if any(lo <= value < hi for lo, hi in ranges):
-                    return thread
+                for lo, hi, label in ranges:
+                    if lo <= value < hi:
+                        return thread, value, label
         return None
 
     def _write_jump(self, old_address: int, new_address: int) -> None:
@@ -297,39 +375,59 @@ class KspliceCore:
 
     # -- undo ---------------------------------------------------------------------
 
-    def undo(self, update_id: str) -> AppliedUpdate:
-        """Reverse an applied update (ksplice-undo)."""
+    def undo(self, update_id: str,
+             trace: Optional[Trace] = None) -> AppliedUpdate:
+        """Reverse an applied update (ksplice-undo).
+
+        Emits the same stage reports as :meth:`apply` — ``plan``,
+        hooks, ``stop_machine`` with per-attempt ``stack-check``
+        children — so an undo is as visible to tracing as the apply
+        that preceded it.
+        """
         applied = self._find_applied(update_id)
-        for replaced in applied.replaced:
-            stack = self._replaced_stacks.get((replaced.unit, replaced.name))
-            if not stack or stack[-1] is not replaced:
-                raise UpdateStateError(
-                    "cannot undo %s: function %s was re-patched by a "
-                    "later update" % (update_id, replaced.name))
+        trace = trace if trace is not None else Trace(
+            label="undo %s" % update_id)
+        applied.undo_trace = trace
+        with trace.stage("plan") as rep:
+            rep.counters["replacements"] = len(applied.replaced)
+            for replaced in applied.replaced:
+                rep.artifacts["unit"] = replaced.unit
+                rep.artifacts["function"] = replaced.name
+                stack = self._replaced_stacks.get(
+                    (replaced.unit, replaced.name))
+                if not stack or stack[-1] is not replaced:
+                    raise UpdateStateError(
+                        "cannot undo %s: function %s was re-patched by a "
+                        "later update" % (update_id, replaced.name))
 
         primaries = list(applied.primaries.values())
-        run_hooks(self.machine, primaries, ".ksplice_pre_reverse")
-        ranges = [(r.new_address, r.new_address + r.run_size)
+        with trace.stage("pre-hooks"):
+            run_hooks(self.machine, primaries, ".ksplice_pre_reverse")
+        ranges = [(r.new_address, r.new_address + r.run_size, r.name)
                   for r in applied.replaced]
 
-        def attempt() -> bool:
-            if self._stack_check(ranges) is not None:
+        def attempt(check: StageReport) -> bool:
+            if not self._stack_check_passes(ranges, check):
                 return False
             for replaced in applied.replaced:
                 self.machine.memory.write_bytes(replaced.old_address,
                                                 replaced.saved_bytes)
             run_hooks(self.machine, primaries, ".ksplice_reverse")
+            check.counters["restored"] = len(applied.replaced)
             return True
 
         self._stop_machine_with_retries(applied, attempt,
-                                        "undo %s" % update_id)
-        run_hooks(self.machine, primaries, ".ksplice_post_reverse")
-        self._unload_modules(primaries)
-        for replaced in applied.replaced:
-            self._replaced_stacks[(replaced.unit, replaced.name)].pop()
-        applied.reversed = True
-        applied.primaries.clear()
-        self.applied.remove(applied)
+                                        "undo %s" % update_id, trace)
+        with trace.stage("post-hooks"):
+            run_hooks(self.machine, primaries, ".ksplice_post_reverse")
+        with trace.stage("unload") as rep:
+            rep.counters["modules"] = len(primaries)
+            self._unload_modules(primaries)
+            for replaced in applied.replaced:
+                self._replaced_stacks[(replaced.unit, replaced.name)].pop()
+            applied.reversed = True
+            applied.primaries.clear()
+            self.applied.remove(applied)
         return applied
 
     # -- misc ------------------------------------------------------------------------

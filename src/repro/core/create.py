@@ -1,6 +1,8 @@
 """ksplice-create: turn a source patch into an update pack (§3, §5).
 
-Pipeline (Figure 1 of the paper):
+Pipeline (Figure 1 of the paper), run as explicit named stages (see
+:mod:`repro.pipeline`) — ``patch``, ``build-pre``, ``build-post``,
+``diff`` — each emitting a stage report into the caller's trace:
 
 1. apply the patch to a copy of the tree;
 2. build the touched units twice — original source (*pre*) and patched
@@ -9,6 +11,9 @@ Pipeline (Figure 1 of the paper):
 4. refuse (``DataSemanticsError``) if the patch changes the
    initialization image of persistent data and supplies no hook code;
 5. extract primaries, package helpers, emit the update pack.
+
+Any abort carries a ``stage_context`` naming the stage (and, in the
+diff stage, the unit) that rejected the patch.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.core.update import UnitUpdate, UpdatePack, update_id_for
 from repro.errors import DataSemanticsError, KspliceCreateError
 from repro.kbuild import SourceTree, build_units
 from repro.patch import Patch, count_patch_lines, parse_patch
+from repro.pipeline import Trace
 
 
 @dataclass
@@ -40,34 +46,43 @@ def ksplice_create(tree: SourceTree, patch: Union[Patch, str],
                    options: Optional[CompilerOptions] = None,
                    description: str = "",
                    allow_data_changes: bool = False,
-                   report: Optional[CreateReport] = None) -> UpdatePack:
+                   report: Optional[CreateReport] = None,
+                   trace: Optional[Trace] = None) -> UpdatePack:
     """Construct an update pack from ``tree`` and a unified diff.
 
     ``options`` must describe how the *running* kernel was compiled
     (compiler version, optimization level); the pre/post builds derive
     their function-sections flavour from it.  ``allow_data_changes``
     overrides the data-semantics refusal for callers who know the hook
-    code handles the transition some other way.
+    code handles the transition some other way.  ``trace`` receives one
+    stage report per pipeline step; pass the enclosing operation's
+    trace to nest them under its current stage.
     """
-    patch_text = patch if isinstance(patch, str) else None
-    parsed = parse_patch(patch) if isinstance(patch, str) else patch
-    if not parsed.files:
-        raise KspliceCreateError("patch is empty")
-
+    trace = trace if trace is not None else Trace(label="ksplice-create")
     options = options or CompilerOptions()
     flavor = options.pre_post_flavor()
 
-    post_tree = tree.patched(parsed)
-    changed = tree.changed_units(post_tree)
-    if not changed:
-        raise KspliceCreateError(
-            "patch does not change any compilation unit")
+    with trace.stage("patch") as rep:
+        patch_text = patch if isinstance(patch, str) else None
+        parsed = parse_patch(patch) if isinstance(patch, str) else patch
+        if not parsed.files:
+            raise KspliceCreateError("patch is empty")
+        post_tree = tree.patched(parsed)
+        changed = tree.changed_units(post_tree)
+        rep.counters["files"] = len(parsed.files)
+        rep.counters["changed_units"] = len(changed)
+        if not changed:
+            raise KspliceCreateError(
+                "patch does not change any compilation unit")
 
-    pre_build = build_units(tree, [u for u in changed if u in tree.files],
-                            flavor)
-    post_build = build_units(post_tree,
-                             [u for u in changed if u in post_tree.files],
-                             flavor)
+    with trace.stage("build-pre") as rep:
+        pre_units = [u for u in changed if u in tree.files]
+        rep.counters["units"] = len(pre_units)
+        pre_build = build_units(tree, pre_units, flavor)
+    with trace.stage("build-post") as rep:
+        post_units = [u for u in changed if u in post_tree.files]
+        rep.counters["units"] = len(post_units)
+        post_build = build_units(post_tree, post_units, flavor)
 
     pack = UpdatePack(
         update_id=update_id_for(patch_text or _stable_patch_key(parsed),
@@ -77,45 +92,49 @@ def ksplice_create(tree: SourceTree, patch: Union[Patch, str],
         patch_lines=count_patch_lines(parsed),
     )
 
-    for unit in changed:
-        if unit not in post_tree.files:
-            raise KspliceCreateError(
-                "patch deletes unit %s; removing compiled code from a "
-                "running kernel is not supported" % unit)
-        post_obj = post_build.object_for(unit)
-        if unit not in tree.files:
-            # Entirely new unit: nothing to replace, everything is new.
-            pre_obj = type(post_obj)(name=unit)
-        else:
-            pre_obj = pre_build.object_for(unit)
-        diff = diff_objects(pre_obj, post_obj)
+    with trace.stage("diff") as rep:
+        for unit in changed:
+            rep.artifacts["unit"] = unit
+            if unit not in post_tree.files:
+                raise KspliceCreateError(
+                    "patch deletes unit %s; removing compiled code from a "
+                    "running kernel is not supported" % unit)
+            post_obj = post_build.object_for(unit)
+            if unit not in tree.files:
+                # Entirely new unit: nothing to replace, everything is new.
+                pre_obj = type(post_obj)(name=unit)
+            else:
+                pre_obj = pre_build.object_for(unit)
+            diff = diff_objects(pre_obj, post_obj)
+            if report is not None:
+                report.unit_diffs[unit] = diff
+            if diff.changes_persistent_data and not diff.has_hooks \
+                    and not allow_data_changes:
+                raise DataSemanticsError(
+                    "unit %s: patch changes persistent data (%s); supply "
+                    "ksplice hook code to transform existing state"
+                    % (unit,
+                       ", ".join(diff.changed_data + diff.removed_data)))
+            if not (diff.has_code_changes or diff.has_hooks
+                    or diff.changes_persistent_data):
+                continue  # extraneous-only differences: nothing to ship
+            rep.count("changed_functions", len(diff.changed_functions))
+            rep.count("units_shipped")
+            pack.units.append(UnitUpdate(
+                unit=unit,
+                helper=build_helper_object(pre_obj),
+                primary=build_primary_object(post_obj, diff),
+                changed_functions=list(diff.changed_functions),
+                new_functions=list(diff.new_functions),
+                changed_data=list(diff.changed_data),
+                new_data=list(diff.new_data),
+                hook_sections=list(diff.hook_sections),
+            ))
         if report is not None:
-            report.unit_diffs[unit] = diff
-        if diff.changes_persistent_data and not diff.has_hooks \
-                and not allow_data_changes:
-            raise DataSemanticsError(
-                "unit %s: patch changes persistent data (%s); supply "
-                "ksplice hook code to transform existing state"
-                % (unit, ", ".join(diff.changed_data + diff.removed_data)))
-        if not (diff.has_code_changes or diff.has_hooks
-                or diff.changes_persistent_data):
-            continue  # extraneous-only differences: nothing to ship
-        pack.units.append(UnitUpdate(
-            unit=unit,
-            helper=build_helper_object(pre_obj),
-            primary=build_primary_object(post_obj, diff),
-            changed_functions=list(diff.changed_functions),
-            new_functions=list(diff.new_functions),
-            changed_data=list(diff.changed_data),
-            new_data=list(diff.new_data),
-            hook_sections=list(diff.hook_sections),
-        ))
-
-    if report is not None:
-        report.changed_units = changed
-    if not pack.units:
-        raise KspliceCreateError(
-            "patch produced no object-code changes to ship")
+            report.changed_units = changed
+        if not pack.units:
+            raise KspliceCreateError(
+                "patch produced no object-code changes to ship")
     return pack
 
 

@@ -7,7 +7,16 @@ mismatch abort from a stack-check abort.
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``stage_context`` is attached by the staged pipeline (see
+    :mod:`repro.pipeline`) when the error crosses a stage boundary: it
+    names the stage path, unit, function, and retry count, so callers
+    learn *which* stage rejected an operation, not just that it failed.
+    """
+
+    #: Optional[repro.pipeline.StageContext]; set by Stage.__exit__
+    stage_context = None
 
 
 class AssemblyError(ReproError):

@@ -42,6 +42,7 @@ from repro.evaluation.harness import (
 )
 from repro.evaluation.engine import (
     EngineStats,
+    StageTiming,
     cache_stats,
     clear_caches,
     normalize_result,
@@ -59,6 +60,7 @@ __all__ = [
     "EvaluationReport",
     "ExploitSpec",
     "GeneratedKernel",
+    "StageTiming",
     "Table1Info",
     "VANILLA_VERSIONS",
     "cache_stats",

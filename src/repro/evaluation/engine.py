@@ -39,14 +39,17 @@ from repro.compiler import CompilerOptions
 from repro.compiler.cache import (
     CacheStats,
     ContentCache,
+    active_disk_root,
     cache_stats as _layer_cache_stats,
     clear_caches as _clear_layer_caches,
+    enable_disk_cache,
     register_cache,
 )
 from repro.evaluation.corpus import CORPUS
 from repro.evaluation.kernels import GeneratedKernel, kernel_for_version
 from repro.evaluation.specs import CveSpec
 from repro.kbuild import BuildResult, build_tree
+from repro.pipeline.normalize import normalize_cve_result
 
 #: Run-kernel builds per (version, options).  Generated trees are
 #: immutable per version (``kernel_for_version`` is itself memoized), so
@@ -88,11 +91,32 @@ def cache_stats() -> Dict[str, CacheStats]:
 def normalize_result(result: "CveResult") -> "CveResult":
     """A copy with wall-clock fields zeroed.
 
-    Everything the evaluation records is deterministic except the
-    stop_machine window, which is wall time; comparing normalized
-    results is how "parallel == sequential" is checked.
+    Everything the evaluation records is deterministic except wall
+    time: the stop_machine window and the per-stage trace timings.
+    Both are scrubbed by the one shared helper in
+    :mod:`repro.pipeline.normalize` (also used by
+    ``CveResult.normalized``); comparing normalized results is how
+    "parallel == sequential" is checked.
     """
-    return replace(result, stop_ms=0.0)
+    return normalize_cve_result(result)
+
+
+@dataclass
+class StageTiming:
+    """Aggregate cost of one pipeline stage across a corpus run."""
+
+    calls: int = 0
+    wall_ms: float = 0.0
+    failures: int = 0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.wall_ms / self.calls if self.calls else 0.0
+
+    def merge(self, other: "StageTiming") -> None:
+        self.calls += other.calls
+        self.wall_ms += other.wall_ms
+        self.failures += other.failures
 
 
 @dataclass
@@ -109,6 +133,9 @@ class EngineStats:
     #: per-cache counters; for parallel runs these are the summed deltas
     #: reported by the workers, for sequential runs the parent's deltas
     caches: Dict[str, CacheStats] = field(default_factory=dict)
+    #: per-stage timings summed over every CVE's trace (top-level
+    #: stages: generate/build/boot/create/apply/stress/...)
+    stages: Dict[str, StageTiming] = field(default_factory=dict)
 
     @property
     def cves_per_second(self) -> float:
@@ -120,21 +147,34 @@ class EngineStats:
             total.merge(stats)
         return total
 
+    def record_trace(self, trace) -> None:
+        """Fold one CVE's top-level stage reports into the totals."""
+        if trace is None:
+            return
+        for report in trace.reports:
+            timing = self.stages.setdefault(report.name, StageTiming())
+            timing.calls += 1
+            timing.wall_ms += report.wall_ms
+            if report.outcome == "failed":
+                timing.failures += 1
 
-def _stats_snapshot() -> Dict[str, Tuple[int, int, int, int]]:
-    return {name: (s.hits, s.misses, s.evictions, s.bytes_cached)
+
+def _stats_snapshot() -> Dict[str, Tuple[int, ...]]:
+    return {name: (s.hits, s.misses, s.evictions, s.bytes_cached,
+                   s.disk_hits)
             for name, s in _layer_cache_stats().items()}
 
 
-def _stats_delta(before: Dict[str, Tuple[int, int, int, int]],
+def _stats_delta(before: Dict[str, Tuple[int, ...]],
                  ) -> Dict[str, CacheStats]:
     delta: Dict[str, CacheStats] = {}
     for name, stats in _layer_cache_stats().items():
-        h0, m0, e0, b0 = before.get(name, (0, 0, 0, 0))
+        h0, m0, e0, b0, d0 = before.get(name, (0, 0, 0, 0, 0))
         delta[name] = CacheStats(hits=stats.hits - h0,
                                  misses=stats.misses - m0,
                                  evictions=stats.evictions - e0,
-                                 bytes_cached=stats.bytes_cached - b0)
+                                 bytes_cached=stats.bytes_cached - b0,
+                                 disk_hits=stats.disk_hits - d0)
     return delta
 
 
@@ -144,18 +184,23 @@ def _merge_stats_into(target: Dict[str, CacheStats],
         target.setdefault(name, CacheStats()).merge(stats)
 
 
-def _evaluate_group(payload: Tuple[str, List[CveSpec], bool, bool]):
+def _evaluate_group(payload: Tuple[str, List[CveSpec], bool, bool,
+                                   Optional[str]]):
     """Worker entry point: evaluate one kernel version's CVEs in order.
 
     Grouping by version means this process builds the version's run
     kernel exactly once (run-build cache, warm after the first CVE) and
-    shares parse/compile cache entries across the group.  Returns the
-    results plus this group's cache-stats delta so the parent can
-    aggregate counters across processes.
+    shares parse/compile cache entries across the group.  Workers start
+    with cold memory tiers; when the parent has a disk tier enabled its
+    root rides along in the payload so the worker starts warm from it.
+    Returns the results plus this group's cache-stats delta so the
+    parent can aggregate counters across processes.
     """
     from repro.evaluation.harness import evaluate_cve
 
-    _version, specs, run_stress, verify_undo = payload
+    _version, specs, run_stress, verify_undo, disk_root = payload
+    if disk_root:
+        enable_disk_cache(disk_root)
     before = _stats_snapshot()
     results = [evaluate_cve(spec, run_stress=run_stress,
                             verify_undo=verify_undo)
@@ -208,9 +253,10 @@ def _evaluate_parallel(specs: Sequence[CveSpec], run_stress: bool,
         with ProcessPoolExecutor(
                 max_workers=min(jobs, len(groups))) as pool:
             futures = {}
+            disk_root = active_disk_root()
             for version, indices in groups:
                 payload = (version, [specs[i] for i in indices],
-                           run_stress, verify_undo)
+                           run_stress, verify_undo, disk_root)
                 futures[pool.submit(_evaluate_group, payload)] = indices
             for future in as_completed(futures):
                 group_results, cache_delta = future.result()
@@ -259,4 +305,6 @@ def evaluate_corpus(specs: Optional[Sequence[CveSpec]] = None,
                                        progress)
         _merge_stats_into(stats.caches, _stats_delta(before))
     stats.wall_seconds = time.perf_counter() - start
+    for result in results:
+        stats.record_trace(getattr(result, "trace", None))
     return EvaluationReport(results=results)

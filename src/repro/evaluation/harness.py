@@ -38,6 +38,8 @@ from repro.evaluation.stress import StressReport, run_stress_battery
 from repro.kbuild import BuildResult
 from repro.kernel import Machine, boot_kernel
 from repro.patch import parse_patch
+from repro.pipeline import Trace
+from repro.pipeline.normalize import normalize_cve_result
 
 
 @dataclass
@@ -79,6 +81,17 @@ class CveResult:
     stack_check_attempts: int = 0
     #: set when verify_undo ran: ksplice-undo restored the old behaviour
     undo_ok: Optional[bool] = None
+    #: stage path that aborted the evaluation (e.g. "apply/stop_machine")
+    failed_stage: str = ""
+    #: per-stage reports for this CVE's run through the pipeline
+    trace: Optional[Trace] = None
+
+    def normalized(self) -> "CveResult":
+        """A copy with every wall-clock field zeroed (``stop_ms`` and
+        the trace timings), via the one shared scrubber in
+        :mod:`repro.pipeline.normalize` — identical to
+        ``engine.normalize_result``, so comparisons cannot drift."""
+        return normalize_cve_result(self)
 
     @property
     def success(self) -> bool:
@@ -149,38 +162,51 @@ def _unit_function_names(kernel: GeneratedKernel,
 
 
 def evaluate_cve(spec: CveSpec, run_stress: bool = True,
-                 verify_undo: bool = False) -> CveResult:
+                 verify_undo: bool = False,
+                 trace: Optional[Trace] = None) -> CveResult:
     """Full §6.2 evaluation of one corpus entry.
 
-    ``verify_undo`` additionally reverses the update afterwards and
-    checks the original behaviour returns (skipped for Table-1 entries,
-    whose hook code deliberately mutated persistent state).
+    Runs as named stages — ``generate``, ``build``, ``boot``,
+    ``observe-pre``, ``create``, ``apply``, ``observe-post``,
+    ``stress``, ``undo`` — whose reports land on ``result.trace`` (the
+    core's load/run-pre/stop_machine reports nest under ``create`` and
+    ``apply``).  ``verify_undo`` additionally reverses the update
+    afterwards and checks the original behaviour returns (skipped for
+    Table-1 entries, whose hook code deliberately mutated persistent
+    state).
     """
-    kernel = kernel_for_version(spec.kernel_version)
+    trace = trace if trace is not None else Trace(label=spec.cve_id)
     result = CveResult(cve_id=spec.cve_id,
                        kernel_version=spec.kernel_version,
                        declared_inline=spec.declared_inline,
-                       is_asm=spec.is_asm)
+                       is_asm=spec.is_asm,
+                       trace=trace)
 
-    original_patch = kernel.patch_for(spec.cve_id, augmented=False)
-    parsed = parse_patch(original_patch)
-    result.patch_lines = max(parsed.added(), parsed.removed())
-
-    machine, run_build = _boot(kernel)
+    with trace.stage("generate") as rep:
+        kernel = kernel_for_version(spec.kernel_version)
+        rep.counters["units"] = len(kernel.tree.files)
+    with trace.stage("build") as rep:
+        run_build = _run_build(kernel)
+        rep.counters["units"] = len(kernel.tree.files)
+    with trace.stage("boot"):
+        machine = boot_kernel(kernel.tree, build=run_build)
     core = KspliceCore(machine)
 
     # -- pre-update observations ------------------------------------------
-    if spec.exploit is not None:
-        value = machine.run_user_program(kernel.exploit_source(spec),
-                                         name="exploit-pre")
-        result.exploit_worked_before = \
-            value == spec.exploit.escalated_value
-        machine, _ = _boot(kernel)  # fresh machine: undo the escalation
-        core = KspliceCore(machine)
-    if spec.probe is not None:
-        probe_machine, _ = _boot(kernel)
-        value = _run_probe(probe_machine, spec.probe)
-        result.probe_pre_ok = value == spec.probe.pre
+    with trace.stage("observe-pre") as rep:
+        if spec.exploit is not None:
+            value = machine.run_user_program(kernel.exploit_source(spec),
+                                             name="exploit-pre")
+            result.exploit_worked_before = \
+                value == spec.exploit.escalated_value
+            rep.count("exploit_runs")
+            machine, _ = _boot(kernel)  # fresh machine: undo the escalation
+            core = KspliceCore(machine)
+        if spec.probe is not None:
+            probe_machine, _ = _boot(kernel)
+            value = _run_probe(probe_machine, spec.probe)
+            result.probe_pre_ok = value == spec.probe.pre
+            rep.count("probe_runs")
 
     # -- does the original patch suffice, or is custom code needed? -------
     result.needs_new_code = spec.table1 is not None
@@ -189,14 +215,21 @@ def evaluate_cve(spec: CveSpec, run_stress: bool = True,
         result.table1_reason = spec.table1.reason
 
     # -- create + apply (augmented patch when custom code exists) ----------
-    patch = kernel.patch_for(spec.cve_id,
-                             augmented=spec.table1 is not None)
     create_report = CreateReport()
     try:
-        pack = ksplice_create(kernel.tree, patch,
-                              description=spec.description,
-                              report=create_report)
-        applied = core.apply(pack)
+        with trace.stage("create") as rep:
+            original_patch = kernel.patch_for(spec.cve_id, augmented=False)
+            parsed = parse_patch(original_patch)
+            result.patch_lines = max(parsed.added(), parsed.removed())
+            patch = kernel.patch_for(spec.cve_id,
+                                     augmented=spec.table1 is not None)
+            pack = ksplice_create(kernel.tree, patch,
+                                  description=spec.description,
+                                  report=create_report, trace=trace)
+            rep.counters["units"] = len(pack.units)
+        with trace.stage("apply") as rep:
+            applied = core.apply(pack, trace=trace)
+            rep.counters["replacements"] = len(applied.replaced)
         result.applied_cleanly = True
         result.replaced_functions = pack.all_changed_functions()
         result.helper_bytes = applied.helper_bytes
@@ -207,6 +240,12 @@ def evaluate_cve(spec: CveSpec, run_stress: bool = True,
     except (KspliceError, RunPreMismatchError, SymbolResolutionError,
             StackCheckError) as exc:
         result.apply_error = "%s: %s" % (type(exc).__name__, exc)
+        result.failed_stage = (exc.stage_context.stage
+                               if exc.stage_context is not None
+                               else trace.failed_stage())
+        for name in ("apply", "stress"):
+            if trace.find(name) is None:
+                trace.skip(name, "aborted in %s" % result.failed_stage)
         return result
 
     # -- measured §6.3 statistics -------------------------------------------
@@ -224,31 +263,42 @@ def evaluate_cve(spec: CveSpec, run_stress: bool = True,
                 result.ambiguous_symbol = True
 
     # -- post-update observations ----------------------------------------
-    if spec.exploit is not None:
-        value = machine.run_user_program(kernel.exploit_source(spec),
-                                         name="exploit-post")
-        result.exploit_blocked_after = \
-            value in spec.exploit.blocked_values
-    if spec.probe is not None:
-        value = _run_probe(machine, spec.probe)
-        result.probe_post_ok = value == spec.probe.post
-        if spec.health is not None and result.probe_post_ok:
-            health = _run_probe(machine, spec.health)
-            result.probe_post_ok = health == spec.health.post
+    with trace.stage("observe-post") as rep:
+        if spec.exploit is not None:
+            value = machine.run_user_program(kernel.exploit_source(spec),
+                                             name="exploit-post")
+            result.exploit_blocked_after = \
+                value in spec.exploit.blocked_values
+            rep.count("exploit_runs")
+        if spec.probe is not None:
+            value = _run_probe(machine, spec.probe)
+            result.probe_post_ok = value == spec.probe.post
+            rep.count("probe_runs")
+            if spec.health is not None and result.probe_post_ok:
+                health = _run_probe(machine, spec.health)
+                result.probe_post_ok = health == spec.health.post
 
     if run_stress:
-        stress = run_stress_battery(machine)
-        result.stress_ok = stress.passed
-        result.stress_failures = stress.failures
+        with trace.stage("stress") as rep:
+            stress = run_stress_battery(machine)
+            result.stress_ok = stress.passed
+            result.stress_failures = stress.failures
+            rep.counters["programs"] = stress.programs_run
+            rep.counters["failures"] = len(stress.failures)
     else:
+        trace.skip("stress", "disabled")
         result.stress_ok = True
 
     if verify_undo and spec.table1 is None:
         try:
-            core.undo(pack.update_id)
+            with trace.stage("undo"):
+                core.undo(pack.update_id, trace=trace)
         except KspliceError as exc:
             result.undo_ok = False
             result.apply_error = "undo failed: %s" % exc
+            result.failed_stage = (exc.stage_context.stage
+                                   if exc.stage_context is not None
+                                   else trace.failed_stage())
             return result
         if spec.probe is not None:
             result.undo_ok = _run_probe(machine, spec.probe) == \

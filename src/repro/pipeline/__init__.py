@@ -1,0 +1,51 @@
+"""The staged update lifecycle (pipeline, tracing, failure reports).
+
+The Ksplice flow — generate → build → boot → create (patch, pre/post
+builds, object diff, packaging) → apply (load, run-pre, plan,
+stop_machine/stack-check, install) → stress — runs as explicit named
+stages.  Each stage emits a :class:`StageReport`; a :class:`Trace`
+collects them as a tree per lifecycle run; aborts carry a
+:class:`StageContext` on the raised error naming the stage, unit,
+function, and retry count; and :mod:`repro.pipeline.normalize` is the
+single place wall-clock state is scrubbed for deterministic
+comparisons.  :mod:`repro.pipeline.store` persists the last run's
+traces for the CLI ``trace`` view.
+"""
+
+from repro.pipeline.stage import (
+    FAILED,
+    OK,
+    SKIPPED,
+    Stage,
+    StageContext,
+    StageReport,
+)
+from repro.pipeline.trace import Trace
+from repro.pipeline.normalize import (
+    normalize_cve_result,
+    scrub_report,
+    scrub_trace,
+)
+from repro.pipeline.store import (
+    cache_root,
+    default_trace_path,
+    load_run,
+    save_run,
+)
+
+__all__ = [
+    "FAILED",
+    "OK",
+    "SKIPPED",
+    "Stage",
+    "StageContext",
+    "StageReport",
+    "Trace",
+    "cache_root",
+    "default_trace_path",
+    "load_run",
+    "normalize_cve_result",
+    "save_run",
+    "scrub_report",
+    "scrub_trace",
+]

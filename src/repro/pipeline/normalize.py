@@ -1,0 +1,45 @@
+"""Wall-clock normalization, in one place.
+
+"Parallel results are byte-identical to sequential" is checked by
+comparing results after stripping everything that is wall time and
+nothing else.  Exactly two things qualify: a ``CveResult``'s ``stop_ms``
+(the measured stop_machine window) and every ``wall_ms`` in its trace.
+This module is the single scrubber both
+``evaluation.engine.normalize_result`` and the harness's
+``CveResult.normalized()`` delegate to, so trace timings and comparison
+results cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Optional
+
+from repro.pipeline.stage import StageReport
+from repro.pipeline.trace import Trace
+
+
+def scrub_report(report: StageReport) -> StageReport:
+    """A copy of ``report`` with every wall time zeroed, recursively."""
+    return replace(report, wall_ms=0.0,
+                   children=[scrub_report(c) for c in report.children])
+
+
+def scrub_trace(trace: Optional[Trace]) -> Optional[Trace]:
+    """A copy of ``trace`` with every stage's wall time zeroed."""
+    if trace is None:
+        return None
+    return Trace(label=trace.label, root=scrub_report(trace.root))
+
+
+def normalize_cve_result(result: Any) -> Any:
+    """A copy of a ``CveResult`` with all wall-clock state zeroed.
+
+    Works on any dataclass with a ``stop_ms`` field and an optional
+    ``trace`` field (kept duck-typed so this module does not import the
+    evaluation package).
+    """
+    kwargs: dict = {"stop_ms": 0.0}
+    if getattr(result, "trace", None) is not None:
+        kwargs["trace"] = scrub_trace(result.trace)
+    return replace(result, **kwargs)

@@ -1,0 +1,64 @@
+"""Persisting the last run's traces (the CLI ``trace`` view).
+
+``repro evaluate`` and ``repro demo`` save their traces here;
+``repro trace`` reads them back, so the per-stage breakdown of the last
+run survives the process that produced it.  The file lives under the
+shared cache root (``REPRO_CACHE_DIR``, default ``~/.cache/
+repro-ksplice``) — the same root the disk cache tier uses — or wherever
+``REPRO_TRACE_FILE`` points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.pipeline.trace import Trace
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+TRACE_FILE_ENV = "REPRO_TRACE_FILE"
+
+
+def cache_root() -> str:
+    """The shared on-disk root for caches and the last-run trace."""
+    return os.environ.get(CACHE_DIR_ENV) or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-ksplice")
+
+
+def default_trace_path() -> str:
+    return os.environ.get(TRACE_FILE_ENV) or os.path.join(
+        cache_root(), "last-trace.json")
+
+
+def save_run(traces: List[Trace], meta: Optional[Dict[str, object]] = None,
+             path: Optional[str] = None) -> str:
+    """Write a run's traces as JSON; returns the path written."""
+    path = path or default_trace_path()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    payload = {"meta": meta or {},
+               "traces": [trace.to_dict() for trace in traces]}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+    return path
+
+
+def load_run(path: Optional[str] = None,
+             ) -> Tuple[Dict[str, object], List[Trace]]:
+    """Read the last saved run back; raises ReproError when absent."""
+    path = path or default_trace_path()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ReproError("no saved trace at %s (run `repro evaluate` "
+                         "or `repro demo` first)" % path)
+    except (OSError, ValueError) as exc:
+        raise ReproError("cannot read trace file %s: %s" % (path, exc))
+    traces = [Trace.from_dict(t) for t in payload.get("traces", [])]
+    return payload.get("meta", {}), traces

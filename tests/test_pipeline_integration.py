@@ -1,0 +1,281 @@
+"""Integration tests: the staged lifecycle through create/apply/undo
+and the evaluation harness."""
+
+import pytest
+
+from repro.core import KspliceCore, ksplice_create
+from repro.errors import KspliceCreateError, StackCheckError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+from repro.pipeline import SKIPPED, Trace
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 1
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+.section .data
+sys_call_table:
+    .word sys_nanosleep
+"""
+
+SCHED_C = """
+int jiffies;
+int sched_drain;
+
+int schedule(void) {
+    jiffies++;
+    __sched();
+    return 0;
+}
+
+int sys_nanosleep(int ticks, int b, int c) {
+    int i = 0;
+    while (i < ticks) {
+        if (sched_drain) { return -11; }
+        i++;
+        schedule();
+    }
+    return i;
+}
+"""
+
+TREE = SourceTree(version="pipeline-test", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/sched.c": SCHED_C,
+})
+
+PATCHED_SCHED = SCHED_C.replace(
+    "    jiffies++;\n    __sched();",
+    "    jiffies++;\n    jiffies = jiffies + 0;\n    __sched();")
+
+
+def _patch_text(new_sched):
+    files = dict(TREE.files)
+    files["kernel/sched.c"] = new_sched
+    return make_patch(TREE.files, files)
+
+
+def _sleeper(machine):
+    thread = machine.load_user_program(
+        "int main(void) { return __syscall(0, 100000000, 0, 0); }",
+        name="sleeper")
+    machine.run(max_instructions=2_000)
+    assert thread.alive
+    return thread
+
+
+def test_create_emits_named_stages():
+    trace = Trace(label="create")
+    ksplice_create(TREE, _patch_text(PATCHED_SCHED), trace=trace)
+    assert [r.name for r in trace.reports] == \
+        ["patch", "build-pre", "build-post", "diff"]
+    assert trace.find("patch").counters["changed_units"] == 1
+    assert trace.find("diff").counters["units_shipped"] == 1
+    assert trace.find("diff").counters["changed_functions"] >= 1
+
+
+def test_create_abort_carries_patch_stage_context():
+    with pytest.raises(KspliceCreateError) as excinfo:
+        ksplice_create(TREE, _patch_text(SCHED_C))  # no-op patch
+    context = excinfo.value.stage_context
+    assert context is not None
+    assert context.stage == "patch"
+
+
+def test_apply_emits_named_stages_with_counters():
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    pack = ksplice_create(TREE, _patch_text(PATCHED_SCHED))
+    applied = core.apply(pack)
+    trace = applied.trace
+    assert [r.name for r in trace.reports] == \
+        ["load-helpers", "run-pre", "load-primaries", "plan",
+         "pre-hooks", "stop_machine", "post-hooks"]
+    assert trace.find("run-pre").counters["functions"] >= 1
+    assert trace.find("plan").counters["replacements"] >= 1
+    stop = trace.find("stop_machine")
+    assert stop.counters["attempts"] == 1
+    checks = [c for c in stop.children if c.name == "stack-check"]
+    assert len(checks) == 1
+    assert checks[0].counters["installed"] == len(applied.replaced)
+
+
+def test_stack_check_exhaustion_attaches_stage_context():
+    """Satellite: retry exhaustion must name the stage, the function
+    that stayed on a stack, and the retry count on the raised error."""
+    retries = 3
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine, stack_check_retries=retries,
+                       retry_run_instructions=2_000)
+    _sleeper(machine)
+    pack = ksplice_create(TREE, _patch_text(PATCHED_SCHED))
+    trace = Trace(label="doomed")
+    with pytest.raises(StackCheckError) as excinfo:
+        core.apply(pack, trace=trace)
+    context = excinfo.value.stage_context
+    assert context is not None
+    assert context.stage == "stop_machine"
+    assert context.retries == retries
+    assert context.function == "schedule"
+
+    stop = trace.find("stop_machine")
+    assert stop.outcome == "failed"
+    assert stop.counters["attempts"] == retries
+    checks = [c for c in stop.children if c.name == "stack-check"]
+    assert len(checks) == retries
+    for check in checks:
+        assert check.outcome == "failed"
+        assert check.artifacts["function"] == "schedule"
+        assert check.artifacts["thread"] == "sleeper"
+
+
+def test_undo_emits_same_stage_reports_as_apply():
+    """Satellite: ksplice-undo runs through the same staged
+    stop_machine/stack-check machinery as apply."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    pack = ksplice_create(TREE, _patch_text(PATCHED_SCHED))
+    applied = core.apply(pack)
+    core.undo(pack.update_id)
+    trace = applied.undo_trace
+    assert trace is not None
+    assert [r.name for r in trace.reports] == \
+        ["plan", "pre-hooks", "stop_machine", "post-hooks", "unload"]
+    stop = trace.find("stop_machine")
+    assert stop.counters["attempts"] >= 1
+    checks = [c for c in stop.children if c.name == "stack-check"]
+    assert checks and checks[-1].counters["restored"] == \
+        len(applied.replaced)
+    assert trace.find("unload").counters["modules"] == len(pack.units)
+
+
+def test_nested_traces_share_one_tree():
+    """Core stages nest under the caller's open stage, so one trace
+    tells the whole create+apply story."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    trace = Trace(label="combined")
+    with trace.stage("create"):
+        pack = ksplice_create(TREE, _patch_text(PATCHED_SCHED),
+                              trace=trace)
+    with trace.stage("apply"):
+        core.apply(pack, trace=trace)
+    assert trace.find("create/diff") is not None
+    assert trace.find("apply/run-pre") is not None
+    assert trace.find("apply/stop_machine/stack-check") is not None
+    assert [r.name for r in trace.reports] == ["create", "apply"]
+
+
+def test_evaluate_cve_records_full_stage_sequence():
+    from repro.evaluation import CORPUS, clear_caches
+    from repro.evaluation.harness import evaluate_cve
+
+    clear_caches()
+    result = evaluate_cve(CORPUS[0], run_stress=False)
+    assert result.success
+    trace = result.trace
+    names = [r.name for r in trace.reports]
+    for stage in ("generate", "build", "boot", "observe-pre", "create",
+                  "apply", "stress"):
+        assert stage in names, names
+    assert trace.find("stress").outcome == SKIPPED  # run_stress=False
+    assert trace.find("create/diff") is not None
+    assert trace.find("apply/stop_machine") is not None
+    assert result.failed_stage == ""
+
+
+def test_engine_stats_aggregate_per_stage_timings():
+    from repro.evaluation import clear_caches
+    from repro.evaluation.corpus import CORPUS
+    from repro.evaluation.engine import EngineStats, evaluate_corpus
+
+    clear_caches()
+    stats = EngineStats()
+    report = evaluate_corpus(CORPUS[:2], run_stress=False, stats=stats)
+    assert report.total() == 2
+    for stage in ("generate", "build", "boot", "create", "apply"):
+        assert stats.stages[stage].calls == 2
+        assert stats.stages[stage].failures == 0
+        assert stats.stages[stage].wall_ms >= 0.0
+    # the skipped stress stages are visible too
+    assert stats.stages["stress"].calls == 2
+
+
+def test_parallel_traces_normalize_identically():
+    from repro.evaluation import clear_caches, normalize_result
+    from repro.evaluation.corpus import CORPUS
+    from repro.evaluation.engine import EngineStats, evaluate_corpus
+
+    specs = CORPUS[:4]
+    clear_caches()
+    sequential = evaluate_corpus(specs, run_stress=False)
+    clear_caches()
+    stats = EngineStats()
+    parallel = evaluate_corpus(specs, run_stress=False, jobs=2,
+                               stats=stats)
+    assert [normalize_result(r) for r in parallel.results] == \
+        [normalize_result(r) for r in sequential.results]
+    for r in parallel.results:
+        assert r.trace is not None  # traces survive pickling
+
+
+def test_trace_cli_renders_saved_run(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    from repro.pipeline import save_run
+    from repro.pipeline.store import TRACE_FILE_ENV
+
+    monkeypatch.setenv(TRACE_FILE_ENV, str(tmp_path / "trace.json"))
+    trace = Trace(label="CVE-2008-0001")
+    with trace.stage("apply"):
+        with trace.stage("stop_machine"):
+            pass
+    save_run([trace], meta={"command": "evaluate"})
+
+    assert main(["trace"]) == 0
+    out = capsys.readouterr().out
+    assert "apply" in out
+
+    assert main(["trace", "--cve", "CVE-2008-0001"]) == 0
+    out = capsys.readouterr().out
+    assert "stop_machine" in out
+
+    assert main(["trace", "--cve", "CVE-none"]) == 1
+
+
+def test_evaluate_cli_prints_stage_table(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    from repro.evaluation import clear_caches
+    from repro.pipeline.store import TRACE_FILE_ENV
+
+    monkeypatch.setenv(TRACE_FILE_ENV, str(tmp_path / "trace.json"))
+    clear_caches()
+    rc = main(["evaluate", "--quick", "--limit", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-stage wall time" in out
+    for stage in ("generate", "build", "boot", "create", "apply",
+                  "stress"):
+        assert stage in out
+    assert (tmp_path / "trace.json").exists()
+
+    # and the saved run is viewable
+    assert main(["trace"]) == 0
+    assert "generate" in capsys.readouterr().out

@@ -1,0 +1,193 @@
+"""Unit tests for the staged-lifecycle pipeline (repro.pipeline)."""
+
+import json
+
+import pytest
+
+from repro.errors import KspliceCreateError, ReproError
+from repro.pipeline import (
+    FAILED,
+    OK,
+    SKIPPED,
+    StageContext,
+    StageReport,
+    Trace,
+    load_run,
+    normalize_cve_result,
+    save_run,
+    scrub_trace,
+)
+
+
+def test_stage_records_outcome_timing_and_counters():
+    trace = Trace(label="t")
+    with trace.stage("build") as rep:
+        rep.count("units", 3)
+        rep.artifacts["unit"] = "kernel/sched.c"
+    assert [r.name for r in trace.reports] == ["build"]
+    report = trace.find("build")
+    assert report.outcome == OK
+    assert report.wall_ms >= 0.0
+    assert report.counters == {"units": 3}
+    assert report.artifacts == {"unit": "kernel/sched.c"}
+    assert trace._stack == []  # every stage exited
+
+
+def test_stages_nest_by_lexical_scope():
+    trace = Trace()
+    with trace.stage("apply"):
+        with trace.stage("run-pre") as rep:
+            rep.count("functions")
+        with trace.stage("stop_machine"):
+            with trace.stage("stack-check"):
+                pass
+    assert trace.find("apply/run-pre") is not None
+    assert trace.find("apply/stop_machine/stack-check") is not None
+    assert trace.find("run-pre") is None  # not top-level
+    paths = [path for path, _ in trace.walk()]
+    assert paths == ["apply", "apply/run-pre", "apply/stop_machine",
+                     "apply/stop_machine/stack-check"]
+
+
+def test_exception_marks_stage_failed_and_attaches_context():
+    trace = Trace()
+    with pytest.raises(KspliceCreateError) as excinfo:
+        with trace.stage("create"):
+            with trace.stage("diff") as rep:
+                rep.artifacts["unit"] = "fs/file.c"
+                rep.counters["attempts"] = 2
+                raise KspliceCreateError("nope")
+    context = excinfo.value.stage_context
+    assert isinstance(context, StageContext)
+    # The innermost stage wins and the path is slash-joined.
+    assert context.stage == "create/diff"
+    assert context.unit == "fs/file.c"
+    assert context.retries == 2
+    assert trace.find("create").outcome == FAILED
+    assert trace.find("create/diff").outcome == FAILED
+    assert "nope" in trace.find("create/diff").error
+    assert trace.failed_stage() == "create/diff"
+
+
+def test_outer_stage_does_not_overwrite_inner_context():
+    trace = Trace()
+    with pytest.raises(ReproError) as excinfo:
+        with trace.stage("outer"):
+            with trace.stage("inner"):
+                raise ReproError("inner abort")
+    assert excinfo.value.stage_context.stage == "outer/inner"
+
+
+def test_stage_context_describe():
+    context = StageContext(stage="apply/stop_machine", unit="kernel/sched.c",
+                           function="schedule", retries=3)
+    text = context.describe()
+    assert "apply/stop_machine" in text
+    assert "schedule" in text
+    assert "attempt 3" in text
+
+
+def test_skip_records_skipped_report():
+    trace = Trace()
+    trace.skip("stress", "disabled")
+    report = trace.find("stress")
+    assert report.outcome == SKIPPED
+    assert report.error == "disabled"
+    assert trace.failed_stage() == ""
+
+
+def test_trace_dict_roundtrip_is_json_safe():
+    trace = Trace(label="CVE-x")
+    with trace.stage("apply") as rep:
+        rep.count("replacements", 2)
+        rep.artifacts["unit"] = "u.c"
+        with trace.stage("stack-check"):
+            pass
+    trace.skip("stress", "disabled")
+    data = json.loads(json.dumps(trace.to_dict()))
+    back = Trace.from_dict(data)
+    assert back.label == "CVE-x"
+    assert back.find("apply").counters == {"replacements": 2}
+    assert back.find("apply/stack-check") is not None
+    assert back.find("stress").outcome == SKIPPED
+    assert scrub_trace(back) == scrub_trace(trace)
+
+
+def test_scrub_trace_zeroes_wall_time_recursively():
+    trace = Trace()
+    with trace.stage("apply"):
+        with trace.stage("stack-check"):
+            pass
+    trace.find("apply").wall_ms = 12.5
+    trace.find("apply/stack-check").wall_ms = 3.5
+    scrubbed = scrub_trace(trace)
+    assert scrubbed.find("apply").wall_ms == 0.0
+    assert scrubbed.find("apply/stack-check").wall_ms == 0.0
+    # the original is untouched
+    assert trace.find("apply").wall_ms == 12.5
+
+
+def test_stage_totals_and_stage_ms():
+    trace = Trace()
+    with trace.stage("build"):
+        pass
+    with trace.stage("apply"):
+        pass
+    trace.find("build").wall_ms = 5.0
+    trace.find("apply").wall_ms = 7.0
+    assert trace.stage_totals() == {"build": 5.0, "apply": 7.0}
+    assert trace.stage_ms("apply") == 7.0
+    assert trace.stage_ms("missing") == 0.0
+
+
+def test_render_names_stages_and_marks_failures():
+    trace = Trace(label="run")
+    with pytest.raises(ReproError):
+        with trace.stage("apply"):
+            raise ReproError("boom")
+    text = trace.render()
+    assert "run" in text
+    assert "apply" in text
+    assert "failed" in text
+    assert "boom" in text
+
+
+def test_normalize_cve_result_scrubs_stop_ms_and_trace():
+    from repro.evaluation.harness import CveResult
+
+    trace = Trace(label="CVE-y")
+    with trace.stage("apply"):
+        pass
+    trace.find("apply").wall_ms = 9.0
+    result = CveResult(cve_id="CVE-y", kernel_version="v", stop_ms=1.25,
+                       trace=trace)
+    normalized = normalize_cve_result(result)
+    assert normalized.stop_ms == 0.0
+    assert normalized.trace.find("apply").wall_ms == 0.0
+    assert result.stop_ms == 1.25  # original untouched
+    # both spellings share the scrubber
+    assert result.normalized() == normalized
+
+
+def test_save_and_load_run_roundtrip(tmp_path, monkeypatch):
+    from repro.pipeline.store import TRACE_FILE_ENV, default_trace_path
+
+    path = tmp_path / "runs" / "last-trace.json"
+    monkeypatch.setenv(TRACE_FILE_ENV, str(path))
+    assert default_trace_path() == str(path)
+
+    trace = Trace(label="CVE-z")
+    with trace.stage("build"):
+        pass
+    written = save_run([trace], meta={"command": "evaluate"})
+    assert written == str(path)
+    meta, traces = load_run()
+    assert meta == {"command": "evaluate"}
+    assert len(traces) == 1
+    assert traces[0].label == "CVE-z"
+    assert traces[0].find("build") is not None
+
+
+def test_load_run_missing_file_raises(tmp_path):
+    with pytest.raises(ReproError):
+        load_run(str(tmp_path / "nothing.json"))
