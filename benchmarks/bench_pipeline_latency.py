@@ -15,7 +15,6 @@ from repro.evaluation import corpus_by_id
 from repro.evaluation.kernels import kernel_for_version
 from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel
-from repro.patch import make_patch
 
 SPEC = None
 

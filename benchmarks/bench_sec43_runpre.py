@@ -12,7 +12,6 @@ Three claims:
 * Matching is cheap enough to run at update time.
 """
 
-import pytest
 
 from repro.compiler import CompilerOptions
 from repro.core.runpre import RunPreMatcher

@@ -52,7 +52,6 @@ def test_no_thread_progress_during_stop(benchmark):
         "int main(void) { return __syscall(10, 1000000, 0, 0); }",
         name="spinner")
     machine.run(max_instructions=5_000)
-    before = spinner.instructions_executed
 
     pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
 

@@ -12,7 +12,6 @@ multiple units, and symbol-table lookup alone cannot resolve those
 names (run-pre matching can and does — all 5 affected patches applied).
 """
 
-import pytest
 
 from repro.evaluation.kernels import ALL_VERSIONS, kernel_for_version
 from repro.kbuild import build_tree

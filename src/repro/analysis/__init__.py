@@ -1,0 +1,48 @@
+"""Static patch-safety analysis (pre-stop_machine verdicts).
+
+Four analyses over the pre/post objects and (when available) the
+running kernel's build, feeding one :class:`AnalysisReport`:
+
+- a relocation call graph (:mod:`repro.analysis.callgraph`) computing
+  who calls or references each patched function, inlined copies
+  included;
+- a data-layout/semantics diff (:mod:`repro.analysis.datalayout`)
+  mapping persistent-data and shadow-API changes to verdicts;
+- a quiescence-risk walk (:mod:`repro.analysis.quiescence`) predicting
+  stack-check retry exhaustion before stop_machine runs;
+- a primary-module lint (:mod:`repro.analysis.lint`) for symbols the
+  apply-time resolver cannot possibly satisfy.
+
+The analyzer runs as the ``analyze`` stage of ksplice-create and its
+verdict rides on ``CveResult``; the evaluation engine cross-checks the
+verdicts against the dynamic apply outcomes corpus-wide.
+"""
+
+from repro.analysis.analyzer import analyze_update
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.model import (
+    VERDICT_EXIT_CODES,
+    VERDICT_NEEDS_HOOKS,
+    VERDICT_NEEDS_SHADOW,
+    VERDICT_QUIESCE_RISK,
+    VERDICT_REJECT,
+    VERDICT_SAFE,
+    VERDICT_SEVERITY,
+    AnalysisReport,
+    Finding,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CallGraph",
+    "Finding",
+    "VERDICT_EXIT_CODES",
+    "VERDICT_NEEDS_HOOKS",
+    "VERDICT_NEEDS_SHADOW",
+    "VERDICT_QUIESCE_RISK",
+    "VERDICT_REJECT",
+    "VERDICT_SAFE",
+    "VERDICT_SEVERITY",
+    "analyze_update",
+    "build_call_graph",
+]

@@ -1,0 +1,180 @@
+"""Data-layout and data-semantics analysis (§3.4 of the paper).
+
+Three signals, each mapped to a verdict:
+
+- a **persistent-data image change** (initializer edits, removed data,
+  rodata changes): applying replacement code alone leaves the running
+  kernel's copy stale — ``needs-hooks``;
+- a **resized data section** — the closest object-level analog of
+  adding a field to a struct: the live object cannot hold the new
+  layout, so the new state needs shadow storage (or a transform hook)
+  — ``needs-shadow``;
+- **shadow-API adoption**: the replacement code starts calling the
+  shadow data-structure API the pre code never used, i.e. the patch
+  depends on per-object state the running kernel does not have —
+  ``needs-shadow``;
+- an **init-only data writer**: a changed function that initializes
+  persistent data but is reachable solely from the boot path.  Its
+  fixed code will never run again in the live kernel, so replacing it
+  cannot repair the state it wrote during boot — ``needs-hooks``.
+  This is exactly the Table-1 shape: the original patch edits an
+  ``*_init`` function's fill values, and only hook code can fix the
+  already-initialized state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.model import (
+    VERDICT_NEEDS_HOOKS,
+    VERDICT_NEEDS_SHADOW,
+    VERDICT_SAFE,
+    Finding,
+)
+from repro.objfile import ObjectFile, SectionKind, SymbolKind
+
+if TYPE_CHECKING:
+    from repro.core.objdiff import UnitDiff
+
+#: the shadow-structure API exported by the ksplice core module
+#: (see ``repro.core.shadow.KSPLICE_CORE_SOURCE``)
+SHADOW_API = (
+    "ksplice_shadow_attach",
+    "ksplice_shadow_detach",
+    "ksplice_shadow_get",
+    "ksplice_shadow_has",
+    "ksplice_shadow_set",
+)
+
+
+def _strip_data_prefix(section_name: str) -> str:
+    for prefix in (".data.", ".bss.", ".rodata."):
+        if section_name.startswith(prefix):
+            return section_name[len(prefix):]
+    return section_name
+
+
+def analyze_data_layout(unit_diffs: Dict[str, "UnitDiff"],
+                        pre_objects: Dict[str, ObjectFile],
+                        post_objects: Dict[str, ObjectFile]) -> List[Finding]:
+    """Persistent-data, layout, and shadow-API findings per unit."""
+    findings: List[Finding] = []
+    for unit in sorted(unit_diffs):
+        diff = unit_diffs[unit]
+        resized = set(diff.resized_data)
+        for section_name in diff.persistent_data_sections():
+            symbol = _strip_data_prefix(section_name)
+            if section_name.startswith(".rodata"):
+                detail = ("read-only data image changed; the running "
+                          "kernel's copy must be rewritten by hook code")
+            else:
+                detail = ("persistent data initializer changed; applying "
+                          "the code alone leaves live state stale — "
+                          "supply transform hook code")
+            findings.append(Finding(analysis="data-layout",
+                                    verdict=VERDICT_NEEDS_HOOKS,
+                                    unit=unit, symbol=symbol,
+                                    detail=detail))
+            if symbol in resized:
+                pre_size = _section_size(pre_objects.get(unit),
+                                         section_name)
+                post_size = _section_size(post_objects.get(unit),
+                                          section_name)
+                findings.append(Finding(
+                    analysis="data-layout",
+                    verdict=VERDICT_NEEDS_SHADOW,
+                    unit=unit, symbol=symbol,
+                    detail="data layout resized (%d -> %d bytes, the "
+                           "struct-growth analog); the live object cannot "
+                           "hold the new fields — use shadow storage"
+                           % (pre_size, post_size)))
+        findings.extend(_shadow_api_findings(unit, pre_objects.get(unit),
+                                             post_objects.get(unit)))
+        if diff.has_hooks:
+            detail = "transform hooks supplied: %s" \
+                % ", ".join(sorted(diff.hook_sections))
+            if not (diff.has_code_changes or diff.changes_persistent_data):
+                detail = "hook-only unit (no code or data changes); " + detail
+            findings.append(Finding(analysis="data-layout",
+                                    verdict=VERDICT_SAFE,
+                                    unit=unit, detail=detail))
+    return findings
+
+
+def _section_size(obj: "ObjectFile | None", section_name: str) -> int:
+    if obj is None:
+        return 0
+    section = obj.sections.get(section_name)
+    return section.size if section is not None else 0
+
+
+def _shadow_api_findings(unit: str, pre: "ObjectFile | None",
+                         post: "ObjectFile | None") -> List[Finding]:
+    if post is None:
+        return []
+    pre_refs: Set[str] = set(pre.referenced_symbol_names()) if pre else set()
+    new_refs = set(post.referenced_symbol_names()) - pre_refs
+    return [Finding(analysis="data-layout",
+                    verdict=VERDICT_NEEDS_SHADOW,
+                    unit=unit, symbol=name,
+                    detail="replacement code adopts the shadow data API "
+                           "(%s): it depends on per-object state the "
+                           "running kernel does not carry" % name)
+            for name in sorted(new_refs & set(SHADOW_API))]
+
+
+def analyze_init_only_writers(graph: CallGraph,
+                              unit_diffs: Dict[str, "UnitDiff"],
+                              pre_objects: Dict[str, ObjectFile],
+                              post_objects: Dict[str, ObjectFile],
+                              ) -> List[Finding]:
+    """Changed functions that write persistent data but only run at boot."""
+    findings: List[Finding] = []
+    for unit in sorted(unit_diffs):
+        diff = unit_diffs[unit]
+        for fn in sorted(diff.changed_functions):
+            node = graph.node_for(unit, fn)
+            if node is None or not graph.is_init_only(node):
+                continue
+            data_refs = _persistent_data_refs(post_objects.get(unit),
+                                              pre_objects.get(unit), fn)
+            if not data_refs:
+                continue
+            findings.append(Finding(
+                analysis="data-layout",
+                verdict=VERDICT_NEEDS_HOOKS,
+                unit=unit, symbol=fn,
+                detail="changed function initializes persistent data "
+                       "(%s) but is reachable only from the boot path; "
+                       "the live kernel will never re-run it — supply "
+                       "hook code to fix the already-initialized state"
+                       % ", ".join(data_refs)))
+    return findings
+
+
+def _persistent_data_refs(post: "ObjectFile | None",
+                          pre: "ObjectFile | None", fn: str) -> List[str]:
+    """Data symbols the (function-sections) post text of ``fn`` touches."""
+    if post is None:
+        return []
+    section = post.sections.get(".text.%s" % fn)
+    if section is None:
+        return []
+    refs: Set[str] = set()
+    for reloc in section.sorted_relocations():
+        for obj in (post, pre):
+            if obj is None:
+                continue
+            symbol = obj.find_symbol(reloc.symbol)
+            if symbol is None or not symbol.is_defined:
+                continue
+            if symbol.kind is not SymbolKind.OBJECT:
+                break
+            defining = obj.sections.get(symbol.section or "")
+            if defining is not None and defining.kind in (
+                    SectionKind.DATA, SectionKind.BSS, SectionKind.RODATA):
+                refs.add(reloc.symbol)
+            break
+    return sorted(refs)

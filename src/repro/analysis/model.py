@@ -1,0 +1,202 @@
+"""Verdicts, findings, and the analysis report.
+
+A *verdict* is the analyzer's one-word judgement of an update:
+
+``safe``
+    Nothing statically objectionable; apply should succeed and the
+    patch needs no custom code.
+``needs-hooks``
+    The patch changes the meaning or image of persistent data; applying
+    the code alone leaves live state semantically stale (§3.4 of the
+    paper).  Hook code must transform existing state.
+``needs-shadow``
+    The replacement code depends on per-object state that does not
+    exist in the running kernel — shadow data structures (DynAMOS-style)
+    must carry it.
+``quiesce-risk``
+    A patched function can sit on a sleeping thread's stack
+    indefinitely, so the conservative stack check is predicted to
+    exhaust its retries inside stop_machine.
+``reject``
+    The update cannot be applied at all (unresolvable symbols,
+    unsupported relocations, functions too small to redirect).
+
+Verdicts are ordered by severity; a report's overall verdict is the
+most severe verdict among its findings.  Everything here is a plain
+picklable dataclass (reports ride on ``CveResult`` through worker
+processes) with deterministic, sorted JSON rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+VERDICT_SAFE = "safe"
+VERDICT_NEEDS_HOOKS = "needs-hooks"
+VERDICT_NEEDS_SHADOW = "needs-shadow"
+VERDICT_QUIESCE_RISK = "quiesce-risk"
+VERDICT_REJECT = "reject"
+
+#: most severe first; the report verdict is the worst finding verdict
+VERDICT_SEVERITY: Tuple[str, ...] = (
+    VERDICT_REJECT,
+    VERDICT_NEEDS_HOOKS,
+    VERDICT_NEEDS_SHADOW,
+    VERDICT_QUIESCE_RISK,
+    VERDICT_SAFE,
+)
+
+#: ``repro analyze`` exit codes (0 clean / 2 custom code / 3 reject)
+VERDICT_EXIT_CODES: Dict[str, int] = {
+    VERDICT_SAFE: 0,
+    VERDICT_NEEDS_HOOKS: 2,
+    VERDICT_NEEDS_SHADOW: 2,
+    VERDICT_QUIESCE_RISK: 2,
+    VERDICT_REJECT: 3,
+}
+
+
+def worst_verdict(verdicts: List[str]) -> str:
+    """The most severe verdict present (``safe`` when empty)."""
+    for verdict in VERDICT_SEVERITY:
+        if verdict in verdicts:
+            return verdict
+    return VERDICT_SAFE
+
+
+@dataclass
+class Finding:
+    """One observation by one analysis.
+
+    ``verdict`` is what this finding alone argues for; informational
+    notes carry ``safe``.
+    """
+
+    analysis: str
+    verdict: str
+    detail: str
+    unit: str = ""
+    symbol: str = ""
+
+    def sort_key(self) -> Tuple[int, str, str, str]:
+        return (VERDICT_SEVERITY.index(self.verdict), self.analysis,
+                self.unit, self.symbol)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "analysis": self.analysis,
+            "detail": self.detail,
+            "symbol": self.symbol,
+            "unit": self.unit,
+            "verdict": self.verdict,
+        }
+
+    def render(self) -> str:
+        where = ":".join(p for p in (self.unit, self.symbol) if p)
+        prefix = "[%s] %s" % (self.verdict, self.analysis)
+        if where:
+            prefix += " (%s)" % where
+        return "%s: %s" % (prefix, self.detail)
+
+
+@dataclass
+class AnalysisReport:
+    """The combined static judgement of one update pack."""
+
+    verdict: str = VERDICT_SAFE
+    findings: List[Finding] = field(default_factory=list)
+    #: unit -> replaced (changed) function names
+    patched_functions: Dict[str, List[str]] = field(default_factory=dict)
+    #: unit -> functions the patch introduces
+    new_functions: Dict[str, List[str]] = field(default_factory=dict)
+    #: patched function -> "unit:function" references in the run kernel
+    #: (direct calls, data references, and inlined-copy hosts)
+    references: Dict[str, List[str]] = field(default_factory=dict)
+    #: transitive caller closure of the patched functions, "unit:function"
+    caller_closure: List[str] = field(default_factory=list)
+    #: patched function -> run-kernel functions holding an inlined copy
+    inlined_copies: Dict[str, List[str]] = field(default_factory=dict)
+    hooks_present: bool = False
+    #: True when the run kernel's build was available for the call-graph
+    #: and quiescence analyses
+    run_build_analyzed: bool = False
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+        self.verdict = worst_verdict([self.verdict, finding.verdict])
+
+    def extend(self, findings: List[Finding]) -> None:
+        for finding in findings:
+            self.add(finding)
+
+    def findings_for(self, verdict: str) -> List[Finding]:
+        return [f for f in self.findings if f.verdict == verdict]
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.verdict] = counts.get(finding.verdict, 0) + 1
+        return counts
+
+    def exit_code(self) -> int:
+        return VERDICT_EXIT_CODES[self.verdict]
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON form: every list sorted, keys sortable."""
+        return {
+            "verdict": self.verdict,
+            "exit_code": self.exit_code(),
+            "findings": [f.to_json_dict() for f in self.sorted_findings()],
+            "patched_functions": {u: sorted(fns) for u, fns
+                                  in self.patched_functions.items()},
+            "new_functions": {u: sorted(fns) for u, fns
+                              in self.new_functions.items()},
+            "references": {fn: sorted(refs) for fn, refs
+                           in self.references.items()},
+            "caller_closure": sorted(self.caller_closure),
+            "inlined_copies": {fn: sorted(hosts) for fn, hosts
+                               in self.inlined_copies.items()},
+            "hooks_present": self.hooks_present,
+            "run_build_analyzed": self.run_build_analyzed,
+        }
+
+    def render(self) -> str:
+        lines = ["verdict: %s" % self.verdict]
+        for unit in sorted(self.patched_functions):
+            fns = self.patched_functions[unit]
+            lines.append("  replaces %-24s %s"
+                         % (unit, ", ".join(sorted(fns)) or "(new code only)"))
+        for unit in sorted(self.new_functions):
+            fns = self.new_functions[unit]
+            if fns:
+                lines.append("  adds     %-24s %s"
+                             % (unit, ", ".join(sorted(fns))))
+        if self.hooks_present:
+            lines.append("  hook code supplied")
+        for fn in sorted(self.references):
+            refs = self.references[fn]
+            if refs:
+                lines.append("  %s referenced by: %s"
+                             % (fn, ", ".join(sorted(refs))))
+        for fn in sorted(self.inlined_copies):
+            hosts = self.inlined_copies[fn]
+            if hosts:
+                lines.append("  %s inlined into: %s"
+                             % (fn, ", ".join(sorted(hosts))))
+        if self.caller_closure:
+            lines.append("  caller closure: %s"
+                         % ", ".join(sorted(self.caller_closure)))
+        if not self.run_build_analyzed:
+            lines.append("  (run kernel build unavailable: call-graph and "
+                         "quiescence analyses limited to the patched unit)")
+        if self.findings:
+            lines.append("findings:")
+            for finding in self.sorted_findings():
+                lines.append("  " + finding.render())
+        else:
+            lines.append("findings: none")
+        return "\n".join(lines)

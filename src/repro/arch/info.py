@@ -17,12 +17,11 @@ paper's x86-64 port.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.arch import isa
 from repro.arch.disassembler import DecodedInstruction, disassemble_one
 from repro.arch.nops import longest_nop_at
-from repro.errors import DisassemblyError
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,7 @@ from repro.errors import CompileError, SymbolResolutionError
 from repro.kbuild import SourceTree, build_units
 from repro.kernel.machine import Machine
 from repro.lang import ast, parse_unit
-from repro.patch import Patch, apply_patch, parse_patch
+from repro.patch import Patch, parse_patch
 
 JUMP_SIZE = 5
 

@@ -3,8 +3,9 @@
     python -m repro.cli create --patch fix.patch --tree src/ -o update.kspl
     python -m repro.cli inspect update.kspl
     python -m repro.cli demo --patch fix.patch --tree src/
+    python -m repro.cli analyze CVE-2008-0007 [--json] [--augmented]
     python -m repro.cli evaluate [--quick] [--jobs N] [--cache-dir DIR]
-    python -m repro.cli trace [--cve CVE-id] [--file PATH]
+    python -m repro.cli trace [--cve CVE-id] [--file PATH] [--json]
 
 ``create`` reads a kernel source tree from a directory (every ``*.c`` /
 ``*.s`` file, tree-relative paths as unit names) and a unified diff, and
@@ -12,13 +13,17 @@ writes a serialized update pack — the ksplice-create workflow.
 ``demo`` additionally boots the tree, applies the pack to the running
 kernel, and reports the stop_machine window — create + apply in one
 shot, since a simulated machine does not outlive the process.
-``evaluate`` runs the paper's §6 evaluation; ``--jobs N`` spreads the
-kernel-version groups across N worker processes and ``--cache-dir``
-enables the on-disk cache tier so repeated runs start warm.  Both
-``demo`` and ``evaluate`` record per-stage traces (see
+``analyze`` runs only the static patch-safety analyzer
+(:mod:`repro.analysis`) on one corpus CVE — no machine is booted — and
+exits 0 for ``safe``, 2 when custom code is needed (``needs-hooks`` /
+``needs-shadow`` / ``quiesce-risk``), 3 for ``reject``, so CI can gate
+on it.  ``evaluate`` runs the paper's §6 evaluation; ``--jobs N``
+spreads the kernel-version groups across N worker processes and
+``--cache-dir`` enables the on-disk cache tier so repeated runs start
+warm.  Both ``demo`` and ``evaluate`` record per-stage traces (see
 :mod:`repro.pipeline`) and save them; ``trace`` renders the saved run —
 an aggregate per-stage table by default, the full stage tree of one CVE
-with ``--cve``.
+with ``--cve``, or deterministic sorted JSON with ``--json``.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from typing import Dict, Optional
 
 from repro.compiler import CompilerOptions
 from repro.core import KspliceCore, UpdatePack, ksplice_create
+from repro.core.create import CreateReport
 from repro.errors import ReproError
 from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel
@@ -37,7 +43,7 @@ from repro.kernel import boot_kernel
 #: canonical display order for the lifecycle's top-level stages
 STAGE_ORDER = ("generate", "build", "boot", "observe-pre", "create",
                "apply", "observe-post", "stress", "undo",
-               "patch", "build-pre", "build-post", "diff")
+               "patch", "build-pre", "build-post", "diff", "analyze")
 
 
 def _ordered_stage_names(names) -> list:
@@ -201,6 +207,41 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evaluation.corpus import corpus_by_id
+    from repro.evaluation.engine import run_build_for
+    from repro.evaluation.kernels import kernel_for_version
+
+    try:
+        spec = corpus_by_id(args.cve)
+    except KeyError:
+        print("error: unknown CVE %r" % args.cve, file=sys.stderr)
+        return 1
+    kernel = kernel_for_version(spec.kernel_version)
+    run_build = run_build_for(kernel)
+    augmented = args.augmented and spec.table1 is not None
+    patch = kernel.patch_for(spec.cve_id, augmented=augmented)
+    report = CreateReport()
+    ksplice_create(kernel.tree, patch, description=spec.description,
+                   allow_data_changes=True, report=report,
+                   run_build=run_build)
+    analysis = report.analysis
+    if analysis is None:  # pragma: no cover - create always analyzes
+        print("error: create produced no analysis", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(analysis.to_json_dict(), indent=2,
+                         sort_keys=True))
+    else:
+        print("%s  (%s, unit %s%s)"
+              % (spec.cve_id, spec.kernel_version, spec.unit,
+                 ", augmented patch" if augmented else ""))
+        print(analysis.render())
+    return analysis.exit_code()
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evaluation import CORPUS
     from repro.evaluation.harness import evaluate_corpus
@@ -218,8 +259,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         status = "ok" if result.success else "FAIL"
         if not result.success and result.failed_stage:
             status += " (in %s)" % result.failed_stage
-        sys.stdout.write("%-16s %-14s %s\n"
-                         % (result.cve_id, result.kernel_version, status))
+        sys.stdout.write("%-16s %-14s %-13s %s\n"
+                         % (result.cve_id, result.kernel_version,
+                            result.analysis_verdict or "-", status))
 
     from repro.evaluation.engine import EngineStats
 
@@ -230,6 +272,20 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print("\n%d/%d updates succeeded; %d needed no new code"
           % (len(report.successes()), report.total(),
              report.no_new_code_count()))
+    counts = report.verdict_counts()
+    print("analyzer verdicts: %s"
+          % ", ".join("%s %d" % (verdict, counts[verdict])
+                      for verdict in sorted(counts)))
+    from repro.evaluation.engine import verdict_discrepancies
+
+    discrepancies = verdict_discrepancies(report.results)
+    if discrepancies:
+        print("analyzer vs outcome discrepancies (%d):"
+              % len(discrepancies))
+        for line in discrepancies:
+            print("  " + line)
+    else:
+        print("analyzer verdicts consistent with all apply outcomes")
     print("%.1f s with %d job%s (%.1f CVEs/s); build cache hit rate %.0f%%"
           % (stats.wall_seconds, stats.jobs,
              "s" if stats.jobs != 1 else "",
@@ -271,6 +327,24 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if not traces:
         print("trace file holds no traces")
         return 1
+    if args.scrub:
+        from repro.pipeline.normalize import scrub_trace
+
+        traces = [scrub_trace(t) for t in traces]
+    if args.json:
+        import json
+
+        wanted = traces
+        if args.cve:
+            wanted = [t for t in traces if t.label == args.cve]
+            if not wanted:
+                print("no trace for %r; run holds: %s"
+                      % (args.cve, ", ".join(t.label for t in traces)))
+                return 1
+        print(json.dumps({"meta": meta,
+                          "traces": [t.to_dict() for t in wanted]},
+                         indent=2, sort_keys=True))
+        return 0
     if args.cve:
         wanted = [t for t in traces if t.label == args.cve]
         if not wanted:
@@ -334,6 +408,16 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_demo)
     p_demo.set_defaults(func=cmd_demo)
 
+    p_analyze = sub.add_parser(
+        "analyze", help="static patch-safety verdict for one corpus CVE")
+    p_analyze.add_argument("cve", help="corpus CVE id, e.g. CVE-2008-0007")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the full report as sorted JSON")
+    p_analyze.add_argument("--augmented", action="store_true",
+                           help="analyze the hook-augmented patch instead "
+                                "of the original security patch")
+    p_analyze.set_defaults(func=cmd_analyze)
+
     p_eval = sub.add_parser("evaluate", help="run the §6 evaluation")
     p_eval.add_argument("--quick", action="store_true",
                         help="skip the stress battery")
@@ -353,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace file (default: the last saved run)")
     p_trace.add_argument("--cve", default=None,
                          help="render one CVE's full stage tree")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the run as deterministic sorted JSON")
+    p_trace.add_argument("--scrub", action="store_true",
+                         help="zero wall-clock timings (stable output "
+                              "for diffing runs)")
     p_trace.set_defaults(func=cmd_trace)
     return parser
 

@@ -18,7 +18,7 @@ Calling convention (matches the CPU's CALL/RET semantics):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.arch.assembler import Align, Insn, Item, Label, LabelRef, SymRef
 

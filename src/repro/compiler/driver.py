@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.arch.assembler import Item, Label, assemble, parse_asm
 from repro.errors import CompileError

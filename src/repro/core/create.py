@@ -2,7 +2,8 @@
 
 Pipeline (Figure 1 of the paper), run as explicit named stages (see
 :mod:`repro.pipeline`) — ``patch``, ``build-pre``, ``build-post``,
-``diff`` — each emitting a stage report into the caller's trace:
+``diff``, ``analyze`` — each emitting a stage report into the caller's
+trace:
 
 1. apply the patch to a copy of the tree;
 2. build the touched units twice — original source (*pre*) and patched
@@ -10,7 +11,10 @@ Pipeline (Figure 1 of the paper), run as explicit named stages (see
 3. diff pre vs post object code per unit;
 4. refuse (``DataSemanticsError``) if the patch changes the
    initialization image of persistent data and supplies no hook code;
-5. extract primaries, package helpers, emit the update pack.
+5. run the static safety analyzer (:mod:`repro.analysis`) over the
+   diffs and, when the caller supplies ``run_build``, the running
+   kernel's build — its verdict lands on ``CreateReport.analysis``;
+6. extract primaries, package helpers, emit the update pack.
 
 Any abort carries a ``stage_context`` naming the stage (and, in the
 diff stage, the unit) that rejected the patch.
@@ -21,12 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.analysis import AnalysisReport, analyze_update
 from repro.compiler import CompilerOptions
 from repro.core.extract import build_helper_object, build_primary_object
 from repro.core.objdiff import UnitDiff, diff_objects
 from repro.core.update import UnitUpdate, UpdatePack, update_id_for
 from repro.errors import DataSemanticsError, KspliceCreateError
-from repro.kbuild import SourceTree, build_units
+from repro.kbuild import BuildResult, SourceTree, build_units
+from repro.objfile import ObjectFile
 from repro.patch import Patch, count_patch_lines, parse_patch
 from repro.pipeline import Trace
 
@@ -37,6 +43,8 @@ class CreateReport:
 
     unit_diffs: Dict[str, UnitDiff] = field(default_factory=dict)
     changed_units: List[str] = field(default_factory=list)
+    #: the static safety analyzer's combined report (``analyze`` stage)
+    analysis: Optional[AnalysisReport] = None
 
     def total_changed_functions(self) -> int:
         return sum(len(d.changed_functions) for d in self.unit_diffs.values())
@@ -47,6 +55,7 @@ def ksplice_create(tree: SourceTree, patch: Union[Patch, str],
                    description: str = "",
                    allow_data_changes: bool = False,
                    report: Optional[CreateReport] = None,
+                   run_build: Optional[BuildResult] = None,
                    trace: Optional[Trace] = None) -> UpdatePack:
     """Construct an update pack from ``tree`` and a unified diff.
 
@@ -54,9 +63,13 @@ def ksplice_create(tree: SourceTree, patch: Union[Patch, str],
     (compiler version, optimization level); the pre/post builds derive
     their function-sections flavour from it.  ``allow_data_changes``
     overrides the data-semantics refusal for callers who know the hook
-    code handles the transition some other way.  ``trace`` receives one
-    stage report per pipeline step; pass the enclosing operation's
-    trace to nest them under its current stage.
+    code handles the transition some other way.  ``run_build`` is the
+    running kernel's build, when the caller has it: the static analyzer
+    then gets a whole-kernel call graph for its reachability and
+    quiescence analyses instead of judging from the patched units
+    alone.  ``trace`` receives one stage report per pipeline step; pass
+    the enclosing operation's trace to nest them under its current
+    stage.
     """
     trace = trace if trace is not None else Trace(label="ksplice-create")
     options = options or CompilerOptions()
@@ -92,6 +105,9 @@ def ksplice_create(tree: SourceTree, patch: Union[Patch, str],
         patch_lines=count_patch_lines(parsed),
     )
 
+    diffs: Dict[str, UnitDiff] = {}
+    pre_objects: Dict[str, ObjectFile] = {}
+    post_objects: Dict[str, ObjectFile] = {}
     with trace.stage("diff") as rep:
         for unit in changed:
             rep.artifacts["unit"] = unit
@@ -106,6 +122,9 @@ def ksplice_create(tree: SourceTree, patch: Union[Patch, str],
             else:
                 pre_obj = pre_build.object_for(unit)
             diff = diff_objects(pre_obj, post_obj)
+            diffs[unit] = diff
+            pre_objects[unit] = pre_obj
+            post_objects[unit] = post_obj
             if report is not None:
                 report.unit_diffs[unit] = diff
             if diff.changes_persistent_data and not diff.has_hooks \
@@ -135,6 +154,14 @@ def ksplice_create(tree: SourceTree, patch: Union[Patch, str],
         if not pack.units:
             raise KspliceCreateError(
                 "patch produced no object-code changes to ship")
+
+    with trace.stage("analyze") as rep:
+        analysis = analyze_update(pack, diffs, pre_objects, post_objects,
+                                  run_build=run_build)
+        rep.counters["findings"] = len(analysis.findings)
+        rep.artifacts["verdict"] = analysis.verdict
+        if report is not None:
+            report.analysis = analysis
     return pack
 
 

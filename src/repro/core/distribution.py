@@ -15,7 +15,7 @@ in order, through the machine's Ksplice core.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
 from repro.compiler import CompilerOptions
 from repro.core.apply import AppliedUpdate, KspliceCore

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.objfile import HOOK_SECTIONS, ObjectFile, Section
 
@@ -62,6 +62,8 @@ class UnitDiff:
     changed_data: List[str] = field(default_factory=list)
     new_data: List[str] = field(default_factory=list)
     removed_data: List[str] = field(default_factory=list)
+    #: persistent data whose size changed — the struct-growth analog
+    resized_data: List[str] = field(default_factory=list)
     hook_sections: List[str] = field(default_factory=list)
 
     @property
@@ -80,6 +82,24 @@ class UnitDiff:
 
     def replaced_section_names(self) -> List[str]:
         return [".text.%s" % name for name in self.changed_functions]
+
+    def persistent_data_sections(self) -> List[str]:
+        """Full names of the non-text sections whose initialization
+        image the patch changes or removes (hook sections excluded)."""
+        return [name for name in sorted(self.section_status)
+                if self.section_status[name] in (SectionStatus.CHANGED,
+                                                 SectionStatus.REMOVED)
+                and not name.startswith(".text.")
+                and name not in HOOK_SECTIONS]
+
+    @property
+    def rodata_only_change(self) -> bool:
+        """True when every persistent-data difference is read-only data
+        — no live state to transform, but the running copy still needs
+        patching by hook code."""
+        sections = self.persistent_data_sections()
+        return bool(sections) and all(name.startswith(".rodata")
+                                      for name in sections)
 
 
 def diff_objects(pre: ObjectFile, post: ObjectFile) -> UnitDiff:
@@ -109,6 +129,11 @@ def diff_objects(pre: ObjectFile, post: ObjectFile) -> UnitDiff:
             status = SectionStatus.CHANGED
         diff.section_status[name] = status
         _classify(diff, name, status)
+        if (status is SectionStatus.CHANGED
+                and not name.startswith(".text.")
+                and pre_section is not None and post_section is not None
+                and pre_section.size != post_section.size):
+            diff.resized_data.append(_data_symbol(name))
     return diff
 
 

@@ -12,9 +12,8 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
-from repro.core.objdiff import SectionStatus, UnitDiff
 from repro.errors import KspliceError
 from repro.objfile import ObjectFile, dump_object, load_object
 

@@ -32,7 +32,7 @@ import pickle
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, \
     as_completed
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import CompilerOptions
@@ -99,6 +99,63 @@ def normalize_result(result: "CveResult") -> "CveResult":
     "parallel == sequential" is checked.
     """
     return normalize_cve_result(result)
+
+
+def verdict_discrepancies(results: Sequence["CveResult"]) -> List[str]:
+    """Cross-check static verdicts against dynamic apply outcomes.
+
+    The corpus-as-oracle rules (one line per violated rule, per CVE):
+
+    - every cleanly-created update must carry a verdict;
+    - ``safe`` must not abort at apply time, and ``reject`` must;
+    - ``needs-hooks``/``needs-shadow`` iff the patch *without* custom
+      code fails to fully fix the CVE (``result.hookless_fixes``);
+    - ``quiesce-risk`` iff the stack check actually retried.
+
+    An empty return means the analyzer agreed with reality everywhere.
+    """
+    from repro.analysis import (
+        VERDICT_NEEDS_HOOKS,
+        VERDICT_NEEDS_SHADOW,
+        VERDICT_QUIESCE_RISK,
+        VERDICT_REJECT,
+        VERDICT_SAFE,
+    )
+
+    problems: List[str] = []
+
+    def problem(result: "CveResult", text: str) -> None:
+        problems.append("%s: %s" % (result.cve_id, text))
+
+    for result in results:
+        verdict = result.analysis_verdict
+        if not verdict:
+            if result.applied_cleanly:
+                problem(result, "applied cleanly but carries no verdict")
+            continue
+        if verdict == VERDICT_SAFE and not result.applied_cleanly:
+            problem(result, "verdict safe but apply aborted in %s (%s)"
+                    % (result.failed_stage, result.apply_error))
+        if verdict == VERDICT_REJECT and result.applied_cleanly:
+            problem(result, "verdict reject but the update applied cleanly")
+        needs_custom = verdict in (VERDICT_NEEDS_HOOKS, VERDICT_NEEDS_SHADOW)
+        if result.hookless_fixes is not None:
+            if needs_custom and result.hookless_fixes:
+                problem(result, "verdict %s but the hook-less patch fully "
+                                "fixed the CVE" % verdict)
+            if verdict == VERDICT_SAFE and not result.hookless_fixes:
+                problem(result, "verdict safe but the hook-less patch did "
+                                "not fully fix the CVE")
+        retried = result.stack_check_attempts > 1
+        if verdict == VERDICT_QUIESCE_RISK and result.applied_cleanly \
+                and not retried:
+            problem(result, "verdict quiesce-risk but the stack check "
+                            "passed on the first attempt")
+        if verdict != VERDICT_QUIESCE_RISK and retried:
+            problem(result, "stack check retried (%d attempts) without a "
+                            "quiesce-risk verdict"
+                    % result.stack_check_attempts)
+    return problems
 
 
 @dataclass

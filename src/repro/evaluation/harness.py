@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import AnalysisReport
 from repro.core import KspliceCore, ksplice_create
 from repro.core.create import CreateReport
 from repro.errors import (
@@ -34,7 +35,7 @@ from repro.errors import (
 )
 from repro.evaluation.kernels import GeneratedKernel, kernel_for_version
 from repro.evaluation.specs import CveSpec
-from repro.evaluation.stress import StressReport, run_stress_battery
+from repro.evaluation.stress import run_stress_battery
 from repro.kbuild import BuildResult
 from repro.kernel import Machine, boot_kernel
 from repro.patch import parse_patch
@@ -79,6 +80,16 @@ class CveResult:
     primary_bytes: int = 0
     stop_ms: float = 0.0
     stack_check_attempts: int = 0
+    #: the static analyzer's verdict and full report (``analyze`` stage)
+    analysis_verdict: str = ""
+    analysis: Optional[AnalysisReport] = None
+    #: did the patch *without* custom hook code apply and fully fix the
+    #: CVE?  For Table-1 entries this is measured by a separate
+    #: hook-less run (``evaluate_original_patch_only``); otherwise the
+    #: evaluated patch itself carries no hooks and this mirrors its
+    #: apply + exploit/probe outcome.  The engine's oracle check tests
+    #: it against the ``needs-hooks``/``needs-shadow`` verdicts.
+    hookless_fixes: Optional[bool] = None
     #: set when verify_undo ran: ksplice-undo restored the old behaviour
     undo_ok: Optional[bool] = None
     #: stage path that aborted the evaluation (e.g. "apply/stop_machine")
@@ -225,8 +236,13 @@ def evaluate_cve(spec: CveSpec, run_stress: bool = True,
                                      augmented=spec.table1 is not None)
             pack = ksplice_create(kernel.tree, patch,
                                   description=spec.description,
-                                  report=create_report, trace=trace)
+                                  report=create_report,
+                                  run_build=run_build, trace=trace)
             rep.counters["units"] = len(pack.units)
+            if create_report.analysis is not None:
+                result.analysis = create_report.analysis
+                result.analysis_verdict = create_report.analysis.verdict
+                rep.artifacts["verdict"] = result.analysis_verdict
         with trace.stage("apply") as rep:
             applied = core.apply(pack, trace=trace)
             rep.counters["replacements"] = len(applied.replaced)
@@ -246,6 +262,9 @@ def evaluate_cve(spec: CveSpec, run_stress: bool = True,
         for name in ("apply", "stress"):
             if trace.find(name) is None:
                 trace.skip(name, "aborted in %s" % result.failed_stage)
+        if spec.table1 is None:
+            # The evaluated patch carried no hooks and failed outright.
+            result.hookless_fixes = False
         return result
 
     # -- measured §6.3 statistics -------------------------------------------
@@ -310,6 +329,19 @@ def evaluate_cve(spec: CveSpec, run_stress: bool = True,
             result.undo_ok = True
         else:
             result.undo_ok = True
+
+    # -- oracle input: does the patch alone (no hooks) fully fix? ---------
+    if spec.table1 is not None:
+        result.hookless_fixes = evaluate_original_patch_only(spec)
+    else:
+        fixed = result.applied_cleanly
+        if result.exploit_worked_before is not None:
+            fixed = fixed and bool(result.exploit_worked_before) \
+                and bool(result.exploit_blocked_after)
+        if result.probe_pre_ok is not None:
+            fixed = fixed and bool(result.probe_pre_ok) \
+                and bool(result.probe_post_ok)
+        result.hookless_fixes = fixed
 
     return result
 
@@ -391,6 +423,14 @@ class EvaluationReport:
 
     def ambiguous_count(self) -> int:
         return sum(1 for r in self.results if r.ambiguous_symbol)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """Static-analyzer verdict histogram across the corpus."""
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            verdict = r.analysis_verdict or "(none)"
+            counts[verdict] = counts.get(verdict, 0) + 1
+        return counts
 
     def exploit_results(self) -> List[CveResult]:
         return [r for r in self.results

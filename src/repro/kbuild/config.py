@@ -8,7 +8,7 @@ that by excluding units from the build.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List
 
 

@@ -20,11 +20,11 @@ stack, which is exactly the property the Ksplice stack check relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.compiler import CompilerOptions
-from repro.errors import BuildError, MachineError
+from repro.errors import MachineError
 from repro.kbuild import BuildResult, KernelConfig, SourceTree, build_tree
 from repro.kernel.cpu import CPUState
 from repro.kernel.memory import Memory

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import ModuleLoadError
 from repro.kernel.memory import Memory
 from repro.linker.link import resolve_section_relocations
-from repro.objfile import ObjectFile, SymbolBinding
+from repro.objfile import ObjectFile
 
 
 def _align(value: int, alignment: int) -> int:

@@ -1,0 +1,92 @@
+"""Corpus-as-oracle validation of the static analyzer (the PR's
+acceptance test): every verdict issued during ``create`` must be
+consistent with what actually happened when the update was applied.
+
+The cross-check rules live in
+:func:`repro.evaluation.engine.verdict_discrepancies`:
+
+- a ``safe`` CVE must apply cleanly, first try, and fix the CVE
+  without custom code;
+- ``needs-hooks`` / ``needs-shadow`` must coincide with the hook-less
+  patch failing to fully fix (Table-1 membership, measured — not the
+  annotation);
+- ``quiesce-risk`` must coincide with stack-check retries;
+- ``reject`` must coincide with an apply abort.
+"""
+
+import pytest
+
+from repro.analysis import (
+    VERDICT_NEEDS_HOOKS,
+    VERDICT_NEEDS_SHADOW,
+    VERDICT_SAFE,
+)
+from repro.evaluation import clear_caches
+from repro.evaluation.corpus import CORPUS
+from repro.evaluation.engine import verdict_discrepancies
+from repro.evaluation.harness import evaluate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    clear_caches()
+    return evaluate_corpus(run_stress=False)
+
+
+def test_whole_corpus_still_succeeds(corpus_report):
+    assert corpus_report.total() == len(CORPUS) == 64
+    assert len(corpus_report.successes()) == 64
+
+
+def test_no_verdict_discrepancies_across_corpus(corpus_report):
+    """The headline oracle check: zero static/dynamic mismatches."""
+    assert verdict_discrepancies(corpus_report.results) == []
+
+
+def test_every_result_carries_a_verdict_and_report(corpus_report):
+    for result in corpus_report.results:
+        assert result.analysis_verdict, result.cve_id
+        assert result.analysis is not None, result.cve_id
+        assert result.analysis.verdict == result.analysis_verdict
+        assert result.analysis.run_build_analyzed, result.cve_id
+        assert result.hookless_fixes is not None, result.cve_id
+
+
+def test_needs_custom_verdicts_match_measured_table1(corpus_report):
+    """Static needs-hooks/needs-shadow == measured 'hook-less patch
+    does not fully fix' == the paper's Table-1 membership."""
+    needs_custom = {r.cve_id for r in corpus_report.results
+                    if r.analysis_verdict in (VERDICT_NEEDS_HOOKS,
+                                              VERDICT_NEEDS_SHADOW)}
+    hookless_fails = {r.cve_id for r in corpus_report.results
+                      if r.hookless_fixes is False}
+    table1 = {s.cve_id for s in CORPUS if s.table1 is not None}
+    assert needs_custom == hookless_fails == table1
+    assert len(needs_custom) == 8
+
+
+def test_safe_cves_need_no_custom_code_and_never_retry(corpus_report):
+    for result in corpus_report.results:
+        if result.analysis_verdict != VERDICT_SAFE:
+            continue
+        assert result.applied_cleanly, result.cve_id
+        assert result.stack_check_attempts == 1, result.cve_id
+        assert result.hookless_fixes, result.cve_id
+
+
+def test_verdict_histogram(corpus_report):
+    counts = corpus_report.verdict_counts()
+    assert counts == {"safe": 56, "needs-hooks": 7, "needs-shadow": 1}
+
+
+def test_discrepancy_rules_detect_a_seeded_mismatch(corpus_report):
+    """The oracle must actually bite: flip one verdict and the
+    cross-check has to flag it."""
+    import copy
+
+    results = [copy.copy(r) for r in corpus_report.results]
+    victim = next(r for r in results
+                  if r.analysis_verdict == VERDICT_SAFE)
+    victim.analysis_verdict = VERDICT_NEEDS_HOOKS
+    flagged = verdict_discrepancies(results)
+    assert any(victim.cve_id in line for line in flagged)

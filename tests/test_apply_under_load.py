@@ -8,8 +8,6 @@ in-progress syscalls, threads bouncing through the patched function, and
 the stack check doing real work.
 """
 
-import pytest
-
 from repro.core import KspliceCore, ksplice_create
 from repro.evaluation import corpus_by_id
 from repro.evaluation.kernels import kernel_for_version
@@ -68,7 +66,7 @@ int main(void) {
     assert hammer.alive
 
     pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
-    applied = core.apply(pack)
+    core.apply(pack)
     machine.run(max_instructions=3_000_000)
     assert hammer.status is ThreadStatus.EXITED
     # Calls before the update were allowed (dumpable=2 accepted), calls

@@ -5,7 +5,6 @@ import pytest
 from repro.arch import isa
 from repro.arch.assembler import (
     Align,
-    Assembler,
     Data,
     Insn,
     Label,

@@ -1,7 +1,5 @@
 """Tests for the source-level baseline updater and its failure modes."""
 
-import pytest
-
 from repro.baseline import BaselineFailure, SourceLevelUpdater
 from repro.core import KspliceCore, ksplice_create
 from repro.kbuild import SourceTree

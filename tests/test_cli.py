@@ -1,7 +1,5 @@
 """Tests for the command-line front-end."""
 
-import os
-
 import pytest
 
 from repro.cli import load_tree_from_directory, main
@@ -132,6 +130,74 @@ def test_evaluate_subset(capsys):
     assert rc == 0
     captured = capsys.readouterr()
     assert "2/2 updates succeeded" in captured.out
+
+
+def test_analyze_safe_cve_exits_zero(capsys):
+    rc = main(["analyze", "CVE-2006-2451"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "verdict: safe" in out
+    assert "sys_prctl" in out
+
+
+def test_analyze_needs_hooks_cve_exits_two(capsys):
+    rc = main(["analyze", "CVE-2007-3851"])
+    assert rc == 2
+    out = capsys.readouterr().out
+    assert "verdict: needs-hooks" in out
+    assert "boot path" in out
+
+
+def test_analyze_unknown_cve_errors(capsys):
+    rc = main(["analyze", "CVE-0000-0000"])
+    assert rc == 1
+    assert "unknown CVE" in capsys.readouterr().err
+
+
+def test_analyze_json_is_deterministic_and_sorted(capsys):
+    import json
+
+    rc = main(["analyze", "CVE-2007-3851", "--json"])
+    assert rc == 2
+    first = capsys.readouterr().out
+    data = json.loads(first)
+    assert data["verdict"] == "needs-hooks"
+    assert data["exit_code"] == 2
+    assert list(data) == sorted(data)
+
+    rc = main(["analyze", "CVE-2007-3851", "--json"])
+    assert rc == 2
+    assert capsys.readouterr().out == first
+
+
+def test_trace_json_is_deterministic(tmp_path, monkeypatch, capsys):
+    import json
+
+    from repro.pipeline import Trace, save_run
+    from repro.pipeline.store import TRACE_FILE_ENV
+
+    monkeypatch.setenv(TRACE_FILE_ENV, str(tmp_path / "trace.json"))
+    trace = Trace(label="CVE-2008-0001")
+    with trace.stage("create"):
+        with trace.stage("analyze") as rep:
+            rep.artifacts["verdict"] = "safe"
+    save_run([trace], meta={"command": "evaluate"})
+
+    assert main(["trace", "--json", "--scrub"]) == 0
+    first = capsys.readouterr().out
+    assert main(["trace", "--json", "--scrub"]) == 0
+    assert capsys.readouterr().out == first
+
+    data = json.loads(first)
+    assert data["meta"]["command"] == "evaluate"
+    assert data["traces"][0]["label"] == "CVE-2008-0001"
+
+    # --cve filters the JSON output as well
+    assert main(["trace", "--json", "--cve", "CVE-2008-0001"]) == 0
+    assert json.loads(capsys.readouterr().out)["traces"][0]["label"] == \
+        "CVE-2008-0001"
+    assert main(["trace", "--json", "--cve", "CVE-none"]) == 1
+    capsys.readouterr()
 
 
 def test_bad_patch_reports_error(tree_dir, tmp_path, capsys):

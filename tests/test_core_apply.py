@@ -3,7 +3,6 @@ to a running kernel, observe behaviour change, undo, stack updates."""
 
 import pytest
 
-from repro.compiler import CompilerOptions
 from repro.core import KspliceCore, ksplice_create
 from repro.core.update import UpdatePack
 from repro.errors import (
@@ -13,7 +12,7 @@ from repro.errors import (
     StackCheckError,
     UpdateStateError,
 )
-from repro.kbuild import SourceTree, build_tree
+from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel
 from repro.patch import make_patch
 

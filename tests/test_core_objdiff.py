@@ -95,6 +95,64 @@ int with_static(void) {
     assert not diff.changes_persistent_data
 
 
+def test_rodata_only_change_detected():
+    """An assembly unit whose only difference is a .rodata value: no
+    code change, but the persistent image differs and the diff labels
+    it read-only-only."""
+    pre_s = """
+.global ro_entry
+.section .text
+ro_entry:
+    ret
+.section .rodata
+ro_limit:
+    .word 100
+"""
+    post_s = pre_s.replace(".word 100", ".word 200")
+    diff = diff_objects(compile_one(pre_s, "arch/ro.s"),
+                        compile_one(post_s, "arch/ro.s"))
+    assert not diff.has_code_changes
+    assert diff.changes_persistent_data
+    assert diff.rodata_only_change
+    assert diff.persistent_data_sections() == [".rodata"]
+
+
+def test_mixed_data_change_is_not_rodata_only():
+    post = BASE.replace("int counter = 5;", "int counter = 6;")
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert diff.changes_persistent_data
+    assert not diff.rodata_only_change
+    assert diff.persistent_data_sections() == [".data.counter"]
+
+
+def test_resized_data_recorded():
+    base = BASE + "\nint table[2];\nint use(void) { return table[0]; }\n"
+    post = base.replace("int table[2];", "int table[5];")
+    diff = diff_objects(compile_one(base), compile_one(post))
+    assert diff.resized_data == ["table"]
+    # a pure initializer change is not a resize
+    post2 = BASE.replace("int counter = 5;", "int counter = 6;")
+    diff2 = diff_objects(compile_one(BASE), compile_one(post2))
+    assert diff2.resized_data == []
+
+
+def test_hook_only_unit_diff():
+    """A unit whose only post-build difference is hook code: hooks are
+    reported, nothing is classified as a code or data change."""
+    post = BASE + """
+int fixup(void) { return 0; }
+__ksplice_apply__(fixup);
+"""
+    diff = diff_objects(compile_one(BASE), compile_one(post))
+    assert diff.has_hooks
+    assert ".ksplice_apply" in diff.hook_sections
+    assert not diff.changes_persistent_data
+    assert diff.persistent_data_sections() == []
+    # fixup itself is ordinary new code, not a changed function
+    assert diff.new_functions == ["fixup"]
+    assert diff.changed_functions == []
+
+
 def test_hook_sections_reported():
     post = BASE + """
 int fixup(void) { return 0; }

@@ -5,7 +5,7 @@ import pytest
 from repro.compiler import CompilerOptions
 from repro.core.runpre import RunPreMatcher
 from repro.errors import RunPreMismatchError, SymbolResolutionError
-from repro.kbuild import SourceTree, build_tree, build_units
+from repro.kbuild import SourceTree, build_units
 from repro.kernel import boot_kernel
 
 FLAVOR = CompilerOptions().pre_post_flavor()
@@ -172,6 +172,45 @@ def test_ambiguous_static_function_disambiguated_by_matching():
                           ).object_for(unit)
         result = matcher.match_unit(pre)
         assert result.matched_functions["notesize"] == note_addrs[unit]
+
+
+def test_match_candidates_picks_the_single_matching_address():
+    """Whitebox: handed two candidate run addresses of which exactly one
+    holds the pre bytes, ``_match_candidates`` must return that one (and
+    not just the first in list order)."""
+    tree = SourceTree(version="amb", files={
+        "fs/a.c": """
+            static int notesize(int x) {
+                int pad = x % 4;
+                if (pad) { return x + 4 - pad; }
+                return x;
+            }
+            int a_entry(int x) { return notesize(x) + 1; }
+        """,
+        "fs/b.c": """
+            static int notesize(int x) {
+                return x * 2 + 7;
+            }
+            int b_entry(int x) { return notesize(x) - 1; }
+        """,
+    })
+    machine = boot_kernel(tree, options=CompilerOptions(opt_level=0))
+    kallsyms = machine.image.kallsyms
+    addrs = {e.unit: e.address for e in kallsyms.candidates("notesize")}
+    assert len(addrs) == 2
+    matcher = RunPreMatcher(memory=machine.memory, kallsyms=kallsyms)
+
+    pre = build_units(tree, ["fs/a.c"],
+                      CompilerOptions(opt_level=0).pre_post_flavor()
+                      ).object_for("fs/a.c")
+    section = pre.section(".text.notesize")
+    fn_symbol = pre.symbol("notesize")
+    for candidates in ([addrs["fs/a.c"], addrs["fs/b.c"]],
+                       [addrs["fs/b.c"], addrs["fs/a.c"]]):
+        run_addr, attempt = matcher._match_candidates(
+            pre, section, fn_symbol, list(candidates))
+        assert run_addr == addrs["fs/a.c"]
+        assert attempt is not None
 
 
 def test_identical_static_functions_cannot_be_disambiguated():

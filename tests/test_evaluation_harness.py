@@ -8,7 +8,7 @@ checked on a stress-free full pass.
 
 import pytest
 
-from repro.evaluation import CORPUS, corpus_by_id, evaluate_cve
+from repro.evaluation import corpus_by_id, evaluate_cve
 from repro.evaluation.harness import (
     EvaluationReport,
     evaluate_corpus,

@@ -181,7 +181,7 @@ __ksplice_apply__(ksplice_runaway);
     pack = ksplice_create(TREE, make_patch(TREE.files, new_files))
     with pytest.raises((KspliceError, MachineError)):
         core.apply(pack)
-    assert kernel_behaves_originally(machine)
+    assert_untouched(machine, core, before)
     assert not core.applied
 
 

@@ -1,7 +1,5 @@
 """Unit tests for the inliner's internals and report bookkeeping."""
 
-import pytest
-
 from repro.compiler.inliner import (
     InlineReport,
     _expr_size,
@@ -9,7 +7,7 @@ from repro.compiler.inliner import (
     _single_return_expr,
     inline_unit,
 )
-from repro.lang import ast, parse_unit
+from repro.lang import parse_unit
 
 
 def parse_fn(source, name):

@@ -1,7 +1,5 @@
 """Tests for the kernel-text integrity scanner."""
 
-import pytest
-
 from repro.core import KspliceCore, ksplice_create
 from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel

@@ -3,7 +3,6 @@ faults, modules, stop_machine."""
 
 import pytest
 
-from repro.compiler import CompilerOptions
 from repro.errors import MachineError, ModuleLoadError
 from repro.kbuild import SourceTree, build_tree
 from repro.kernel import Machine, ThreadStatus, boot_kernel

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import CompileError
 from repro.lang import ast, parse_unit
-from repro.lang.types import ArrayType, IntType, PointerType, StructType
+from repro.lang.types import ArrayType, PointerType
 
 
 def test_parse_empty_unit():

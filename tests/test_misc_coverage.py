@@ -5,15 +5,15 @@ stop_machine reporting, thread stack scans, build-result queries."""
 import pytest
 
 from repro.arch import assemble, disassemble, format_instruction
-from repro.arch.assembler import Insn, Label, LabelRef, SymRef
+from repro.arch.assembler import Insn, Label, LabelRef
 from repro.arch.disassembler import disassemble_one, iter_instructions
 from repro.compiler import CompilerOptions
 from repro.errors import BuildError, MachineError
 from repro.kbuild import KernelConfig, SourceTree, build_tree
-from repro.kernel import Machine, Scheduler, boot_kernel
-from repro.kernel.cpu import CPUState, StepEvent, step
+from repro.kernel import boot_kernel
+from repro.kernel.cpu import CPUState, step
 from repro.kernel.memory import Memory
-from repro.kernel.threads import Thread, ThreadStatus
+from repro.kernel.threads import Thread
 from repro.linker import link_kernel
 
 
@@ -170,8 +170,8 @@ def test_run_until_budget_exhaustion_returns_false():
 
 def test_voluntary_yield_alternates_threads():
     machine = boot_kernel(_spin_tree(), quantum=1000)
-    a = machine.create_thread("work_a", name="a")
-    b = machine.create_thread("work_b", name="b")
+    machine.create_thread("work_a", name="a")
+    machine.create_thread("work_b", name="b")
     machine.run(max_instructions=4_000)
     # Despite the huge quantum, __sched() yields interleave the two.
     pa = machine.read_u32(machine.symbol("progress_a"))

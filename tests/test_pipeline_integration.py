@@ -86,10 +86,38 @@ def test_create_emits_named_stages():
     trace = Trace(label="create")
     ksplice_create(TREE, _patch_text(PATCHED_SCHED), trace=trace)
     assert [r.name for r in trace.reports] == \
-        ["patch", "build-pre", "build-post", "diff"]
+        ["patch", "build-pre", "build-post", "diff", "analyze"]
     assert trace.find("patch").counters["changed_units"] == 1
     assert trace.find("diff").counters["units_shipped"] == 1
     assert trace.find("diff").counters["changed_functions"] >= 1
+    analyze = trace.find("analyze")
+    assert analyze.artifacts["verdict"] == "quiesce-risk"
+    assert analyze.counters["findings"] >= 1
+
+
+def test_create_accepts_data_change_when_hooks_supplied():
+    """A persistent-data change normally aborts create; supplying hook
+    code takes the non-raising branch, and the analyzer still verdicts
+    needs-hooks with the hooks noted."""
+    from repro.core.create import CreateReport
+
+    tree = SourceTree(version="hooked-test", files={
+        "kernel/conf.c": "int limit = 10;\n"
+                         "int get_limit(void) { return limit; }\n"})
+    post = {"kernel/conf.c": tree.files["kernel/conf.c"].replace(
+        "int limit = 10;", "int limit = 20;")
+        + "int fix_limit(void) { return 0; }\n"
+          "__ksplice_apply__(fix_limit);\n"}
+    report = CreateReport()
+    pack = ksplice_create(tree, make_patch(tree.files, post),
+                          report=report)
+    assert pack.units[0].hook_sections == [".ksplice_apply"]
+    analysis = report.analysis
+    assert analysis is not None
+    assert analysis.verdict == "needs-hooks"
+    assert analysis.hooks_present
+    details = [f.detail for f in analysis.findings]
+    assert any("transform hooks supplied" in d for d in details)
 
 
 def test_create_abort_carries_patch_stage_context():

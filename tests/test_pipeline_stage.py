@@ -10,7 +10,6 @@ from repro.pipeline import (
     OK,
     SKIPPED,
     StageContext,
-    StageReport,
     Trace,
     load_run,
     normalize_cve_result,

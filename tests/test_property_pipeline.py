@@ -7,12 +7,11 @@ interpreter, and the matcher's short/long + nop bridging far beyond the
 handwritten cases.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.compiler import CompilerOptions
 from repro.core.runpre import RunPreMatcher
-from repro.kbuild import SourceTree, build_tree, build_units
+from repro.kbuild import SourceTree, build_units
 from repro.kernel import boot_kernel
 
 FLAVOR = CompilerOptions().pre_post_flavor()

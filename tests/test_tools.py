@@ -1,7 +1,5 @@
 """Tests for the objdump listing and the stack unwinder."""
 
-import pytest
-
 from repro.compiler import CompilerOptions, compile_source
 from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel
