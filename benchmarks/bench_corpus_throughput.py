@@ -22,6 +22,8 @@ must leave the cache directory empty.
 
 import time
 
+import perfjson
+
 from repro.compiler.cache import COMPILE_CACHE, PARSE_CACHE
 from repro.evaluation import (
     clear_caches,
@@ -102,6 +104,14 @@ def test_throughput_headline(benchmark):
     for name, cache in sorted(stats.caches.items()):
         print("  %-10s cache: %d hits / %d misses (%.0f%% hit rate)"
               % (name, cache.hits, cache.misses, 100 * cache.hit_rate))
+    perfjson.record("corpus_headline", {
+        "cves": stats.cves,
+        "jobs": stats.jobs,
+        "cold_wall_s": round(stats.wall_seconds, 3),
+        "cves_per_second": round(stats.cves_per_second, 2),
+        "cache_hit_rate": round(
+            stats.combined_cache_stats().hit_rate, 3),
+    })
     assert len(report.successes()) == report.total()
 
 
@@ -153,6 +163,15 @@ def run_smoke() -> int:
               "%d disk hits"
               % (len(specs), cold_s, warm_s,
                  cold_s / warm_s if warm_s else 0.0, disk_hits))
+        perfjson.record("corpus_smoke", {
+            "cves": len(specs),
+            "jobs": 1,
+            "cold_wall_s": round(cold_s, 3),
+            "disk_warm_wall_s": round(warm_s, 3),
+            "disk_hits": disk_hits,
+            "warm_pass_cache_hit_rate": round(
+                warm_stats.combined_cache_stats().hit_rate, 3),
+        })
         for name, timing in sorted(warm_stats.stages.items()):
             print("  stage %-12s %5d calls %8.1f ms" %
                   (name, timing.calls, timing.wall_ms))

@@ -5,6 +5,8 @@
     python -m repro.cli demo --patch fix.patch --tree src/
     python -m repro.cli analyze CVE-2008-0007 [--json] [--augmented]
     python -m repro.cli evaluate [--quick] [--jobs N] [--cache-dir DIR]
+                                 [--workers host:port,...]
+    python -m repro.cli worker --listen host:port [--once]
     python -m repro.cli trace [--cve CVE-id] [--file PATH] [--json]
 
 ``create`` reads a kernel source tree from a directory (every ``*.c`` /
@@ -18,9 +20,16 @@ shot, since a simulated machine does not outlive the process.
 exits 0 for ``safe``, 2 when custom code is needed (``needs-hooks`` /
 ``needs-shadow`` / ``quiesce-risk``), 3 for ``reject``, so CI can gate
 on it.  ``evaluate`` runs the paper's §6 evaluation; ``--jobs N``
-spreads the kernel-version groups across N worker processes and
-``--cache-dir`` enables the on-disk cache tier so repeated runs start
-warm.  Both ``demo`` and ``evaluate`` record per-stage traces (see
+spreads the kernel-version groups across N worker processes,
+``--workers host:port,...`` spreads them across remote evaluation
+workers instead (the distributed fabric, :mod:`repro.distributed` —
+start each worker host with ``repro worker --listen``), and
+``--cache-dir`` enables the on-disk cache tier so repeated runs (and
+the worker fleet, which inherits the tier at handshake) start warm.
+When a parallel or distributed request cannot run as asked, the
+fallback and its reason are printed rather than silently degrading.
+
+Both ``demo`` and ``evaluate`` record per-stage traces (see
 :mod:`repro.pipeline`) and save them; ``trace`` renders the saved run —
 an aggregate per-stage table by default, the full stage tree of one CVE
 with ``--cve``, or deterministic sorted JSON with ``--json``.
@@ -265,10 +274,18 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
     from repro.evaluation.engine import EngineStats
 
+    workers = [w.strip() for w in (args.workers or "").split(",")
+               if w.strip()]
     stats = EngineStats()
     report = evaluate_corpus(specs, run_stress=not args.quick,
                              progress=progress, jobs=args.jobs,
-                             stats=stats)
+                             stats=stats, workers=workers or None)
+    if stats.fell_back:
+        print("\nNOTE: %s run fell back (%s); results above came from "
+              "the %s path"
+              % ("distributed" if workers else "parallel",
+                 stats.fallback_reason or "unknown reason",
+                 "local" if workers and args.jobs > 1 else "sequential"))
     print("\n%d/%d updates succeeded; %d needed no new code"
           % (len(report.successes()), report.total(),
              report.no_new_code_count()))
@@ -294,6 +311,16 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     combined = stats.combined_cache_stats()
     if combined.disk_hits:
         print("disk cache tier: %d hits" % combined.disk_hits)
+    if stats.workers:
+        line = ("distributed: %d worker%s, %d work item%s, %d retr%s"
+                % (stats.workers, "s" if stats.workers != 1 else "",
+                   stats.work_items,
+                   "s" if stats.work_items != 1 else "",
+                   stats.retries,
+                   "ies" if stats.retries != 1 else "y"))
+        if stats.local_rescues:
+            line += ", %d rescued locally" % stats.local_rescues
+        print(line)
 
     # per-stage timing, broken down by kernel-version group then overall
     by_version: Dict[str, list] = {}
@@ -314,10 +341,33 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         _save_traces(traces, meta={
             "command": "evaluate",
             "jobs": stats.jobs,
+            "workers": workers,
             "cves": [r.cve_id for r in report.results],
             "failed": [r.cve_id for r in report.results if not r.success],
         })
     return 0 if len(report.successes()) == report.total() else 1
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import parse_address, serve
+
+    if args.cache_dir:
+        from repro.compiler.cache import enable_disk_cache
+        from repro.pipeline.store import CACHE_DIR_ENV
+
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+        enable_disk_cache()
+    host, port = parse_address(args.listen, allow_zero=True)
+
+    def ready(bound_host: str, bound_port: int) -> None:
+        print("worker listening on %s:%d (pid %d)"
+              % (bound_host, bound_port, os.getpid()), flush=True)
+
+    try:
+        serve(host=host, port=port, once=args.once, ready=ready)
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -429,7 +479,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--cache-dir", default=None,
                         help="enable the on-disk cache tier rooted here "
                              "(also where the run trace is saved)")
+    p_eval.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                        help="evaluate on remote workers (comma-separated "
+                             "host:port list; see `repro worker`) instead "
+                             "of local processes")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_worker = sub.add_parser(
+        "worker", help="serve evaluation work items over TCP")
+    p_worker.add_argument("--listen", required=True, metavar="HOST:PORT",
+                          help="address to listen on (port 0 picks an "
+                               "ephemeral port, printed on startup)")
+    p_worker.add_argument("--once", action="store_true",
+                          help="exit after serving one coordinator "
+                               "session")
+    p_worker.add_argument("--cache-dir", default=None,
+                          help="enable the on-disk cache tier rooted "
+                               "here (a coordinator handshake may still "
+                               "override it)")
+    p_worker.set_defaults(func=cmd_worker)
 
     p_trace = sub.add_parser(
         "trace", help="show the per-stage trace of the last run")

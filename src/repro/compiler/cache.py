@@ -352,6 +352,64 @@ def active_disk_root() -> Optional[str]:
     return _DISK_ROOT
 
 
+def disk_cache_config() -> Optional[Tuple[str, int]]:
+    """``(root, max_entries)`` of the enabled disk tier, or None.
+
+    This is the warm-start handshake payload: a coordinator sends it to
+    remote workers so they attach the same shared tier (same root, same
+    bound) before evaluating anything.
+    """
+    if _DISK_ROOT is None:
+        return None
+    return _DISK_ROOT, _DISK_MAX_ENTRIES
+
+
+def apply_disk_cache_config(config: Optional[Tuple[str, int]]) -> None:
+    """Worker-side half of :func:`disk_cache_config`."""
+    if config is None:
+        disable_disk_cache()
+    else:
+        root, max_entries = config
+        enable_disk_cache(root, max_entries=max_entries)
+
+
+def snapshot_stats() -> Dict[str, Tuple[int, ...]]:
+    """Counter tuples for every registered cache, for later deltas."""
+    return {cache.name: (cache.stats.hits, cache.stats.misses,
+                         cache.stats.evictions, cache.stats.bytes_cached,
+                         cache.stats.disk_hits)
+            for cache in _REGISTRY}
+
+
+def stats_delta(before: Dict[str, Tuple[int, ...]],
+                ) -> Dict[str, CacheStats]:
+    """What each cache's counters gained since ``before``.
+
+    This is the unit of cache accounting that crosses process and host
+    boundaries: a worker snapshots before an item, computes the delta
+    after, and the coordinator merges deltas with
+    :func:`merge_stats_into` — summing per cache name, so two workers
+    that each missed the *same* content key contribute two misses (each
+    really did the work).
+    """
+    delta: Dict[str, CacheStats] = {}
+    for name, stats in cache_stats().items():
+        h0, m0, e0, b0, d0 = before.get(name, (0, 0, 0, 0, 0))
+        delta[name] = CacheStats(hits=stats.hits - h0,
+                                 misses=stats.misses - m0,
+                                 evictions=stats.evictions - e0,
+                                 bytes_cached=stats.bytes_cached - b0,
+                                 disk_hits=stats.disk_hits - d0)
+    return delta
+
+
+def merge_stats_into(target: Dict[str, CacheStats],
+                     delta: Dict[str, CacheStats]) -> None:
+    """Fold one worker's per-cache delta into an aggregate mapping."""
+    for name, stats in delta.items():
+        target.setdefault(name, CacheStats()).merge(stats)
+
+
 PARSE_CACHE = register_cache(ContentCache("parse"))
 COMPILE_CACHE = register_cache(ContentCache("compile"))
 

@@ -1,0 +1,58 @@
+"""Distributed evaluation fabric: the §6 corpus run beyond one host.
+
+The local evaluation engine (:mod:`repro.evaluation.engine`) already
+fans kernel-version groups over a ``ProcessPoolExecutor``; this package
+extends the same design over TCP so throughput scales with *workers*,
+not with one machine's cores:
+
+* :mod:`~repro.distributed.protocol` — length-prefixed framing and the
+  nine-message wire vocabulary;
+* :mod:`~repro.distributed.worker` — the ``repro worker`` serve loop:
+  evaluates items, streams each ``CveResult`` as it finishes, answers
+  heartbeats while evaluating, and can be spawned on localhost for
+  tests;
+* :mod:`~repro.distributed.coordinator` — the scheduler: per-version
+  lead items that warm the run-build cache, then per-CVE work-stealing
+  for the tails, heartbeats, bounded retry with backoff, and local
+  rescue of anything the fleet cannot finish;
+* :mod:`~repro.distributed.executor` — a ``ProcessPoolExecutor``-shaped
+  adapter so group-based code (``engine._evaluate_parallel``) runs
+  against remote workers unchanged.
+
+Entry points: ``evaluate_corpus(workers=[...])`` /
+``repro evaluate --workers`` on the coordinator side and
+``repro worker --listen`` on the worker side.
+"""
+
+from repro.distributed.coordinator import Coordinator, WorkItem
+from repro.distributed.executor import DistributedExecutor
+from repro.distributed.protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    MessageStream,
+    ProtocolError,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.distributed.worker import (
+    LocalWorker,
+    serve,
+    spawn_local_workers,
+)
+
+__all__ = [
+    "Coordinator",
+    "DistributedExecutor",
+    "LocalWorker",
+    "MAX_FRAME",
+    "MessageStream",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WorkItem",
+    "parse_address",
+    "recv_message",
+    "send_message",
+    "serve",
+    "spawn_local_workers",
+]

@@ -1,0 +1,419 @@
+"""The coordinator: schedules work items over remote workers.
+
+Scheduling model
+----------------
+
+Work starts as one **lead item** per kernel version (the version's
+first CVE in spec order).  The lead's evaluation warms that version's
+run-build cache entry on whichever worker runs it — and, when a shared
+disk tier is enabled, for every other worker too.  The moment a
+version's lead CVE has a result, the version's remaining CVEs are
+released as independent single-CVE items into the shared ready queue,
+where **any idle worker steals the next one**.  That removes the local
+pool's ``min(jobs, len(groups))`` cap: a version with twenty CVEs no
+longer serializes its tail behind one worker, because after the first
+CVE the other nineteen are up for grabs.
+
+Streaming
+---------
+
+Workers push each finished ``CveResult`` (trace included) the moment
+it exists, so the caller's ``progress`` callback fires per CVE in
+completion order — distributed runs report exactly like sequential
+ones, not in per-group bursts.
+
+Failure model
+-------------
+
+* **Heartbeats** — while an item is in flight the coordinator pings the
+  worker whenever the connection goes quiet; a worker that misses
+  several consecutive probes is declared lost.  A killed worker is
+  usually detected faster, by the TCP reset.
+* **Bounded retry with backoff** — an item lost with a worker (or
+  failed remotely) is requeued for the CVEs that have no result yet,
+  with exponentially backed-off not-before times, up to
+  ``max_attempts`` total tries; only then is it abandoned remotely.
+* **Graceful degradation** — abandoned items, or everything left when
+  every worker has died, are evaluated in-process by the coordinator
+  (``local_rescues``); results stay complete and deterministic.  If
+  *no* worker ever answered the handshake, ``run`` returns ``None``
+  and the engine falls back to the local pool exactly like the
+  existing unpicklable-spec path.
+
+Cache accounting mirrors ``engine._evaluate_group``: each item returns
+its per-cache stats delta, merged per worker into ``stats.caches``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed import protocol
+from repro.distributed.protocol import ProtocolError, parse_address
+
+
+@dataclass
+class WorkItem:
+    """One schedulable unit: a kernel version plus spec indices."""
+
+    item_id: str
+    version: str
+    indices: List[int]
+    specs: List[Any]
+    #: lead item of its version: completing it releases the parked tail
+    warm: bool = False
+    attempts: int = 0
+
+
+@dataclass
+class _RunState:
+    """Everything the scheduler guards under one lock."""
+
+    results: List[Optional[Any]]
+    ready: "deque[WorkItem]" = field(default_factory=deque)
+    retry: List[Tuple[float, WorkItem]] = field(default_factory=list)
+    #: version -> indices waiting for that version's lead to complete
+    parked: Dict[str, List[int]] = field(default_factory=dict)
+    inflight: Dict[int, WorkItem] = field(default_factory=dict)
+    released: Dict[str, bool] = field(default_factory=dict)
+    connected: int = 0
+    handlers_running: int = 0
+    dispatched: int = 0
+    retries: int = 0
+
+
+class Coordinator:
+    """Runs one corpus evaluation over a set of ``host:port`` workers."""
+
+    def __init__(self, addresses: Sequence[str],
+                 connect_timeout: float = 5.0,
+                 heartbeat_interval: float = 2.0,
+                 heartbeat_misses: int = 3,
+                 max_attempts: int = 3,
+                 retry_backoff: float = 0.05):
+        self.addresses = [parse_address(a) for a in addresses]
+        self.connect_timeout = connect_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._progress_lock = threading.Lock()
+        self._ids = itertools.count()
+
+    # -- public entry point -------------------------------------------------
+
+    def run(self, specs: Sequence[Any], run_stress: bool = True,
+            verify_undo: bool = False, progress=None,
+            stats=None) -> Optional[List[Any]]:
+        """Evaluate ``specs`` over the workers; None means "fall back".
+
+        Returns the results in spec order, or ``None`` when the specs
+        cannot cross a process boundary or no worker answered — the
+        same contract as the engine's local parallel path.
+        """
+        try:
+            pickle.dumps(list(specs))
+        except Exception:
+            if stats is not None:
+                stats.fallback_reason = "unpicklable specs"
+            return None
+
+        state = self._build_state(specs)
+        self._specs = list(specs)
+        self._run_stress = run_stress
+        self._verify_undo = verify_undo
+        self._progress = progress
+        self._stats = stats
+        self._state = state
+
+        threads = []
+        with self._cond:
+            state.handlers_running = len(self.addresses)
+        for host, port in self.addresses:
+            thread = threading.Thread(target=self._handler,
+                                      args=(host, port), daemon=True)
+            thread.start()
+            threads.append(thread)
+
+        with self._cond:
+            while not self._all_filled(state) \
+                    and state.handlers_running > 0 \
+                    and self._remote_pending(state):
+                self._cond.wait(0.2)
+            connected = state.connected
+        missing = [i for i, r in enumerate(state.results) if r is None]
+        if missing and connected == 0:
+            with self._cond:  # unblock any handler still connecting
+                state.ready.clear()
+                state.retry.clear()
+                state.parked.clear()
+                self._cond.notify_all()
+            if stats is not None and not stats.fallback_reason:
+                stats.fallback_reason = (
+                    "no workers reachable at %s"
+                    % ", ".join("%s:%d" % a for a in self.addresses))
+            return None
+        if missing:
+            self._rescue_locally(missing)
+        for thread in threads:
+            thread.join(timeout=30.0)
+        if stats is not None:
+            stats.workers = connected
+            stats.work_items = state.dispatched
+            stats.retries = state.retries
+        return list(state.results)  # type: ignore[arg-type]
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _build_state(self, specs: Sequence[Any]) -> _RunState:
+        from repro.evaluation.engine import _group_by_version
+
+        state = _RunState(results=[None] * len(specs))
+        for version, indices in _group_by_version(specs):
+            lead, rest = indices[0], indices[1:]
+            state.ready.append(WorkItem(
+                item_id="i%d" % next(self._ids), version=version,
+                indices=[lead], specs=[specs[lead]], warm=True))
+            if rest:
+                state.parked[version] = rest
+            state.released[version] = not rest
+        return state
+
+    def _all_filled(self, state: _RunState) -> bool:
+        return all(r is not None for r in state.results)
+
+    def _remote_pending(self, state: _RunState) -> bool:
+        return bool(state.ready or state.retry or state.parked
+                    or state.inflight)
+
+    def _release_parked(self, state: _RunState, version: str) -> None:
+        """Split a version's tail into stealable single-CVE items."""
+        if state.released.get(version):
+            return
+        state.released[version] = True
+        for index in state.parked.pop(version, []):
+            state.ready.append(WorkItem(
+                item_id="i%d" % next(self._ids), version=version,
+                indices=[index], specs=[self._specs[index]]))
+        self._cond.notify_all()
+
+    def _next_item(self, handler_id: int) -> Optional[WorkItem]:
+        with self._cond:
+            state = self._state
+            while True:
+                if self._all_filled(state):
+                    return None
+                now = time.monotonic()
+                due = [entry for entry in state.retry if entry[0] <= now]
+                for entry in due:
+                    state.retry.remove(entry)
+                    state.ready.append(entry[1])
+                if state.ready:
+                    item = state.ready.popleft()
+                    state.inflight[handler_id] = item
+                    state.dispatched += 1
+                    return item
+                if not state.retry and not state.inflight and state.parked:
+                    # Safety valve: every lead for these versions was
+                    # abandoned — release the tails rather than stall.
+                    for version in list(state.parked):
+                        self._release_parked(state, version)
+                    continue
+                if not self._remote_pending(state):
+                    return None
+                timeout = 0.2
+                if state.retry:
+                    timeout = min(timeout, max(
+                        0.01, min(t for t, _ in state.retry) - now))
+                self._cond.wait(timeout)
+
+    def _record_result(self, item: WorkItem, offset: int,
+                       result: Any) -> None:
+        fresh = False
+        with self._cond:
+            state = self._state
+            index = item.indices[offset]
+            if state.results[index] is None:
+                state.results[index] = result
+                fresh = True
+            if item.warm:
+                self._release_parked(state, item.version)
+            self._cond.notify_all()
+        if fresh and self._progress is not None:
+            with self._progress_lock:
+                self._progress(result)
+
+    def _finish_item(self, handler_id: int, item: WorkItem,
+                     cache_delta: Optional[Dict[str, Any]],
+                     failed: bool) -> None:
+        from repro.compiler.cache import merge_stats_into
+
+        with self._cond:
+            state = self._state
+            state.inflight.pop(handler_id, None)
+            if cache_delta and self._stats is not None:
+                merge_stats_into(self._stats.caches, cache_delta)
+            missing = [i for i in item.indices
+                       if state.results[i] is None]
+            if missing:
+                attempts = item.attempts + 1
+                if attempts < self.max_attempts:
+                    retry_item = WorkItem(
+                        item_id="i%d" % next(self._ids),
+                        version=item.version, indices=missing,
+                        specs=[self._specs[i] for i in missing],
+                        warm=item.warm, attempts=attempts)
+                    not_before = time.monotonic() \
+                        + self.retry_backoff * (2 ** (attempts - 1))
+                    state.retry.append((not_before, retry_item))
+                    state.retries += 1
+                elif item.warm:
+                    # The lead is a lost cause remotely; don't hold the
+                    # version's tail hostage.
+                    self._release_parked(state, item.version)
+            elif item.warm:
+                self._release_parked(state, item.version)
+            self._cond.notify_all()
+
+    # -- per-worker handler thread ------------------------------------------
+
+    def _handler(self, host: str, port: int) -> None:
+        sock: Optional[socket.socket] = None
+        try:
+            sock = self._connect(host, port)
+            with self._cond:
+                self._state.connected += 1
+                self._cond.notify_all()
+            self._serve_worker(sock)
+        except (ConnectionError, OSError, ProtocolError):
+            pass
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            with self._cond:
+                state = self._state
+                item = state.inflight.pop(id(threading.current_thread()),
+                                          None)
+                state.handlers_running -= 1
+                self._cond.notify_all()
+            if item is not None:
+                self._finish_item(-1, item, None, failed=True)
+
+    def _connect(self, host: str, port: int) -> socket.socket:
+        sock = socket.create_connection((host, port),
+                                        timeout=self.connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        from repro.compiler.cache import disk_cache_config
+
+        protocol.send_message(sock, {
+            "type": protocol.HELLO,
+            "version": protocol.PROTOCOL_VERSION,
+            "disk_cache": disk_cache_config()})
+        ready = protocol.recv_message(sock)
+        if ready is None or ready.get("type") != protocol.READY:
+            raise ProtocolError(
+                "worker %s:%d rejected the handshake: %r"
+                % (host, port,
+                   (ready or {}).get("error", "connection closed")))
+        return sock
+
+    def _serve_worker(self, sock: socket.socket) -> None:
+        handler_id = id(threading.current_thread())
+        stream = protocol.MessageStream(sock)
+        while True:
+            item = self._next_item(handler_id)
+            if item is None:
+                try:
+                    protocol.send_message(sock,
+                                          {"type": protocol.SHUTDOWN})
+                except (ConnectionError, OSError):
+                    pass
+                return
+            try:
+                self._run_item(sock, stream, handler_id, item)
+            except (ConnectionError, OSError, ProtocolError):
+                self._finish_item(handler_id, item, None, failed=True)
+                raise
+
+    def _run_item(self, sock: socket.socket,
+                  stream: "protocol.MessageStream", handler_id: int,
+                  item: WorkItem) -> None:
+        protocol.send_message(sock, {
+            "type": protocol.ITEM, "item_id": item.item_id,
+            "version": item.version, "specs": item.specs,
+            "run_stress": self._run_stress,
+            "verify_undo": self._verify_undo})
+        sock.settimeout(self.heartbeat_interval)
+        missed = 0
+        ping_seq = 0
+        while True:
+            try:
+                message = stream.recv()
+            except socket.timeout:
+                if missed >= self.heartbeat_misses:
+                    raise ConnectionError(
+                        "worker missed %d heartbeats" % missed)
+                ping_seq += 1
+                protocol.send_message(sock, {"type": protocol.PING,
+                                             "seq": ping_seq})
+                missed += 1
+                continue
+            if message is None:
+                raise ConnectionError("worker closed mid-item")
+            missed = 0
+            kind = message.get("type")
+            if kind == protocol.RESULT \
+                    and message.get("item_id") == item.item_id:
+                self._record_result(item, message["offset"],
+                                    message["result"])
+            elif kind == protocol.ITEM_DONE \
+                    and message.get("item_id") == item.item_id:
+                self._finish_item(handler_id, item,
+                                  message.get("cache_delta"),
+                                  failed=False)
+                return
+            elif kind == protocol.ERROR:
+                self._finish_item(handler_id, item, None, failed=True)
+                return
+            # pongs and stale-item noise just prove liveness
+
+    # -- local degradation --------------------------------------------------
+
+    def _rescue_locally(self, missing: List[int]) -> None:
+        """Evaluate leftover indices in-process (workers all gone or
+        retries exhausted); accounting lands in the same stats."""
+        from repro.compiler.cache import (
+            merge_stats_into,
+            snapshot_stats,
+            stats_delta,
+        )
+        from repro.evaluation.harness import evaluate_cve
+
+        before = snapshot_stats()
+        for index in sorted(missing):
+            result = evaluate_cve(self._specs[index],
+                                  run_stress=self._run_stress,
+                                  verify_undo=self._verify_undo)
+            with self._cond:
+                if self._state.results[index] is not None:
+                    continue  # a straggler worker beat us to it
+                self._state.results[index] = result
+            if self._progress is not None:
+                with self._progress_lock:
+                    self._progress(result)
+            if self._stats is not None:
+                self._stats.local_rescues += 1
+        if self._stats is not None:
+            merge_stats_into(self._stats.caches, stats_delta(before))

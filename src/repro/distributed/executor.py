@@ -1,0 +1,182 @@
+"""A ``ProcessPoolExecutor``-shaped surface over remote workers.
+
+``DistributedExecutor`` fills exactly the contract the engine's local
+parallel path uses today — ``submit`` returning
+:class:`concurrent.futures.Future`, context-manager shutdown,
+``as_completed`` compatibility — so it slots into
+``engine._evaluate_parallel`` unchanged via its ``executor_factory``
+hook.  The submitted callable must be ``_evaluate_group`` (or any
+function taking one ``(version, specs, run_stress, verify_undo,
+disk_root)`` payload); the *payload* is what crosses the wire, and the
+remote worker runs the same evaluation the local pool would, returning
+the same ``(results, cache_stats_delta)`` pair.
+
+This is the compatibility tier of the fabric: whole version-groups,
+one future each, results at group end.  The richer coordinator
+(:mod:`repro.distributed.coordinator`) adds work-stealing, streaming,
+and retry on top of the same wire protocol; the executor exists so
+group-shaped code keeps working against remote hosts and so the
+engine's fallback chain (distributed -> local pool -> sequential) has
+a clean seam to test against.
+
+A worker connection that dies fails its queued futures with
+``BrokenExecutor`` — the exact exception the engine already treats as
+"fall back locally".
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from concurrent.futures import BrokenExecutor, Future
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.distributed import protocol
+from repro.distributed.protocol import ProtocolError, parse_address
+
+
+class _Link:
+    """One worker connection draining a private queue of futures."""
+
+    def __init__(self, address: Tuple[str, int],
+                 connect_timeout: float):
+        self.address = address
+        self.sock = socket.create_connection(address,
+                                             timeout=connect_timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.settimeout(None)
+        from repro.compiler.cache import disk_cache_config
+
+        protocol.send_message(self.sock, {
+            "type": protocol.HELLO,
+            "version": protocol.PROTOCOL_VERSION,
+            "disk_cache": disk_cache_config()})
+        ready = protocol.recv_message(self.sock)
+        if ready is None or ready.get("type") != protocol.READY:
+            raise ProtocolError("worker %s:%d rejected the handshake"
+                                % address)
+        self.jobs: "queue.Queue[Optional[Tuple[Any, Future]]]" = \
+            queue.Queue()
+        self.thread = threading.Thread(target=self._drain, daemon=True)
+        self.thread.start()
+
+    def _drain(self) -> None:
+        item_ids = iter(range(1 << 30))
+        while True:
+            job = self.jobs.get()
+            if job is None:
+                try:
+                    protocol.send_message(self.sock,
+                                          {"type": protocol.SHUTDOWN})
+                except (ConnectionError, OSError):
+                    pass
+                return
+            payload, future = job
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self._round_trip(next(item_ids),
+                                                   payload))
+            except Exception as exc:
+                future.set_exception(BrokenExecutor(
+                    "worker %s:%d failed: %s"
+                    % (self.address[0], self.address[1], exc)))
+                self._fail_pending()
+                return
+
+    def _round_trip(self, item_id: int, payload: Any) -> Any:
+        version, specs, run_stress, verify_undo, _disk_root = payload
+        protocol.send_message(self.sock, {
+            "type": protocol.ITEM, "item_id": item_id,
+            "version": version, "specs": specs,
+            "run_stress": run_stress, "verify_undo": verify_undo})
+        results: List[Any] = []
+        while True:
+            message = protocol.recv_message(self.sock)
+            if message is None:
+                raise ConnectionError("worker closed mid-item")
+            kind = message.get("type")
+            if kind == protocol.RESULT:
+                results.append(message["result"])
+            elif kind == protocol.ITEM_DONE:
+                return results, message.get("cache_delta") or {}
+            elif kind == protocol.ERROR:
+                raise ProtocolError("remote evaluation failed:\n%s"
+                                    % message.get("error"))
+
+    def _fail_pending(self) -> None:
+        while True:
+            try:
+                job = self.jobs.get_nowait()
+            except queue.Empty:
+                return
+            if job is not None:
+                job[1].set_exception(BrokenExecutor(
+                    "worker %s:%d connection lost" % self.address))
+
+    def close(self) -> None:
+        self.jobs.put(None)
+        self.thread.join(timeout=30.0)
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class DistributedExecutor:
+    """Round-robins group payloads over ``host:port`` workers.
+
+    Raises :class:`BrokenExecutor` at construction when *no* worker is
+    reachable, which the engine's parallel path already catches and
+    turns into a local fallback.
+    """
+
+    def __init__(self, addresses: Sequence[str],
+                 connect_timeout: float = 5.0):
+        self._links: List[_Link] = []
+        self._next = 0
+        self._shutdown = False
+        errors = []
+        for address in addresses:
+            try:
+                self._links.append(_Link(parse_address(address),
+                                         connect_timeout))
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                errors.append("%s: %s" % (address, exc))
+        if not self._links:
+            raise BrokenExecutor("no workers reachable (%s)"
+                                 % "; ".join(errors))
+
+    @property
+    def max_workers(self) -> int:
+        return len(self._links)
+
+    def submit(self, fn: Any, payload: Any, /) -> "Future":
+        """Run one ``_evaluate_group``-shaped payload remotely.
+
+        ``fn`` is accepted for surface compatibility with
+        ``ProcessPoolExecutor.submit(fn, payload)``; the remote worker
+        runs the evaluation loop itself, so ``fn`` never crosses the
+        wire.
+        """
+        if self._shutdown:
+            raise RuntimeError("cannot submit after shutdown")
+        future: Future = Future()
+        link = self._links[self._next % len(self._links)]
+        self._next += 1
+        link.jobs.put((payload, future))
+        return future
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        self._shutdown = True
+        for link in self._links:
+            link.close()
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> Optional[bool]:
+        self.shutdown()
+        return None

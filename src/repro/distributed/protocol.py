@@ -1,0 +1,181 @@
+"""Length-prefixed TCP framing for the distributed evaluation fabric.
+
+One frame is an 8-byte big-endian payload length followed by a pickled
+message dict.  Every message carries a ``"type"`` key; the small set of
+types below is the whole wire vocabulary between a coordinator and a
+worker:
+
+==============  =======================  ================================
+type            direction                meaning
+==============  =======================  ================================
+``hello``       coordinator -> worker    handshake: protocol version,
+                                         disk-cache config (warm start)
+``ready``       worker -> coordinator    handshake accepted (pid rides
+                                         along for diagnostics)
+``item``        coordinator -> worker    one work item: a kernel version
+                                         plus an ordered list of CveSpecs
+``result``      worker -> coordinator    **streamed** per finished CVE:
+                                         the full CveResult, trace
+                                         included, as soon as it exists
+``item-done``   worker -> coordinator    the item finished; carries the
+                                         item's cache-stats delta
+``error``       worker -> coordinator    the item raised; carries the
+                                         traceback text
+``ping``        coordinator -> worker    heartbeat probe
+``pong``        worker -> coordinator    heartbeat answer
+``shutdown``    coordinator -> worker    drain and close the session
+==============  =======================  ================================
+
+Payloads are pickles because everything that crosses the wire — specs
+in, ``CveResult`` + ``Trace`` + ``CacheStats`` out — is already the
+plain picklable data the local ``ProcessPoolExecutor`` path ships
+today.  That also means the fabric trusts its peers exactly as much as
+a process pool trusts its forked children: run workers only on hosts
+you would run the evaluation on directly.
+
+``MAX_FRAME`` bounds a single frame so a corrupted length prefix cannot
+make the receiver allocate unbounded memory; both sides treat an
+oversized frame as a protocol error and drop the connection.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+#: bump when the message vocabulary changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: one frame may not exceed this many payload bytes (64 MiB)
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("!Q")
+
+HELLO = "hello"
+READY = "ready"
+ITEM = "item"
+RESULT = "result"
+ITEM_DONE = "item-done"
+ERROR = "error"
+PING = "ping"
+PONG = "pong"
+SHUTDOWN = "shutdown"
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized, or version-incompatible frame."""
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Pickle ``message`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError("frame of %d bytes exceeds MAX_FRAME (%d)"
+                            % (len(payload), MAX_FRAME))
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` means the peer closed cleanly.
+
+    A connection that dies mid-frame raises ``ConnectionError`` (the
+    caller treats it like any other lost worker); a frame that is not a
+    message dict raises :class:`ProtocolError`.
+    """
+    header = _recv_exactly(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError("incoming frame claims %d bytes "
+                            "(MAX_FRAME is %d)" % (length, MAX_FRAME))
+    payload = _recv_exactly(sock, length)
+    return _decode(payload)  # type: ignore[arg-type]
+
+
+class MessageStream:
+    """A buffered reader that survives socket timeouts mid-frame.
+
+    The coordinator reads with a heartbeat timeout; a timeout can
+    strike after part of a frame has arrived.  A naive reader would
+    drop those bytes and desynchronize the stream, so this one keeps
+    partial frames in a buffer across ``socket.timeout`` raises —
+    the next :meth:`recv` continues exactly where the last one left
+    off.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buf = bytearray()
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """One message; ``None`` on clean EOF; ``socket.timeout``
+        propagates with the partial frame preserved."""
+        while True:
+            if len(self._buf) >= _HEADER.size:
+                (length,) = _HEADER.unpack(bytes(self._buf[:_HEADER.size]))
+                if length > MAX_FRAME:
+                    raise ProtocolError(
+                        "incoming frame claims %d bytes (MAX_FRAME is %d)"
+                        % (length, MAX_FRAME))
+                end = _HEADER.size + length
+                if len(self._buf) >= end:
+                    payload = bytes(self._buf[_HEADER.size:end])
+                    del self._buf[:end]
+                    return _decode(payload)
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buf:
+                    raise ConnectionError("peer closed mid-frame")
+                return None
+            self._buf += chunk
+
+
+def _decode(payload: bytes) -> Dict[str, Any]:
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError("undecodable frame: %s" % exc)
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame is not a typed message: %r"
+                            % type(message).__name__)
+    return message
+
+
+def _recv_exactly(sock: socket.socket, count: int,
+                  allow_eof: bool = False) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ConnectionError("peer closed mid-frame (%d of %d bytes)"
+                                  % (count - remaining, count))
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_address(address: str, allow_zero: bool = False) -> tuple:
+    """``"host:port"`` -> ``(host, port)`` with validation.
+
+    ``allow_zero`` admits port 0 — valid for a *listening* worker
+    (bind an ephemeral port), never for a coordinator connecting out.
+    """
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError("worker address %r is not host:port" % address)
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ProtocolError("worker address %r has a non-numeric port"
+                            % address)
+    if not (0 if allow_zero else 1) <= port < 65536:
+        raise ProtocolError("worker address %r port out of range" % address)
+    return host, port

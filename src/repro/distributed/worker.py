@@ -1,0 +1,273 @@
+"""The worker side of the fabric: a serve loop over one TCP socket.
+
+A worker is a long-lived process that listens for a coordinator,
+handshakes (protocol version + disk-cache warm start), then evaluates
+the ``item`` messages it is sent — each item is one kernel version plus
+an ordered list of :class:`~repro.evaluation.specs.CveSpec`s, the same
+shape ``engine._evaluate_group`` runs locally today.
+
+Two threads per session keep the worker responsive:
+
+* the **reader** (the connection's main loop) answers ``ping``
+  immediately and queues incoming items, so heartbeats are serviced
+  even while an evaluation is running;
+* the **evaluator** drains the item queue and *streams* every finished
+  ``CveResult`` back the moment it exists (``result`` message, trace
+  included), then closes the item with its cache-stats delta
+  (``item-done``) — the coordinator's ``progress`` callback fires
+  per CVE, not per batch.
+
+Because the process outlives items, its in-memory cache tiers warm up
+across items: a worker that already evaluated one CVE of a kernel
+version holds that version's run build for every later item, which is
+what makes the coordinator's per-CVE work-stealing split cheap.
+
+``spawn_local_workers`` forks workers on ephemeral localhost ports for
+tests, benchmarks, and the CI smoke job; each child starts with cold
+memory tiers (anything inherited from the parent is dropped) so a
+spawned pool behaves like freshly started remote hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.distributed import protocol
+from repro.distributed.protocol import ProtocolError
+
+#: exit status a worker uses when told to die by fail_after_items
+_FAULT_EXIT = 17
+
+
+def _reset_process_caches() -> None:
+    """Make this process cache-cold (spawned workers inherit the parent's
+    warm tiers under fork; a real remote host would not have them)."""
+    from repro.compiler.cache import (
+        disable_disk_cache,
+        drop_memory_tiers,
+        reset_cache_stats,
+    )
+    from repro.evaluation.kernels import kernel_for_version
+
+    disable_disk_cache()
+    drop_memory_tiers()
+    reset_cache_stats()
+    kernel_for_version.cache_clear()
+
+
+class _Session:
+    """One coordinator connection: reader loop + evaluator thread."""
+
+    def __init__(self, sock: socket.socket,
+                 fail_after_items: Optional[int] = None):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._items: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
+        self._fail_after_items = fail_after_items
+        self._items_seen = 0
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        with self._send_lock:
+            protocol.send_message(self._sock, message)
+
+    def run(self) -> None:
+        if not self._handshake():
+            return
+        evaluator = threading.Thread(target=self._evaluate_loop,
+                                     daemon=True)
+        evaluator.start()
+        try:
+            self._reader_loop()
+        finally:
+            self._items.put(None)
+            evaluator.join(timeout=30.0)
+
+    def _handshake(self) -> bool:
+        hello = protocol.recv_message(self._sock)
+        if hello is None or hello.get("type") != protocol.HELLO:
+            return False
+        if hello.get("version") != protocol.PROTOCOL_VERSION:
+            self._send({"type": protocol.ERROR, "item_id": None,
+                        "error": "protocol version mismatch: "
+                                 "coordinator %r, worker %r"
+                                 % (hello.get("version"),
+                                    protocol.PROTOCOL_VERSION)})
+            return False
+        from repro.compiler.cache import apply_disk_cache_config
+
+        apply_disk_cache_config(hello.get("disk_cache"))
+        self._send({"type": protocol.READY,
+                    "version": protocol.PROTOCOL_VERSION,
+                    "pid": os.getpid()})
+        return True
+
+    def _reader_loop(self) -> None:
+        while True:
+            try:
+                message = protocol.recv_message(self._sock)
+            except (ConnectionError, OSError, ProtocolError):
+                return
+            if message is None:
+                return
+            kind = message.get("type")
+            if kind == protocol.PING:
+                self._send({"type": protocol.PONG,
+                            "seq": message.get("seq")})
+            elif kind == protocol.ITEM:
+                self._items_seen += 1
+                if self._fail_after_items is not None \
+                        and self._items_seen >= self._fail_after_items:
+                    # Deterministic fault injection: die with the item
+                    # in flight, exactly like a worker host crashing
+                    # mid-evaluation.  os._exit skips atexit/io — the
+                    # coordinator only sees the TCP connection drop.
+                    os._exit(_FAULT_EXIT)
+                self._items.put(message)
+            elif kind == protocol.SHUTDOWN:
+                return
+
+    def _evaluate_loop(self) -> None:
+        from repro.compiler.cache import snapshot_stats, stats_delta
+        from repro.evaluation.harness import evaluate_cve
+
+        while True:
+            item = self._items.get()
+            if item is None:
+                return
+            item_id = item.get("item_id")
+            try:
+                before = snapshot_stats()
+                for offset, spec in enumerate(item["specs"]):
+                    result = evaluate_cve(
+                        spec, run_stress=item.get("run_stress", True),
+                        verify_undo=item.get("verify_undo", False))
+                    self._send({"type": protocol.RESULT,
+                                "item_id": item_id, "offset": offset,
+                                "result": result})
+                self._send({"type": protocol.ITEM_DONE,
+                            "item_id": item_id,
+                            "cache_delta": stats_delta(before)})
+            except (ConnectionError, OSError):
+                return  # coordinator is gone; the session is over
+            except Exception:
+                try:
+                    self._send({"type": protocol.ERROR,
+                                "item_id": item_id,
+                                "error": traceback.format_exc()})
+                except (ConnectionError, OSError):
+                    return
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, once: bool = False,
+          ready: Optional[Callable[[str, int], None]] = None,
+          fail_after_items: Optional[int] = None) -> None:
+    """Listen on ``host:port`` and serve coordinator sessions forever.
+
+    ``port=0`` binds an ephemeral port; ``ready`` (if given) receives
+    the bound ``(host, port)`` before the accept loop starts — how
+    spawned workers report their address.  ``once`` exits after the
+    first session (used by tests and the CLI's ``--once``).
+    ``fail_after_items`` makes the process exit abruptly upon receiving
+    its Nth item — fault injection for the retry tests.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(4)
+    bound_host, bound_port = listener.getsockname()[:2]
+    if ready is not None:
+        ready(bound_host, bound_port)
+    try:
+        while True:
+            sock, _addr = listener.accept()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                _Session(sock, fail_after_items=fail_after_items).run()
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if once:
+                return
+    finally:
+        listener.close()
+
+
+# -- localhost spawning (tests, benchmarks, CI smoke) -----------------------
+
+
+@dataclass
+class LocalWorker:
+    """Handle on one spawned localhost worker process."""
+
+    process: Any  # multiprocessing.Process
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return "%s:%d" % (self.host, self.port)
+
+    def kill(self) -> None:
+        """SIGKILL — the crash the retry machinery exists for."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=10.0)
+
+    def stop(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=10.0)
+
+
+def _serve_child(conn, fail_after_items: Optional[int]) -> None:
+    _reset_process_caches()
+
+    def report(host: str, port: int) -> None:
+        conn.send((host, port))
+        conn.close()
+
+    serve(ready=report, fail_after_items=fail_after_items)
+
+
+def spawn_local_workers(count: int,
+                        fail_after_items: Optional[int] = None,
+                        ) -> List[LocalWorker]:
+    """Fork ``count`` workers on ephemeral localhost ports.
+
+    Each child reports its bound address over a pipe before accepting;
+    the returned handles are ready to be passed (``.address``) straight
+    to ``evaluate_corpus(workers=...)``.  ``fail_after_items`` applies
+    to every spawned worker (tests usually spawn the faulty one
+    separately).  Callers own cleanup: ``worker.stop()`` each handle.
+    """
+    import multiprocessing
+
+    workers: List[LocalWorker] = []
+    try:
+        for _ in range(count):
+            parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+            process = multiprocessing.Process(
+                target=_serve_child, args=(child_conn, fail_after_items),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            if not parent_conn.poll(30.0):
+                raise ProtocolError("spawned worker did not report its "
+                                    "address within 30s")
+            host, port = parent_conn.recv()
+            parent_conn.close()
+            workers.append(LocalWorker(process=process, host=host,
+                                       port=port))
+    except Exception:
+        for worker in workers:
+            worker.stop()
+        raise
+    return workers

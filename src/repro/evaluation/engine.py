@@ -11,7 +11,16 @@ that corpus-scale run fast along three layers:
    between concurrent evaluations is free.  Results are merged back into
    the caller's spec order, so a parallel run is deterministic and
    (timing fields aside) identical to a sequential one.  Unpicklable
-   specs or a broken pool degrade gracefully to in-process execution.
+   specs or a broken pool degrade gracefully to in-process execution,
+   and ``EngineStats.fallback_reason`` records why.
+
+   ``workers=["host:port", ...]`` goes beyond one host: the same
+   payloads run on remote workers over the distributed fabric
+   (:mod:`repro.distributed`), with per-CVE work-stealing once a
+   version's run build is warm, per-CVE streamed progress, and
+   bounded retry when workers die.  An unreachable fleet falls back to
+   the local pool, then to sequential — results are identical (after
+   :func:`normalize_result`) along every path.
 
 2. **Content-addressed caching** — per-unit compiles and parses hit the
    caches in :mod:`repro.compiler.cache`; this module adds the
@@ -43,7 +52,10 @@ from repro.compiler.cache import (
     cache_stats as _layer_cache_stats,
     clear_caches as _clear_layer_caches,
     enable_disk_cache,
+    merge_stats_into as _merge_stats_into,
     register_cache,
+    snapshot_stats as _stats_snapshot,
+    stats_delta as _stats_delta,
 )
 from repro.evaluation.corpus import CORPUS
 from repro.evaluation.kernels import GeneratedKernel, kernel_for_version
@@ -187,6 +199,20 @@ class EngineStats:
     groups: int = 0
     #: parallel execution was requested but fell back to in-process
     fell_back: bool = False
+    #: why the fallback happened ("unpicklable specs", "broken
+    #: executor: ...", "no workers reachable at ...") — surfaced by the
+    #: CLI so a silently-sequential run never goes unexplained
+    fallback_reason: str = ""
+    #: distributed runs: workers that completed the handshake
+    workers: int = 0
+    #: distributed runs: work items dispatched (leads + stolen tails +
+    #: retries)
+    work_items: int = 0
+    #: distributed runs: items requeued after a worker died or failed
+    retries: int = 0
+    #: distributed runs: CVEs the coordinator evaluated in-process
+    #: after the fleet could not finish them (graceful degradation)
+    local_rescues: int = 0
     #: per-cache counters; for parallel runs these are the summed deltas
     #: reported by the workers, for sequential runs the parent's deltas
     caches: Dict[str, CacheStats] = field(default_factory=dict)
@@ -214,31 +240,6 @@ class EngineStats:
             timing.wall_ms += report.wall_ms
             if report.outcome == "failed":
                 timing.failures += 1
-
-
-def _stats_snapshot() -> Dict[str, Tuple[int, ...]]:
-    return {name: (s.hits, s.misses, s.evictions, s.bytes_cached,
-                   s.disk_hits)
-            for name, s in _layer_cache_stats().items()}
-
-
-def _stats_delta(before: Dict[str, Tuple[int, ...]],
-                 ) -> Dict[str, CacheStats]:
-    delta: Dict[str, CacheStats] = {}
-    for name, stats in _layer_cache_stats().items():
-        h0, m0, e0, b0, d0 = before.get(name, (0, 0, 0, 0, 0))
-        delta[name] = CacheStats(hits=stats.hits - h0,
-                                 misses=stats.misses - m0,
-                                 evictions=stats.evictions - e0,
-                                 bytes_cached=stats.bytes_cached - b0,
-                                 disk_hits=stats.disk_hits - d0)
-    return delta
-
-
-def _merge_stats_into(target: Dict[str, CacheStats],
-                      delta: Dict[str, CacheStats]) -> None:
-    for name, stats in delta.items():
-        target.setdefault(name, CacheStats()).merge(stats)
 
 
 def _evaluate_group(payload: Tuple[str, List[CveSpec], bool, bool,
@@ -296,19 +297,30 @@ def _evaluate_sequential(specs: Sequence[CveSpec], run_stress: bool,
 def _evaluate_parallel(specs: Sequence[CveSpec], run_stress: bool,
                        verify_undo: bool, progress: Optional[ProgressFn],
                        jobs: int, stats: EngineStats,
+                       executor_factory: Optional[Callable] = None,
                        ) -> Optional[List["CveResult"]]:
-    """Fan groups out over worker processes; None means "fall back"."""
+    """Fan groups out over worker processes; None means "fall back".
+
+    ``executor_factory(max_workers)`` defaults to
+    ``ProcessPoolExecutor``; anything with the same ``submit`` surface
+    slots in — notably
+    :class:`repro.distributed.DistributedExecutor`, which runs the
+    identical group payloads on remote hosts.
+    """
     try:
         pickle.dumps(list(specs))
     except Exception:
+        stats.fallback_reason = "unpicklable specs"
         return None  # e.g. a test spec with a lambda probe
 
+    if executor_factory is None:
+        def executor_factory(max_workers: int) -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(max_workers=max_workers)
     groups = _group_by_version(specs)
     stats.groups = len(groups)
     results: List[Optional["CveResult"]] = [None] * len(specs)
     try:
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, len(groups))) as pool:
+        with executor_factory(min(jobs, len(groups))) as pool:
             futures = {}
             disk_root = active_disk_root()
             for version, indices in groups:
@@ -322,9 +334,42 @@ def _evaluate_parallel(specs: Sequence[CveSpec], run_stress: bool,
                     results[index] = result
                     if progress is not None:
                         progress(result)
-    except (BrokenExecutor, OSError, pickle.PicklingError):
+    except (BrokenExecutor, OSError, pickle.PicklingError) as exc:
+        stats.fallback_reason = "broken executor: %s: %s" \
+            % (type(exc).__name__, exc)
         return None
     return results  # every slot filled: each index was in exactly 1 group
+
+
+def _evaluate_distributed(specs: Sequence[CveSpec], run_stress: bool,
+                          verify_undo: bool,
+                          progress: Optional[ProgressFn],
+                          workers: Sequence[str], stats: EngineStats,
+                          ) -> Optional[List["CveResult"]]:
+    """Run the corpus over remote workers; None means "fall back".
+
+    The coordinator (:mod:`repro.distributed.coordinator`) streams each
+    finished CVE back (``progress`` fires per CVE in completion order),
+    steals a version's remaining CVEs onto idle workers once its lead
+    has warmed the run-build cache, retries items lost with dead
+    workers, and rescues any remainder in-process.  ``None`` is
+    returned only when no worker answered the handshake or the specs
+    cannot be pickled — the caller then walks the same fallback chain
+    the local pool uses.
+    """
+    from repro.distributed import Coordinator, ProtocolError
+
+    try:
+        coordinator = Coordinator(workers)
+    except ProtocolError as exc:
+        stats.fallback_reason = str(exc)
+        return None
+    results = coordinator.run(specs, run_stress=run_stress,
+                              verify_undo=verify_undo,
+                              progress=progress, stats=stats)
+    if results is not None:
+        stats.groups = len(_group_by_version(specs))
+    return results
 
 
 def evaluate_corpus(specs: Optional[Sequence[CveSpec]] = None,
@@ -333,14 +378,28 @@ def evaluate_corpus(specs: Optional[Sequence[CveSpec]] = None,
                     progress: Optional[ProgressFn] = None,
                     jobs: int = 1,
                     stats: Optional[EngineStats] = None,
+                    workers: Optional[Sequence[str]] = None,
                     ) -> "EvaluationReport":
     """Evaluate the corpus (default: all 64 CVEs), the full §6 run.
 
     ``jobs > 1`` evaluates kernel-version groups in parallel worker
-    processes; the returned report is ordered by ``specs`` regardless.
-    ``progress`` fires once per finished CVE (completion order in
-    parallel runs).  Pass an :class:`EngineStats` to receive timing and
-    cache counters.
+    processes; ``workers=["host:port", ...]`` runs them on remote
+    workers instead (the distributed fabric, :mod:`repro.distributed`).
+    The returned report is ordered by ``specs`` regardless of the
+    execution path, and the results are identical (after
+    :func:`normalize_result`) along every path.
+
+    ``progress`` fires exactly once per finished CVE.  *When* it fires
+    depends on the path: sequential runs call it in spec order as each
+    CVE finishes; distributed runs stream it in true completion order
+    (workers push every ``CveResult`` the moment it exists); local
+    ``jobs`` runs deliver a whole version-group's results in one burst
+    when that group's worker process finishes — still once per CVE,
+    but the calls arrive grouped.
+
+    Pass an :class:`EngineStats` to receive timing and cache counters;
+    when a parallel or distributed request degrades,
+    ``stats.fell_back``/``stats.fallback_reason`` say so and why.
     """
     from repro.evaluation.harness import EvaluationReport
 
@@ -351,7 +410,12 @@ def evaluate_corpus(specs: Optional[Sequence[CveSpec]] = None,
 
     start = time.perf_counter()
     results: Optional[List["CveResult"]] = None
-    if jobs > 1 and len(chosen) > 1:
+    if workers and len(chosen) > 0:
+        results = _evaluate_distributed(chosen, run_stress, verify_undo,
+                                        progress, workers, stats)
+        if results is None:
+            stats.fell_back = True
+    if results is None and jobs > 1 and len(chosen) > 1:
         results = _evaluate_parallel(chosen, run_stress, verify_undo,
                                      progress, jobs, stats)
         if results is None:

@@ -453,16 +453,17 @@ def evaluate_corpus(specs: Optional[List[CveSpec]] = None,
                     run_stress: bool = True,
                     verify_undo: bool = False,
                     progress=None, jobs: int = 1,
-                    stats=None) -> EvaluationReport:
+                    stats=None, workers=None) -> EvaluationReport:
     """Evaluate every corpus entry; the full §6 run.
 
     Delegates to :mod:`repro.evaluation.engine`: ``jobs > 1`` fans
-    kernel-version groups out over worker processes (deterministic
-    result order either way); ``stats`` receives an
+    kernel-version groups out over worker processes, ``workers``
+    (a list of ``host:port`` strings) out over the distributed fabric
+    (deterministic result order either way); ``stats`` receives an
     :class:`~repro.evaluation.engine.EngineStats` fill-in.
     """
     from repro.evaluation.engine import evaluate_corpus as _engine_evaluate
 
     return _engine_evaluate(specs=specs, run_stress=run_stress,
                             verify_undo=verify_undo, progress=progress,
-                            jobs=jobs, stats=stats)
+                            jobs=jobs, stats=stats, workers=workers)

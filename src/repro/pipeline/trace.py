@@ -91,6 +91,23 @@ class Trace:
 
     # -- serialization ------------------------------------------------------
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the finished tree, never the open-stage stack.
+
+        Traces cross process *and host* boundaries (the distributed
+        fabric streams each ``CveResult`` — trace attached — back over
+        TCP the moment it exists).  The stack is in-process
+        bookkeeping: it is empty once every stage has exited, and
+        shipping it would only bloat the frame and invite confusion on
+        the receiving side.
+        """
+        return {"label": self.label, "root": self.root}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.label = state["label"]  # type: ignore[assignment]
+        self.root = state["root"]  # type: ignore[assignment]
+        self._stack = []
+
     def to_dict(self) -> Dict[str, object]:
         return {"label": self.label, "root": self.root.to_dict()}
 

@@ -163,6 +163,23 @@ def test_group_by_version_preserves_order():
     assert sorted(seen) == list(range(len(_subset())))
 
 
+def test_group_by_version_first_appearance_order():
+    """Groups come out in the order their version first appears in the
+    spec list, and each group's indices preserve spec order — the
+    contract both the local pool and the distributed coordinator's
+    lead-item scheduling rely on."""
+    from dataclasses import replace
+
+    base = CORPUS[0]
+    order = ["v-b", "v-a", "v-b", "v-c", "v-a", "v-b"]
+    specs = [replace(base, cve_id="CVE-X-%d" % i, kernel_version=v)
+             for i, v in enumerate(order)]
+    groups = _group_by_version(specs)
+    assert [version for version, _ in groups] == ["v-b", "v-a", "v-c"]
+    assert dict(groups) == {"v-b": [0, 2, 5], "v-a": [1, 4],
+                            "v-c": [3]}
+
+
 def test_parallel_results_identical_to_sequential():
     specs = _subset()
     sequential = evaluate_corpus(specs, run_stress=False)
@@ -190,6 +207,7 @@ def test_unpicklable_specs_fall_back_in_process():
     report = evaluate_corpus([local, CORPUS[1]], run_stress=False,
                              jobs=4, stats=stats)
     assert stats.fell_back
+    assert stats.fallback_reason == "unpicklable specs"
     assert len(report.results) == 2
     assert report.results[0].cve_id == spec.cve_id
 
@@ -200,3 +218,16 @@ def test_progress_fires_once_per_cve():
     evaluate_corpus(specs, run_stress=False, jobs=2,
                     progress=lambda r: seen.append(r.cve_id))
     assert sorted(seen) == sorted(s.cve_id for s in specs)
+
+
+def test_sequential_progress_fires_per_cve_in_spec_order():
+    """The documented granularity contract: sequential runs fire the
+    progress callback once per CVE, in spec order, as each finishes —
+    never batched (distributed streaming is asserted in
+    test_distributed_fabric.py; local ``jobs`` runs deliver per-group
+    bursts, which the evaluate_corpus docstring now states)."""
+    specs = _subset()[:4]
+    seen = []
+    evaluate_corpus(specs, run_stress=False,
+                    progress=lambda r: seen.append(r.cve_id))
+    assert seen == [s.cve_id for s in specs]
