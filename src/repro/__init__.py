@@ -44,7 +44,7 @@ from repro.kernel import Machine, boot_kernel
 from repro.linker import link_kernel
 from repro.patch import apply_patch, make_patch, parse_patch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AppliedUpdate",

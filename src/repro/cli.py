@@ -29,10 +29,24 @@ the worker fleet, which inherits the tier at handshake) start warm.
 When a parallel or distributed request cannot run as asked, the
 fallback and its reason are printed rather than silently degrading.
 
+``fleet`` is the deployment layer (:mod:`repro.fleet`): ``fleet
+rollout --cve CVE-... --size N`` boots a live fleet and rolls the CVE's
+update out in canary waves with health gating and automatic rollback
+(``--inject-oops/--inject-wedge/--inject-kill MEMBER:WAVE`` prove the
+red paths; ``--worker host:port`` runs the whole rollout on a remote
+worker); ``fleet status`` shows the last rollout's report and ``fleet
+rollback`` replays it and reverses every member it updated.
+
 Both ``demo`` and ``evaluate`` record per-stage traces (see
 :mod:`repro.pipeline`) and save them; ``trace`` renders the saved run —
 an aggregate per-stage table by default, the full stage tree of one CVE
 with ``--cve``, or deterministic sorted JSON with ``--json``.
+
+Exit codes are uniform across subcommands: 0 success, 2 user error
+(unknown CVE, unreadable input file, bad flags), 3 operation failure
+(failed evaluations, halted or gated rollouts, machinery errors).
+``analyze`` refines 2/3 with its documented verdict mapping (2 = the
+patch needs custom code, 3 = reject).
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ import os
 import sys
 from typing import Dict, Optional
 
+from repro import __version__
 from repro.compiler import CompilerOptions
 from repro.core import KspliceCore, UpdatePack, ksplice_create
 from repro.core.create import CreateReport
@@ -49,10 +64,16 @@ from repro.errors import ReproError
 from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel
 
+#: uniform subcommand exit codes
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_FAILURE = 3
+
 #: canonical display order for the lifecycle's top-level stages
 STAGE_ORDER = ("generate", "build", "boot", "observe-pre", "create",
                "apply", "observe-post", "stress", "undo",
-               "patch", "build-pre", "build-post", "diff", "analyze")
+               "patch", "build-pre", "build-post", "diff", "analyze",
+               "gate", "boot-fleet", "health", "rollback", "survivors")
 
 
 def _ordered_stage_names(names) -> list:
@@ -227,7 +248,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         spec = corpus_by_id(args.cve)
     except KeyError:
         print("error: unknown CVE %r" % args.cve, file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     kernel = kernel_for_version(spec.kernel_version)
     run_build = run_build_for(kernel)
     augmented = args.augmented and spec.table1 is not None
@@ -239,7 +260,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     analysis = report.analysis
     if analysis is None:  # pragma: no cover - create always analyzes
         print("error: create produced no analysis", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     if args.json:
         print(json.dumps(analysis.to_json_dict(), indent=2,
                          sort_keys=True))
@@ -261,6 +282,11 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
         os.environ[CACHE_DIR_ENV] = args.cache_dir
         enable_disk_cache()
+
+    if args.secret:
+        from repro.distributed import SECRET_ENV
+
+        os.environ[SECRET_ENV] = args.secret
 
     specs = CORPUS[:args.limit] if args.limit else CORPUS
 
@@ -345,7 +371,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             "cves": [r.cve_id for r in report.results],
             "failed": [r.cve_id for r in report.results if not r.success],
         })
-    return 0 if len(report.successes()) == report.total() else 1
+    return EXIT_OK if len(report.successes()) == report.total() \
+        else EXIT_FAILURE
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
@@ -358,16 +385,21 @@ def cmd_worker(args: argparse.Namespace) -> int:
         os.environ[CACHE_DIR_ENV] = args.cache_dir
         enable_disk_cache()
     host, port = parse_address(args.listen, allow_zero=True)
+    secret = args.secret.encode("utf-8") if args.secret else None
 
     def ready(bound_host: str, bound_port: int) -> None:
-        print("worker listening on %s:%d (pid %d)"
-              % (bound_host, bound_port, os.getpid()), flush=True)
+        print("worker listening on %s:%d (pid %d%s)"
+              % (bound_host, bound_port, os.getpid(),
+                 ", authenticated"
+                 if secret or os.environ.get("KSPLICE_WORKER_SECRET")
+                 else ""), flush=True)
 
     try:
-        serve(host=host, port=port, once=args.once, ready=ready)
+        serve(host=host, port=port, once=args.once, ready=ready,
+              secret=secret, item_timeout=args.item_timeout)
     except KeyboardInterrupt:
         pass
-    return 0
+    return EXIT_OK
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -376,7 +408,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     meta, traces = load_run(args.file)
     if not traces:
         print("trace file holds no traces")
-        return 1
+        return EXIT_USAGE
     if args.scrub:
         from repro.pipeline.normalize import scrub_trace
 
@@ -390,7 +422,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             if not wanted:
                 print("no trace for %r; run holds: %s"
                       % (args.cve, ", ".join(t.label for t in traces)))
-                return 1
+                return EXIT_USAGE
         print(json.dumps({"meta": meta,
                           "traces": [t.to_dict() for t in wanted]},
                          indent=2, sort_keys=True))
@@ -400,7 +432,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         if not wanted:
             print("no trace for %r; run holds: %s"
                   % (args.cve, ", ".join(t.label for t in traces)))
-            return 1
+            return EXIT_USAGE
         for trace in wanted:
             print(trace.render())
         return 0
@@ -417,9 +449,126 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_plan(args: argparse.Namespace):
+    from repro.fleet import InjectedFault, RolloutPlan
+
+    faults = []
+    for kind, values in (("oops", args.inject_oops),
+                         ("wedge", args.inject_wedge),
+                         ("kill", args.inject_kill)):
+        for text in values:
+            faults.append(InjectedFault.parse(kind, text))
+    return RolloutPlan(cve_id=args.cve, fleet_size=args.size,
+                       canary=args.canary, growth=args.growth,
+                       keepalive_instructions=args.keepalive,
+                       probe=not args.no_probe, faults=faults)
+
+
+def cmd_fleet_rollout(args: argparse.Namespace) -> int:
+    from repro.evaluation.corpus import corpus_by_id
+    from repro.fleet import (
+        OUTCOME_COMPLETE,
+        RolloutError,
+        rollout_corpus_cve,
+        run_remote_rollout,
+        save_report,
+    )
+    from repro.pipeline import Trace
+
+    try:
+        corpus_by_id(args.cve)
+    except KeyError:
+        print("error: unknown CVE %r" % args.cve, file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        plan = _fleet_plan(args)
+    except RolloutError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.secret:
+        from repro.distributed import SECRET_ENV
+
+        os.environ[SECRET_ENV] = args.secret
+    if args.worker:
+
+        def on_wave(wave):
+            print("wave %s [%s]: members %s"
+                  % (wave.get("index", "?"), wave.get("verdict", "?"),
+                     ",".join(str(m) for m in wave.get("members", []))),
+                  flush=True)
+
+        report = run_remote_rollout(
+            args.worker, plan, on_wave=None if args.json else on_wave)
+    else:
+        trace = Trace(label=plan.rollout_id())
+        report = rollout_corpus_cve(plan, trace=trace)
+        if not args.json:
+            _save_traces([trace], meta={"command": "fleet rollout",
+                                        "cve": plan.cve_id})
+    path = save_report(report)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+        print("(report saved to %s; `repro fleet status` re-renders it)"
+              % path)
+    return EXIT_OK if report.outcome == OUTCOME_COMPLETE else EXIT_FAILURE
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.fleet import RolloutError, load_report
+
+    try:
+        report = load_report(args.file)
+    except RolloutError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return EXIT_OK
+
+
+def cmd_fleet_rollback(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        RolloutError,
+        load_report,
+        replay_rollback,
+        save_report,
+    )
+    from repro.pipeline import Trace
+
+    try:
+        report = load_report(args.file)
+    except RolloutError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    members = sorted(report.updated_members)
+    if not members:
+        print("nothing to roll back: the last rollout left no member "
+              "updated")
+        return EXIT_OK
+    trace = Trace(label="rollback-%s" % report.rollout_id)
+    report = replay_rollback(report, trace=trace)
+    path = save_report(report, args.file)
+    print("rolled back %d member%s (LIFO): %s"
+          % (len(members), "s" if len(members) != 1 else "",
+             ", ".join("member-%d" % m
+                       for m in sorted(members, reverse=True))))
+    print("survivors healthy: %s"
+          % ("yes" if report.survivors_healthy else "no"))
+    print("(report saved to %s)" % path)
+    _save_traces([trace], meta={"command": "fleet rollback",
+                                "cve": report.cve_id})
+    return EXIT_OK if report.survivors_healthy else EXIT_FAILURE
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Ksplice reproduction command line")
+    parser.add_argument("--version", action="version",
+                        version="repro %s" % __version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
@@ -483,6 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluate on remote workers (comma-separated "
                              "host:port list; see `repro worker`) instead "
                              "of local processes")
+    p_eval.add_argument("--secret", default=None,
+                        help="shared secret for --workers authentication "
+                             "(default: the KSPLICE_WORKER_SECRET "
+                             "environment variable)")
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_worker = sub.add_parser(
@@ -497,6 +650,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="enable the on-disk cache tier rooted "
                                "here (a coordinator handshake may still "
                                "override it)")
+    p_worker.add_argument("--secret", default=None,
+                          help="require coordinators to prove this shared "
+                               "secret before anything is deserialized "
+                               "(default: the KSPLICE_WORKER_SECRET "
+                               "environment variable; neither set serves "
+                               "unauthenticated)")
+    p_worker.add_argument("--item-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="abandon a wedged work item after this "
+                               "many seconds and report a reasoned "
+                               "failure instead of hanging the session")
     p_worker.set_defaults(func=cmd_worker)
 
     p_trace = sub.add_parser(
@@ -511,6 +675,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="zero wall-clock timings (stable output "
                               "for diffing runs)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="canary rollouts over a live simulated fleet")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p_roll = fleet_sub.add_parser(
+        "rollout", help="roll a corpus CVE's update out in canary waves")
+    p_roll.add_argument("--cve", required=True,
+                        help="corpus CVE id, e.g. CVE-2008-0007")
+    p_roll.add_argument("--size", type=int, default=4,
+                        help="fleet size (default 4)")
+    p_roll.add_argument("--canary", type=int, default=1,
+                        help="members in wave 0 (default 1)")
+    p_roll.add_argument("--growth", type=int, default=2,
+                        help="wave growth factor after a green wave "
+                             "(default 2)")
+    p_roll.add_argument("--keepalive", type=int, default=2000,
+                        help="instructions each member runs between "
+                             "waves (default 2000)")
+    p_roll.add_argument("--no-probe", action="store_true",
+                        help="health-gate on machine liveness only; "
+                             "skip the CVE's semantics probe")
+    p_roll.add_argument("--inject-oops", action="append", default=[],
+                        metavar="MEMBER[:WAVE]",
+                        help="crash this member after its wave's apply "
+                             "(repeatable)")
+    p_roll.add_argument("--inject-wedge", action="append", default=[],
+                        metavar="MEMBER[:WAVE]",
+                        help="park a thread inside a patched function so "
+                             "the member's stack check exhausts "
+                             "(repeatable)")
+    p_roll.add_argument("--inject-kill", action="append", default=[],
+                        metavar="MEMBER[:WAVE]",
+                        help="kill this member mid-wave (repeatable)")
+    p_roll.add_argument("--worker", default=None, metavar="HOST:PORT",
+                        help="run the rollout on a remote `repro worker` "
+                             "instead of in-process")
+    p_roll.add_argument("--secret", default=None,
+                        help="shared secret for --worker authentication")
+    p_roll.add_argument("--json", action="store_true",
+                        help="emit the RolloutReport as sorted JSON")
+    p_roll.set_defaults(func=cmd_fleet_rollout)
+
+    p_status = fleet_sub.add_parser(
+        "status", help="show the last rollout's report")
+    p_status.add_argument("--file", default=None,
+                          help="report file (default: the last rollout)")
+    p_status.add_argument("--json", action="store_true",
+                          help="emit the report as sorted JSON")
+    p_status.set_defaults(func=cmd_fleet_status)
+
+    p_back = fleet_sub.add_parser(
+        "rollback",
+        help="reverse everything the last rollout left applied")
+    p_back.add_argument("--file", default=None,
+                        help="report file (default: the last rollout)")
+    p_back.set_defaults(func=cmd_fleet_rollback)
     return parser
 
 
@@ -518,9 +739,12 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

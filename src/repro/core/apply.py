@@ -447,6 +447,22 @@ class KspliceCore:
         return [key[1] for key, stack in self._replaced_stacks.items()
                 if stack]
 
+    def applied_ids(self) -> List[str]:
+        """Update ids in application order (oldest first).
+
+        Reversing this list is the only undo order §5.4 permits, which
+        is exactly how the fleet rollback walks it.
+        """
+        return [applied.update_id for applied in self.applied]
+
+    def undo_latest(self, trace: Optional[Trace] = None,
+                    ) -> Optional[AppliedUpdate]:
+        """Undo the most recently applied update (always LIFO-safe);
+        ``None`` when nothing is applied."""
+        if not self.applied:
+            return None
+        return self.undo(self.applied[-1].update_id, trace=trace)
+
     def status(self) -> List[Dict[str, object]]:
         """Structured view of the applied updates, newest last — the
         moral equivalent of /sys/kernel/livepatch."""

@@ -21,7 +21,11 @@ not with one machine's cores:
 
 Entry points: ``evaluate_corpus(workers=[...])`` /
 ``repro evaluate --workers`` on the coordinator side and
-``repro worker --listen`` on the worker side.
+``repro worker --listen`` on the worker side.  Workers started with a
+shared secret (``--secret`` / ``KSPLICE_WORKER_SECRET``) authenticate
+peers with an HMAC challenge/response before deserializing anything,
+and ``--item-timeout`` bounds each item's wall clock so one wedged CVE
+cannot hang a session.
 """
 
 from repro.distributed.coordinator import Coordinator, WorkItem
@@ -29,8 +33,11 @@ from repro.distributed.executor import DistributedExecutor
 from repro.distributed.protocol import (
     MAX_FRAME,
     PROTOCOL_VERSION,
+    SECRET_ENV,
+    AuthError,
     MessageStream,
     ProtocolError,
+    default_secret,
     parse_address,
     recv_message,
     send_message,
@@ -42,6 +49,7 @@ from repro.distributed.worker import (
 )
 
 __all__ = [
+    "AuthError",
     "Coordinator",
     "DistributedExecutor",
     "LocalWorker",
@@ -49,7 +57,9 @@ __all__ = [
     "MessageStream",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "SECRET_ENV",
     "WorkItem",
+    "default_secret",
     "parse_address",
     "recv_message",
     "send_message",

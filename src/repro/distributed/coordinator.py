@@ -315,6 +315,7 @@ class Coordinator:
         sock = socket.create_connection((host, port),
                                         timeout=self.connect_timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        protocol.worker_auth_connect(sock, protocol.default_secret())
         from repro.compiler.cache import disk_cache_config
 
         protocol.send_message(sock, {

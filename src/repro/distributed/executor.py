@@ -46,6 +46,7 @@ class _Link:
                                              timeout=connect_timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.sock.settimeout(None)
+        protocol.worker_auth_connect(self.sock, protocol.default_secret())
         from repro.compiler.cache import disk_cache_config
 
         protocol.send_message(self.sock, {

@@ -29,9 +29,17 @@ type            direction                meaning
 Payloads are pickles because everything that crosses the wire — specs
 in, ``CveResult`` + ``Trace`` + ``CacheStats`` out — is already the
 plain picklable data the local ``ProcessPoolExecutor`` path ships
-today.  That also means the fabric trusts its peers exactly as much as
-a process pool trusts its forked children: run workers only on hosts
-you would run the evaluation on directly.
+today.  Unpickling attacker bytes is arbitrary code execution, so a
+worker started with a shared secret authenticates the peer *before*
+the first pickled frame is read: the worker sends a raw (non-pickle)
+banner, both sides exchange nonces, and each proves knowledge of the
+secret with an HMAC-SHA256 response over the other's nonce
+(domain-separated so a worker response can never be replayed as a
+client response).  A peer that fails the exchange is dropped without
+ever reaching ``pickle.loads``.  Without a secret the fabric trusts
+its peers exactly as much as a process pool trusts its forked
+children: run open workers only on hosts you would run the evaluation
+on directly.
 
 ``MAX_FRAME`` bounds a single frame so a corrupted length prefix cannot
 make the receiver allocate unbounded memory; both sides treat an
@@ -40,6 +48,8 @@ oversized frame as a protocol error and drop the connection.
 
 from __future__ import annotations
 
+import hmac
+import os
 import pickle
 import socket
 import struct
@@ -48,7 +58,8 @@ from typing import Any, Dict, Optional
 from repro.errors import ReproError
 
 #: bump when the message vocabulary changes incompatibly
-PROTOCOL_VERSION = 1
+#: (2: authenticated handshake precedes the hello frame)
+PROTOCOL_VERSION = 2
 
 #: one frame may not exceed this many payload bytes (64 MiB)
 MAX_FRAME = 64 * 1024 * 1024
@@ -160,6 +171,130 @@ def _recv_exactly(sock: socket.socket, count: int,
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# --------------------------------------------------------------------------
+# Authenticated handshake (precedes every pickled frame)
+# --------------------------------------------------------------------------
+
+#: environment variable holding the fabric's shared secret
+SECRET_ENV = "KSPLICE_WORKER_SECRET"
+
+#: raw banner bytes the worker sends immediately on accept
+AUTH_NONE = b"\x00"
+AUTH_REQUIRED = b"\x01"
+
+#: nonce and digest sizes for the challenge/response
+NONCE_SIZE = 16
+_DIGEST_SIZE = 32
+
+#: raw (pre-pickle) frames are tiny; anything bigger is an attack
+_MAX_RAW_FRAME = 1024
+
+#: domain separation so a worker's proof cannot answer a client
+#: challenge (and vice versa) even under an identical nonce
+_CLIENT_DOMAIN = b"ksplice-fabric-client:"
+_WORKER_DOMAIN = b"ksplice-fabric-worker:"
+
+
+class AuthError(ProtocolError):
+    """The peer failed (or refused) the shared-secret handshake."""
+
+
+def default_secret() -> Optional[bytes]:
+    """The fabric secret from ``KSPLICE_WORKER_SECRET``, if set."""
+    value = os.environ.get(SECRET_ENV)
+    if not value:
+        return None
+    return value.encode("utf-8")
+
+
+def send_raw(sock: socket.socket, payload: bytes) -> None:
+    """One length-prefixed frame of raw bytes (no pickling)."""
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_raw(sock: socket.socket) -> bytes:
+    """Read one raw frame, bounded by ``_MAX_RAW_FRAME``.
+
+    Used exclusively before authentication completes, so the bound is
+    tight: a peer that claims a large frame here is not speaking the
+    protocol and the connection is dropped.
+    """
+    header = _recv_exactly(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)  # type: ignore[arg-type]
+    if length > _MAX_RAW_FRAME:
+        raise AuthError("pre-auth frame claims %d bytes (max %d)"
+                        % (length, _MAX_RAW_FRAME))
+    payload = _recv_exactly(sock, length)
+    return payload  # type: ignore[return-value]
+
+
+def _proof(secret: bytes, domain: bytes, nonce: bytes) -> bytes:
+    return hmac.new(secret, domain + nonce, "sha256").digest()
+
+
+def worker_auth_accept(sock: socket.socket,
+                       secret: Optional[bytes]) -> None:
+    """Worker side: authenticate the connecting client.
+
+    Sends the banner first so an old (v1) coordinator fails fast with
+    a recognizable error instead of a pickle decode error.  With a
+    secret configured, the worker challenges the client and *also*
+    proves itself, so a client never sends work to an impostor worker.
+    Raises :class:`AuthError` (caller drops the connection) before any
+    pickled frame has been touched.
+    """
+    if secret is None:
+        send_raw(sock, AUTH_NONE)
+        return
+    worker_nonce = os.urandom(NONCE_SIZE)
+    send_raw(sock, AUTH_REQUIRED + worker_nonce)
+    response = recv_raw(sock)
+    if len(response) != _DIGEST_SIZE + NONCE_SIZE:
+        raise AuthError("malformed auth response (%d bytes)"
+                        % len(response))
+    client_proof = response[:_DIGEST_SIZE]
+    client_nonce = response[_DIGEST_SIZE:]
+    expected = _proof(secret, _CLIENT_DOMAIN, worker_nonce)
+    if not hmac.compare_digest(client_proof, expected):
+        raise AuthError("client failed the shared-secret challenge")
+    send_raw(sock, _proof(secret, _WORKER_DOMAIN, client_nonce))
+
+
+def worker_auth_connect(sock: socket.socket,
+                        secret: Optional[bytes]) -> None:
+    """Client side (coordinator/executor): answer the worker banner.
+
+    Raises :class:`AuthError` when the worker demands a secret we do
+    not have, when our secret is rejected (connection closed), or when
+    the worker cannot prove *it* knows the secret.
+    """
+    banner = recv_raw(sock)
+    if not banner:
+        raise AuthError("worker sent an empty auth banner")
+    if banner[:1] == AUTH_NONE:
+        return
+    if banner[:1] != AUTH_REQUIRED:
+        raise AuthError("unrecognized auth banner %r" % banner[:1])
+    if len(banner) != 1 + NONCE_SIZE:
+        raise AuthError("malformed auth challenge (%d bytes)"
+                        % len(banner))
+    if secret is None:
+        raise AuthError(
+            "worker requires a shared secret; pass --secret or set "
+            "%s" % SECRET_ENV)
+    worker_nonce = banner[1:]
+    client_nonce = os.urandom(NONCE_SIZE)
+    send_raw(sock, _proof(secret, _CLIENT_DOMAIN, worker_nonce)
+             + client_nonce)
+    try:
+        worker_proof = recv_raw(sock)
+    except ConnectionError:
+        raise AuthError("worker rejected the shared secret")
+    expected = _proof(secret, _WORKER_DOMAIN, client_nonce)
+    if not hmac.compare_digest(worker_proof, expected):
+        raise AuthError("worker failed to prove the shared secret")
 
 
 def parse_address(address: str, allow_zero: bool = False) -> tuple:

@@ -22,6 +22,19 @@ across items: a worker that already evaluated one CVE of a kernel
 version holds that version's run build for every later item, which is
 what makes the coordinator's per-CVE work-stealing split cheap.
 
+Two hardening knobs guard a deployed worker:
+
+* ``secret`` (CLI ``--secret`` / env ``KSPLICE_WORKER_SECRET``) turns
+  on the HMAC challenge/response from :mod:`repro.distributed.protocol`
+  — unauthenticated peers are dropped before the worker unpickles a
+  single frame;
+* ``item_timeout`` bounds each item's wall clock.  Evaluation runs on
+  a per-item daemon thread; if it outlives the budget the worker
+  abandons it, answers with a reasoned ``error`` frame, and moves on —
+  a wedged CVE costs one item, not the whole session's heartbeat loop.
+  Late ``result`` frames from an abandoned thread reuse a retired
+  ``item_id``, which the coordinator already discards as stale.
+
 ``spawn_local_workers`` forks workers on ephemeral localhost ports for
 tests, benchmarks, and the CI smoke job; each child starts with cold
 memory tiers (anything inherited from the parent is dropped) so a
@@ -34,12 +47,13 @@ import os
 import queue
 import socket
 import threading
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.distributed import protocol
-from repro.distributed.protocol import ProtocolError
+from repro.distributed.protocol import AuthError, ProtocolError
 
 #: exit status a worker uses when told to die by fail_after_items
 _FAULT_EXIT = 17
@@ -65,11 +79,17 @@ class _Session:
     """One coordinator connection: reader loop + evaluator thread."""
 
     def __init__(self, sock: socket.socket,
-                 fail_after_items: Optional[int] = None):
+                 fail_after_items: Optional[int] = None,
+                 secret: Optional[bytes] = None,
+                 item_timeout: Optional[float] = None,
+                 wedge_seconds: Optional[float] = None):
         self._sock = sock
         self._send_lock = threading.Lock()
         self._items: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
         self._fail_after_items = fail_after_items
+        self._secret = secret
+        self._item_timeout = item_timeout
+        self._wedge_seconds = wedge_seconds
         self._items_seen = 0
 
     def _send(self, message: Dict[str, Any]) -> None:
@@ -77,6 +97,10 @@ class _Session:
             protocol.send_message(self._sock, message)
 
     def run(self) -> None:
+        try:
+            protocol.worker_auth_accept(self._sock, self._secret)
+        except (AuthError, ConnectionError, OSError):
+            return  # drop the peer: nothing was unpickled
         if not self._handshake():
             return
         evaluator = threading.Thread(target=self._evaluate_loop,
@@ -133,40 +157,99 @@ class _Session:
                 return
 
     def _evaluate_loop(self) -> None:
-        from repro.compiler.cache import snapshot_stats, stats_delta
-        from repro.evaluation.harness import evaluate_cve
-
         while True:
             item = self._items.get()
             if item is None:
                 return
-            item_id = item.get("item_id")
-            try:
-                before = snapshot_stats()
-                for offset, spec in enumerate(item["specs"]):
-                    result = evaluate_cve(
-                        spec, run_stress=item.get("run_stress", True),
-                        verify_undo=item.get("verify_undo", False))
-                    self._send({"type": protocol.RESULT,
-                                "item_id": item_id, "offset": offset,
-                                "result": result})
-                self._send({"type": protocol.ITEM_DONE,
-                            "item_id": item_id,
-                            "cache_delta": stats_delta(before)})
-            except (ConnectionError, OSError):
-                return  # coordinator is gone; the session is over
-            except Exception:
+            if self._item_timeout is None:
+                if not self._run_item(item):
+                    return
+                continue
+            # Wall-clock budget: the item runs on its own daemon
+            # thread; a thread cannot be killed, so on timeout the
+            # worker *abandons* it and reports why.  Stray frames the
+            # zombie thread sends later carry this retired item_id and
+            # are dropped by the coordinator as stale.
+            done = threading.Event()
+            runner = threading.Thread(
+                target=lambda: (self._run_item(item), done.set()),
+                daemon=True)
+            runner.start()
+            if not done.wait(self._item_timeout):
                 try:
-                    self._send({"type": protocol.ERROR,
-                                "item_id": item_id,
-                                "error": traceback.format_exc()})
+                    self._send({
+                        "type": protocol.ERROR,
+                        "item_id": item.get("item_id"),
+                        "error": "item exceeded the worker's "
+                                 "--item-timeout of %.1fs; abandoned"
+                                 % self._item_timeout})
                 except (ConnectionError, OSError):
                     return
+
+    def _run_item(self, item: Dict[str, Any]) -> bool:
+        """Evaluate one item; ``False`` means the session is dead."""
+        item_id = item.get("item_id")
+        try:
+            if self._wedge_seconds is not None:
+                # Fault injection for the timeout tests: the "CVE"
+                # wedges exactly like an interpreter loop that never
+                # terminates would.
+                time.sleep(self._wedge_seconds)
+            if item.get("kind") == "fleet-rollout":
+                self._run_fleet_item(item)
+            else:
+                self._run_evaluate_item(item)
+            return True
+        except (ConnectionError, OSError):
+            return False  # coordinator is gone; the session is over
+        except Exception:
+            try:
+                self._send({"type": protocol.ERROR,
+                            "item_id": item_id,
+                            "error": traceback.format_exc()})
+            except (ConnectionError, OSError):
+                return False
+            return True
+
+    def _run_evaluate_item(self, item: Dict[str, Any]) -> None:
+        from repro.compiler.cache import snapshot_stats, stats_delta
+        from repro.evaluation.harness import evaluate_cve
+
+        item_id = item.get("item_id")
+        before = snapshot_stats()
+        for offset, spec in enumerate(item["specs"]):
+            result = evaluate_cve(
+                spec, run_stress=item.get("run_stress", True),
+                verify_undo=item.get("verify_undo", False))
+            self._send({"type": protocol.RESULT,
+                        "item_id": item_id, "offset": offset,
+                        "result": result})
+        self._send({"type": protocol.ITEM_DONE,
+                    "item_id": item_id,
+                    "cache_delta": stats_delta(before)})
+
+    def _run_fleet_item(self, item: Dict[str, Any]) -> None:
+        """A whole canary rollout as one item, waves streamed back."""
+        from repro.fleet.remote import execute_rollout_item
+
+        item_id = item.get("item_id")
+
+        def on_wave(wave_dict: Dict[str, Any]) -> None:
+            self._send({"type": protocol.RESULT, "item_id": item_id,
+                        "offset": wave_dict.get("index", 0),
+                        "wave": wave_dict})
+
+        report = execute_rollout_item(item["plan"], on_wave=on_wave)
+        self._send({"type": protocol.ITEM_DONE, "item_id": item_id,
+                    "report": report})
 
 
 def serve(host: str = "127.0.0.1", port: int = 0, once: bool = False,
           ready: Optional[Callable[[str, int], None]] = None,
-          fail_after_items: Optional[int] = None) -> None:
+          fail_after_items: Optional[int] = None,
+          secret: Optional[bytes] = None,
+          item_timeout: Optional[float] = None,
+          wedge_seconds: Optional[float] = None) -> None:
     """Listen on ``host:port`` and serve coordinator sessions forever.
 
     ``port=0`` binds an ephemeral port; ``ready`` (if given) receives
@@ -174,8 +257,15 @@ def serve(host: str = "127.0.0.1", port: int = 0, once: bool = False,
     spawned workers report their address.  ``once`` exits after the
     first session (used by tests and the CLI's ``--once``).
     ``fail_after_items`` makes the process exit abruptly upon receiving
-    its Nth item — fault injection for the retry tests.
+    its Nth item — fault injection for the retry tests — and
+    ``wedge_seconds`` stalls every item, fault injection for the
+    ``item_timeout`` budget.  ``secret=None`` falls back to
+    ``KSPLICE_WORKER_SECRET``; pass ``b""`` to force an open worker.
     """
+    if secret is None:
+        secret = protocol.default_secret()
+    elif not secret:
+        secret = None
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
@@ -188,7 +278,9 @@ def serve(host: str = "127.0.0.1", port: int = 0, once: bool = False,
             sock, _addr = listener.accept()
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             try:
-                _Session(sock, fail_after_items=fail_after_items).run()
+                _Session(sock, fail_after_items=fail_after_items,
+                         secret=secret, item_timeout=item_timeout,
+                         wedge_seconds=wedge_seconds).run()
             finally:
                 try:
                     sock.close()
@@ -227,18 +319,26 @@ class LocalWorker:
         self.process.join(timeout=10.0)
 
 
-def _serve_child(conn, fail_after_items: Optional[int]) -> None:
+def _serve_child(conn, fail_after_items: Optional[int],
+                 secret: Optional[bytes] = None,
+                 item_timeout: Optional[float] = None,
+                 wedge_seconds: Optional[float] = None) -> None:
     _reset_process_caches()
 
     def report(host: str, port: int) -> None:
         conn.send((host, port))
         conn.close()
 
-    serve(ready=report, fail_after_items=fail_after_items)
+    serve(ready=report, fail_after_items=fail_after_items,
+          secret=secret if secret is not None else b"",
+          item_timeout=item_timeout, wedge_seconds=wedge_seconds)
 
 
 def spawn_local_workers(count: int,
                         fail_after_items: Optional[int] = None,
+                        secret: Optional[bytes] = None,
+                        item_timeout: Optional[float] = None,
+                        wedge_seconds: Optional[float] = None,
                         ) -> List[LocalWorker]:
     """Fork ``count`` workers on ephemeral localhost ports.
 
@@ -246,7 +346,10 @@ def spawn_local_workers(count: int,
     the returned handles are ready to be passed (``.address``) straight
     to ``evaluate_corpus(workers=...)``.  ``fail_after_items`` applies
     to every spawned worker (tests usually spawn the faulty one
-    separately).  Callers own cleanup: ``worker.stop()`` each handle.
+    separately); ``secret``/``item_timeout``/``wedge_seconds`` likewise
+    (spawned children deliberately ignore the parent's
+    ``KSPLICE_WORKER_SECRET`` so tests control auth explicitly).
+    Callers own cleanup: ``worker.stop()`` each handle.
     """
     import multiprocessing
 
@@ -255,7 +358,9 @@ def spawn_local_workers(count: int,
         for _ in range(count):
             parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
             process = multiprocessing.Process(
-                target=_serve_child, args=(child_conn, fail_after_items),
+                target=_serve_child,
+                args=(child_conn, fail_after_items, secret,
+                      item_timeout, wedge_seconds),
                 daemon=True)
             process.start()
             child_conn.close()

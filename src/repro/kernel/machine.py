@@ -59,6 +59,32 @@ class Oops:
     message: str
 
 
+@dataclass
+class MachineHealth:
+    """One machine's liveness snapshot, as a fleet health probe sees it.
+
+    ``healthy`` is the headline verdict: no oopses ever, and no faulted
+    thread still on the scheduler.  The counters ride along so a
+    rollout report can say *why* a member went red.
+    """
+
+    healthy: bool
+    oops_count: int
+    faulted_threads: int
+    blocked_threads: int
+    runnable_threads: int
+    total_instructions: int
+
+    def to_json_dict(self) -> dict:
+        return {
+            "healthy": self.healthy,
+            "oops_count": self.oops_count,
+            "faulted_threads": self.faulted_threads,
+            "blocked_threads": self.blocked_threads,
+            "runnable_threads": self.runnable_threads,
+        }
+
+
 class Machine:
     """A running kernel instance."""
 
@@ -229,6 +255,43 @@ class Machine:
                 self.oopses.append(Oops(thread_name=thread.name,
                                         ip=thread.cpu.ip,
                                         message=thread.fault or ""))
+
+    # -- sleep/wake (fleet health, §5.2 quiescence scenarios) ---------------
+
+    def sleep_thread(self, thread: Thread) -> None:
+        """Put a live thread to sleep: never scheduled, stack stays live.
+
+        This is the §5.2 hazard in miniature — a thread asleep inside a
+        patched function keeps its return addresses on the stack, so
+        the conservative stack check keeps vetoing stop_machine until
+        the thread wakes.
+        """
+        if not thread.alive:
+            raise MachineError("cannot sleep finished thread %s"
+                               % thread.name)
+        thread.status = ThreadStatus.BLOCKED
+
+    def wake_thread(self, thread: Thread) -> None:
+        """Make a blocked thread schedulable again."""
+        if thread.status is not ThreadStatus.BLOCKED:
+            raise MachineError("thread %s is not blocked" % thread.name)
+        thread.status = ThreadStatus.READY
+
+    def health(self) -> MachineHealth:
+        """Liveness snapshot for fleet health gating."""
+        self._collect_oopses()
+        statuses = [t.status for t in self.scheduler.threads]
+        faulted = sum(1 for s in statuses if s is ThreadStatus.FAULTED)
+        blocked = sum(1 for s in statuses if s is ThreadStatus.BLOCKED)
+        runnable = sum(1 for s in statuses
+                       if s in (ThreadStatus.READY, ThreadStatus.RUNNING))
+        return MachineHealth(
+            healthy=not self.oopses and not faulted,
+            oops_count=len(self.oopses),
+            faulted_threads=faulted,
+            blocked_threads=blocked,
+            runnable_threads=runnable,
+            total_instructions=self.scheduler.total_instructions)
 
     # -- user programs -------------------------------------------------------------
 

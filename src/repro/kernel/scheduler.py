@@ -34,7 +34,7 @@ class Scheduler:
         self.threads.append(thread)
 
     def runnable(self) -> List[Thread]:
-        return [t for t in self.threads if t.alive]
+        return [t for t in self.threads if t.runnable]
 
     def run_quantum(self, thread: Thread) -> None:
         """Run one thread for up to ``quantum`` instructions.
@@ -95,7 +95,7 @@ class Scheduler:
             for thread in runnable:
                 if self.frozen or self.total_instructions >= budget_end:
                     break
-                if thread.alive:
+                if thread.runnable:
                     self.run_quantum(thread)
         return self.total_instructions - start
 

@@ -12,6 +12,10 @@ from repro.kernel.cpu import CPUState
 class ThreadStatus(enum.Enum):
     READY = "ready"
     RUNNING = "running"
+    #: asleep in the kernel: never scheduled, but its stack is live —
+    #: the Ksplice stack check must still scan it (§5.2: a thread
+    #: sleeping inside a patched function blocks the update forever)
+    BLOCKED = "blocked"
     EXITED = "exited"
     FAULTED = "faulted"
 
@@ -42,6 +46,11 @@ class Thread:
 
     @property
     def alive(self) -> bool:
+        return self.status in (ThreadStatus.READY, ThreadStatus.RUNNING,
+                               ThreadStatus.BLOCKED)
+
+    @property
+    def runnable(self) -> bool:
         return self.status in (ThreadStatus.READY, ThreadStatus.RUNNING)
 
     def live_stack_words(self) -> List[int]:

@@ -150,7 +150,7 @@ def test_analyze_needs_hooks_cve_exits_two(capsys):
 
 def test_analyze_unknown_cve_errors(capsys):
     rc = main(["analyze", "CVE-0000-0000"])
-    assert rc == 1
+    assert rc == 2
     assert "unknown CVE" in capsys.readouterr().err
 
 
@@ -196,7 +196,7 @@ def test_trace_json_is_deterministic(tmp_path, monkeypatch, capsys):
     assert main(["trace", "--json", "--cve", "CVE-2008-0001"]) == 0
     assert json.loads(capsys.readouterr().out)["traces"][0]["label"] == \
         "CVE-2008-0001"
-    assert main(["trace", "--json", "--cve", "CVE-none"]) == 1
+    assert main(["trace", "--json", "--cve", "CVE-none"]) == 2
     capsys.readouterr()
 
 
@@ -206,5 +206,78 @@ def test_bad_patch_reports_error(tree_dir, tmp_path, capsys):
                           "@@ -1,1 +1,1 @@\n-nonexistent line\n+other\n")
     rc = main(["create", "--patch", str(patch_file),
                "--tree", str(tree_dir)])
-    assert rc == 1
+    assert rc == 3
     assert "error:" in capsys.readouterr().err
+
+
+def test_missing_patch_file_is_user_error(tree_dir, tmp_path, capsys):
+    rc = main(["create", "--patch", str(tmp_path / "no-such.patch"),
+               "--tree", str(tree_dir)])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == "repro %s" % __version__
+
+
+def test_fleet_rollout_status_rollback_cycle(tmp_path, monkeypatch,
+                                             capsys):
+    import json
+
+    from repro.fleet.model import ROLLOUT_FILE_ENV
+    from repro.pipeline.store import TRACE_FILE_ENV
+
+    monkeypatch.setenv(ROLLOUT_FILE_ENV, str(tmp_path / "rollout.json"))
+    monkeypatch.setenv(TRACE_FILE_ENV, str(tmp_path / "trace.json"))
+
+    rc = main(["fleet", "rollout", "--cve", "CVE-2006-2451",
+               "--size", "2", "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["outcome"] == "complete"
+    assert report["updated_members"] == [0, 1]
+
+    assert main(["fleet", "status"]) == 0
+    assert "complete" in capsys.readouterr().out
+
+    assert main(["fleet", "rollback"]) == 0
+    assert "rolled back 2 members (LIFO): member-1, member-0" \
+        in capsys.readouterr().out
+
+    assert main(["fleet", "status", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["outcome"] == "rolled-back"
+
+
+def test_fleet_rollout_halts_with_failure_exit_code(tmp_path,
+                                                    monkeypatch, capsys):
+    from repro.fleet.model import ROLLOUT_FILE_ENV
+    from repro.pipeline.store import TRACE_FILE_ENV
+
+    monkeypatch.setenv(ROLLOUT_FILE_ENV, str(tmp_path / "rollout.json"))
+    monkeypatch.setenv(TRACE_FILE_ENV, str(tmp_path / "trace.json"))
+
+    rc = main(["fleet", "rollout", "--cve", "CVE-2006-2451",
+               "--size", "3", "--inject-oops", "1:1"])
+    assert rc == 3
+    out = capsys.readouterr().out
+    assert "halted" in out and "oops" in out
+
+
+def test_fleet_bad_arguments_are_usage_errors(tmp_path, monkeypatch,
+                                              capsys):
+    from repro.fleet.model import ROLLOUT_FILE_ENV
+
+    assert main(["fleet", "rollout", "--cve", "CVE-0000-0000"]) == 2
+    assert "unknown CVE" in capsys.readouterr().err
+    assert main(["fleet", "rollout", "--cve", "CVE-2006-2451",
+                 "--size", "2", "--canary", "9"]) == 2
+    assert "canary" in capsys.readouterr().err
+    monkeypatch.setenv(ROLLOUT_FILE_ENV, str(tmp_path / "missing.json"))
+    assert main(["fleet", "status"]) == 2
+    assert "no saved rollout" in capsys.readouterr().err

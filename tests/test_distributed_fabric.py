@@ -130,6 +130,7 @@ def test_version_mismatch_rejected_at_handshake():
 
     def fake_worker(listener):
         sock, _ = listener.accept()
+        protocol.send_raw(sock, protocol.AUTH_NONE)
         hello = protocol.recv_message(sock)
         done["version"] = hello["version"]
         protocol.send_message(sock, {"type": protocol.ERROR,

@@ -1,0 +1,183 @@
+"""Tests for the hardened fabric: shared-secret handshake auth,
+per-item wall-clock timeouts, and remote fleet rollouts."""
+
+import socket
+
+import pytest
+
+from repro.distributed import (
+    AuthError,
+    ProtocolError,
+    protocol,
+    spawn_local_workers,
+)
+from repro.evaluation import clear_caches, evaluate_corpus
+from repro.evaluation.engine import EngineStats
+from repro.fleet import RolloutPlan, run_remote_rollout
+
+SECRET = b"fabric-test-secret"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _connect(worker):
+    sock = socket.create_connection((worker.host, worker.port),
+                                    timeout=10.0)
+    sock.settimeout(10.0)
+    return sock
+
+
+# -- handshake authentication ------------------------------------------------
+
+
+def test_unauthenticated_peer_dropped_before_any_pickle():
+    """A client with no secret is rejected at the raw-frame layer —
+    the worker never deserializes anything from it — and the worker
+    stays up for properly authenticated peers."""
+    workers = spawn_local_workers(1, secret=SECRET)
+    try:
+        sock = _connect(workers[0])
+        try:
+            with pytest.raises(AuthError, match="requires a shared"):
+                protocol.worker_auth_connect(sock, None)
+        finally:
+            sock.close()
+
+        # Same worker process, correct secret: a full remote rollout.
+        report = run_remote_rollout(
+            workers[0].address,
+            RolloutPlan(cve_id="CVE-2006-2451", fleet_size=2),
+            secret=SECRET)
+        assert report.outcome == "complete"
+    finally:
+        workers[0].stop()
+
+
+def test_wrong_secret_is_rejected():
+    workers = spawn_local_workers(1, secret=SECRET)
+    try:
+        sock = _connect(workers[0])
+        try:
+            with pytest.raises(ProtocolError):
+                protocol.worker_auth_connect(sock, b"not-the-secret")
+        finally:
+            sock.close()
+    finally:
+        workers[0].stop()
+
+
+def test_client_detects_impostor_worker():
+    """Mutual auth: a fake worker that demands a secret but cannot
+    prove it knows it must be refused by the client."""
+
+    def impostor(server):
+        conn, _ = server.accept()
+        with conn:
+            protocol.send_raw(
+                conn, protocol.AUTH_REQUIRED + b"\x00" * 16)
+            protocol.recv_raw(conn)  # client proof; impostor can't check
+            protocol.send_raw(conn, b"\x00" * 32)  # forged proof
+
+    import threading
+
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    thread = threading.Thread(target=impostor, args=(server,),
+                              daemon=True)
+    thread.start()
+    try:
+        sock = socket.create_connection(server.getsockname(), timeout=10)
+        sock.settimeout(10.0)
+        try:
+            with pytest.raises(AuthError, match="failed to prove"):
+                protocol.worker_auth_connect(sock, SECRET)
+        finally:
+            sock.close()
+    finally:
+        server.close()
+        thread.join(5.0)
+
+
+def test_authenticated_evaluation_matches_open(monkeypatch):
+    """The coordinator picks the secret up from the environment and the
+    distributed run completes without fallback."""
+    from repro.evaluation import CORPUS
+
+    specs = CORPUS[:2]
+    monkeypatch.setenv(protocol.SECRET_ENV, SECRET.decode("utf-8"))
+    workers = spawn_local_workers(1, secret=SECRET)
+    stats = EngineStats()
+    try:
+        report = evaluate_corpus(specs, run_stress=False, stats=stats,
+                                 workers=[workers[0].address])
+    finally:
+        workers[0].stop()
+    assert not stats.fell_back
+    assert all(r.success for r in report.results)
+
+
+def test_secret_worker_open_coordinator_falls_back(monkeypatch):
+    """An auth rejection looks like an unreachable worker: the run
+    still completes, locally, with the reason recorded."""
+    monkeypatch.delenv(protocol.SECRET_ENV, raising=False)
+    from repro.evaluation import CORPUS
+
+    workers = spawn_local_workers(1, secret=SECRET)
+    stats = EngineStats()
+    try:
+        report = evaluate_corpus(CORPUS[:2], run_stress=False,
+                                 stats=stats,
+                                 workers=[workers[0].address])
+    finally:
+        workers[0].stop()
+    assert stats.fell_back
+    assert all(r.success for r in report.results)
+
+
+# -- per-item wall-clock timeout ---------------------------------------------
+
+
+def test_wedged_item_is_abandoned_with_reasoned_failure():
+    """A worker whose item wedges past --item-timeout reports a
+    reasoned ERROR frame and stays in session; the coordinator
+    finishes the corpus itself."""
+    from repro.evaluation import CORPUS
+
+    specs = CORPUS[:2]
+    workers = spawn_local_workers(1, item_timeout=0.2, wedge_seconds=30.0)
+    stats = EngineStats()
+    try:
+        report = evaluate_corpus(specs, run_stress=False, stats=stats,
+                                 workers=[workers[0].address])
+    finally:
+        workers[0].stop()
+    # Results are complete despite every remote attempt timing out.
+    assert all(r.success for r in report.results)
+    assert len(report.results) == len(specs)
+    assert stats.local_rescues == len(specs)
+
+
+# -- remote fleet rollouts ---------------------------------------------------
+
+
+def test_remote_rollout_streams_waves_and_matches_local():
+    plan = RolloutPlan(cve_id="CVE-2006-2451", fleet_size=3)
+    workers = spawn_local_workers(1)
+    seen = []
+    try:
+        remote = run_remote_rollout(workers[0].address, plan,
+                                    on_wave=seen.append)
+    finally:
+        workers[0].stop()
+    from repro.fleet import rollout_corpus_cve
+
+    local = rollout_corpus_cve(plan)
+    assert remote.to_json() == local.to_json()
+    assert [w["index"] for w in seen] == [0, 1]
+    assert all(w["verdict"] == "green" for w in seen)

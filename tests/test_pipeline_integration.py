@@ -285,7 +285,7 @@ def test_trace_cli_renders_saved_run(tmp_path, monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "stop_machine" in out
 
-    assert main(["trace", "--cve", "CVE-none"]) == 1
+    assert main(["trace", "--cve", "CVE-none"]) == 2
 
 
 def test_evaluate_cli_prints_stage_table(tmp_path, monkeypatch, capsys):

@@ -1,0 +1,190 @@
+"""§5.4 stacking edge cases: out-of-LIFO-order undo must be refused
+with the kernel state intact, and shadow-table data (Table 1 patches)
+must survive a later stacked update."""
+
+import pytest
+
+from repro.core import KspliceCore, ksplice_create
+from repro.errors import UpdateStateError
+from repro.kbuild import SourceTree
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+ENTRY_S = """
+.global syscall_entry
+syscall_entry:
+    cmpi r0, 2
+    jge bad_sys
+    cmpi r0, 0
+    jl bad_sys
+    push r3
+    push r2
+    push r1
+    movi r4, 4
+    mul r0, r4
+    lea r4, sys_call_table
+    add r4, r0
+    loadr r4, r4, 0
+    callr r4
+    addi sp, 12
+    ret
+bad_sys:
+    movi r0, -38
+    ret
+
+.section .data
+sys_call_table:
+    .word sys_get_limit, sys_use_session
+"""
+
+LIMITS_C = """
+int limit_table[4];
+int sessions_id[8];
+int sessions_level[8];
+int session_count;
+
+int kernel_init(void) {
+    for (int i = 0; i < 4; i++) limit_table[i] = 100;
+    session_count = 2;
+    sessions_id[0] = 11; sessions_level[0] = 3;
+    sessions_id[1] = 22; sessions_level[1] = 5;
+    return 0;
+}
+
+int sys_get_limit(int idx, int b, int c) {
+    if (idx < 0) { return -1; }
+    if (idx >= 4) { return -1; }
+    return limit_table[idx];
+}
+
+int sys_use_session(int idx, int b, int c) {
+    if (idx < 0) { return -1; }
+    if (idx >= session_count) { return -1; }
+    return sessions_level[idx];
+}
+"""
+
+# First update, the CVE-2005-2709 shape: sys_use_session consults a new
+# per-session field that lives in the shadow table; the apply hook
+# attaches it for existing high-level sessions.
+SHADOW_SOURCE = LIMITS_C.replace(
+    "int sys_use_session(int idx, int b, int c) {\n"
+    "    if (idx < 0) { return -1; }\n"
+    "    if (idx >= session_count) { return -1; }\n"
+    "    return sessions_level[idx];",
+    "int ksplice_shadow_get(int obj, int key);\n"
+    "int ksplice_shadow_attach(int obj, int key, int val);\n"
+    "\n"
+    "int sys_use_session(int idx, int b, int c) {\n"
+    "    if (idx < 0) { return -1; }\n"
+    "    if (idx >= session_count) { return -1; }\n"
+    "    if (ksplice_shadow_get(idx, 42)) { return -13; }\n"
+    "    return sessions_level[idx];")
+
+SHADOW_SOURCE_WITH_HOOK = SHADOW_SOURCE + """
+int ksplice_lockdown_existing(void) {
+    for (int i = 0; i < session_count; i++) {
+        if (sessions_level[i] >= 5) {
+            if (ksplice_shadow_attach(i, 42, 1) < 0) { return -1; }
+        }
+    }
+    return 0;
+}
+__ksplice_apply__(ksplice_lockdown_existing);
+"""
+
+TREE = SourceTree(version="stacking-test", files={
+    "arch/entry.s": ENTRY_S,
+    "kernel/limits.c": LIMITS_C,
+})
+
+
+def make_update(new_source, old_source=LIMITS_C):
+    old_files = dict(TREE.files)
+    old_files["kernel/limits.c"] = old_source
+    new_files = dict(old_files)
+    new_files["kernel/limits.c"] = new_source
+    diff = make_patch(old_files, new_files)
+    return ksplice_create(SourceTree(version=TREE.version,
+                                     files=old_files), diff)
+
+
+def fresh():
+    machine = boot_kernel(TREE)
+    return machine, KspliceCore(machine)
+
+
+def test_out_of_lifo_undo_rejected_with_state_intact():
+    """Undoing an update while a later one sits on the same function
+    must be refused, and the refusal must not disturb either update."""
+    machine, core = fresh()
+    first_source = LIMITS_C.replace(
+        "    return limit_table[idx];",
+        "    if (limit_table[idx] > 50) { return 50; }\n"
+        "    return limit_table[idx];")
+    first = make_update(first_source)
+    core.apply(first)
+    assert machine.call_function("sys_get_limit", [0, 0, 0]) == 50
+
+    second_source = first_source.replace(
+        "    if (limit_table[idx] > 50) { return 50; }",
+        "    if (limit_table[idx] > 25) { return 25; }")
+    second = make_update(second_source, old_source=first_source)
+    core.apply(second)
+    assert machine.call_function("sys_get_limit", [0, 0, 0]) == 25
+
+    with pytest.raises(UpdateStateError):
+        core.undo(first.update_id)
+
+    # The refused undo changed nothing: both updates still applied, in
+    # order, and the kernel still runs the newest code.
+    assert core.applied_ids() == [first.update_id, second.update_id]
+    assert machine.call_function("sys_get_limit", [0, 0, 0]) == 25
+
+    # LIFO order works, one layer at a time.
+    undone = core.undo_latest()
+    assert undone is not None and undone.pack.update_id == second.update_id
+    assert machine.call_function("sys_get_limit", [0, 0, 0]) == 50
+    undone = core.undo_latest()
+    assert undone is not None and undone.pack.update_id == first.update_id
+    assert machine.call_function("sys_get_limit", [0, 0, 0]) == 100
+    assert core.undo_latest() is None
+
+
+def test_shadow_data_survives_second_stacked_update():
+    """Shadow-table entries belong to the core, not to one update's
+    modules: stacking another update on top must leave them readable by
+    the still-patched code, and undoing that later update must too."""
+    machine, core = fresh()
+    shadow_pack = make_update(SHADOW_SOURCE_WITH_HOOK)
+    core.apply(shadow_pack)
+    assert machine.call_function("sys_use_session", [1, 0, 0]) == \
+        (-13) & 0xFFFFFFFF
+    assert core.shadow.count == 1
+    assert core.shadow.get(1, 42) == 1
+
+    # Stack a second, unrelated update (sys_get_limit) on top.  It is
+    # built against the maintained source, which never carried the first
+    # update's one-shot transition hook.
+    second_source = SHADOW_SOURCE.replace(
+        "    return limit_table[idx];",
+        "    if (limit_table[idx] > 10) { return 10; }\n"
+        "    return limit_table[idx];")
+    second = make_update(second_source, old_source=SHADOW_SOURCE)
+    core.apply(second)
+    assert machine.call_function("sys_get_limit", [0, 0, 0]) == 10
+
+    # The shadow field still gates session 1, and the registry still
+    # holds the attached data.
+    assert machine.call_function("sys_use_session", [1, 0, 0]) == \
+        (-13) & 0xFFFFFFFF
+    assert machine.call_function("sys_use_session", [0, 0, 0]) == 3
+    assert core.shadow.count == 1
+    assert core.shadow.get(1, 42) == 1
+
+    # Undoing the stacked update must not tear the shadow data down.
+    core.undo_latest()
+    assert machine.call_function("sys_get_limit", [0, 0, 0]) == 100
+    assert machine.call_function("sys_use_session", [1, 0, 0]) == \
+        (-13) & 0xFFFFFFFF
+    assert core.shadow.get(1, 42) == 1
