@@ -44,13 +44,17 @@ def _rollback_wall_ms(trace):
     return walk(trace.reports)
 
 
-def measure(fleet_size, fault_wave):
+def measure(fleet_size, fault_wave, workload="spinner"):
     """One green rollout and one fault-injected rollout.
 
+    ``workload="stress"`` runs every member under sustained syscall
+    load while updates land, so apply-time quiescence (the stop_machine
+    stack check) actually has conflicting stacks to retry against.
     Returns ``(payload, failures)``.
     """
     clear_caches()
-    plan = RolloutPlan(cve_id=CVE, fleet_size=fleet_size)
+    plan = RolloutPlan(cve_id=CVE, fleet_size=fleet_size,
+                       workload=workload)
     failures = []
 
     start = time.perf_counter()
@@ -67,7 +71,7 @@ def measure(fleet_size, fault_wave):
     sizes = plan.wave_sizes()
     victim = sum(sizes[:fault_wave])
     faulty = RolloutPlan(
-        cve_id=CVE, fleet_size=fleet_size,
+        cve_id=CVE, fleet_size=fleet_size, workload=workload,
         faults=[InjectedFault("oops", member=victim, wave=fault_wave)])
     trace = Trace(label="bench-" + faulty.rollout_id())
     start = time.perf_counter()
@@ -88,8 +92,13 @@ def measure(fleet_size, fault_wave):
     if rollback_ms is None:
         failures.append("no rollback stage in the trace")
 
+    retries = [rep.stack_check_attempts
+               for w in green.waves for rep in w.member_reports]
     payload = {
         "fleet_size": fleet_size,
+        "workload": workload,
+        "quiescence_retries_total": sum(retries),
+        "quiescence_retries_max": max(retries) if retries else 0,
         "waves": len(green.waves),
         "green_rollout_wall_s": round(green_s, 3),
         "members_updated_per_s": round(fleet_size / green_s, 2)
@@ -135,6 +144,17 @@ def run_full():
     payload, failures = measure(12, fault_wave=2)
     _report("full", payload)
     perfjson.record("fleet_full", payload)
+    # The same fleet again, but serving sustained syscall load while
+    # the updates land: members are only quiescent between quanta, so
+    # this exercises the stop_machine stack-check retry path and prices
+    # rollback latency under real traffic.
+    loaded, load_failures = measure(12, fault_wave=2, workload="stress")
+    _report("full-under-load", loaded)
+    print("  under load: %d quiescence retries (max %d per member)"
+          % (loaded["quiescence_retries_total"],
+             loaded["quiescence_retries_max"]))
+    perfjson.record("fleet_full_under_load", loaded)
+    failures += load_failures
     for failure in failures:
         print("FULL FAIL: %s" % failure)
     if not failures:

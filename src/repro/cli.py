@@ -337,6 +337,14 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     combined = stats.combined_cache_stats()
     if combined.disk_hits:
         print("disk cache tier: %d hits" % combined.disk_hits)
+    jit = stats.jit
+    if jit.get("total_insns"):
+        total = jit["total_insns"]
+        traced = jit["traced_insns"]
+        print("jit: %d insns (%.0f%% traced), %d trace hits, "
+              "%d compiled, %d evicted"
+              % (total, 100.0 * traced / total, jit["trace_hits"],
+                 jit["compiled"], jit["evicted"]))
     if stats.workers:
         line = ("distributed: %d worker%s, %d work item%s, %d retr%s"
                 % (stats.workers, "s" if stats.workers != 1 else "",
@@ -370,6 +378,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             "workers": workers,
             "cves": [r.cve_id for r in report.results],
             "failed": [r.cve_id for r in report.results if not r.success],
+            "jit": stats.jit,
         })
     return EXIT_OK if len(report.successes()) == report.total() \
         else EXIT_FAILURE
@@ -439,6 +448,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
     command = meta.get("command", "?")
     print("last run: %s (%d trace%s)"
           % (command, len(traces), "s" if len(traces) != 1 else ""))
+    jit = meta.get("jit") or {}
+    if jit.get("total_insns"):
+        print("jit: %d insns (%.0f%% traced), %d trace hits, "
+              "%d compiled, %d evicted"
+              % (jit["total_insns"],
+                 100.0 * jit["traced_insns"] / jit["total_insns"],
+                 jit["trace_hits"], jit["compiled"], jit["evicted"]))
     _print_stage_table(_aggregate_traces(traces))
     failed = [(t.label, t.failed_stage()) for t in traces
               if t.failed_stage()]
@@ -461,7 +477,8 @@ def _fleet_plan(args: argparse.Namespace):
     return RolloutPlan(cve_id=args.cve, fleet_size=args.size,
                        canary=args.canary, growth=args.growth,
                        keepalive_instructions=args.keepalive,
-                       probe=not args.no_probe, faults=faults)
+                       probe=not args.no_probe,
+                       workload=args.workload, faults=faults)
 
 
 def cmd_fleet_rollout(args: argparse.Namespace) -> int:
@@ -694,6 +711,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_roll.add_argument("--keepalive", type=int, default=2000,
                         help="instructions each member runs between "
                              "waves (default 2000)")
+    p_roll.add_argument("--workload", choices=("spinner", "stress"),
+                        default="spinner",
+                        help="what members run between waves: an idle "
+                             "spinner or real syscall stress threads "
+                             "(default spinner)")
     p_roll.add_argument("--no-probe", action="store_true",
                         help="health-gate on machine liveness only; "
                              "skip the CVE's semantics probe")

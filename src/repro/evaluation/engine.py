@@ -61,6 +61,7 @@ from repro.evaluation.corpus import CORPUS
 from repro.evaluation.kernels import GeneratedKernel, kernel_for_version
 from repro.evaluation.specs import CveSpec
 from repro.kbuild import BuildResult, build_tree
+from repro.kernel import TRACE_STATS
 from repro.pipeline.normalize import normalize_cve_result
 
 #: Run-kernel builds per (version, options).  Generated trees are
@@ -219,6 +220,11 @@ class EngineStats:
     #: per-stage timings summed over every CVE's trace (top-level
     #: stages: generate/build/boot/create/apply/stress/...)
     stages: Dict[str, StageTiming] = field(default_factory=dict)
+    #: JIT counters for the run — the delta of the process-global
+    #: :data:`repro.kernel.TRACE_STATS` (total/traced instructions,
+    #: trace hits, compiles, evictions).  Only in-process execution
+    #: contributes; parallel/distributed workers keep their own.
+    jit: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cves_per_second(self) -> float:
@@ -409,6 +415,7 @@ def evaluate_corpus(specs: Optional[Sequence[CveSpec]] = None,
     stats.cves = len(chosen)
 
     start = time.perf_counter()
+    jit_before = TRACE_STATS.snapshot()
     results: Optional[List["CveResult"]] = None
     if workers and len(chosen) > 0:
         results = _evaluate_distributed(chosen, run_stress, verify_undo,
@@ -426,6 +433,9 @@ def evaluate_corpus(specs: Optional[Sequence[CveSpec]] = None,
                                        progress)
         _merge_stats_into(stats.caches, _stats_delta(before))
     stats.wall_seconds = time.perf_counter() - start
+    jit_after = TRACE_STATS.snapshot()
+    stats.jit = {key: jit_after[key] - jit_before[key]
+                 for key in jit_after}
     for result in results:
         stats.record_trace(getattr(result, "trace", None))
     return EvaluationReport(results=results)

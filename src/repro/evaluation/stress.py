@@ -134,6 +134,56 @@ BATTERY = (
     ("pipe-consumer", _CONSUMER),
 )
 
+# Sustained per-member load for rollouts: each round mixes a compute
+# kernel with real syscalls (file round trip, getpid, yield) and checks
+# its own results, so a member corrupted mid-rollout turns red instead
+# of spinning silently.  Threads use disjoint ramdisk slots so several
+# instances interleave safely on one machine.  The round count is high
+# enough that the workload outlives any rollout.
+_SUSTAINED = """
+int main(void) {
+    int acc = 7;
+    int round = 0;
+    while (round < %(rounds)d) {
+        for (int i = 1; i < 40; i++) {
+            acc = (acc * 31 + i) & 65535;
+            acc = acc ^ (acc >> 3);
+        }
+        int fd = __syscall(4, 0, 0, 0);
+        if (fd < 0) { return 1; }
+        int slot = %(slot)d + (round & 7);
+        if (__syscall(8, fd, slot, 0) != 0) { return 2; }
+        if (__syscall(7, fd, 4000 + round, 0) != 0) { return 3; }
+        if (__syscall(8, fd, slot, 0) != 0) { return 4; }
+        if (__syscall(6, fd, 0, 0) != 4000 + round) { return 5; }
+        if (__syscall(5, fd, 0, 0) != 0) { return 6; }
+        if (__syscall(12, 0, 0, 0) <= 0) { return 7; }
+        __syscall(9, 0, 0, 0);
+        round = round + 1;
+    }
+    return %(ok)d;
+}
+"""
+
+
+def load_sustained_workload(machine: Machine, threads: int = 2,
+                            rounds: int = 1 << 20) -> list:
+    """Load ``threads`` long-running stress threads on a live machine.
+
+    This is the fleet's under-load mode: members execute genuine
+    syscall traffic (kernel code on thread stacks) for the lifetime of
+    a rollout instead of idling on a spinner, which is what makes
+    quiescence retries and stack-check aborts measurable under
+    production-like pressure.  Returns the created threads.
+    """
+    created = []
+    for index in range(threads):
+        source = _SUSTAINED % {"rounds": rounds, "ok": STRESS_OK,
+                               "slot": 200 + index * 8}
+        created.append(machine.load_user_program(
+            source, name="stress-load-%d" % index))
+    return created
+
 
 @dataclass
 class StressReport:

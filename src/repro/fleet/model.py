@@ -118,6 +118,11 @@ class RolloutPlan:
     keepalive_instructions: int = 2_000
     #: run the corpus probe as the between-wave health workload
     probe: bool = True
+    #: what members execute between waves: "spinner" parks them on the
+    #: kernel's sys_spin loop; "stress" loads real syscall stress
+    #: threads (repro.evaluation.stress.load_sustained_workload), the
+    #: under-load rollout mode
+    workload: str = "spinner"
     faults: List[InjectedFault] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -127,6 +132,8 @@ class RolloutPlan:
             raise RolloutError("canary must be in 1..fleet_size")
         if self.growth < 1:
             raise RolloutError("growth must be >= 1")
+        if self.workload not in ("spinner", "stress"):
+            raise RolloutError("workload must be 'spinner' or 'stress'")
         for fault in self.faults:
             if not 0 <= fault.member < self.fleet_size:
                 raise RolloutError("fault member %d outside fleet 0..%d"
@@ -159,6 +166,7 @@ class RolloutPlan:
             "growth": self.growth,
             "keepalive_instructions": self.keepalive_instructions,
             "probe": self.probe,
+            "workload": self.workload,
             "faults": [f.to_json_dict() for f in self.faults],
         }
 
@@ -172,6 +180,7 @@ class RolloutPlan:
             keepalive_instructions=int(
                 data.get("keepalive_instructions", 2_000)),
             probe=bool(data.get("probe", True)),
+            workload=str(data.get("workload", "spinner")),
             faults=[InjectedFault.from_json_dict(f)
                     for f in data.get("faults", [])])
 

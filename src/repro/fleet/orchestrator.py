@@ -104,7 +104,8 @@ class Fleet:
     @classmethod
     def boot(cls, kernel, size: int,
              stack_check_retries: int = 5,
-             retry_run_instructions: int = 2_000) -> "Fleet":
+             retry_run_instructions: int = 2_000,
+             workload: str = "spinner") -> "Fleet":
         """Boot ``size`` machines of a generated kernel.
 
         The tree is compiled once (``run_build_for``'s content cache)
@@ -112,8 +113,15 @@ class Fleet:
         plus 16 cheap boots.  Each member gets a ``keepalive`` spinner
         thread: the fleet has *running* kernels between waves, not
         parked ones, so applies land on machines with live stacks.
+
+        ``workload="stress"`` additionally loads real syscall stress
+        threads on every member
+        (:func:`repro.evaluation.stress.load_sustained_workload`), so
+        keepalive slices execute production-like traffic — kernel code
+        on thread stacks — instead of an idle spin.
         """
         from repro.evaluation.engine import run_build_for
+        from repro.evaluation.stress import load_sustained_workload
 
         build = run_build_for(kernel)
         fleet = cls()
@@ -125,6 +133,8 @@ class Fleet:
                     name="keepalive-%d" % index)
             except Exception:
                 pass  # kernels without sys_spin idle between waves
+            if workload == "stress":
+                load_sustained_workload(machine)
             fleet.members.append(FleetMember(
                 index=index, machine=machine,
                 core=KspliceCore(
@@ -410,7 +420,8 @@ def replay_rollback(report: RolloutReport,
                               report=CreateReport(),
                               run_build=build, trace=trace)
     with trace.stage("boot-fleet") as rep:
-        fleet = Fleet.boot(kernel, report.plan.fleet_size)
+        fleet = Fleet.boot(kernel, report.plan.fleet_size,
+                           workload=report.plan.workload)
         rep.counters["members"] = report.plan.fleet_size
     with trace.stage("replay") as rep:
         for index in sorted(report.updated_members):
@@ -467,7 +478,8 @@ def rollout_corpus_cve(plan: RolloutPlan,
     if plan.probe and spec.probe is not None:
         policy = HealthPolicy.from_probe(spec.probe)
     with trace.stage("boot-fleet") as rep:
-        fleet = Fleet.boot(kernel, plan.fleet_size)
+        fleet = Fleet.boot(kernel, plan.fleet_size,
+                           workload=plan.workload)
         rep.counters["members"] = plan.fleet_size
     orchestrator = RolloutOrchestrator(
         fleet, plan, policy=policy, trace=trace,

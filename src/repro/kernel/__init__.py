@@ -10,7 +10,14 @@ meaningful here.
 """
 
 from repro.kernel.memory import Memory, Segment
-from repro.kernel.cpu import CPUState, StepEvent, step
+from repro.kernel.cpu import (
+    TRACE_STATS,
+    CPUState,
+    StepEvent,
+    jit_enabled,
+    set_jit_enabled,
+    step,
+)
 from repro.kernel.threads import Thread, ThreadStatus
 from repro.kernel.scheduler import Scheduler
 from repro.kernel.stop_machine import StopMachine, StopMachineReport
@@ -20,6 +27,9 @@ from repro.kernel.machine import Machine, boot_kernel
 __all__ = [
     "CPUState",
     "LoadedModule",
+    "TRACE_STATS",
+    "jit_enabled",
+    "set_jit_enabled",
     "Machine",
     "Memory",
     "ModuleLoader",

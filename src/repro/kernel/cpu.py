@@ -15,16 +15,20 @@ code — Ksplice's jump insertion — is observed immediately; see
 from __future__ import annotations
 
 import enum
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.arch.isa import (
+    MAX_INSTRUCTION_LENGTH,
     Instruction,
     Opcode,
     decode_instruction,
     instruction_length,
 )
 from repro.errors import DisassemblyError, MachineError
+from repro.kernel.jit import HOT_THRESHOLD, TraceRecorder, compile_recorded
 from repro.kernel.memory import Memory
 
 _MASK = 0xFFFFFFFF
@@ -43,6 +47,7 @@ class StepEvent(enum.Enum):
 
 
 _NORMAL = StepEvent.NORMAL
+_SYSCALL = StepEvent.SYSCALL
 
 
 @dataclass
@@ -384,25 +389,159 @@ def _compile_insn(insn: Instruction) -> _Op:
         "unimplemented opcode %s" % insn.mnemonic)
 
 
-class _DecodeCache:
-    """Caches compiled instructions per address.
+class TraceStats:
+    """Process-wide JIT counters, aggregated across every machine.
 
-    Invalidated wholesale whenever an executable segment is written —
+    Per-machine numbers live on that machine's :class:`_DecodeCache`;
+    this global mirror lets the evaluation engine report corpus-wide
+    interpreted/traced splits without walking hundreds of discarded
+    machines.  ``total_insns`` is bumped by the scheduler (one add per
+    quantum), the rest by the trace dispatch and eviction paths.
+    """
+
+    __slots__ = ("total_insns", "traced_insns", "trace_hits",
+                 "compiled", "evicted")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.total_insns = 0
+        self.traced_insns = 0
+        self.trace_hits = 0
+        self.compiled = 0
+        self.evicted = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "total_insns": self.total_insns,
+            "traced_insns": self.traced_insns,
+            "trace_hits": self.trace_hits,
+            "compiled": self.compiled,
+            "evicted": self.evicted,
+        }
+
+
+TRACE_STATS = TraceStats()
+
+#: JIT kill switch: REPRO_JIT=0 runs the pure interpreter (the bench
+#: uses set_jit_enabled to measure both sides of the same workload).
+_JIT_ENABLED = os.environ.get("REPRO_JIT", "1") != "0"
+
+
+def set_jit_enabled(enabled: bool) -> bool:
+    """Toggle trace compilation; returns the previous setting."""
+    global _JIT_ENABLED
+    previous = _JIT_ENABLED
+    _JIT_ENABLED = bool(enabled)
+    return previous
+
+
+def jit_enabled() -> bool:
+    return _JIT_ENABLED
+
+
+class _DecodeCache:
+    """Caches compiled instructions and JIT traces per address.
+
+    Invalidated by range whenever an executable segment is written —
     rare (module loads, Ksplice jump insertion), so the common case is a
     dictionary hit per step.  The cache lives on the Memory instance
     itself: a global registry keyed by ``id()`` would leak stale
     instructions into a new Memory reusing a collected one's address.
-    Memory clears ``entries`` *in place* on executable writes (push
+    Memory invalidates *in place* on executable writes (push
     invalidation), so the hot loop in :func:`run_slice` can alias the
-    dict without a per-instruction version check; ``version`` remains as
-    a pull-based fallback for a cache attached after writes happened.
+    dicts without a per-instruction version check; ``version`` remains
+    as a pull-based fallback for a cache attached after writes happened.
+
+    ``traces`` maps entry PC -> :class:`~repro.kernel.jit.CompiledTrace`
+    and ``counters`` holds per-PC back-edge hotness counts; both ride
+    the same invalidation as ``entries`` so patched code never executes
+    a stale trace.  The stat fields feed ``MachineHealth``.
     """
 
-    __slots__ = ("version", "entries")
+    __slots__ = ("version", "entries", "traces", "counters", "recording",
+                 "traced_insns", "trace_hits", "compiled", "evicted",
+                 "code_words")
 
     def __init__(self) -> None:
         self.version = -1
         self.entries: dict = {}
+        self.traces: dict = {}
+        self.counters: dict = {}
+        self.recording = None
+        self.traced_insns = 0
+        self.trace_hits = 0
+        self.compiled = 0
+        self.evicted = 0
+        #: 4-byte-word keys (address >> 2) covering every byte of every
+        #: instruction ever cached — entries, traces, and any in-flight
+        #: recording all decode through :func:`_decode_at`, which
+        #: registers them here.  A write whose words all miss this set
+        #: cannot overlap cached code, so ``invalidate_range`` returns
+        #: without scanning anything.  Grows monotonically (cleared
+        #: only with the whole cache); staying large after evictions
+        #: is merely conservative.
+        self.code_words: set = set()
+
+    def invalidate_range(self, address: int, count: int) -> None:
+        """Executable bytes in [address, address+count) changed.
+
+        Drops cached instructions that could overlap the write (an
+        instruction can start up to max-length minus one bytes before
+        it) and evicts any trace whose compiled byte range overlaps.
+        Evicted traces are flagged invalid so generated code that is
+        *currently executing* the trace side-exits after the store.
+
+        The kernel image maps text and data in one executable segment,
+        so every store to a kernel global lands here; the code-word
+        filter keeps those data stores O(1).
+        """
+        words = self.code_words
+        word = address >> 2
+        last = (address + count - 1) >> 2
+        while word not in words:
+            if word >= last:
+                return
+            word += 1
+        entries = self.entries
+        if entries:
+            lo = address - (MAX_INSTRUCTION_LENGTH - 1)
+            span = count + MAX_INSTRUCTION_LENGTH - 1
+            if span > 4 * len(entries) + 64:
+                entries.clear()
+            else:
+                for ip in range(lo, lo + span):
+                    entries.pop(ip, None)
+        traces = self.traces
+        if traces:
+            hi = address + count
+            dead = [entry for entry, trace in traces.items()
+                    if trace.lo < hi and address < trace.hi]
+            for entry in dead:
+                traces.pop(entry).valid = False
+                self.counters.pop(entry, None)
+                self.evicted += 1
+                TRACE_STATS.evicted += 1
+        # A write over bytes the in-flight recording already decoded
+        # would make the eventual compile stale.  Writes elsewhere in
+        # the segment (the kernel image maps text and data together, so
+        # every store to a global lands here) leave the recording alone.
+        rec = self.recording
+        if rec is not None and rec.overlaps(address, address + count):
+            self.recording = None
+
+    def invalidate_all(self) -> None:
+        self.entries.clear()
+        if self.traces:
+            self.evicted += len(self.traces)
+            TRACE_STATS.evicted += len(self.traces)
+            for trace in self.traces.values():
+                trace.valid = False
+            self.traces.clear()
+        self.counters.clear()
+        self.recording = None
+        self.code_words.clear()
 
 
 def _cache_for(memory: Memory) -> _DecodeCache:
@@ -412,7 +551,7 @@ def _cache_for(memory: Memory) -> _DecodeCache:
         memory._decode_cache = cache
     if cache.version != memory.write_version:
         cache.version = memory.write_version
-        cache.entries.clear()
+        cache.invalidate_all()
     return cache
 
 
@@ -420,13 +559,17 @@ def _cache_for(memory: Memory) -> _DecodeCache:
 #: function of its encoding (operands, length — never its address), so
 #: one compile serves every machine that ever executes those bytes:
 #: rebooting a version's kernel for the next CVE re-fetches but never
-#: re-decodes.  Process-global and unbounded in principle; the soft cap
-#: guards against pathological byte churn.
-_OP_CACHE: dict = {}
+#: re-decodes.  Process-global; the cap is enforced by LRU eviction
+#: (hits refresh recency, overflow drops the coldest entry) so a
+#: long-running fleet member never suffers the re-decode storm a
+#: wholesale clear would cause.  Touched only on decode-cache misses,
+#: so the OrderedDict bookkeeping is off the per-instruction path.
+_OP_CACHE: "OrderedDict[bytes, _Op]" = OrderedDict()
 _OP_CACHE_MAX = 200_000
 
 
-def _decode_at(state: CPUState, memory: Memory) -> _Op:
+def _decode_at(state: CPUState, memory: Memory,
+               cache: "_DecodeCache") -> _Op:
     try:
         opcode_byte = memory.read_u8(state.ip)
         raw = memory.read_bytes(state.ip,
@@ -436,6 +579,12 @@ def _decode_at(state: CPUState, memory: Memory) -> _Op:
         # toolchain error.
         raise MachineError("illegal instruction at 0x%08x: %s"
                            % (state.ip, exc)) from None
+    word = state.ip >> 2
+    last = (state.ip + len(raw) - 1) >> 2
+    words = cache.code_words
+    while word <= last:
+        words.add(word)
+        word += 1
     op = _OP_CACHE.get(raw)
     if op is None:
         try:
@@ -444,9 +593,11 @@ def _decode_at(state: CPUState, memory: Memory) -> _Op:
             raise MachineError("illegal instruction at 0x%08x: %s"
                                % (state.ip, exc)) from None
         op = _compile_insn(insn)
-        if len(_OP_CACHE) >= _OP_CACHE_MAX:
-            _OP_CACHE.clear()
+        while len(_OP_CACHE) >= _OP_CACHE_MAX:
+            _OP_CACHE.popitem(last=False)
         _OP_CACHE[raw] = op
+    else:
+        _OP_CACHE.move_to_end(raw)
     return op
 
 
@@ -455,13 +606,14 @@ def step(state: CPUState, memory: Memory) -> StepEvent:
     cache = _cache_for(memory)
     op = cache.entries.get(state.ip)
     if op is None:
-        op = _decode_at(state, memory)
+        op = _decode_at(state, memory, cache)
         cache.entries[state.ip] = op
     return op(state, memory)
 
 
-def run_slice(state: CPUState, memory: Memory,
-              max_steps: int) -> "Tuple[int, StepEvent, Optional[str]]":
+def run_slice(state: CPUState, memory: Memory, max_steps: int,
+              syscall_hook: "Optional[Callable[[], None]]" = None,
+              ) -> "Tuple[int, StepEvent, Optional[str]]":
     """Execute up to ``max_steps`` instructions in one tight loop.
 
     The scheduler's per-quantum fast path: cache and dict lookups are
@@ -469,36 +621,198 @@ def run_slice(state: CPUState, memory: Memory,
     straight-line runs pay one Python-level dispatch per instruction
     instead of a ``step()`` call plus scheduler bookkeeping.
 
+    ``syscall_hook`` (the scheduler's syscall trampoline, bound to the
+    current thread) lets SYSCALL events be serviced *inside* the
+    slice: the hook redirects ``state.ip`` to the kernel entry point
+    and the loop keeps going, instead of unwinding to the scheduler
+    and re-entering for the remaining budget.  Syscall-heavy
+    workloads enter the kernel several times per quantum, and each
+    unwind/re-enter costs more than a short trace body.  Without a
+    hook every non-NORMAL event still returns, and the scheduler
+    services it exactly as before.
+
     Returns ``(executed, event, fault)``:
 
     * ``executed`` — instructions that completed (a faulting instruction
       does not count, matching ``step()``'s raise semantics);
     * ``event`` — the event that ended the slice (NORMAL when the step
-      budget ran out);
+      budget ran out; SYSCALL is consumed when a hook is supplied);
     * ``fault`` — oops message if a machine fault ended the slice.
 
     Self-modifying code stays observable without a per-instruction
-    version check because Memory clears the entries dict *in place*
+    version check because Memory invalidates the caches *in place*
     whenever an executable segment is written.
+
+    With the JIT enabled, the loop additionally counts back-edge
+    targets (``state.ip <= ip`` after an instruction means control
+    moved backwards: a loop head or hot return site), compiles a
+    target crossing :data:`~repro.kernel.jit.HOT_THRESHOLD` into a
+    superinstruction, and dispatches to compiled traces at slice entry
+    and after every backward transfer.  A trace only runs when the
+    remaining step budget covers a worst-case pass, so quantum
+    boundaries — and therefore scheduler interleavings — are
+    bit-identical to the pure interpreter.
     """
-    entries = _cache_for(memory).entries
-    entries_get = entries.get
+    cache = _cache_for(memory)
     normal = _NORMAL
     executed = 0
     event = normal
-    while executed < max_steps:
-        op = entries_get(state.ip)
-        if op is None:
+    if not _JIT_ENABLED:
+        entries = cache.entries
+        entries_get = entries.get
+        while executed < max_steps:
+            op = entries_get(state.ip)
+            if op is None:
+                try:
+                    op = _decode_at(state, memory, cache)
+                except MachineError as exc:
+                    return executed, normal, str(exc)
+                entries[state.ip] = op
             try:
-                op = _decode_at(state, memory)
+                event = op(state, memory)
             except MachineError as exc:
                 return executed, normal, str(exc)
-            entries[state.ip] = op
-        try:
-            event = op(state, memory)
-        except MachineError as exc:
-            return executed, normal, str(exc)
-        executed += 1
-        if event is not normal:
-            return executed, event, None
-    return executed, normal, None
+            executed += 1
+            if event is not normal:
+                if event is _SYSCALL and syscall_hook is not None:
+                    syscall_hook()
+                    continue
+                return executed, event, None
+        return executed, normal, None
+
+    # Trace-hit accounting accumulates in locals and flushes once per
+    # slice on the way out: a syscall-heavy quantum dispatches dozens
+    # of chained traces, and four attribute updates per dispatch were
+    # measurable against trace bodies this small.
+    t_ran = 0
+    t_hits = 0
+    try:
+        check = True
+        if cache.recording is None:
+            # Dispatch-first: the common steady state is a compiled
+            # trace at the slice-entry PC consuming the whole budget,
+            # so try it before building the interpreter loop's locals.
+            trace = cache.traces.get(state.ip)
+            if trace is not None:
+                ran, tevent, fault = trace.fn(state, memory, max_steps)
+                if ran:
+                    t_ran = ran
+                    t_hits = 1
+                    if fault is not None:
+                        return ran, normal, fault
+                    if tevent is not normal:
+                        if (tevent is _SYSCALL
+                                and syscall_hook is not None):
+                            syscall_hook()
+                        else:
+                            return ran, tevent, None
+                    if ran >= max_steps:
+                        return ran, normal, None
+                    # side exit, budget left: fall into the full loop
+                    executed = ran
+                else:
+                    # refused the budget: interpret, don't redispatch
+                    check = False
+        entries = cache.entries
+        entries_get = entries.get
+        traces = cache.traces
+        traces_get = traces.get
+        counters = cache.counters
+        counters_get = counters.get
+        rec = cache.recording
+        while executed < max_steps:
+            ip = state.ip
+            if check and rec is None:
+                check = False
+                trace = traces_get(ip)
+                if trace is not None:
+                    ran, tevent, fault = trace.fn(state, memory,
+                                                  max_steps - executed)
+                    if ran:
+                        executed += ran
+                        t_ran += ran
+                        t_hits += 1
+                        if fault is not None:
+                            return executed, normal, fault
+                        if tevent is not normal:
+                            if (tevent is _SYSCALL
+                                    and syscall_hook is not None):
+                                syscall_hook()
+                            else:
+                                return executed, tevent, None
+                        check = True
+                        continue
+                    # non-positive budget (can't happen): interpret
+                else:
+                    # Hotness is counted at dispatch points: loop
+                    # heads (every back edge re-arms the check),
+                    # slice-start PCs (where the previous quantum's
+                    # trace stopped — these become rotated loop
+                    # traces), and trace side-exit continuations.
+                    count = counters_get(ip, 0) + 1
+                    counters[ip] = count
+                    if count >= HOT_THRESHOLD:
+                        rec = cache.recording = TraceRecorder(ip)
+            op = entries_get(ip)
+            if op is None:
+                try:
+                    op = _decode_at(state, memory, cache)
+                except MachineError as exc:
+                    return executed, normal, str(exc)
+                entries[ip] = op
+            try:
+                event = op(state, memory)
+            except MachineError as exc:
+                return executed, normal, str(exc)
+            executed += 1
+            nip = state.ip
+            if rec is not None:
+                if cache.recording is not rec:
+                    # exec write invalidated the region being recorded
+                    rec = None
+                else:
+                    status = rec.record(memory, ip, nip)
+                    if (status is None and rec.steps
+                            and traces_get(nip) is not None):
+                        # The path reached a PC that already has a
+                        # compiled trace: stop here and chain into it
+                        # at dispatch time instead of duplicating its
+                        # body.  Quantum boundaries rotate through a
+                        # hot loop's phases, so without this every
+                        # phase would compile its own full-length
+                        # variant; with it, rotations become short
+                        # bridge traces.
+                        rec.exit_target = nip
+                        status = "ok"
+                    if status is not None:
+                        if status == "ok" and cache.recording is rec:
+                            new_trace = compile_recorded(rec, memory,
+                                                         StepEvent)
+                            if new_trace is not None:
+                                traces[rec.entry] = new_trace
+                                cache.compiled += 1
+                                TRACE_STATS.compiled += 1
+                            else:
+                                # uncompilable path (e.g. spans
+                                # segments): back the counter off so
+                                # it isn't re-recorded every pass.  A
+                                # later patch to the region clears
+                                # counters wholesale, re-enabling it.
+                                counters[rec.entry] = -(1 << 30)
+                        rec = cache.recording = None
+            elif event is normal and nip <= ip:
+                check = True
+            if event is not normal:
+                if event is _SYSCALL and syscall_hook is not None:
+                    syscall_hook()
+                    check = True
+                    continue
+                return executed, event, None
+        return executed, normal, None
+    finally:
+        if t_hits:
+            cache.traced_insns += t_ran
+            cache.trace_hits += t_hits
+            stats = TRACE_STATS
+            stats.traced_insns += t_ran
+            stats.trace_hits += t_hits

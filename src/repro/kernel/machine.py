@@ -20,6 +20,7 @@ stack, which is exactly the property the Ksplice stack check relies on.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -65,7 +66,10 @@ class MachineHealth:
 
     ``healthy`` is the headline verdict: no oopses ever, and no faulted
     thread still on the scheduler.  The counters ride along so a
-    rollout report can say *why* a member went red.
+    rollout report can say *why* a member went red.  The interpreter
+    perf counters (traced vs interpreted instructions, compiled and
+    evicted trace counts) make JIT behavior observable per member: a
+    rollout that evicts traces at stop_machine shows up here.
     """
 
     healthy: bool
@@ -74,6 +78,12 @@ class MachineHealth:
     blocked_threads: int
     runnable_threads: int
     total_instructions: int
+    traced_insns: int = 0
+    interpreted_insns: int = 0
+    trace_hits: int = 0
+    traces_compiled: int = 0
+    traces_evicted: int = 0
+    trace_hit_rate: float = 0.0
 
     def to_json_dict(self) -> dict:
         return {
@@ -82,6 +92,12 @@ class MachineHealth:
             "faulted_threads": self.faulted_threads,
             "blocked_threads": self.blocked_threads,
             "runnable_threads": self.runnable_threads,
+            "traced_insns": self.traced_insns,
+            "interpreted_insns": self.interpreted_insns,
+            "trace_hits": self.trace_hits,
+            "traces_compiled": self.traces_compiled,
+            "traces_evicted": self.traces_evicted,
+            "trace_hit_rate": self.trace_hit_rate,
         }
 
 
@@ -105,8 +121,8 @@ class Machine:
                                 reserve=MODULE_AREA_SIZE, executable=True)
         self.memory.map_segment("user", USER_BASE, reserve=USER_AREA_SIZE,
                                 executable=True)
-        self.memory.map_segment("stacks", STACK_AREA_BASE,
-                                reserve=STACK_SIZE * MAX_THREADS)
+        self._stack_segment = self.memory.map_segment(
+            "stacks", STACK_AREA_BASE, reserve=STACK_SIZE * MAX_THREADS)
         self.loader = ModuleLoader(self.memory,
                                    require_signed=require_signed_modules)
         self.scheduler = Scheduler(memory=self.memory,
@@ -194,14 +210,29 @@ class Machine:
         return thread
 
     def _enter_syscall(self, thread: Thread) -> None:
-        """SYSCALL instruction: call through the kernel entry point."""
+        """SYSCALL instruction: call through the kernel entry point.
+
+        The return-address push lands on the caller's stack (a plain
+        writable segment) in the overwhelmingly common case, so it is
+        written through the segment's backing bytes directly — this
+        trampoline runs for every syscall on every workload and its
+        cost is pure overhead on top of the guest's own instructions.
+        """
         if self._syscall_entry_addr is None:
             raise MachineError("kernel has no %s symbol"
                                % SYSCALL_ENTRY_SYMBOL)
-        sp = thread.cpu.reg(6) - 4
-        self.memory.write_u32(sp, thread.cpu.ip)
-        thread.cpu.set_reg(6, sp)
-        thread.cpu.ip = self._syscall_entry_addr
+        cpu = thread.cpu
+        sp = cpu.reg(6) - 4
+        segment = self._stack_segment
+        offset = sp - segment.base
+        data = segment.data
+        if 0 <= offset and offset + 4 <= len(data):
+            struct.pack_into("<I", data, offset, cpu.ip)
+        else:
+            # off-stack sp (or not yet materialized): full write path
+            self.memory.write_u32(sp, cpu.ip)
+        cpu.set_reg(6, sp)
+        cpu.ip = self._syscall_entry_addr
 
     # -- execution ---------------------------------------------------------------
 
@@ -277,6 +308,20 @@ class Machine:
             raise MachineError("thread %s is not blocked" % thread.name)
         thread.status = ThreadStatus.READY
 
+    def trace_stats(self) -> dict:
+        """This machine's JIT counters (zeros when nothing compiled)."""
+        cache = self.memory._decode_cache
+        total = self.scheduler.total_instructions
+        traced = cache.traced_insns if cache is not None else 0
+        return {
+            "traced_insns": traced,
+            "interpreted_insns": max(total - traced, 0),
+            "trace_hits": cache.trace_hits if cache is not None else 0,
+            "traces_compiled": cache.compiled if cache is not None else 0,
+            "traces_evicted": cache.evicted if cache is not None else 0,
+            "trace_hit_rate": traced / total if total else 0.0,
+        }
+
     def health(self) -> MachineHealth:
         """Liveness snapshot for fleet health gating."""
         self._collect_oopses()
@@ -285,13 +330,20 @@ class Machine:
         blocked = sum(1 for s in statuses if s is ThreadStatus.BLOCKED)
         runnable = sum(1 for s in statuses
                        if s in (ThreadStatus.READY, ThreadStatus.RUNNING))
+        trace = self.trace_stats()
         return MachineHealth(
             healthy=not self.oopses and not faulted,
             oops_count=len(self.oopses),
             faulted_threads=faulted,
             blocked_threads=blocked,
             runnable_threads=runnable,
-            total_instructions=self.scheduler.total_instructions)
+            total_instructions=self.scheduler.total_instructions,
+            traced_insns=trace["traced_insns"],
+            interpreted_insns=trace["interpreted_insns"],
+            trace_hits=trace["trace_hits"],
+            traces_compiled=trace["traces_compiled"],
+            traces_evicted=trace["traces_evicted"],
+            trace_hit_rate=trace["trace_hit_rate"])
 
     # -- user programs -------------------------------------------------------------
 

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import struct
+import sys
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from repro.arch.isa import MAX_INSTRUCTION_LENGTH
 from repro.errors import MachineError
 
 
@@ -72,6 +72,9 @@ class Memory:
         #: to executable segments clear it in place, so the CPU's hot
         #: loop needs no per-instruction version check.
         self._decode_cache = None
+        #: shared (read, write, holder) bundle for JIT traces — built
+        #: lazily so machines that never trace pay nothing.
+        self._jit_accessors = None
 
     def map_segment(self, name: str, base: int, size: int = 0,
                     data: Optional[bytes] = None,
@@ -136,27 +139,167 @@ class Memory:
     def notify_exec_write(self, address: int, count: int) -> None:
         """Record that executable bytes changed (self-modifying code).
 
-        Invalidates only cached instructions overlapping the written
-        range (a cached instruction can start up to max-length minus one
-        bytes before it).  Mutations are in place: the CPU's run loop
-        aliases the entries dict.  Wholesale clears would force a full
-        re-decode of the hot path on every module/program load.  Callers
+        Delegates to the decode cache's range invalidation: only cached
+        instructions overlapping the written range are dropped (a cached
+        instruction can start up to max-length minus one bytes before
+        it), and any compiled JIT trace whose byte range overlaps the
+        write is evicted — this is the hook that makes Ksplice's
+        stop_machine jump insertion (and ``undo``'s byte restoration)
+        immediately visible to traced execution.  Mutations are in
+        place: the CPU's run loop aliases the entries dict.  Callers
         that mutate ``segment.data`` directly (the module loader's
         relocation patching) must call this themselves.
         """
         self.write_version += 1
         cache = self._decode_cache
         if cache is not None:
-            entries = cache.entries
-            if entries:
-                lo = address - (MAX_INSTRUCTION_LENGTH - 1)
-                span = count + MAX_INSTRUCTION_LENGTH - 1
-                if span > 4 * len(entries) + 64:
-                    entries.clear()
-                else:
-                    for ip in range(lo, lo + span):
-                        entries.pop(ip, None)
+            cache.invalidate_range(address, count)
             cache.version = self.write_version
+
+    # -- JIT fast accessors ---------------------------------------------------
+
+    def jit_accessors(self) -> tuple:
+        """Shared ``(read, write, holder)`` bundle for JIT traces.
+
+        ``holder`` is a flat 12-slot list caching two segments as
+        ``[lo, hi, view, base_word, plain, writable]`` tuples —
+        generated trace code loads it into locals at entry and
+        performs bounds-checked word access inline through ``view``,
+        a ``memoryview(...).cast("I")`` over the segment's backing
+        bytes, paying a Python call only on a miss.  ``hi`` is the
+        *last* address holding a complete aligned word, so the inline
+        hit test is a single chained comparison plus an alignment
+        check; ``base_word`` is ``lo >> 2`` so the word index is one
+        shift and one subtract.  ``plain`` is True when the segment
+        is writable and non-executable: inline *stores* take it
+        unconditionally; a writable *executable* segment (the kernel
+        image maps text and data together) is inlined only when the
+        stored word misses the decode cache's code-word set — such a
+        store cannot overlap any cached instruction or compiled
+        trace, so skipping :meth:`notify_exec_write` is sound; any
+        store that could patch code takes the ``write`` closure.
+        Inline *loads* only need the bounds.  Compiled loops
+        ping-pong between the thread stack (locals) and the kernel
+        image (globals), which is why two slots are cached, and why
+        the bundle is shared by every trace of this Memory rather
+        than rebuilt per trace.
+
+        A live memoryview pins the bytearray's buffer, so a segment
+        is fully materialized (its whole ``reserved`` range — all
+        areas reserve at most a few MiB) before its view is built;
+        ``materialize`` then never resizes it again.  Word views
+        require a little-endian host and a 4-aligned segment base;
+        otherwise the segment simply never installs and every access
+        takes the (correct, slower) closure.  The closures are
+        semantically identical to :meth:`read_u32` /
+        :meth:`write_u32` (same segment resolution, error messages,
+        and invalidation hook).
+        """
+        acc = self._jit_accessors
+        if acc is not None:
+            return acc
+
+        unpack_from = struct.unpack_from
+        pack_into = struct.pack_into
+        little = sys.byteorder == "little"
+        # hi of -1 makes an empty slot's bounds test unsatisfiable
+        holder: list = [0, -1, None, 0, False, False,
+                        0, -1, None, 0, False, False]
+        #: last executable segment stored to (kernel globals live in
+        #: the executable image, so traced loops store there every
+        #: iteration); lets ``write`` skip segment resolution while
+        #: keeping the invalidation hook
+        last_exec: list = [None]
+
+        def _view_of(segment: Segment):
+            view = getattr(segment, "_view32", None)
+            if view is None:
+                if len(segment.data) < segment.reserved:
+                    segment.materialize(segment.reserved)
+                data = segment.data
+                usable = len(data) & ~3
+                if little and usable and not segment.base & 3:
+                    mv = memoryview(data)
+                    if usable != len(data):
+                        mv = mv[:usable]
+                    view = mv.cast("I")
+                else:
+                    view = False  # unusable: never install this one
+                segment._view32 = view
+            return view
+
+        def _install(segment: Segment, view) -> None:
+            base = segment.base
+            hi = base + (len(view) << 2) - 4
+            plain = segment.writable and not segment.executable
+            if holder[0] == base:
+                holder[1] = hi
+                holder[2] = view
+                holder[4] = plain
+                holder[5] = segment.writable
+            elif holder[6] == base:
+                holder[7] = hi
+                holder[8] = view
+                holder[10] = plain
+                holder[11] = segment.writable
+            else:
+                holder[6:12] = holder[0:6]
+                holder[0] = base
+                holder[1] = hi
+                holder[2] = view
+                holder[3] = base >> 2
+                holder[4] = plain
+                holder[5] = segment.writable
+
+        def read(address: int, memory: "Memory" = self) -> int:
+            segment = memory.segment_for(address, 4)
+            view = _view_of(segment)
+            if view is not False:
+                _install(segment, view)
+            offset = address - segment.base
+            data = segment.data
+            if offset + 4 > len(data):
+                segment.materialize(offset + 4)
+                data = segment.data
+            word = unpack_from("<I", data, offset)[0]
+            return word  # type: ignore[no-any-return]
+
+        def write(address: int, value: int,
+                  memory: "Memory" = self) -> None:
+            segment = last_exec[0]
+            if segment is not None and segment.contains(address, 4):
+                offset = address - segment.base
+                data = segment.data
+                if offset + 4 <= len(data):
+                    pack_into("<I", data, offset, value & 0xFFFFFFFF)
+                    memory.notify_exec_write(address, 4)
+                    return
+            segment = memory.segment_for(address, 4)
+            if not segment.writable:
+                raise MachineError(
+                    "write to read-only segment %s at 0x%08x"
+                    % (segment.name, address))
+            view = _view_of(segment)
+            if view is not False:
+                _install(segment, view)
+            offset = address - segment.base
+            if offset + 4 > len(segment.data):
+                segment.materialize(offset + 4)
+            pack_into("<I", segment.data, offset, value & 0xFFFFFFFF)
+            if segment.executable:
+                memory.notify_exec_write(address, 4)
+                last_exec[0] = segment
+
+        self._jit_accessors = acc = (read, write, holder)
+        return acc
+
+    def fast_reader(self) -> Callable[[int], int]:
+        """u32 reader for JIT traces (see :meth:`jit_accessors`)."""
+        return self.jit_accessors()[0]  # type: ignore[no-any-return]
+
+    def fast_writer(self) -> Callable[[int, int], None]:
+        """u32 writer for JIT traces (see :meth:`jit_accessors`)."""
+        return self.jit_accessors()[1]  # type: ignore[no-any-return]
 
     def read_u8(self, address: int) -> int:
         return self.read_bytes(address, 1)[0]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.kernel.cpu import StepEvent, run_slice
+from repro.kernel.cpu import TRACE_STATS, StepEvent, run_slice
 from repro.kernel.memory import Memory
 from repro.kernel.threads import Thread, ThreadStatus
 
@@ -48,15 +48,24 @@ class Scheduler:
         executed = 0
         limit = self.quantum
         hard_limit = self.quantum + self.preempt_watchdog
+        syscall_entry = self.syscall_entry
+
+        def syscall_hook() -> None:
+            syscall_entry(thread)
+
         while executed < limit:
-            # Fast path: run the rest of the quantum as one uninterrupted
-            # slice.  NORMAL events never re-enter the scheduler; only
-            # quantum exhaustion, a syscall/yield/halt, or a fault do.
+            # Fast path: run the rest of the quantum as one
+            # uninterrupted slice.  NORMAL events never re-enter the
+            # scheduler, and SYSCALL is serviced inside the slice via
+            # the hook; only quantum exhaustion, a yield/halt, or a
+            # fault unwind to here.
             ran, event, fault = run_slice(cpu, self.memory,
-                                          limit - executed)
+                                          limit - executed,
+                                          syscall_hook)
             executed += ran
             thread.instructions_executed += ran
             self.total_instructions += ran
+            TRACE_STATS.total_insns += ran
             if fault is not None:
                 thread.status = ThreadStatus.FAULTED
                 thread.fault = fault

@@ -1,0 +1,196 @@
+"""Tracing-JIT lifecycle vs live patching.
+
+The JIT may only ever be an invisible accelerator: traces compiled
+from hot k86 regions must produce bit-identical architectural results,
+and any write that lands on decoded code — a Ksplice apply or undo at
+stop_machine, or plain self-modifying stores — must evict every
+overlapping trace before the new bytes can matter.
+"""
+
+from collections import OrderedDict
+
+import repro.kernel.cpu as cpu
+from repro.core import KspliceCore, ksplice_create
+from repro.evaluation import corpus_by_id
+from repro.evaluation.kernels import kernel_for_version
+from repro.kernel import boot_kernel, set_jit_enabled
+
+CVE = "CVE-2006-2451"
+
+_HOT_LOOP = """
+int main(void) {
+    int acc = 7;
+    for (int round = 0; round < 300; round++) {
+        for (int i = 1; i < 20; i++) {
+            acc = (acc * 31 + i) & 65535;
+            acc = acc ^ (acc >> 3);
+        }
+    }
+    return acc;
+}
+"""
+
+_PRCTL_HAMMER = """
+int main(void) {
+    int denials = 0;
+    for (int i = 0; i < 80; i++) {
+        if (__syscall(%d, 4, 2, 0) != 0) { denials++; }
+    }
+    return denials;
+}
+"""
+
+
+def _boot(kernel):
+    return boot_kernel(kernel.tree, quantum=50)
+
+
+def _hammer_source(kernel):
+    return _PRCTL_HAMMER % kernel.syscall_numbers["sys_prctl"]
+
+
+def test_hot_loop_traces_and_stays_architecturally_identical():
+    kernel = kernel_for_version("2.6.16-deb3")
+
+    prev = set_jit_enabled(False)
+    try:
+        machine = _boot(kernel)
+        interp_exit = machine.run_user_program(_HOT_LOOP, name="i")
+        interp_insns = machine.scheduler.total_instructions
+    finally:
+        set_jit_enabled(prev)
+
+    prev = set_jit_enabled(True)
+    try:
+        machine = _boot(kernel)
+        jit_exit = machine.run_user_program(_HOT_LOOP, name="j")
+        jit_insns = machine.scheduler.total_instructions
+        stats = machine.trace_stats()
+    finally:
+        set_jit_enabled(prev)
+
+    assert jit_exit == interp_exit
+    assert jit_insns == interp_insns
+    assert stats["traces_compiled"] > 0
+    assert stats["trace_hits"] > 0
+    # perf smoke (deterministic counters, not wall clock): the hot
+    # loop must spend the bulk of its instructions inside traces
+    assert stats["traced_insns"] > stats["interpreted_insns"]
+
+
+def test_apply_at_stop_machine_evicts_overlapping_traces():
+    spec = corpus_by_id(CVE)
+    kernel = kernel_for_version(spec.kernel_version)
+    prev = set_jit_enabled(True)
+    try:
+        machine = _boot(kernel)
+        core = KspliceCore(machine)
+
+        # Heat the syscall path until the prctl handler is traced.
+        denials = machine.run_user_program(_hammer_source(kernel),
+                                           name="warm")
+        assert denials == 0  # unpatched kernel accepts dumpable=2
+        before = machine.trace_stats()
+        assert before["traces_compiled"] > 0
+
+        pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
+        core.apply(pack)
+        after = machine.trace_stats()
+        assert after["traces_evicted"] > before["traces_evicted"], (
+            "patching sys_prctl must evict the traces that inlined it")
+
+        # The patched path is what actually runs now.
+        denials = machine.run_user_program(_hammer_source(kernel),
+                                           name="patched")
+        assert denials == 80
+        # Undo the warm-up's lingering dumpable=2 (set while the
+        # kernel was still unpatched), then prove the exploit is dead.
+        assert machine.call_function("sys_prctl", [4, 0, 0]) == 0
+        assert machine.run_user_program(
+            kernel.exploit_source(spec), name="x") == 1000
+    finally:
+        set_jit_enabled(prev)
+
+
+def test_undo_at_stop_machine_evicts_reheated_traces():
+    spec = corpus_by_id(CVE)
+    kernel = kernel_for_version(spec.kernel_version)
+    prev = set_jit_enabled(True)
+    try:
+        machine = _boot(kernel)
+        core = KspliceCore(machine)
+        pack = ksplice_create(kernel.tree, kernel.patch_for(spec.cve_id))
+        core.apply(pack)
+
+        # Re-heat on the patched code, then undo: the traces compiled
+        # from the *patched* bytes must die with the undo.
+        assert machine.run_user_program(_hammer_source(kernel),
+                                        name="hot") == 80
+        before = machine.trace_stats()["traces_evicted"]
+        core.undo(pack.update_id)
+        assert machine.trace_stats()["traces_evicted"] > before
+
+        # And the pre-patch semantics are back.
+        assert machine.run_user_program(_hammer_source(kernel),
+                                        name="old") == 0
+    finally:
+        set_jit_enabled(prev)
+
+
+def test_plain_code_store_evicts_traces():
+    """A store into decoded kernel text — no stop_machine involved —
+    must still evict overlapping traces, even when it writes back the
+    very same bytes."""
+    spec = corpus_by_id(CVE)
+    kernel = kernel_for_version(spec.kernel_version)
+    prev = set_jit_enabled(True)
+    try:
+        machine = _boot(kernel)
+        assert machine.run_user_program(_hammer_source(kernel),
+                                        name="warm") == 0
+        before = machine.trace_stats()["traces_evicted"]
+        addr = machine.symbol("sys_prctl")
+        machine.memory.write_u32(addr, machine.memory.read_u32(addr))
+        assert machine.trace_stats()["traces_evicted"] > before
+        # Still correct afterwards (traces recompile on demand).
+        assert machine.run_user_program(_hammer_source(kernel),
+                                        name="again") == 0
+    finally:
+        set_jit_enabled(prev)
+
+
+def test_health_report_carries_trace_counters():
+    kernel = kernel_for_version("2.6.16-deb3")
+    prev = set_jit_enabled(True)
+    try:
+        machine = _boot(kernel)
+        machine.run_user_program(_HOT_LOOP, name="hot")
+        stats = machine.trace_stats()
+        health = machine.health().to_json_dict()
+    finally:
+        set_jit_enabled(prev)
+    assert health["traced_insns"] == stats["traced_insns"]
+    assert health["trace_hits"] == stats["trace_hits"]
+    assert health["traces_evicted"] == stats["traces_evicted"]
+    assert health["traces_compiled"] == stats["traces_compiled"]
+
+
+def test_op_cache_lru_stays_bounded_and_correct():
+    """Regression: the process-global decoded-op cache must stay under
+    its cap via LRU eviction, and eviction must never affect results
+    (evicted entries are simply re-decoded)."""
+    saved_cache = cpu._OP_CACHE
+    saved_max = cpu._OP_CACHE_MAX
+    kernel = kernel_for_version("2.6.16-deb3")
+    try:
+        cpu._OP_CACHE = OrderedDict()
+        cpu._OP_CACHE_MAX = 64  # far below a kernel's working set
+        machine = _boot(kernel)
+        exit_value = machine.run_user_program(_HOT_LOOP, name="tiny")
+        assert len(cpu._OP_CACHE) <= 64
+    finally:
+        cpu._OP_CACHE = saved_cache
+        cpu._OP_CACHE_MAX = saved_max
+
+    machine = _boot(kernel)
+    assert machine.run_user_program(_HOT_LOOP, name="ref") == exit_value
