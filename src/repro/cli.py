@@ -37,6 +37,19 @@ red paths; ``--worker host:port`` runs the whole rollout on a remote
 worker); ``fleet status`` shows the last rollout's report and ``fleet
 rollback`` replays it and reverses every member it updated.
 
+``serve`` runs the update-channel control plane
+(:mod:`repro.controlplane`): a coordinator daemon with a REST/JSON API
+over a durable store (fleet registry, release channels, rollout
+records — all of it survives a daemon restart).  ``channel`` and
+``member`` speak HTTP to a running daemon (``--url``, default
+``REPRO_CONTROLPLANE_URL`` or ``http://127.0.0.1:7787``): ``member
+register|list|pin|unpin|quarantine|unquarantine`` manage the registry,
+``channel publish`` publishes a corpus CVE's update to a channel and
+drives a canary-wave rollout over the subscribed members (waves print
+as they land; ``--no-wait`` returns the rollout id immediately for
+polling), ``channel list|status`` show the series and every
+subscriber's position in it.
+
 Both ``demo`` and ``evaluate`` record per-stage traces (see
 :mod:`repro.pipeline`) and save them; ``trace`` renders the saved run —
 an aggregate per-stage table by default, the full stage tree of one CVE
@@ -581,6 +594,167 @@ def cmd_fleet_rollback(args: argparse.Namespace) -> int:
     return EXIT_OK if report.survivors_healthy else EXIT_FAILURE
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.controlplane import default_data_dir, serve_control_plane
+    from repro.distributed import parse_address
+
+    host, port = parse_address(args.listen, allow_zero=True)
+    data_dir = args.data_dir or default_data_dir()
+
+    def ready(bound_host: str, bound_port: int) -> None:
+        print("control plane listening on %s:%d (pid %d, data in %s)"
+              % (bound_host, bound_port, os.getpid(), data_dir),
+              flush=True)
+
+    try:
+        serve_control_plane(host=host, port=port, data_dir=data_dir,
+                            ready=ready, verbose=args.verbose)
+    except KeyboardInterrupt:
+        pass
+    return EXIT_OK
+
+
+def _controlplane_client(args: argparse.Namespace):
+    from repro.controlplane import ControlPlaneClient
+
+    return ControlPlaneClient(args.url)
+
+
+def _controlplane_error(exc) -> int:
+    """Map a daemon refusal to the uniform exit codes."""
+    print("error: %s" % exc, file=sys.stderr)
+    return EXIT_USAGE if getattr(exc, "is_user_error", False) \
+        else EXIT_FAILURE
+
+
+def _print_member_row(member: Dict[str, object]) -> None:
+    flags = []
+    if member.get("pinned"):
+        flags.append("pinned")
+    if member.get("quarantined"):
+        flags.append("quarantined")
+    print("%-16s %-14s %-10s seq %-4s %s"
+          % (member.get("member_id", "?"),
+             member.get("kernel_version", "?"),
+             member.get("channel", "?"),
+             member.get("applied_sequence", 0),
+             ", ".join(flags) or "-"))
+
+
+def cmd_member(args: argparse.Namespace) -> int:
+    from repro.controlplane import ControlPlaneClientError
+
+    client = _controlplane_client(args)
+    try:
+        if args.member_command == "register":
+            member = client.register_member(
+                args.id, args.kernel_version,
+                channel=args.channel, worker=args.worker or "")
+            print("registered %s (kernel %s, channel %s%s)"
+                  % (member["member_id"], member["kernel_version"],
+                     member["channel"],
+                     ", worker %s" % member["worker"]
+                     if member["worker"] else ""))
+        elif args.member_command == "list":
+            members = client.members()
+            if not members:
+                print("no members registered")
+            for member in members:
+                _print_member_row(member)
+        else:  # pin / unpin / quarantine / unquarantine
+            member = client.member_action(args.id, args.member_command)
+            print("%s %s" % (args.member_command,
+                             member["member_id"]))
+    except ControlPlaneClientError as exc:
+        return _controlplane_error(exc)
+    return EXIT_OK
+
+
+def _print_wave(wave: Dict[str, object]) -> None:
+    members = wave.get("member_ids") or [
+        "member-%s" % m for m in wave.get("members", [])]
+    print("wave %s [%s]: %s"
+          % (wave.get("index", "?"), wave.get("verdict", "?"),
+             ", ".join(str(m) for m in members)), flush=True)
+
+
+def cmd_channel(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.controlplane import ControlPlaneClientError
+
+    client = _controlplane_client(args)
+    try:
+        if args.channel_command == "list":
+            channels = client.channels()
+            print("%-12s %-14s %7s %11s" % ("channel", "kernel",
+                                            "entries", "subscribers"))
+            for channel in channels:
+                print("%-12s %-14s %7d %11d"
+                      % (channel["name"],
+                         channel.get("kernel_version") or "-",
+                         len(channel.get("entries", [])),
+                         len(channel.get("subscribers", []))))
+        elif args.channel_command == "status":
+            status = client.channel(args.channel)
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return EXIT_OK
+            print("channel %s (kernel %s)"
+                  % (status["name"],
+                     status.get("kernel_version") or "unpinned"))
+            for entry in status.get("entries", []):
+                print("  #%-3d %-16s %s"
+                      % (entry["sequence"], entry.get("cve_id", "?"),
+                         entry.get("description", "")))
+            for sub in status.get("subscribers", []):
+                flags = [f for f in ("pinned", "quarantined")
+                         if sub.get(f)]
+                print("  %-16s at #%-3d %s"
+                      % (sub["member_id"], sub["applied_sequence"],
+                         ", ".join(flags)
+                         or ("current" if sub.get("current")
+                             else "behind")))
+            for rollout in status.get("rollouts", []):
+                print("  rollout %-14s %-9s %d member(s), %d wave(s)"
+                      % (rollout["rollout_id"], rollout["status"],
+                         rollout["members"], rollout["waves"]))
+        else:  # publish
+            record = client.publish(
+                args.channel, args.cve, description=args.description,
+                canary=args.canary, growth=args.growth)
+            rollout_id = record["rollout_id"]
+            if args.no_wait:
+                print("published #%d to %s; rollout %s started "
+                      "(poll `repro channel status` or GET "
+                      "/rollouts/%s)"
+                      % (record["sequence"], args.channel, rollout_id,
+                         rollout_id))
+                return EXIT_OK
+            if not args.json:
+                print("published #%d to %s; rolling out to %d "
+                      "member(s)"
+                      % (record["sequence"], args.channel,
+                         len(record.get("member_ids", []))))
+                for skip in record.get("skipped", []):
+                    print("  skipping %s: %s"
+                          % (skip["member_id"], skip["reason"]))
+            final = client.wait_rollout(
+                rollout_id, on_wave=None if args.json else _print_wave)
+            if args.json:
+                print(json.dumps(final, indent=2, sort_keys=True))
+            else:
+                print("rollout %s: %s%s"
+                      % (rollout_id, final["status"],
+                         " — " + final["detail"]
+                         if final.get("detail") else ""))
+            return (EXIT_OK if final["status"] == "complete"
+                    else EXIT_FAILURE)
+    except ControlPlaneClientError as exc:
+        return _controlplane_error(exc)
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Ksplice reproduction command line")
@@ -754,6 +928,103 @@ def build_parser() -> argparse.ArgumentParser:
     p_back.add_argument("--file", default=None,
                         help="report file (default: the last rollout)")
     p_back.set_defaults(func=cmd_fleet_rollback)
+
+    from repro.controlplane.client import default_url
+
+    p_serve = sub.add_parser(
+        "serve", help="run the update-channel control plane daemon")
+    p_serve.add_argument("--listen", default="127.0.0.1:7787",
+                         metavar="HOST:PORT",
+                         help="address to listen on (port 0 picks an "
+                              "ephemeral port, printed on startup; "
+                              "default 127.0.0.1:7787)")
+    p_serve.add_argument("--data-dir", default=None,
+                         help="durable store root (default: "
+                              "REPRO_CONTROLPLANE_DIR or "
+                              "<cache>/controlplane)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    p_serve.set_defaults(func=cmd_serve)
+
+    def add_url(p) -> None:
+        p.add_argument("--url", default=None,
+                       help="control plane base URL (default: "
+                            "REPRO_CONTROLPLANE_URL or %s)"
+                       % default_url())
+
+    p_channel = sub.add_parser(
+        "channel", help="release channels on the control plane")
+    channel_sub = p_channel.add_subparsers(dest="channel_command",
+                                           required=True)
+
+    p_chan_list = channel_sub.add_parser(
+        "list", help="list channels with series length and subscribers")
+    add_url(p_chan_list)
+    p_chan_list.set_defaults(func=cmd_channel)
+
+    p_chan_pub = channel_sub.add_parser(
+        "publish",
+        help="publish a corpus CVE's update and roll it out")
+    p_chan_pub.add_argument("--channel", required=True,
+                            help="channel name, e.g. canary")
+    p_chan_pub.add_argument("--cve", required=True,
+                            help="corpus CVE id, e.g. CVE-2008-0007")
+    p_chan_pub.add_argument("--description", default="")
+    p_chan_pub.add_argument("--canary", type=int, default=1,
+                            help="members in wave 0 (default 1)")
+    p_chan_pub.add_argument("--growth", type=int, default=2,
+                            help="wave growth factor (default 2)")
+    p_chan_pub.add_argument("--no-wait", action="store_true",
+                            help="return the rollout id immediately "
+                                 "instead of waiting for convergence")
+    p_chan_pub.add_argument("--json", action="store_true",
+                            help="emit the final rollout record as "
+                                 "sorted JSON")
+    add_url(p_chan_pub)
+    p_chan_pub.set_defaults(func=cmd_channel)
+
+    p_chan_status = channel_sub.add_parser(
+        "status", help="one channel's series, subscribers, rollouts")
+    p_chan_status.add_argument("--channel", required=True)
+    p_chan_status.add_argument("--json", action="store_true")
+    add_url(p_chan_status)
+    p_chan_status.set_defaults(func=cmd_channel)
+
+    p_member = sub.add_parser(
+        "member", help="fleet registry on the control plane")
+    member_sub = p_member.add_subparsers(dest="member_command",
+                                         required=True)
+
+    p_mem_reg = member_sub.add_parser(
+        "register", help="register (or refresh) a fleet member")
+    p_mem_reg.add_argument("id", help="member id, e.g. web-01")
+    p_mem_reg.add_argument("--kernel-version", required=True,
+                           help="kernel release the member runs, "
+                                "e.g. 2.6.16-deb3")
+    p_mem_reg.add_argument("--channel", default="stable",
+                           help="channel to subscribe to "
+                                "(default stable)")
+    p_mem_reg.add_argument("--worker", default=None,
+                           metavar="HOST:PORT",
+                           help="the `repro worker` this member lives "
+                                "on; rollouts ship there")
+    add_url(p_mem_reg)
+    p_mem_reg.set_defaults(func=cmd_member)
+
+    p_mem_list = member_sub.add_parser(
+        "list", help="list the fleet registry")
+    add_url(p_mem_list)
+    p_mem_list.set_defaults(func=cmd_member)
+
+    for action, help_text in (
+            ("pin", "exclude from rollouts, keep current stack"),
+            ("unpin", "release a pin"),
+            ("quarantine", "exclude from waves until released"),
+            ("unquarantine", "release a quarantine")):
+        p_action = member_sub.add_parser(action, help=help_text)
+        p_action.add_argument("id", help="member id")
+        add_url(p_action)
+        p_action.set_defaults(func=cmd_member)
     return parser
 
 

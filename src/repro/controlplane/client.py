@@ -1,0 +1,160 @@
+"""Thin HTTP client for the coordinator daemon.
+
+Used by the ``repro channel`` / ``repro member`` CLI subcommands and by
+tests; pure stdlib (:mod:`urllib.request`).  Server-side refusals come
+back as :class:`ControlPlaneClientError` carrying the HTTP status so
+the CLI can map 4xx to its uniform exit code 2 (user error) and
+everything else to 3 (operation failure).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.controlplane.api import DEFAULT_PORT
+from repro.errors import ReproError
+
+URL_ENV = "REPRO_CONTROLPLANE_URL"
+
+
+def default_url() -> str:
+    import os
+
+    return os.environ.get(URL_ENV) or ("http://127.0.0.1:%d"
+                                       % DEFAULT_PORT)
+
+
+class ControlPlaneClientError(ReproError):
+    """The daemon answered with an error (or could not be reached).
+
+    ``status`` is the HTTP status code, or 0 for transport failures
+    (connection refused, daemon gone).
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        ReproError.__init__(self, message)
+        self.status = status
+
+    @property
+    def is_user_error(self) -> bool:
+        return 400 <= self.status < 500
+
+
+class ControlPlaneClient:
+    """One daemon, addressed by base URL."""
+
+    def __init__(self, base_url: Optional[str] = None,
+                 timeout: float = 30.0):
+        self.base_url = (base_url or default_url()).rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 ) -> Dict[str, Any]:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")
+                                    ).get("error", "")
+            except (OSError, ValueError, AttributeError):
+                pass
+            raise ControlPlaneClientError(
+                detail or ("%s %s failed: HTTP %d"
+                           % (method, path, exc.code)),
+                status=exc.code)
+        except (urllib.error.URLError, OSError) as exc:
+            raise ControlPlaneClientError(
+                "cannot reach the control plane at %s (%s) — is "
+                "`repro serve` running?" % (self.base_url, exc))
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ControlPlaneClientError(
+                "%s answered non-JSON: %s" % (self.base_url, exc))
+
+    # -- daemon ------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    # -- members -----------------------------------------------------------
+
+    def register_member(self, member_id: str, kernel_version: str,
+                        channel: str = "stable",
+                        worker: str = "") -> Dict[str, Any]:
+        return self._request("POST", "/members", {
+            "member_id": member_id, "kernel_version": kernel_version,
+            "channel": channel, "worker": worker})
+
+    def members(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/members")["members"]
+
+    def member(self, member_id: str) -> Dict[str, Any]:
+        return self._request("GET", "/members/%s" % member_id)
+
+    def member_action(self, member_id: str,
+                      action: str) -> Dict[str, Any]:
+        return self._request("POST",
+                             "/members/%s/%s" % (member_id, action))
+
+    # -- channels ----------------------------------------------------------
+
+    def channels(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/channels")["channels"]
+
+    def create_channel(self, name: str) -> Dict[str, Any]:
+        return self._request("POST", "/channels", {"name": name})
+
+    def channel(self, name: str) -> Dict[str, Any]:
+        return self._request("GET", "/channels/%s" % name)
+
+    def publish(self, channel: str, cve_id: str,
+                description: str = "", canary: int = 1,
+                growth: int = 2) -> Dict[str, Any]:
+        return self._request("POST", "/channels/%s/publish" % channel, {
+            "cve_id": cve_id, "description": description,
+            "canary": canary, "growth": growth})
+
+    # -- rollouts ----------------------------------------------------------
+
+    def rollouts(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/rollouts")["rollouts"]
+
+    def rollout(self, rollout_id: str) -> Dict[str, Any]:
+        return self._request("GET", "/rollouts/%s" % rollout_id)
+
+    def wait_rollout(
+            self, rollout_id: str, timeout: float = 300.0,
+            interval: float = 0.2,
+            on_wave: Optional[Callable[[Dict[str, Any]], None]] = None,
+            ) -> Dict[str, Any]:
+        """Poll until the rollout finishes; stream new waves out."""
+        deadline = time.monotonic() + timeout
+        seen_waves = 0
+        while True:
+            record = self.rollout(rollout_id)
+            waves = record.get("waves", [])
+            if on_wave is not None:
+                for wave in waves[seen_waves:]:
+                    on_wave(wave)
+            seen_waves = len(waves)
+            if record.get("status") != "running":
+                return record
+            if time.monotonic() >= deadline:
+                raise ControlPlaneClientError(
+                    "rollout %s still running after %.0fs"
+                    % (rollout_id, timeout))
+            time.sleep(interval)

@@ -1,0 +1,265 @@
+"""Durable JSON-on-disk storage for the control plane.
+
+The store follows the disk cache tier's write discipline
+(``compiler/cache.py``): every document is written to a sibling temp
+file and renamed into place with ``os.replace``, so a killed daemon
+leaves either the old document or the new one, never a torn file.
+Layout under the data root (``REPRO_CONTROLPLANE_DIR``, default
+``cache_root()/controlplane``)::
+
+    registry.json           {"members": {member_id: {...}}}
+    channels.json           {"channels": {name: {...}}}
+    rollouts/<id>.json      one RolloutRecord document each
+
+:class:`ChannelStore` is deliberately standalone — it backs both the
+daemon's release channels *and* the in-process
+:class:`~repro.core.distribution.UpdateChannel` (which stores whole
+update packs per entry); with ``root=None`` it keeps the same schema in
+memory only, which is how the distribution example runs without
+touching disk.  Sequence numbering lives here: ``append_entry`` stamps
+each entry with ``sequence`` (previous + 1) and ``base_sequence`` (the
+sequence it stacks on), the invariant subscribers check before
+applying.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.controlplane.model import (
+    DEFAULT_CHANNELS,
+    Member,
+    RolloutRecord,
+    StoreCorruptError,
+    UnknownChannelError,
+    UnknownMemberError,
+    UnknownRolloutError,
+)
+from repro.pipeline.store import cache_root
+
+DATA_DIR_ENV = "REPRO_CONTROLPLANE_DIR"
+
+
+def default_data_dir() -> str:
+    return os.environ.get(DATA_DIR_ENV) or os.path.join(
+        cache_root(), "controlplane")
+
+
+def atomic_write_json(path: str, data: Any) -> None:
+    """The cache tier's write idiom: temp file + atomic rename."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def load_json(path: str, default: Any) -> Any:
+    """Read a store document; absent -> ``default``, torn -> raises."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return default
+    except (OSError, ValueError) as exc:
+        raise StoreCorruptError("cannot read store document %s: %s"
+                                % (path, exc))
+
+
+class ChannelStore:
+    """Named release channels, each an ordered entry series.
+
+    A channel document::
+
+        {"name": ..., "kernel_version": ...,
+         "entries": [{"sequence": 1, "base_sequence": 0, ...}, ...]}
+
+    Entries carry whatever payload the publisher supplies (a corpus
+    ``cve_id`` for the daemon, a base64 update pack plus resulting
+    source tree for :class:`UpdateChannel`); this store only owns the
+    sequence chain.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root
+        self._path = (os.path.join(root, "channels.json")
+                      if root else None)
+        self._lock = threading.RLock()
+        self._memory: Dict[str, Any] = {"channels": {}}
+
+    # -- document plumbing -------------------------------------------------
+
+    def _load(self) -> Dict[str, Any]:
+        if self._path is None:
+            return self._memory
+        return load_json(self._path, {"channels": {}})
+
+    def _save(self, doc: Dict[str, Any]) -> None:
+        if self._path is None:
+            self._memory = doc
+        else:
+            atomic_write_json(self._path, doc)
+
+    # -- channels ----------------------------------------------------------
+
+    def ensure_channel(self, name: str,
+                       kernel_version: str = "") -> Dict[str, Any]:
+        """Create the channel if missing; return its document."""
+        with self._lock:
+            doc = self._load()
+            channel = doc["channels"].get(name)
+            if channel is None:
+                channel = {"name": name,
+                           "kernel_version": kernel_version,
+                           "entries": []}
+                doc["channels"][name] = channel
+                self._save(doc)
+            return dict(channel)
+
+    def get(self, name: str) -> Dict[str, Any]:
+        with self._lock:
+            channel = self._load()["channels"].get(name)
+        if channel is None:
+            raise UnknownChannelError("no channel %r (have: %s)"
+                                      % (name, ", ".join(self.names())
+                                         or "none"))
+        return dict(channel)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._load()["channels"])
+
+    def set_kernel_version(self, name: str, version: str) -> None:
+        with self._lock:
+            doc = self._load()
+            if name not in doc["channels"]:
+                raise UnknownChannelError("no channel %r" % name)
+            doc["channels"][name]["kernel_version"] = version
+            self._save(doc)
+
+    # -- entries -----------------------------------------------------------
+
+    def entries(self, name: str) -> List[Dict[str, Any]]:
+        return [dict(e) for e in self.get(name)["entries"]]
+
+    def latest_sequence(self, name: str) -> int:
+        entries = self.get(name)["entries"]
+        return int(entries[-1]["sequence"]) if entries else 0
+
+    def append_entry(self, name: str,
+                     payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Publish: stamp the §5.4 sequence chain onto ``payload``."""
+        with self._lock:
+            doc = self._load()
+            channel = doc["channels"].get(name)
+            if channel is None:
+                raise UnknownChannelError("no channel %r" % name)
+            latest = (int(channel["entries"][-1]["sequence"])
+                      if channel["entries"] else 0)
+            entry = dict(payload)
+            entry["sequence"] = latest + 1
+            entry["base_sequence"] = latest
+            channel["entries"].append(entry)
+            self._save(doc)
+            return dict(entry)
+
+    def replace_entries(self, name: str,
+                        entries: List[Dict[str, Any]]) -> None:
+        """Overwrite the series wholesale (tests and repair tooling)."""
+        with self._lock:
+            doc = self._load()
+            if name not in doc["channels"]:
+                raise UnknownChannelError("no channel %r" % name)
+            doc["channels"][name]["entries"] = [dict(e) for e in entries]
+            self._save(doc)
+
+
+class ControlPlaneStore:
+    """The daemon's whole durable state: registry, channels, rollouts.
+
+    Constructing a store against an existing data directory *is* the
+    recovery path — every accessor reads the documents under the root,
+    so a restarted daemon sees exactly what the killed one had flushed.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_data_dir()
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.RLock()
+        self.channels = ChannelStore(root=self.root)
+        self._registry_path = os.path.join(self.root, "registry.json")
+        self._rollouts_dir = os.path.join(self.root, "rollouts")
+        for name in DEFAULT_CHANNELS:
+            self.channels.ensure_channel(name)
+
+    # -- members -----------------------------------------------------------
+
+    def _registry(self) -> Dict[str, Any]:
+        return load_json(self._registry_path, {"members": {}})
+
+    def members(self) -> List[Member]:
+        with self._lock:
+            doc = self._registry()
+        return [Member.from_json_dict(doc["members"][member_id])
+                for member_id in sorted(doc["members"])]
+
+    def member_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._registry()["members"])
+
+    def get_member(self, member_id: str) -> Member:
+        with self._lock:
+            data = self._registry()["members"].get(member_id)
+        if data is None:
+            raise UnknownMemberError("no registered member %r"
+                                     % member_id)
+        return Member.from_json_dict(data)
+
+    def save_member(self, member: Member) -> None:
+        with self._lock:
+            doc = self._registry()
+            doc["members"][member.member_id] = member.to_json_dict()
+            atomic_write_json(self._registry_path, doc)
+
+    def update_members(self, members: List[Member]) -> None:
+        """Write several member records in one atomic document flush."""
+        with self._lock:
+            doc = self._registry()
+            for member in members:
+                doc["members"][member.member_id] = member.to_json_dict()
+            atomic_write_json(self._registry_path, doc)
+
+    # -- rollouts ----------------------------------------------------------
+
+    def _rollout_path(self, rollout_id: str) -> str:
+        return os.path.join(self._rollouts_dir, "%s.json" % rollout_id)
+
+    def save_rollout(self, record: RolloutRecord) -> None:
+        with self._lock:
+            atomic_write_json(self._rollout_path(record.rollout_id),
+                              record.to_json_dict())
+
+    def load_rollout(self, rollout_id: str) -> RolloutRecord:
+        with self._lock:
+            data = load_json(self._rollout_path(rollout_id), None)
+        if data is None:
+            raise UnknownRolloutError("no rollout %r" % rollout_id)
+        return RolloutRecord.from_json_dict(data)
+
+    def rollout_ids(self) -> List[str]:
+        try:
+            names = os.listdir(self._rollouts_dir)
+        except FileNotFoundError:
+            return []
+        return sorted(name[:-len(".json")] for name in names
+                      if name.endswith(".json"))
+
+    def rollouts(self) -> List[RolloutRecord]:
+        return [self.load_rollout(rollout_id)
+                for rollout_id in self.rollout_ids()]

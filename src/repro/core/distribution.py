@@ -10,18 +10,34 @@ packs per kernel release, where each pack is built against the previous
 pack's source state (§5.4 stacking).  :class:`Subscriber` is the client
 side: it tracks which updates a machine has applied and pulls the rest,
 in order, through the machine's Ksplice core.
+
+Both are thin clients of the control plane's durable channel store
+(:class:`repro.controlplane.store.ChannelStore`): entries live in the
+store as JSON payloads (the pack base64-encoded, the resulting source
+tree inline), stamped with the ``sequence``/``base_sequence`` chain the
+store owns.  The default store is memory-backed — this module behaves
+exactly as it did in-process — but handing ``UpdateChannel`` a
+directory-backed store makes the series durable: a new process pointed
+at the same store resumes the channel where the last one left it, which
+is how the coordinator daemon serves the same series across restarts.
+
+A subscriber checks the chain before every apply: an entry whose
+``base_sequence`` is not the machine's ``applied_sequence`` raises
+:class:`~repro.errors.ChannelGapError` *before* the core is touched, so
+a gap in the series can never half-apply.
 """
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.compiler import CompilerOptions
 from repro.core.apply import AppliedUpdate, KspliceCore
 from repro.core.create import ksplice_create
 from repro.core.update import UpdatePack
-from repro.errors import KspliceError
+from repro.errors import ChannelGapError, KspliceError
 from repro.kbuild import SourceTree
 from repro.patch import Patch
 
@@ -35,9 +51,39 @@ class ChannelEntry:
     description: str
     #: tree state *after* this update's patch (the base for the next one)
     resulting_tree: SourceTree
+    #: the sequence this entry stacks on (the store assigns it)
+    base_sequence: int = 0
 
     def pack(self) -> UpdatePack:
         return UpdatePack.from_bytes(self.pack_bytes)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON shape the channel store holds."""
+        return {
+            "sequence": self.sequence,
+            "base_sequence": self.base_sequence,
+            "description": self.description,
+            "pack_b64": base64.b64encode(self.pack_bytes
+                                         ).decode("ascii"),
+            "resulting_tree": {
+                "version": self.resulting_tree.version,
+                "files": dict(self.resulting_tree.files),
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ChannelEntry":
+        tree = payload.get("resulting_tree", {})
+        sequence = int(payload["sequence"])
+        return cls(
+            sequence=sequence,
+            base_sequence=int(payload.get("base_sequence",
+                                          sequence - 1)),
+            pack_bytes=base64.b64decode(payload.get("pack_b64", "")),
+            description=payload.get("description", ""),
+            resulting_tree=SourceTree(
+                version=tree.get("version", ""),
+                files=dict(tree.get("files", {}))))
 
 
 class UpdateChannel:
@@ -46,21 +92,51 @@ class UpdateChannel:
     Each published patch is diffed against the *previously-patched*
     source (§5.4), so subscribers at any point in the series can catch
     up by applying the remaining packs in order.
+
+    The series itself lives in a
+    :class:`~repro.controlplane.store.ChannelStore`; this class builds
+    packs and reads entries back through it.  Two ``UpdateChannel``
+    instances sharing one durable store *are* the same channel — the
+    second (in another process, or after a daemon restart) resumes the
+    sequence chain where the first stopped.
     """
 
     def __init__(self, base_tree: SourceTree,
-                 options: Optional[CompilerOptions] = None):
+                 options: Optional[CompilerOptions] = None,
+                 store: Optional[Any] = None,
+                 name: Optional[str] = None):
+        from repro.controlplane.store import ChannelStore
+
         self.base_tree = base_tree
         self.options = options or CompilerOptions()
-        self.entries: List[ChannelEntry] = []
+        self.store = store if store is not None else ChannelStore()
+        self.name = name or ("updates-%s" % base_tree.version)
+        channel = self.store.ensure_channel(
+            self.name, kernel_version=base_tree.version)
+        stored_version = channel.get("kernel_version", "")
+        if stored_version and stored_version != base_tree.version:
+            raise KspliceError(
+                "channel %r serves kernel %s, not %s"
+                % (self.name, stored_version, base_tree.version))
 
     @property
     def kernel_version(self) -> str:
         return self.base_tree.version
 
+    @property
+    def entries(self) -> List[ChannelEntry]:
+        return [ChannelEntry.from_payload(payload)
+                for payload in self.store.entries(self.name)]
+
+    @entries.setter
+    def entries(self, value: List[ChannelEntry]) -> None:
+        self.store.replace_entries(
+            self.name, [entry.to_payload() for entry in value])
+
     def current_tree(self) -> SourceTree:
-        if self.entries:
-            return self.entries[-1].resulting_tree
+        entries = self.entries
+        if entries:
+            return entries[-1].resulting_tree
         return self.base_tree
 
     def publish(self, patch: Union[Patch, str],
@@ -69,20 +145,19 @@ class UpdateChannel:
         tree = self.current_tree()
         pack = ksplice_create(tree, patch, options=self.options,
                               description=description)
-        entry = ChannelEntry(
-            sequence=len(self.entries) + 1,
+        draft = ChannelEntry(
+            sequence=0,  # the store assigns the real chain position
             pack_bytes=pack.to_bytes(),
             description=description,
-            resulting_tree=tree.patched(patch, version_suffix=""),
-        )
-        self.entries.append(entry)
-        return entry
+            resulting_tree=tree.patched(patch, version_suffix=""))
+        stored = self.store.append_entry(self.name, draft.to_payload())
+        return ChannelEntry.from_payload(stored)
 
     def entries_after(self, sequence: int) -> List[ChannelEntry]:
         return [e for e in self.entries if e.sequence > sequence]
 
     def latest_sequence(self) -> int:
-        return self.entries[-1].sequence if self.entries else 0
+        return self.store.latest_sequence(self.name)
 
 
 @dataclass
@@ -119,9 +194,14 @@ class Subscriber:
     def sync(self) -> SyncResult:
         """Apply every pending update, oldest first.
 
-        An apply failure stops the sync (later updates stack on earlier
-        ones, so skipping is never sound); updates applied before the
-        failure stay applied, and the failure propagates.
+        Before each apply the entry's declared ``base_sequence`` is
+        checked against this machine's ``applied_sequence``; a mismatch
+        (a gap in the series, entries served out of order) raises
+        :class:`~repro.errors.ChannelGapError` with the kernel
+        untouched.  An apply failure stops the sync (later updates
+        stack on earlier ones, so skipping is never sound); updates
+        applied before the failure stay applied, and the failure
+        propagates.
         """
         result = SyncResult()
         pending = self.pending()
@@ -129,6 +209,13 @@ class Subscriber:
             result.already_current = True
             return result
         for entry in pending:
+            if entry.base_sequence != self.applied_sequence:
+                raise ChannelGapError(
+                    "channel entry #%d stacks on sequence %d but this "
+                    "machine has applied up to %d; refusing to apply "
+                    "across the gap" % (entry.sequence,
+                                        entry.base_sequence,
+                                        self.applied_sequence))
             result.applied.append(self.core.apply(entry.pack()))
             self.applied_sequence = entry.sequence
         return result
@@ -137,6 +224,11 @@ class Subscriber:
         """Undo the most recent synced update."""
         if self.applied_sequence == 0:
             raise KspliceError("nothing to roll back")
-        entry = self.channel.entries[self.applied_sequence - 1]
+        entry = next((e for e in self.channel.entries
+                      if e.sequence == self.applied_sequence), None)
+        if entry is None:
+            raise KspliceError(
+                "channel no longer holds entry #%d"
+                % self.applied_sequence)
         self.core.undo(entry.pack().update_id)
-        self.applied_sequence -= 1
+        self.applied_sequence = entry.base_sequence

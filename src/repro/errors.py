@@ -86,3 +86,10 @@ class StackCheckError(KspliceError):
 class UpdateStateError(KspliceError):
     """Invalid update lifecycle operation (e.g., undoing a non-applied
     update, or undoing out of stacking order)."""
+
+
+class ChannelGapError(KspliceError):
+    """A channel entry's declared base sequence does not match the
+    subscriber's applied sequence: applying it would violate the §5.4
+    stacking discipline (the pack was built against source this machine
+    does not run), so the sync refuses before touching the kernel."""

@@ -124,6 +124,9 @@ class RolloutPlan:
     #: under-load rollout mode
     workload: str = "spinner"
     faults: List[InjectedFault] = field(default_factory=list)
+    #: registry-backed mode (the control plane): names the registered
+    #: member behind each fleet index, one per member, in wave order
+    member_ids: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.fleet_size < 1:
@@ -134,6 +137,10 @@ class RolloutPlan:
             raise RolloutError("growth must be >= 1")
         if self.workload not in ("spinner", "stress"):
             raise RolloutError("workload must be 'spinner' or 'stress'")
+        if self.member_ids and len(self.member_ids) != self.fleet_size:
+            raise RolloutError("member_ids names %d members for a "
+                               "fleet of %d"
+                               % (len(self.member_ids), self.fleet_size))
         for fault in self.faults:
             if not 0 <= fault.member < self.fleet_size:
                 raise RolloutError("fault member %d outside fleet 0..%d"
@@ -141,6 +148,12 @@ class RolloutPlan:
 
     def rollout_id(self) -> str:
         return "rollout-%s-n%d" % (self.cve_id, self.fleet_size)
+
+    def member_name(self, index: int) -> str:
+        """Registry id behind a fleet index (``member-N`` when none)."""
+        if self.member_ids and 0 <= index < len(self.member_ids):
+            return self.member_ids[index]
+        return "member-%d" % index
 
     def wave_sizes(self) -> List[int]:
         """Deterministic wave schedule: canary, then exponential."""
@@ -168,6 +181,7 @@ class RolloutPlan:
             "probe": self.probe,
             "workload": self.workload,
             "faults": [f.to_json_dict() for f in self.faults],
+            "member_ids": list(self.member_ids),
         }
 
     @classmethod
@@ -182,7 +196,8 @@ class RolloutPlan:
             probe=bool(data.get("probe", True)),
             workload=str(data.get("workload", "spinner")),
             faults=[InjectedFault.from_json_dict(f)
-                    for f in data.get("faults", [])])
+                    for f in data.get("faults", [])],
+            member_ids=[str(m) for m in data.get("member_ids", [])])
 
 
 @dataclass
@@ -385,14 +400,25 @@ def save_report(report: RolloutReport,
 
 
 def load_report(path: Optional[str] = None) -> RolloutReport:
+    """Read the last report back.
+
+    Any way the persisted report can be unusable — missing, torn JSON,
+    a document that is not a rollout report — raises
+    :class:`RolloutError` saying "no rollout recorded", so `repro
+    fleet status` degrades to exit code 2 instead of a traceback.
+    """
     path = path or default_rollout_path()
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
     except FileNotFoundError:
-        raise RolloutError("no saved rollout at %s (run `repro fleet "
-                           "rollout` first)" % path)
+        raise RolloutError("no rollout recorded at %s (run `repro "
+                           "fleet rollout` first)" % path)
     except (OSError, ValueError) as exc:
-        raise RolloutError("cannot read rollout file %s: %s"
-                           % (path, exc))
-    return RolloutReport.from_json_dict(data)
+        raise RolloutError("no rollout recorded at %s (file is "
+                           "unreadable or corrupt: %s)" % (path, exc))
+    try:
+        return RolloutReport.from_json_dict(data)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise RolloutError("no rollout recorded at %s (file does not "
+                           "hold a rollout report: %s)" % (path, exc))

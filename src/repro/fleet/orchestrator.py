@@ -157,13 +157,18 @@ class RolloutOrchestrator:
     def __init__(self, fleet: Fleet, plan: RolloutPlan,
                  policy: Optional[HealthPolicy] = None,
                  trace: Optional[Trace] = None,
-                 kernel_version: str = ""):
+                 kernel_version: str = "",
+                 on_wave=None):
         self.fleet = fleet
         self.plan = plan
         self.policy = policy if plan.probe else None
         self.trace = trace if trace is not None else Trace(
             label=plan.rollout_id())
         self.kernel_version = kernel_version
+        #: Optional[Callable[[WaveReport], None]]: called the moment a
+        #: wave's verdict lands — the control plane streams each wave
+        #: into its rollout record so progress is observable live
+        self.on_wave = on_wave
 
     def run(self, pack: UpdatePack, analysis=None) -> RolloutReport:
         """The whole rollout; never raises for in-band failures —
@@ -188,6 +193,8 @@ class RolloutOrchestrator:
                 self._run_wave(wave, members, pack)
                 rep.artifacts["verdict"] = wave.verdict
                 rep.counters["members"] = len(members)
+            if self.on_wave is not None:
+                self.on_wave(wave)
             if wave.verdict == RED:
                 report.outcome = OUTCOME_HALTED
                 break
@@ -447,11 +454,14 @@ def replay_rollback(report: RolloutReport,
 
 
 def rollout_corpus_cve(plan: RolloutPlan,
-                       trace: Optional[Trace] = None) -> RolloutReport:
+                       trace: Optional[Trace] = None,
+                       on_wave=None) -> RolloutReport:
     """End-to-end: corpus CVE -> pack (analyzer-gated) -> fleet rollout.
 
-    This is what ``repro fleet rollout --cve ...`` and the
-    ``fleet-rollout`` worker item both run.
+    This is what ``repro fleet rollout --cve ...``, the
+    ``fleet-rollout`` worker item, and a control-plane publish all
+    run; ``on_wave`` (if given) receives each :class:`WaveReport` the
+    moment its verdict lands.
     """
     from repro.core.create import CreateReport, ksplice_create
     from repro.evaluation.corpus import corpus_by_id
@@ -483,5 +493,5 @@ def rollout_corpus_cve(plan: RolloutPlan,
         rep.counters["members"] = plan.fleet_size
     orchestrator = RolloutOrchestrator(
         fleet, plan, policy=policy, trace=trace,
-        kernel_version=spec.kernel_version)
+        kernel_version=spec.kernel_version, on_wave=on_wave)
     return orchestrator.run(pack, analysis=create_report.analysis)

@@ -35,18 +35,17 @@ def execute_rollout_item(
     """Worker side: run the plan, reporting each wave as it closes.
 
     Returns the report's JSON dict (the worker ships it in
-    ``item-done``).  Waves are streamed *after* the fact — the
-    orchestrator is synchronous — by walking the finished report; the
-    stream exists so a watching coordinator can render progressive
-    output, not for control flow.
+    ``item-done``).  Waves are streamed *live* — the orchestrator's
+    ``on_wave`` hook fires the moment each wave's verdict lands, so a
+    watching coordinator (the control plane polling a rollout record)
+    sees canary progress while later waves are still running.
     """
     from repro.fleet.orchestrator import rollout_corpus_cve
 
     plan = RolloutPlan.from_json_dict(plan_data)
-    report = rollout_corpus_cve(plan)
-    if on_wave is not None:
-        for wave in report.waves:
-            on_wave(wave.to_json_dict())
+    stream = (None if on_wave is None
+              else (lambda wave: on_wave(wave.to_json_dict())))
+    report = rollout_corpus_cve(plan, on_wave=stream)
     return report.to_json_dict()
 
 

@@ -280,4 +280,26 @@ def test_fleet_bad_arguments_are_usage_errors(tmp_path, monkeypatch,
     assert "canary" in capsys.readouterr().err
     monkeypatch.setenv(ROLLOUT_FILE_ENV, str(tmp_path / "missing.json"))
     assert main(["fleet", "status"]) == 2
-    assert "no saved rollout" in capsys.readouterr().err
+    assert "no rollout recorded" in capsys.readouterr().err
+
+
+def test_fleet_status_corrupt_persistence_is_usage_error(
+        tmp_path, monkeypatch, capsys):
+    """A mangled persistence file must produce the friendly "no rollout
+    recorded" message with exit code 2, never a traceback."""
+    from repro.fleet.model import ROLLOUT_FILE_ENV
+
+    path = tmp_path / "rollout.json"
+    monkeypatch.setenv(ROLLOUT_FILE_ENV, str(path))
+
+    path.write_text("{ this is not json")
+    assert main(["fleet", "status"]) == 2
+    assert "no rollout recorded" in capsys.readouterr().err
+
+    path.write_text('{"valid": "json", "wrong": "shape"}')
+    assert main(["fleet", "status"]) == 2
+    err = capsys.readouterr().err
+    assert "no rollout recorded" in err
+
+    assert main(["fleet", "rollback"]) == 2
+    assert "no rollout recorded" in capsys.readouterr().err

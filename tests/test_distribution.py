@@ -4,7 +4,11 @@ import pytest
 
 from repro.core import KspliceCore
 from repro.core.distribution import Subscriber, UpdateChannel
-from repro.errors import KspliceError, RunPreMismatchError
+from repro.errors import (
+    ChannelGapError,
+    KspliceError,
+    RunPreMismatchError,
+)
 from repro.kbuild import SourceTree
 from repro.kernel import boot_kernel
 from repro.patch import make_patch
@@ -157,3 +161,86 @@ def test_rollback_without_sync_raises(channel):
     sub = Subscriber(core, channel)
     with pytest.raises(KspliceError):
         sub.rollback_last()
+
+
+def test_gap_in_series_raises_typed_error(channel):
+    """An entry whose base sequence is not the machine's applied
+    sequence must be refused with :class:`ChannelGapError` before the
+    core is touched — not half-applied, not a bare RuntimeError."""
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    sub = Subscriber(core, channel)
+
+    # Drop entry #1 from the series: the channel now starts at #2,
+    # which stacks on #1 — a gap from this subscriber's position #0.
+    channel.entries = channel.entries[1:]
+    with pytest.raises(ChannelGapError) as excinfo:
+        sub.sync()
+    assert "stacks on sequence 1" in str(excinfo.value)
+    assert "applied up to 0" in str(excinfo.value)
+    # The kernel was never touched.
+    assert probe(machine, 5) == 6
+    assert sub.applied_sequence == 0
+    assert not core.applied
+
+
+def test_gap_error_is_a_ksplice_error(channel):
+    """Callers catching the module's base error still see gap refusals."""
+    assert issubclass(ChannelGapError, KspliceError)
+
+
+def test_update_channel_example_flow():
+    """The examples/update_channel.py story as a real test: subscribe,
+    catch up across two stacked entries in one sync, then roll back
+    the newest and land exactly one update earlier."""
+    channel = UpdateChannel(TREE)
+    channel.publish(series_patch(LEVEL_C, V1), "bump increment")
+    channel.publish(series_patch(V1, V2), "bound the input")
+
+    machine = boot_kernel(TREE)
+    core = KspliceCore(machine)
+    assert probe(machine, 5) == 6  # stock kernel
+
+    sub = Subscriber(core, channel)
+    result = sub.sync()
+    assert result.count == 2
+    assert [u.pack.update_id for u in result.applied] == \
+        [e.pack().update_id for e in channel.entries]
+    assert sub.is_current
+    assert probe(machine, 5) == 7                      # v1's +2
+    assert probe(machine, 500) == (-22) & 0xFFFFFFFF   # v2's bound
+
+    sub.rollback_last()
+    assert sub.applied_sequence == 1
+    assert probe(machine, 5) == 7        # v1 still applied
+    assert probe(machine, 500) == 502    # v2's bound is gone
+    assert [e.sequence for e in sub.pending()] == [2]
+
+
+def test_channel_series_survives_store_restart(tmp_path):
+    """Two UpdateChannel instances over one directory-backed store are
+    the same channel: the second resumes the sequence chain."""
+    from repro.controlplane.store import ChannelStore
+
+    first = UpdateChannel(TREE, store=ChannelStore(str(tmp_path)))
+    first.publish(series_patch(LEVEL_C, V1), "bump increment")
+
+    # A fresh instance (think: daemon restart) sees entry #1 and
+    # publishes #2 stacked on it.
+    second = UpdateChannel(TREE, store=ChannelStore(str(tmp_path)))
+    assert second.latest_sequence() == 1
+    entry = second.publish(series_patch(V1, V2), "bound the input")
+    assert entry.sequence == 2
+    assert entry.base_sequence == 1
+
+    # A subscriber syncing through the revived channel gets both.
+    machine = boot_kernel(TREE)
+    sub = Subscriber(KspliceCore(machine), second)
+    assert sub.sync().count == 2
+    assert probe(machine, 500) == (-22) & 0xFFFFFFFF
+
+    # The durable store refuses to serve a different kernel version.
+    other = SourceTree(version="other-2.0", files=TREE.files)
+    with pytest.raises(KspliceError):
+        UpdateChannel(other, store=ChannelStore(str(tmp_path)),
+                      name=second.name)
