@@ -11,16 +11,23 @@ running kernel's build, feeding one :class:`AnalysisReport`:
 - a quiescence-risk walk (:mod:`repro.analysis.quiescence`) predicting
   stack-check retry exhaustion before stop_machine runs;
 - a primary-module lint (:mod:`repro.analysis.lint`) for symbols the
-  apply-time resolver cannot possibly satisfy.
+  apply-time resolver cannot possibly satisfy;
+- an abstract-interpretation proof engine
+  (:mod:`repro.analysis.absint`) backing every verdict with
+  machine-checkable :class:`Evidence` — ABI/stack dataflow, hunk
+  equivalence, pointer-escape, data-image, and sleep-path witnesses.
 
 The analyzer runs as the ``analyze`` stage of ksplice-create and its
 verdict rides on ``CveResult``; the evaluation engine cross-checks the
-verdicts against the dynamic apply outcomes corpus-wide.
+verdicts against the dynamic apply outcomes corpus-wide, and the
+control plane refuses to publish unproven updates.
 """
 
 from repro.analysis.analyzer import analyze_update
 from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.model import (
+    ANALYZER_VERSION,
+    PROOF_KINDS,
     VERDICT_EXIT_CODES,
     VERDICT_NEEDS_HOOKS,
     VERDICT_NEEDS_SHADOW,
@@ -29,13 +36,17 @@ from repro.analysis.model import (
     VERDICT_SAFE,
     VERDICT_SEVERITY,
     AnalysisReport,
+    Evidence,
     Finding,
 )
 
 __all__ = [
+    "ANALYZER_VERSION",
     "AnalysisReport",
     "CallGraph",
+    "Evidence",
     "Finding",
+    "PROOF_KINDS",
     "VERDICT_EXIT_CODES",
     "VERDICT_NEEDS_HOOKS",
     "VERDICT_NEEDS_SHADOW",

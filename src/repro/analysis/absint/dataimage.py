@@ -1,0 +1,141 @@
+"""Concrete witnesses for ``needs-hooks`` verdicts.
+
+Two Table-1 shapes produce ``needs-hooks`` and each gets evidence:
+
+* **persistent-data image change** — the pre and post data sections
+  differ byte-for-byte.  The witness is the exact differing byte
+  span (first/last differing offset, sizes) plus every run-kernel
+  relocation that reads or writes the symbol: the live state that the
+  code-only update would leave stale, and who looks at it.
+* **init-only writer** — a changed function initializes persistent
+  data but is reachable only from the boot path.  The witness is the
+  set of instructions in the replacement text that reference the data
+  (so the "writes persistent data" claim is checkable) plus the boot
+  chain facts from the call graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.absint.escape import _run_kernel_references
+from repro.analysis.callgraph import CallGraph, format_node
+from repro.analysis.model import EVIDENCE_DATA_IMAGE, Evidence
+from repro.kbuild import BuildResult
+from repro.objfile import ObjectFile, SectionKind, SymbolKind
+
+
+def _strip_data_prefix(section_name: str) -> str:
+    for prefix in (".data.", ".bss.", ".rodata."):
+        if section_name.startswith(prefix):
+            return section_name[len(prefix):]
+    return section_name
+
+
+def _diff_span(pre: bytes, post: bytes) -> Dict[str, int]:
+    """First/last differing byte offsets between two images."""
+    limit = min(len(pre), len(post))
+    first = next((i for i in range(limit) if pre[i] != post[i]),
+                 limit if len(pre) != len(post) else -1)
+    last = -1
+    for i in range(limit - 1, -1, -1):
+        if pre[i] != post[i]:
+            last = i
+            break
+    if len(pre) != len(post):
+        last = max(last, max(len(pre), len(post)) - 1)
+    return {"first_diff": first, "last_diff": last,
+            "pre_size": len(pre), "post_size": len(post)}
+
+
+def image_change_evidence(unit: str, section_name: str,
+                          pre_obj: Optional[ObjectFile],
+                          post_obj: Optional[ObjectFile],
+                          run_build: Optional[BuildResult],
+                          ) -> Evidence:
+    """Witness for one changed persistent-data section."""
+    symbol = _strip_data_prefix(section_name)
+    pre_section = pre_obj.sections.get(section_name) \
+        if pre_obj is not None else None
+    post_section = post_obj.sections.get(section_name) \
+        if post_obj is not None else None
+    facts = _diff_span(pre_section.data if pre_section else b"",
+                       post_section.data if post_section else b"")
+    sites = []
+    if facts["first_diff"] >= 0:
+        sites.append("%s:%s bytes [0x%x..0x%x] differ between the "
+                     "pre and post images"
+                     % (unit, section_name, facts["first_diff"],
+                        max(facts["first_diff"], facts["last_diff"])))
+    run_sites, _anchors = _run_kernel_references(run_build, symbol)
+    sites.extend(run_sites)
+    facts["run_kernel_references"] = len(run_sites)
+    return Evidence(
+        kind=EVIDENCE_DATA_IMAGE, unit=unit, symbol=symbol,
+        detail="persistent image of %s differs (%d -> %d bytes); the "
+               "running kernel's copy stays on the old image unless "
+               "hook code rewrites it" % (symbol, facts["pre_size"],
+                                          facts["post_size"]),
+        sites=sites, facts=facts)
+
+
+def init_writer_evidence(graph: Optional[CallGraph],
+                         unit: str, fn: str,
+                         pre_obj: Optional[ObjectFile],
+                         post_obj: Optional[ObjectFile],
+                         ) -> Optional[Evidence]:
+    """Witness that ``fn`` touches persistent data and only runs at
+    boot: the referencing instructions plus the boot-only chain."""
+    sites: List[str] = []
+    data_symbols: Set[str] = set()
+    for obj in (post_obj, pre_obj):
+        if obj is None:
+            continue
+        section = obj.sections.get(".text.%s" % fn)
+        if section is None:
+            continue
+        for reloc in section.sorted_relocations():
+            target = _defined_data_symbol(post_obj, pre_obj,
+                                          reloc.symbol)
+            if target:
+                data_symbols.add(reloc.symbol)
+                sites.append("%s:%s+0x%x: references persistent "
+                             "data %s" % (unit, fn, reloc.offset,
+                                          reloc.symbol))
+        break  # post text is authoritative; pre only as fallback
+    if not data_symbols:
+        return None
+    facts: Dict[str, object] = {
+        "data_symbols": sorted(data_symbols)}
+    if graph is not None:
+        node = graph.node_for(unit, fn)
+        if node is not None:
+            closure = sorted(format_node(n)
+                             for n in graph.caller_closure([node]))
+            facts["boot_only"] = graph.is_init_only(node)
+            facts["caller_closure"] = closure
+    return Evidence(
+        kind=EVIDENCE_DATA_IMAGE, unit=unit, symbol=fn,
+        detail="changed function initializes %s but every call chain "
+               "starts at a boot entry point; its fixed code will "
+               "never re-run, so only hook code can repair the "
+               "already-initialized state"
+               % ", ".join(sorted(data_symbols)),
+        sites=sites, facts=facts)
+
+
+def _defined_data_symbol(post: Optional[ObjectFile],
+                         pre: Optional[ObjectFile],
+                         name: str) -> bool:
+    for obj in (post, pre):
+        if obj is None:
+            continue
+        symbol = obj.find_symbol(name)
+        if symbol is None or not symbol.is_defined:
+            continue
+        if symbol.kind is not SymbolKind.OBJECT:
+            return False
+        defining = obj.sections.get(symbol.section or "")
+        return defining is not None and defining.kind in (
+            SectionKind.DATA, SectionKind.BSS, SectionKind.RODATA)
+    return False

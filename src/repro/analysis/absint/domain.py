@@ -1,0 +1,154 @@
+"""Abstract values and machine states for the k86 interpreter.
+
+The domain is deliberately small — exactly rich enough to prove the
+three properties the client passes need:
+
+* **stack discipline** — ``sp`` is tracked as a concrete byte offset
+  relative to the function's entry (0 = pointing at the return
+  address), or ``None`` once any path makes it unknowable;
+* **register provenance** — every register holds an
+  :class:`AbsValue`: the value it had at entry (``ENTRY``, how we
+  prove callee-saved registers survive), a compile-time constant
+  (``CONST``), the address of a data symbol (``DATAPTR``, the seed of
+  every pointer-escape witness), an address into the current frame
+  (``STACKADDR``), or ``UNKNOWN``;
+* **frame contents** — a map from entry-relative stack offsets to
+  abstract values, so argument-slot reads (``fp+8+4i``) and pointer
+  spills are visible.
+
+Joins are pointwise; two different values join to ``UNKNOWN`` and two
+different stack depths join to unknown-``sp``.  Everything is a frozen
+dataclass so states are hashable-by-value and cheap to compare for the
+fixpoint's convergence test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.arch.isa import NUM_REGISTERS
+
+#: AbsValue kinds
+UNKNOWN = "unknown"
+ENTRY = "entry"          # the value register ``reg`` held at entry
+CONST = "const"          # a compile-time constant (``value``)
+DATAPTR = "dataptr"      # address of data symbol ``symbol`` (+ offset)
+STACKADDR = "stackaddr"  # entry-sp-relative address (``value``)
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """One abstract value; ``kind`` selects which payload is live."""
+
+    kind: str
+    value: int = 0
+    symbol: str = ""
+
+    def is_entry(self, reg: int) -> bool:
+        return self.kind == ENTRY and self.value == reg
+
+    def render(self) -> str:
+        if self.kind == CONST:
+            return "#%d" % self.value
+        if self.kind == DATAPTR:
+            return "&%s+%d" % (self.symbol, self.value)
+        if self.kind == STACKADDR:
+            return "sp%+d" % self.value
+        if self.kind == ENTRY:
+            return "entry(r%d)" % self.value
+        return "?"
+
+
+TOP = AbsValue(kind=UNKNOWN)
+
+
+def entry_value(reg: int) -> AbsValue:
+    return AbsValue(kind=ENTRY, value=reg)
+
+
+def const(value: int) -> AbsValue:
+    return AbsValue(kind=CONST, value=value & 0xFFFFFFFF)
+
+
+def dataptr(symbol: str, offset: int = 0) -> AbsValue:
+    return AbsValue(kind=DATAPTR, value=offset, symbol=symbol)
+
+
+def stackaddr(offset: int) -> AbsValue:
+    return AbsValue(kind=STACKADDR, value=offset)
+
+
+def join_values(a: AbsValue, b: AbsValue) -> AbsValue:
+    return a if a == b else TOP
+
+
+def signed32(value: int) -> int:
+    """IMM32 fields decode unsigned; interpret as two's complement."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """Abstract registers + frame at one program point.
+
+    ``sp`` is the entry-relative stack pointer (0 at entry, pushes go
+    negative) or ``None`` when lost.  ``stack`` maps entry-relative
+    byte offsets to values; argument ``i`` lives at ``4 + 4*i`` (the
+    return address occupies offset 0).
+    """
+
+    sp: Optional[int] = 0
+    regs: Tuple[AbsValue, ...] = field(
+        default_factory=lambda: tuple(entry_value(i)
+                                      for i in range(NUM_REGISTERS)))
+    stack: Tuple[Tuple[int, AbsValue], ...] = ()
+
+    def reg(self, index: int) -> AbsValue:
+        return self.regs[index]
+
+    def with_reg(self, index: int, value: AbsValue) -> "MachineState":
+        regs = list(self.regs)
+        regs[index] = value
+        return MachineState(sp=self.sp, regs=tuple(regs),
+                            stack=self.stack)
+
+    def with_sp(self, sp: Optional[int]) -> "MachineState":
+        return MachineState(sp=sp, regs=self.regs, stack=self.stack)
+
+    def stack_dict(self) -> Dict[int, AbsValue]:
+        return dict(self.stack)
+
+    def with_slot(self, offset: int, value: AbsValue) -> "MachineState":
+        slots = self.stack_dict()
+        slots[offset] = value
+        return MachineState(
+            sp=self.sp, regs=self.regs,
+            stack=tuple(sorted(slots.items())))
+
+    def slot(self, offset: int) -> AbsValue:
+        return self.stack_dict().get(offset, TOP)
+
+
+def join_states(a: MachineState, b: MachineState) -> MachineState:
+    sp = a.sp if a.sp == b.sp else None
+    regs = tuple(join_values(x, y) for x, y in zip(a.regs, b.regs))
+    a_stack, b_stack = a.stack_dict(), b.stack_dict()
+    slots = {off: join_values(a_stack[off], b_stack[off])
+             for off in set(a_stack) & set(b_stack)
+             if join_values(a_stack[off], b_stack[off]) != TOP}
+    return MachineState(sp=sp, regs=regs,
+                        stack=tuple(sorted(slots.items())))
+
+
+def arg_slot_index(offset: int) -> Optional[int]:
+    """Argument index stored at entry-relative stack ``offset``.
+
+    The caller pushed the arguments just above the return address, so
+    argument ``i`` sits at ``4 + 4*i``; anything at or below the
+    return address is frame-local.
+    """
+    if offset >= 4 and (offset - 4) % 4 == 0:
+        return (offset - 4) // 4
+    return None

@@ -1,0 +1,96 @@
+"""Sleep/blocking-point reachability: per-call-site quiescence proofs.
+
+The quiescence analysis (:mod:`repro.analysis.quiescence`) flags a
+patched function whose call chains reach a ``sched``/``hlt``.  This
+pass attaches the *witness*: the exact call instructions along the
+shortest chain (recovered from the call graph's per-edge call-site
+offsets) and the exact sleeping instruction at the end.  Each hop is a
+program point an operator — or the control plane's publish gate — can
+check against the object code, instead of trusting a whole-function
+flag.
+
+Without the run kernel's build the pass degrades the same way the
+quiescence walk does: the patched function's own sleep instructions
+(found by the abstract interpreter over its pre text) are the whole
+witness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.absint.abi import function_summary
+from repro.analysis.callgraph import CallGraph, format_node
+from repro.analysis.model import EVIDENCE_SLEEP_PATH, Evidence
+from repro.objfile import ObjectFile
+
+
+def sleep_path_evidence(graph: Optional[CallGraph],
+                        unit: str, fn: str,
+                        pre_obj: Optional[ObjectFile],
+                        ) -> Optional[Evidence]:
+    """Evidence for one patched function's path to a sleep point."""
+    if graph is not None:
+        node = graph.node_for(unit, fn)
+        if node is not None:
+            path = graph.sleep_path(node)
+            if path is None:
+                return None
+            sites: List[str] = []
+            for hop, nxt in zip(path, path[1:]):
+                offsets = sorted(graph.call_sites.get((hop, nxt), ()))
+                if offsets:
+                    sites.extend(
+                        "%s+0x%x: call %s" % (format_node(hop), off,
+                                              nxt[1])
+                        for off in offsets)
+                else:
+                    sites.append("%s: reaches %s (inlined or "
+                                 "data-driven edge)"
+                                 % (format_node(hop), nxt[1]))
+            sleeper = path[-1]
+            for off in sorted(graph.sleep_sites.get(sleeper, ())):
+                sites.append("%s+0x%x: sleep instruction"
+                             % (format_node(sleeper), off))
+            chain = " -> ".join(name for _u, name in path)
+            return Evidence(
+                kind=EVIDENCE_SLEEP_PATH, unit=unit, symbol=fn,
+                detail="shortest blocking chain %s: every call site "
+                       "and the parked instruction are pinned below"
+                       % chain,
+                sites=sites,
+                facts={"chain": [format_node(n) for n in path],
+                       "hops": len(path) - 1,
+                       "call_sites": sum(
+                           len(graph.call_sites.get((a, b), ()))
+                           for a, b in zip(path, path[1:]))})
+        return None
+    # degraded mode: witness the function's own sleep instructions
+    summary = function_summary(pre_obj, fn)
+    if summary is None or not summary.sleep_sites:
+        return None
+    sites = ["%s:%s+0x%x: sleep instruction" % (unit, fn, off)
+             for off in sorted(summary.sleep_sites)]
+    return Evidence(
+        kind=EVIDENCE_SLEEP_PATH, unit=unit, symbol=fn,
+        detail="patched function contains its own sleep "
+               "instruction(s); no run-kernel build was available "
+               "for a chain walk",
+        sites=sites,
+        facts={"chain": ["%s:%s" % (unit, fn)], "hops": 0,
+               "call_sites": 0})
+
+
+def sleep_evidence_for_diffs(graph: Optional[CallGraph],
+                             changed: Dict[str, List[str]],
+                             pre_objects: Dict[str, ObjectFile],
+                             ) -> List[Evidence]:
+    """Evidence for every patched function that can reach a sleep."""
+    out: List[Evidence] = []
+    for unit in sorted(changed):
+        for fn in sorted(changed[unit]):
+            ev = sleep_path_evidence(graph, unit, fn,
+                                     pre_objects.get(unit))
+            if ev is not None:
+                out.append(ev)
+    return out

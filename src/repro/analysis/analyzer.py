@@ -1,4 +1,4 @@
-"""The combined analyzer: one report from four analyses.
+"""The combined analyzer: one report from four analyses plus proofs.
 
 ``analyze_update`` is what the ``analyze`` stage of ksplice-create
 calls, after differencing and before the pack is returned.  It is a
@@ -6,23 +6,36 @@ pure function of the pack, the per-unit diffs and objects, and
 (optionally) the run kernel's build; it never mutates its inputs and
 raises nothing — rejection is a verdict, not an exception, so the
 caller decides whether a ``reject`` stops the pipeline.
+
+The four heuristic analyses (data layout, init-only writers,
+quiescence, lint) produce the findings; the abstract-interpretation
+engine (:mod:`repro.analysis.absint`) then re-derives the machine
+facts behind them — ABI summaries, hunk equivalence, pointer-escape
+and sleep-path witnesses, data-image diffs — attaching
+:class:`~repro.analysis.model.Evidence` records and, where the proof
+contradicts the heuristic (a resized symbol nothing points into),
+downgrading the finding.  ``absint=False`` skips the proof engine
+(used for benchmarking the heuristic baseline).
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.analysis.absint.engine import run_absint
 from repro.analysis.callgraph import build_call_graph, format_node
 from repro.analysis.datalayout import (
     analyze_data_layout,
     analyze_init_only_writers,
 )
 from repro.analysis.lint import lint_pack
-from repro.analysis.model import AnalysisReport
+from repro.analysis.model import AnalysisReport, Finding
 from repro.analysis.quiescence import analyze_quiescence
 from repro.arch.info import DEFAULT_ARCH
 from repro.kbuild import BuildResult
 from repro.objfile import ObjectFile
+from repro.pipeline import Trace
 
 if TYPE_CHECKING:
     from repro.core.objdiff import UnitDiff
@@ -39,6 +52,8 @@ def analyze_update(pack: "UpdatePack",
                    run_build: Optional[BuildResult] = None,
                    stack_check_retries: int = DEFAULT_STACK_CHECK_RETRIES,
                    jump_size: int = DEFAULT_ARCH.jump_size,
+                   absint: bool = True,
+                   trace: Optional[Trace] = None,
                    ) -> AnalysisReport:
     """Classify one update before any machine is touched."""
     report = AnalysisReport(
@@ -72,13 +87,30 @@ def analyze_update(pack: "UpdatePack",
             format_node(node)
             for node in graph.caller_closure(patched_nodes))
 
-    report.extend(analyze_data_layout(unit_diffs, pre_objects,
-                                      post_objects))
+    findings: List[Finding] = []
+    findings.extend(analyze_data_layout(unit_diffs, pre_objects,
+                                        post_objects))
     if graph is not None:
-        report.extend(analyze_init_only_writers(graph, unit_diffs,
-                                                pre_objects, post_objects))
-    report.extend(analyze_quiescence(graph, unit_diffs, pre_objects,
-                                     stack_check_retries))
-    report.extend(lint_pack(pack, run_build=run_build,
-                            jump_size=jump_size))
+        findings.extend(analyze_init_only_writers(graph, unit_diffs,
+                                                  pre_objects,
+                                                  post_objects))
+    findings.extend(analyze_quiescence(graph, unit_diffs, pre_objects,
+                                       stack_check_retries))
+    findings.extend(lint_pack(pack, run_build=run_build,
+                              jump_size=jump_size))
+
+    if absint:
+        stage = trace.stage("absint") if trace is not None \
+            else nullcontext()
+        with stage as rep:
+            findings, evidence = run_absint(
+                unit_diffs, pre_objects, post_objects, run_build,
+                graph, findings)
+            report.evidence = evidence
+            if rep is not None:
+                rep.counters["evidence"] = len(evidence)
+                rep.counters["proof_sites"] = sum(
+                    len(ev.sites) for ev in evidence)
+
+    report.extend(findings)
     return report

@@ -60,6 +60,11 @@ class CallGraph:
     data_ref_sites: Dict[Node, Set[str]] = field(default_factory=dict)
     #: functions whose own text contains a sleep instruction
     sleep_points: Set[Node] = field(default_factory=set)
+    #: (caller, callee) -> call-site offsets inside the caller's section
+    call_sites: Dict[Tuple[Node, Node], Set[int]] = field(
+        default_factory=dict)
+    #: sleeping node -> offsets of its sched/hlt instructions
+    sleep_sites: Dict[Node, Set[int]] = field(default_factory=dict)
     #: (unit, callee name) -> nodes holding an inlined copy of callee
     inline_hosts: Dict[Node, Set[Node]] = field(default_factory=dict)
     #: function name -> defining nodes (all bindings)
@@ -216,6 +221,8 @@ def build_call_graph(build: BuildResult) -> CallGraph:
                         continue
                     graph.calls.setdefault(caller, set()).add(target)
                     graph.callers.setdefault(target, set()).add(caller)
+                    graph.call_sites.setdefault(
+                        (caller, target), set()).add(reloc.offset)
                 else:
                     graph.data_referenced.add(target)
                     graph.data_ref_sites.setdefault(target, set()).add(
@@ -242,6 +249,8 @@ def _scan_text(graph: CallGraph, unit: str, section: Section,
                 name = _containing(section_extents, instr.offset)
                 if name is not None:
                     graph.sleep_points.add((unit, name))
+                    graph.sleep_sites.setdefault(
+                        (unit, name), set()).add(instr.offset)
                 continue
             if instr.mnemonic != "call":
                 continue
@@ -258,6 +267,8 @@ def _scan_text(graph: CallGraph, unit: str, section: Section,
             graph.calls.setdefault((unit, caller), set()).add((unit, callee))
             graph.callers.setdefault((unit, callee), set()).add(
                 (unit, caller))
+            graph.call_sites.setdefault(
+                ((unit, caller), (unit, callee)), set()).add(instr.offset)
     except DisassemblyError:
         # Undecodable text (hand-written constants in code): treat the
         # rest of the section as opaque rather than failing the analysis.

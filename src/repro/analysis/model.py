@@ -32,6 +32,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
+#: Bumped whenever a change to the analyzer can alter verdicts or
+#: evidence; stamped into every analysis cache key so a warm disk
+#: cache can never serve a stale verdict across analyzer upgrades.
+#: "1" was the PR 3 heuristic analyzer; "2" added the abstract
+#: interpreter and evidence records.
+ANALYZER_VERSION = "2"
+
 VERDICT_SAFE = "safe"
 VERDICT_NEEDS_HOOKS = "needs-hooks"
 VERDICT_NEEDS_SHADOW = "needs-shadow"
@@ -100,6 +107,65 @@ class Finding:
         return "%s: %s" % (prefix, self.detail)
 
 
+#: evidence kinds (see :mod:`repro.analysis.absint`)
+EVIDENCE_ABI = "abi"
+EVIDENCE_EQUIVALENCE = "equivalence"
+EVIDENCE_ESCAPE = "escape"
+EVIDENCE_SHADOW_API = "shadow-api"
+EVIDENCE_DATA_IMAGE = "data-image"
+EVIDENCE_SLEEP_PATH = "sleep-path"
+
+#: which evidence kinds prove which non-safe finding verdicts
+PROOF_KINDS: Dict[str, Tuple[str, ...]] = {
+    VERDICT_NEEDS_HOOKS: (EVIDENCE_DATA_IMAGE,),
+    VERDICT_NEEDS_SHADOW: (EVIDENCE_ESCAPE, EVIDENCE_SHADOW_API),
+    VERDICT_QUIESCE_RISK: (EVIDENCE_SLEEP_PATH,),
+}
+
+
+@dataclass
+class Evidence:
+    """One machine-checkable witness attached to the report.
+
+    ``sites`` are concrete program points (``unit:function+0xNN:
+    what``); ``facts`` are the checked numbers (sizes, arities, match
+    counts) in JSON-safe types.  A verdict backed by evidence is
+    *proven* — the control plane can gate on it without trusting the
+    label (see :meth:`AnalysisReport.is_proven`).
+    """
+
+    kind: str
+    unit: str = ""
+    symbol: str = ""
+    detail: str = ""
+    sites: List[str] = field(default_factory=list)
+    facts: Dict[str, Any] = field(default_factory=dict)
+
+    def sort_key(self) -> Tuple[str, str, str, str]:
+        return (self.kind, self.unit, self.symbol, self.detail)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "symbol": self.symbol,
+            "detail": self.detail,
+            "sites": sorted(self.sites),
+            "facts": {k: self.facts[k] for k in sorted(self.facts)},
+        }
+
+    def render(self) -> str:
+        where = ":".join(p for p in (self.unit, self.symbol) if p)
+        text = "<%s>%s %s" % (self.kind,
+                              " (%s)" % where if where else "",
+                              self.detail)
+        if self.sites:
+            text += " [%d site%s]" % (len(self.sites),
+                                      "s" if len(self.sites) != 1
+                                      else "")
+        return text
+
+
 @dataclass
 class AnalysisReport:
     """The combined static judgement of one update pack."""
@@ -121,6 +187,11 @@ class AnalysisReport:
     #: True when the run kernel's build was available for the call-graph
     #: and quiescence analyses
     run_build_analyzed: bool = False
+    #: machine-checkable witnesses from the abstract interpreter
+    evidence: List[Evidence] = field(default_factory=list)
+    #: analyzer version that produced this report (cache-staleness
+    #: stamp; see :data:`ANALYZER_VERSION`)
+    analyzer_version: str = ANALYZER_VERSION
 
     def add(self, finding: Finding) -> None:
         self.findings.append(finding)
@@ -145,11 +216,54 @@ class AnalysisReport:
     def sorted_findings(self) -> List[Finding]:
         return sorted(self.findings, key=Finding.sort_key)
 
+    def sorted_evidence(self) -> List[Evidence]:
+        return sorted(self.evidence, key=Evidence.sort_key)
+
+    def evidence_for(self, kind: str) -> List[Evidence]:
+        return [e for e in self.evidence if e.kind == kind]
+
+    def is_proven(self) -> bool:
+        """Does machine-checkable evidence back this report's verdict?
+
+        A report is proven when the run kernel's build was analyzed,
+        every patched function carries an ABI summary and a
+        hunk-equivalence witness, and every non-safe finding (reject
+        aside — a reject's lint facts are their own witness) is backed
+        by at least one evidence record of the matching kind *with
+        concrete sites*.  Unproven reports are refused by
+        ``repro channel publish`` unless forced.
+        """
+        if not self.run_build_analyzed:
+            return False
+        witnessed = {
+            kind: [e for e in self.evidence
+                   if e.kind == kind and (e.sites or e.facts)]
+            for kind in {e.kind for e in self.evidence}}
+        for unit, fns in self.patched_functions.items():
+            for fn in fns:
+                for required in (EVIDENCE_ABI, EVIDENCE_EQUIVALENCE):
+                    if not any(e.unit == unit and e.symbol == fn
+                               for e in witnessed.get(required, [])):
+                        return False
+        for finding in self.findings:
+            kinds = PROOF_KINDS.get(finding.verdict)
+            if kinds is None:
+                continue
+            matches = [e for kind in kinds
+                       for e in witnessed.get(kind, [])]
+            if not any(e.sites for e in matches):
+                return False
+        return True
+
     def to_json_dict(self) -> Dict[str, Any]:
         """Deterministic JSON form: every list sorted, keys sortable."""
         return {
             "verdict": self.verdict,
             "exit_code": self.exit_code(),
+            "analyzer_version": self.analyzer_version,
+            "proven": self.is_proven(),
+            "evidence": [e.to_json_dict()
+                         for e in self.sorted_evidence()],
             "findings": [f.to_json_dict() for f in self.sorted_findings()],
             "patched_functions": {u: sorted(fns) for u, fns
                                   in self.patched_functions.items()},
@@ -199,4 +313,10 @@ class AnalysisReport:
                 lines.append("  " + finding.render())
         else:
             lines.append("findings: none")
+        if self.evidence:
+            lines.append("evidence (%s):"
+                         % ("verdict proven" if self.is_proven()
+                            else "incomplete"))
+            for ev in self.sorted_evidence():
+                lines.append("  " + ev.render())
         return "\n".join(lines)

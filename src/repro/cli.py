@@ -48,7 +48,10 @@ register|list|pin|unpin|quarantine|unquarantine`` manage the registry,
 drives a canary-wave rollout over the subscribed members (waves print
 as they land; ``--no-wait`` returns the rollout id immediately for
 polling), ``channel list|status`` show the series and every
-subscriber's position in it.
+subscriber's position in it.  Publishing is gated on the static
+analyzer: a ``reject`` or unproven verdict is refused (exit 2) unless
+``--force``, and the evidence bundle — or the recorded override —
+rides on the rollout record either way.
 
 Both ``demo`` and ``evaluate`` record per-stage traces (see
 :mod:`repro.pipeline`) and save them; ``trace`` renders the saved run —
@@ -86,7 +89,8 @@ EXIT_FAILURE = 3
 STAGE_ORDER = ("generate", "build", "boot", "observe-pre", "create",
                "apply", "observe-post", "stress", "undo",
                "patch", "build-pre", "build-post", "diff", "analyze",
-               "gate", "boot-fleet", "health", "rollback", "survivors")
+               "absint", "gate", "boot-fleet", "health", "rollback",
+               "survivors")
 
 
 def _ordered_stage_names(names) -> list:
@@ -253,27 +257,21 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
+    from repro.evaluation.analyze import analyze_corpus_cve
     from repro.evaluation.corpus import corpus_by_id
-    from repro.evaluation.engine import run_build_for
-    from repro.evaluation.kernels import kernel_for_version
 
+    if args.all:
+        return _analyze_all(args)
+    if not args.cve:
+        print("error: name a CVE or pass --all", file=sys.stderr)
+        return EXIT_USAGE
     try:
         spec = corpus_by_id(args.cve)
     except KeyError:
         print("error: unknown CVE %r" % args.cve, file=sys.stderr)
         return EXIT_USAGE
-    kernel = kernel_for_version(spec.kernel_version)
-    run_build = run_build_for(kernel)
     augmented = args.augmented and spec.table1 is not None
-    patch = kernel.patch_for(spec.cve_id, augmented=augmented)
-    report = CreateReport()
-    ksplice_create(kernel.tree, patch, description=spec.description,
-                   allow_data_changes=True, report=report,
-                   run_build=run_build)
-    analysis = report.analysis
-    if analysis is None:  # pragma: no cover - create always analyzes
-        print("error: create produced no analysis", file=sys.stderr)
-        return EXIT_FAILURE
+    analysis = analyze_corpus_cve(spec, augmented=args.augmented)
     if args.json:
         print(json.dumps(analysis.to_json_dict(), indent=2,
                          sort_keys=True))
@@ -283,6 +281,63 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                  ", augmented patch" if augmented else ""))
         print(analysis.render())
     return analysis.exit_code()
+
+
+def _analyze_all(args: argparse.Namespace) -> int:
+    """Corpus-wide verdict summary, proof status, and oracle check."""
+    import json
+
+    from repro.evaluation.engine import verdict_discrepancies
+    from repro.evaluation.harness import evaluate_corpus
+
+    summary = evaluate_corpus(run_stress=False)
+    discrepancies = verdict_discrepancies(summary.results)
+    rows = []
+    verdicts: Dict[str, int] = {}
+    for result in summary.results:
+        analysis = result.analysis
+        verdict = result.analysis_verdict or "(none)"
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        evidence_counts: Dict[str, int] = {}
+        proven = False
+        if analysis is not None:
+            proven = analysis.is_proven()
+            for ev in analysis.evidence:
+                evidence_counts[ev.kind] = \
+                    evidence_counts.get(ev.kind, 0) + 1
+        rows.append({"cve_id": result.cve_id, "verdict": verdict,
+                     "proven": proven,
+                     "evidence": evidence_counts,
+                     "evidence_total": sum(evidence_counts.values())})
+    if args.json:
+        print(json.dumps({
+            "cves": rows,
+            "verdicts": {k: verdicts[k] for k in sorted(verdicts)},
+            "proven": sum(1 for row in rows if row["proven"]),
+            "discrepancies": discrepancies,
+        }, indent=2, sort_keys=True))
+    else:
+        print("verdict summary (%d CVEs):" % len(rows))
+        for verdict in sorted(verdicts):
+            print("  %-14s %d" % (verdict, verdicts[verdict]))
+        print()
+        print("%-16s %-14s %-7s %s"
+              % ("cve", "verdict", "proven", "evidence"))
+        for row in rows:
+            kinds = ", ".join("%s=%d" % (k, row["evidence"][k])
+                              for k in sorted(row["evidence"]))
+            print("%-16s %-14s %-7s %s"
+                  % (row["cve_id"], row["verdict"],
+                     "yes" if row["proven"] else "NO", kinds))
+        print()
+        if discrepancies:
+            print("DISCREPANCIES (%d):" % len(discrepancies))
+            for line in discrepancies:
+                print("  " + line)
+        else:
+            print("no discrepancies: every verdict is consistent with "
+                  "the dynamic outcome and backed by evidence")
+    return EXIT_FAILURE if discrepancies else EXIT_OK
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -722,7 +777,8 @@ def cmd_channel(args: argparse.Namespace) -> int:
         else:  # publish
             record = client.publish(
                 args.channel, args.cve, description=args.description,
-                canary=args.canary, growth=args.growth)
+                canary=args.canary, growth=args.growth,
+                force=args.force)
             rollout_id = record["rollout_id"]
             if args.no_wait:
                 print("published #%d to %s; rollout %s started "
@@ -799,8 +855,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.set_defaults(func=cmd_demo)
 
     p_analyze = sub.add_parser(
-        "analyze", help="static patch-safety verdict for one corpus CVE")
-    p_analyze.add_argument("cve", help="corpus CVE id, e.g. CVE-2008-0007")
+        "analyze",
+        help="static patch-safety verdict, with machine-checkable "
+             "evidence, for one corpus CVE (or --all)",
+        description="Run the static analyzer — heuristic passes plus "
+                    "the abstract-interpretation proof engine (ABI "
+                    "dataflow, hunk equivalence, pointer escape, "
+                    "data image, sleep paths) — and print the "
+                    "verdict with its evidence.  Exit 0 safe, "
+                    "2 needs custom code, 3 reject.  With --all, "
+                    "sweep the whole corpus, cross-check every "
+                    "verdict against the dynamic apply outcome, and "
+                    "exit 3 on any discrepancy.")
+    p_analyze.add_argument("cve", nargs="?", default=None,
+                           help="corpus CVE id, e.g. CVE-2008-0007")
+    p_analyze.add_argument("--all", action="store_true",
+                           help="analyze every corpus CVE: verdict "
+                                "histogram, per-CVE evidence counts "
+                                "and proof status, oracle "
+                                "discrepancies (exit 3 if any)")
     p_analyze.add_argument("--json", action="store_true",
                            help="emit the full report as sorted JSON")
     p_analyze.add_argument("--augmented", action="store_true",
@@ -974,6 +1047,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="members in wave 0 (default 1)")
     p_chan_pub.add_argument("--growth", type=int, default=2,
                             help="wave growth factor (default 2)")
+    p_chan_pub.add_argument("--force", action="store_true",
+                            help="publish even when the analyzer's "
+                                 "verdict is reject or unproven; the "
+                                 "override is recorded on the rollout")
     p_chan_pub.add_argument("--no-wait", action="store_true",
                             help="return the rollout id immediately "
                                  "instead of waiting for convergence")

@@ -167,7 +167,8 @@ class _Handler(BaseHTTPRequestHandler):
                 segments[1], cve_id,
                 description=str(body.get("description", "")),
                 canary=int(body.get("canary", 1)),
-                growth=int(body.get("growth", 2)))
+                growth=int(body.get("growth", 2)),
+                force=bool(body.get("force", False)))
             self._reply(202, record.to_json_dict())
         else:
             self._reply(404, {"error": "no route POST /%s"

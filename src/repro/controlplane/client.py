@@ -123,10 +123,10 @@ class ControlPlaneClient:
 
     def publish(self, channel: str, cve_id: str,
                 description: str = "", canary: int = 1,
-                growth: int = 2) -> Dict[str, Any]:
+                growth: int = 2, force: bool = False) -> Dict[str, Any]:
         return self._request("POST", "/channels/%s/publish" % channel, {
             "cve_id": cve_id, "description": description,
-            "canary": canary, "growth": growth})
+            "canary": canary, "growth": growth, "force": force})
 
     # -- rollouts ----------------------------------------------------------
 

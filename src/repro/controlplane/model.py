@@ -144,6 +144,11 @@ class RolloutRecord:
     worker: str = ""
     waves: List[Dict[str, Any]] = field(default_factory=list)
     report: Optional[Dict[str, Any]] = None
+    #: the publish gate's evidence bundle: analyzer verdict, proof
+    #: status, and evidence records for the published update
+    analysis: Optional[Dict[str, Any]] = None
+    #: True when --force overrode a refused (reject/unproven) verdict
+    forced: bool = False
 
     @property
     def finished(self) -> bool:
@@ -162,6 +167,8 @@ class RolloutRecord:
             "worker": self.worker,
             "waves": list(self.waves),
             "report": self.report,
+            "analysis": self.analysis,
+            "forced": self.forced,
         }
 
     @classmethod
@@ -177,7 +184,9 @@ class RolloutRecord:
             skipped=list(data.get("skipped", [])),
             worker=data.get("worker", ""),
             waves=list(data.get("waves", [])),
-            report=data.get("report"))
+            report=data.get("report"),
+            analysis=data.get("analysis"),
+            forced=bool(data.get("forced", False)))
 
     def summary(self) -> Dict[str, Any]:
         """The list-view projection (``GET /rollouts``)."""

@@ -147,8 +147,18 @@ class ControlPlaneService:
     def publish(self, channel_name: str, cve_id: str,
                 description: str = "", canary: int = 1,
                 growth: int = 2,
-                synchronous: bool = False) -> RolloutRecord:
+                synchronous: bool = False,
+                force: bool = False) -> RolloutRecord:
         """Publish a corpus CVE's update to a channel and roll it out.
+
+        Publishing is gated on the static analyzer: the update's
+        :class:`~repro.analysis.AnalysisReport` must be *proven*
+        (evidence-backed) and must not carry a ``reject`` verdict,
+        otherwise the publish is refused — an HTTP 400 / CLI exit 2 —
+        unless ``force``, in which case the override itself is
+        recorded on the rollout.  The evidence bundle rides on the
+        record either way, so an operator auditing a rollout sees the
+        exact proof (or the exact override) it shipped under.
 
         Returns the rollout record immediately (status ``running``);
         the rollout itself runs on a daemon thread unless
@@ -167,6 +177,7 @@ class ControlPlaneService:
                 "channel %r serves kernel %s but %s targets %s"
                 % (channel_name, pinned_version, cve_id,
                    spec.kernel_version))
+        bundle, forced = self._publish_gate(spec, force)
         with self._publish_lock:
             if not pinned_version:
                 self.store.channels.set_kernel_version(
@@ -184,7 +195,8 @@ class ControlPlaneService:
             sequence=entry["sequence"],
             member_ids=[m.member_id for m in eligible],
             skipped=skipped,
-            worker=self._common_worker(eligible))
+            worker=self._common_worker(eligible),
+            analysis=bundle, forced=forced)
         if not eligible:
             record.status = ROLLOUT_COMPLETE
             record.detail = ("entry #%d published; no eligible members "
@@ -202,6 +214,60 @@ class ControlPlaneService:
             self._threads.append(thread)
             thread.start()
         return record
+
+    def _publish_gate(self, spec: Any, force: bool,
+                      ) -> Tuple[Dict[str, Any], bool]:
+        """Run the static analyzer over the CVE's update and decide.
+
+        Returns the evidence bundle to record on the rollout plus the
+        ``forced`` flag.  Raises :class:`ControlPlaneError` (HTTP 400,
+        CLI exit 2) when the verdict is ``reject`` or unproven and
+        ``force`` is not set.
+        """
+        from repro.analysis.model import VERDICT_REJECT
+        from repro.errors import ReproError
+        from repro.evaluation.analyze import analyze_corpus_cve
+
+        try:
+            analysis = analyze_corpus_cve(spec, augmented=True)
+        except ReproError as exc:
+            if not force:
+                raise ControlPlaneError(
+                    "publish gate: static analysis of %s failed "
+                    "(%s: %s); refusing to publish without force"
+                    % (spec.cve_id, type(exc).__name__, exc))
+            return ({"error": "%s: %s" % (type(exc).__name__, exc),
+                     "forced": True}, True)
+        bundle: Dict[str, Any] = {
+            "verdict": analysis.verdict,
+            "proven": analysis.is_proven(),
+            "analyzer_version": analysis.analyzer_version,
+            "exit_code": analysis.exit_code(),
+            "findings": len(analysis.findings),
+            "evidence": [e.to_json_dict()
+                         for e in analysis.sorted_evidence()],
+            "forced": False,
+        }
+        refusal = ""
+        if analysis.verdict == VERDICT_REJECT:
+            refusal = ("the analyzer rejects %s: %s"
+                       % (spec.cve_id,
+                          "; ".join(f.detail for f in
+                                    analysis.findings_for(
+                                        VERDICT_REJECT)[:3])))
+        elif not bundle["proven"]:
+            refusal = ("verdict %s for %s is not backed by "
+                       "machine-checkable evidence"
+                       % (analysis.verdict, spec.cve_id))
+        if refusal and not force:
+            raise ControlPlaneError(
+                "publish gate: %s; pass force=true (--force) to "
+                "override" % refusal)
+        if refusal:
+            bundle["forced"] = True
+            bundle["overridden_refusal"] = refusal
+            return bundle, True
+        return bundle, False
 
     def _eligible_members(
             self, channel_name: str, kernel_version: str,

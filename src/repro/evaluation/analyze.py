@@ -1,0 +1,70 @@
+"""Static analysis of one corpus CVE, cached by analyzer version.
+
+``analyze_corpus_cve`` runs the same pipeline ``repro analyze`` always
+has — generate the CVE's kernel, build the run kernel, ksplice-create
+the (augmented) patch with the analyzer enabled — and returns the
+resulting :class:`~repro.analysis.AnalysisReport`.  It is the one
+entry point the CLI, the corpus-wide sweep, and the control plane's
+publish gate share.
+
+The memo is a registered :class:`~repro.compiler.cache.ContentCache`
+whose key includes :data:`repro.analysis.model.ANALYZER_VERSION`:
+bumping the version (any analyzer change that can alter verdicts or
+evidence) makes every old entry unreachable, so a warm cache can never
+serve a verdict the current analyzer would not produce.  The stamp is
+read through the module attribute at call time, not imported, so tests
+can monkeypatch it to prove the invalidation works.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.analysis import AnalysisReport
+from repro.analysis import model as analysis_model
+from repro.compiler.cache import ContentCache, register_cache
+from repro.core.create import CreateReport, ksplice_create
+from repro.evaluation.corpus import corpus_by_id
+from repro.evaluation.engine import run_build_for
+from repro.evaluation.kernels import kernel_for_version
+from repro.evaluation.specs import CveSpec
+
+#: one report per (analyzer version, CVE, augmented flag); 128 slots
+#: cover the 64-CVE corpus in both patch flavours
+ANALYSIS_CACHE = register_cache(ContentCache("analysis", max_entries=128))
+
+
+def analyze_corpus_cve(spec_or_id: Union[CveSpec, str],
+                       augmented: bool = True,
+                       use_cache: bool = True,
+                       absint: bool = True) -> AnalysisReport:
+    """The static analyzer's report for one corpus CVE.
+
+    ``augmented`` selects the Table-1 augmented patch when the CVE has
+    one (the flavour the fleet ships); plain CVEs ignore it.
+    ``absint=False`` runs only the heuristic analyses — the
+    benchmarking baseline — and is never cached, so a baseline timing
+    run cannot poison the proof-carrying entries.
+    """
+    spec = corpus_by_id(spec_or_id) if isinstance(spec_or_id, str) \
+        else spec_or_id
+    augmented = augmented and spec.table1 is not None
+    key = (analysis_model.ANALYZER_VERSION, spec.cve_id,
+           spec.kernel_version, augmented)
+    if use_cache and absint:
+        cached = ANALYSIS_CACHE.get(key)
+        if cached is not None:
+            return cached
+
+    kernel = kernel_for_version(spec.kernel_version)
+    run_build = run_build_for(kernel)
+    patch = kernel.patch_for(spec.cve_id, augmented=augmented)
+    report = CreateReport()
+    ksplice_create(kernel.tree, patch, description=spec.description,
+                   allow_data_changes=True, report=report,
+                   run_build=run_build, absint=absint)
+    analysis = report.analysis
+    assert analysis is not None  # create always analyzes
+    if use_cache and absint:
+        ANALYSIS_CACHE.put(key, analysis)
+    return analysis

@@ -123,11 +123,19 @@ def verdict_discrepancies(results: Sequence["CveResult"]) -> List[str]:
     - ``safe`` must not abort at apply time, and ``reject`` must;
     - ``needs-hooks``/``needs-shadow`` iff the patch *without* custom
       code fails to fully fix the CVE (``result.hookless_fixes``);
-    - ``quiesce-risk`` iff the stack check actually retried.
+    - ``quiesce-risk`` iff the stack check actually retried;
+    - a verdict produced with the run kernel's build must be *proven*
+      (:meth:`repro.analysis.AnalysisReport.is_proven`): every patched
+      function carries ABI and hunk-equivalence evidence and every
+      non-safe finding a matching witness with concrete sites — a bare
+      label with no machine-checkable backing is itself a discrepancy;
+    - the report must come from the current analyzer version (a
+      mismatch means a stale cached verdict leaked through).
 
     An empty return means the analyzer agreed with reality everywhere.
     """
     from repro.analysis import (
+        ANALYZER_VERSION,
         VERDICT_NEEDS_HOOKS,
         VERDICT_NEEDS_SHADOW,
         VERDICT_QUIESCE_RISK,
@@ -168,6 +176,18 @@ def verdict_discrepancies(results: Sequence["CveResult"]) -> List[str]:
             problem(result, "stack check retried (%d attempts) without a "
                             "quiesce-risk verdict"
                     % result.stack_check_attempts)
+        analysis = getattr(result, "analysis", None)
+        if analysis is not None:
+            if analysis.analyzer_version != ANALYZER_VERSION:
+                problem(result, "analysis came from analyzer version %s "
+                                "but the current analyzer is %s (stale "
+                                "cached verdict)"
+                        % (analysis.analyzer_version, ANALYZER_VERSION))
+            if analysis.run_build_analyzed and not analysis.is_proven():
+                problem(result, "verdict %s is not backed by "
+                                "machine-checkable evidence (%d evidence "
+                                "record(s) present)"
+                        % (verdict, len(analysis.evidence)))
     return problems
 
 

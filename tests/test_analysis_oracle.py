@@ -11,7 +11,11 @@ The cross-check rules live in
   patch failing to fully fix (Table-1 membership, measured — not the
   annotation);
 - ``quiesce-risk`` must coincide with stack-check retries;
-- ``reject`` must coincide with an apply abort.
+- ``reject`` must coincide with an apply abort;
+- every verdict produced with the run kernel's build must be *proven*:
+  ABI and hunk-equivalence evidence per patched function, and a
+  matching witness with concrete sites behind every non-safe finding
+  (the abstract-interpretation engine, :mod:`repro.analysis.absint`).
 """
 
 import pytest
@@ -20,6 +24,14 @@ from repro.analysis import (
     VERDICT_NEEDS_HOOKS,
     VERDICT_NEEDS_SHADOW,
     VERDICT_SAFE,
+)
+from repro.analysis.model import (
+    EVIDENCE_ABI,
+    EVIDENCE_DATA_IMAGE,
+    EVIDENCE_EQUIVALENCE,
+    EVIDENCE_ESCAPE,
+    EVIDENCE_SHADOW_API,
+    PROOF_KINDS,
 )
 from repro.evaluation import clear_caches
 from repro.evaluation.corpus import CORPUS
@@ -77,6 +89,80 @@ def test_safe_cves_need_no_custom_code_and_never_retry(corpus_report):
 def test_verdict_histogram(corpus_report):
     counts = corpus_report.verdict_counts()
     assert counts == {"safe": 56, "needs-hooks": 7, "needs-shadow": 1}
+
+
+def test_every_verdict_is_proven(corpus_report):
+    """No bare labels: every report must carry machine-checkable
+    evidence backing its verdict (the absint acceptance criterion)."""
+    for result in corpus_report.results:
+        analysis = result.analysis
+        assert analysis.is_proven(), (
+            result.cve_id, analysis.verdict,
+            sorted(e.kind for e in analysis.evidence))
+
+
+def test_every_patched_function_has_abi_and_equivalence_proof(
+        corpus_report):
+    for result in corpus_report.results:
+        analysis = result.analysis
+        for unit, fns in analysis.patched_functions.items():
+            for fn in fns:
+                for kind in (EVIDENCE_ABI, EVIDENCE_EQUIVALENCE):
+                    matching = [e for e in analysis.evidence_for(kind)
+                                if e.unit == unit and e.symbol == fn]
+                    assert matching, (result.cve_id, kind, unit, fn)
+
+
+def test_needs_custom_verdicts_carry_concrete_witnesses(corpus_report):
+    """The Table-1 set must carry escape / data-image / shadow-api
+    witnesses with concrete program points, not bare labels."""
+    checked = 0
+    for result in corpus_report.results:
+        analysis = result.analysis
+        for finding in analysis.findings:
+            kinds = PROOF_KINDS.get(finding.verdict)
+            if kinds is None:
+                continue
+            witnesses = [e for kind in kinds
+                         for e in analysis.evidence_for(kind)
+                         if e.sites]
+            assert witnesses, (result.cve_id, finding.verdict)
+            checked += 1
+        if result.analysis_verdict == VERDICT_NEEDS_SHADOW:
+            witnessed = analysis.evidence_for(EVIDENCE_ESCAPE) \
+                + analysis.evidence_for(EVIDENCE_SHADOW_API)
+            assert any(e.sites for e in witnessed), result.cve_id
+        if result.analysis_verdict == VERDICT_NEEDS_HOOKS:
+            assert any(e.sites for e in
+                       analysis.evidence_for(EVIDENCE_DATA_IMAGE)), \
+                result.cve_id
+    assert checked >= 8  # at least the Table-1 findings were exercised
+
+
+def test_unproven_report_is_a_discrepancy(corpus_report):
+    """Stripping the evidence off a result must trip the oracle."""
+    import copy
+
+    results = [copy.copy(r) for r in corpus_report.results]
+    victim = copy.deepcopy(results[0].analysis)
+    victim.evidence = []
+    results[0] = copy.copy(results[0])
+    results[0].analysis = victim
+    flagged = verdict_discrepancies(results)
+    assert any("not backed by machine-checkable evidence" in line
+               for line in flagged)
+
+
+def test_stale_analyzer_version_is_a_discrepancy(corpus_report):
+    import copy
+
+    results = [copy.copy(r) for r in corpus_report.results]
+    victim = copy.deepcopy(results[0].analysis)
+    victim.analyzer_version = "0-stale"
+    results[0] = copy.copy(results[0])
+    results[0].analysis = victim
+    flagged = verdict_discrepancies(results)
+    assert any("stale cached verdict" in line for line in flagged)
 
 
 def test_discrepancy_rules_detect_a_seeded_mismatch(corpus_report):

@@ -411,3 +411,115 @@ def test_rollout_record_roundtrip():
         json.loads(json.dumps(record.to_json_dict())))
     assert clone == record
     assert clone.summary()["status"] == ROLLOUT_COMPLETE
+
+
+# -- publish gate -------------------------------------------------------------
+
+
+def _fake_report(verdict="safe", proven=True, run_build=True):
+    """An AnalysisReport shaped to hit one gate branch."""
+    from repro.analysis import AnalysisReport, Finding
+    from repro.analysis.model import (
+        EVIDENCE_ABI,
+        EVIDENCE_EQUIVALENCE,
+        Evidence,
+    )
+
+    report = AnalysisReport(run_build_analyzed=run_build)
+    report.patched_functions = {"unit.c": ["fn"]}
+    if verdict != "safe":
+        report.add(Finding(analysis="lint", verdict=verdict,
+                           unit="unit.c", symbol="fn",
+                           detail="seeded %s" % verdict))
+    if proven:
+        for kind in (EVIDENCE_ABI, EVIDENCE_EQUIVALENCE):
+            report.evidence.append(Evidence(
+                kind=kind, unit="unit.c", symbol="fn",
+                detail="seeded", sites=["unit.c:fn+0x0: seeded"]))
+    return report
+
+
+def test_publish_records_the_evidence_bundle(tmp_path):
+    """A real publish carries the analyzer's proof on the record."""
+    service = make_service(tmp_path, ["web-00"])
+    record = service.publish("canary", CVE, synchronous=True)
+    record = service.rollout(record.rollout_id)
+    assert record.status == ROLLOUT_COMPLETE
+    assert not record.forced
+    bundle = record.analysis
+    assert bundle is not None
+    assert bundle["verdict"] == "safe"
+    assert bundle["proven"] is True
+    assert bundle["forced"] is False
+    assert bundle["evidence"], "evidence bundle must not be empty"
+    kinds = {e["kind"] for e in bundle["evidence"]}
+    assert {"abi", "equivalence"} <= kinds
+    # The bundle survives the store round-trip.
+    revived = ControlPlaneStore(str(tmp_path)).load_rollout(
+        record.rollout_id)
+    assert revived.analysis == bundle
+
+
+def test_publish_gate_refuses_a_reject_verdict(tmp_path, monkeypatch):
+    import repro.evaluation.analyze as analyze_mod
+
+    monkeypatch.setattr(
+        analyze_mod, "analyze_corpus_cve",
+        lambda spec, augmented=True: _fake_report(verdict="reject"))
+    service = make_service(tmp_path, ["web-00"])
+    with pytest.raises(ControlPlaneError, match="publish gate"):
+        service.publish("canary", CVE)
+    # Nothing was published: the channel did not advance.
+    assert service.store.channels.latest_sequence("canary") == 0
+    assert service.rollouts() == []
+
+
+def test_publish_gate_refuses_an_unproven_verdict(tmp_path,
+                                                  monkeypatch):
+    import repro.evaluation.analyze as analyze_mod
+
+    monkeypatch.setattr(
+        analyze_mod, "analyze_corpus_cve",
+        lambda spec, augmented=True: _fake_report(proven=False))
+    service = make_service(tmp_path, ["web-00"])
+    with pytest.raises(ControlPlaneError,
+                       match="not backed by machine-checkable"):
+        service.publish("canary", CVE)
+    assert service.store.channels.latest_sequence("canary") == 0
+
+
+def test_publish_gate_force_overrides_and_records_it(tmp_path,
+                                                     monkeypatch):
+    import repro.evaluation.analyze as analyze_mod
+
+    monkeypatch.setattr(
+        analyze_mod, "analyze_corpus_cve",
+        lambda spec, augmented=True: _fake_report(verdict="reject"))
+    service = make_service(tmp_path, ["web-00"])
+    record = service.publish("canary", CVE, synchronous=True,
+                             force=True)
+    record = service.rollout(record.rollout_id)
+    assert record.forced
+    assert record.analysis["forced"] is True
+    assert "rejects" in record.analysis["overridden_refusal"]
+    # The override is durable.
+    revived = ControlPlaneStore(str(tmp_path)).load_rollout(
+        record.rollout_id)
+    assert revived.forced
+
+
+def test_publish_gate_refusal_over_http_is_a_user_error(
+        daemon, monkeypatch):
+    import repro.evaluation.analyze as analyze_mod
+
+    monkeypatch.setattr(
+        analyze_mod, "analyze_corpus_cve",
+        lambda spec, augmented=True: _fake_report(proven=False))
+    client = ControlPlaneClient(daemon.url)
+    client.register_member("web-00", KERNEL, channel="canary")
+    with pytest.raises(ControlPlaneClientError) as excinfo:
+        client.publish("canary", CVE)
+    assert excinfo.value.is_user_error
+    # force=True goes through and the bundle rides the record.
+    record = client.publish("canary", CVE, force=True)
+    assert record["forced"] is True
