@@ -420,9 +420,18 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                    "s" if stats.work_items != 1 else "",
                    stats.retries,
                    "ies" if stats.retries != 1 else "y"))
+        if stats.reconnects:
+            line += ", %d reconnect%s" % (
+                stats.reconnects,
+                "s" if stats.reconnects != 1 else "")
         if stats.local_rescues:
             line += ", %d rescued locally" % stats.local_rescues
         print(line)
+        if stats.reconnects_by_peer:
+            print("  reconnects by worker: %s"
+                  % ", ".join("%s x%d" % (peer, count)
+                              for peer, count in
+                              sorted(stats.reconnects_by_peer.items())))
 
     # per-stage timing, broken down by kernel-version group then overall
     by_version: Dict[str, list] = {}
@@ -472,8 +481,10 @@ def cmd_worker(args: argparse.Namespace) -> int:
                  else ""), flush=True)
 
     try:
+        max_frame = int(args.max_frame_mb * 1024 * 1024)
         serve(host=host, port=port, once=args.once, ready=ready,
-              secret=secret, item_timeout=args.item_timeout)
+              secret=secret, item_timeout=args.item_timeout,
+              max_frame=max_frame)
     except KeyboardInterrupt:
         pass
     return EXIT_OK
@@ -925,6 +936,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="abandon a wedged work item after this "
                                "many seconds and report a reasoned "
                                "failure instead of hanging the session")
+    p_worker.add_argument("--max-frame-mb", type=float, default=64.0,
+                          metavar="MIB",
+                          help="largest v3 frame the session accepts; "
+                               "an oversize frame is a protocol error "
+                               "and drops the peer (default: 64)")
     p_worker.set_defaults(func=cmd_worker)
 
     p_trace = sub.add_parser(

@@ -5,28 +5,52 @@ fans kernel-version groups over a ``ProcessPoolExecutor``; this package
 extends the same design over TCP so throughput scales with *workers*,
 not with one machine's cores:
 
-* :mod:`~repro.distributed.protocol` — length-prefixed framing and the
-  nine-message wire vocabulary;
+* :mod:`~repro.distributed.wire` — protocol v3's compact binary
+  codec: struct-packed, length-prefixed, versioned frames over a
+  closed class registry (``pickle`` is gone from the data plane);
+* :mod:`~repro.distributed.crypto` — the mutual handshake (HMAC
+  challenge/response with a shared secret, anonymous DH without one),
+  per-session key derivation, and the frame cipher that encrypts
+  every post-handshake record;
+* :mod:`~repro.distributed.protocol` — framing and the wire
+  vocabulary, plus the synchronous :class:`MessageStream` adapter for
+  blocking callers (``fleet/remote``, the executor);
+* :mod:`~repro.distributed.aio` — the asyncio transport: one event
+  loop multiplexing thousands of peers, bounded per-peer send queues
+  for backpressure, batch-sealed records;
 * :mod:`~repro.distributed.worker` — the ``repro worker`` serve loop:
-  evaluates items, streams each ``CveResult`` as it finishes, answers
-  heartbeats while evaluating, and can be spawned on localhost for
-  tests;
+  evaluates items in executor threads (heartbeats are answered while
+  an item runs), streams each ``CveResult`` as it finishes, and can
+  be spawned on localhost for tests;
 * :mod:`~repro.distributed.coordinator` — the scheduler: per-version
   lead items that warm the run-build cache, then per-CVE work-stealing
-  for the tails, heartbeats, bounded retry with backoff, and local
-  rescue of anything the fleet cannot finish;
+  for the tails, heartbeats, bounded retry, reconnects with
+  exponential backoff and jitter, and local rescue of anything the
+  fleet cannot finish;
 * :mod:`~repro.distributed.executor` — a ``ProcessPoolExecutor``-shaped
   adapter so group-based code (``engine._evaluate_parallel``) runs
-  against remote workers unchanged.
+  against remote workers unchanged;
+* :mod:`~repro.distributed.fabric` — fleet-scale rollout dispatch:
+  update waves to 10k members on one event loop, with the threaded
+  v2-architecture baseline kept for the benchmark.
 
 Entry points: ``evaluate_corpus(workers=[...])`` /
 ``repro evaluate --workers`` on the coordinator side and
 ``repro worker --listen`` on the worker side.  Workers started with a
 shared secret (``--secret`` / ``KSPLICE_WORKER_SECRET``) authenticate
-peers with an HMAC challenge/response before deserializing anything,
-and ``--item-timeout`` bounds each item's wall clock so one wedged CVE
-cannot hang a session.
+peers with an HMAC challenge/response before deserializing anything;
+without one the session still key-exchanges (unauthenticated DH) so
+every data frame is encrypted either way.  ``--item-timeout`` bounds
+each item's wall clock so one wedged CVE cannot hang a session, and
+``--max-frame-mb`` bounds frame sizes (an oversize frame drops the
+peer).
 """
+
+from repro.distributed.aio import (
+    AsyncChannel,
+    accept_channel,
+    connect_channel,
+)
 
 from repro.distributed.coordinator import Coordinator, WorkItem
 from repro.distributed.executor import DistributedExecutor
@@ -37,6 +61,8 @@ from repro.distributed.protocol import (
     AuthError,
     MessageStream,
     ProtocolError,
+    accept_stream,
+    connect_stream,
     default_secret,
     parse_address,
     recv_message,
@@ -49,6 +75,7 @@ from repro.distributed.worker import (
 )
 
 __all__ = [
+    "AsyncChannel",
     "AuthError",
     "Coordinator",
     "DistributedExecutor",
@@ -59,6 +86,10 @@ __all__ = [
     "ProtocolError",
     "SECRET_ENV",
     "WorkItem",
+    "accept_channel",
+    "accept_stream",
+    "connect_channel",
+    "connect_stream",
     "default_secret",
     "parse_address",
     "recv_message",

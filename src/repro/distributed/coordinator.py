@@ -1,4 +1,4 @@
-"""The coordinator: schedules work items over remote workers.
+"""The coordinator: one event loop scheduling items over many workers.
 
 Scheduling model
 ----------------
@@ -13,6 +13,18 @@ where **any idle worker steals the next one**.  That removes the local
 pool's ``min(jobs, len(groups))`` cap: a version with twenty CVEs no
 longer serializes its tail behind one worker, because after the first
 CVE the other nineteen are up for grabs.
+
+Concurrency model
+-----------------
+
+v2 spent one OS thread per worker; v3 runs **every peer as a task on
+one asyncio event loop** — the scheduler state needs no locks at all,
+because every mutation happens on the loop.  ``run()`` keeps its
+synchronous signature (it owns ``asyncio.run``), so engine callers are
+untouched.  Each peer connection is an
+:class:`~repro.distributed.aio.AsyncChannel` with bounded send/receive
+queues: a slow worker parks its producer instead of ballooning
+coordinator memory.
 
 Streaming
 ---------
@@ -29,6 +41,11 @@ Failure model
   worker whenever the connection goes quiet; a worker that misses
   several consecutive probes is declared lost.  A killed worker is
   usually detected faster, by the TCP reset.
+* **Reconnect with backoff + jitter** — a refused or dropped connection
+  is retried up to ``reconnect_attempts`` times per peer, with
+  exponentially growing, jittered delays (jitter decorrelates a fleet
+  of coordinators hammering a recovering worker).  Reconnect counts
+  are surfaced per peer in ``EngineStats``.
 * **Bounded retry with backoff** — an item lost with a worker (or
   failed remotely) is requeued for the CVEs that have no result yet,
   with exponentially backed-off not-before times, up to
@@ -38,7 +55,7 @@ Failure model
   (``local_rescues``); results stay complete and deterministic.  If
   *no* worker ever answered the handshake, ``run`` returns ``None``
   and the engine falls back to the local pool exactly like the
-  existing unpicklable-spec path.
+  unserializable-spec path.
 
 Cache accounting mirrors ``engine._evaluate_group``: each item returns
 its per-cache stats delta, merged per worker into ``stats.caches``.
@@ -46,17 +63,22 @@ its per-cache stats delta, merged per worker into ``stats.caches``.
 
 from __future__ import annotations
 
+import asyncio
 import itertools
-import pickle
-import socket
-import threading
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.distributed import protocol
-from repro.distributed.protocol import ProtocolError, parse_address
+from repro.distributed import aio, protocol
+from repro.distributed.aio import AsyncChannel
+from repro.distributed.protocol import (
+    MAX_FRAME,
+    AuthError,
+    ProtocolError,
+    parse_address,
+)
 
 
 @dataclass
@@ -74,7 +96,7 @@ class WorkItem:
 
 @dataclass
 class _RunState:
-    """Everything the scheduler guards under one lock."""
+    """The scheduler's state — loop-confined, so no locks."""
 
     results: List[Optional[Any]]
     ready: "deque[WorkItem]" = field(default_factory=deque)
@@ -87,6 +109,8 @@ class _RunState:
     handlers_running: int = 0
     dispatched: int = 0
     retries: int = 0
+    reconnects: int = 0
+    reconnects_by_peer: Dict[str, int] = field(default_factory=dict)
 
 
 class Coordinator:
@@ -97,17 +121,21 @@ class Coordinator:
                  heartbeat_interval: float = 2.0,
                  heartbeat_misses: int = 3,
                  max_attempts: int = 3,
-                 retry_backoff: float = 0.05):
+                 retry_backoff: float = 0.05,
+                 reconnect_attempts: int = 3,
+                 reconnect_backoff: float = 0.1,
+                 max_frame: int = MAX_FRAME):
         self.addresses = [parse_address(a) for a in addresses]
         self.connect_timeout = connect_timeout
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_misses = heartbeat_misses
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
-        self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
-        self._progress_lock = threading.Lock()
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.max_frame = max_frame
         self._ids = itertools.count()
+        self._wake: Optional[asyncio.Event] = None
 
     # -- public entry point -------------------------------------------------
 
@@ -117,14 +145,13 @@ class Coordinator:
         """Evaluate ``specs`` over the workers; None means "fall back".
 
         Returns the results in spec order, or ``None`` when the specs
-        cannot cross a process boundary or no worker answered — the
-        same contract as the engine's local parallel path.
+        cannot cross the wire or no worker answered — the same contract
+        as the engine's local parallel path.
         """
-        try:
-            pickle.dumps(list(specs))
-        except Exception:
+        ok, _reason = protocol.encodable(list(specs))
+        if not ok:
             if stats is not None:
-                stats.fallback_reason = "unpicklable specs"
+                stats.fallback_reason = "unserializable specs"
             return None
 
         state = self._build_state(specs)
@@ -135,28 +162,10 @@ class Coordinator:
         self._stats = stats
         self._state = state
 
-        threads = []
-        with self._cond:
-            state.handlers_running = len(self.addresses)
-        for host, port in self.addresses:
-            thread = threading.Thread(target=self._handler,
-                                      args=(host, port), daemon=True)
-            thread.start()
-            threads.append(thread)
+        asyncio.run(self._run_async())
 
-        with self._cond:
-            while not self._all_filled(state) \
-                    and state.handlers_running > 0 \
-                    and self._remote_pending(state):
-                self._cond.wait(0.2)
-            connected = state.connected
         missing = [i for i, r in enumerate(state.results) if r is None]
-        if missing and connected == 0:
-            with self._cond:  # unblock any handler still connecting
-                state.ready.clear()
-                state.retry.clear()
-                state.parked.clear()
-                self._cond.notify_all()
+        if missing and state.connected == 0:
             if stats is not None and not stats.fallback_reason:
                 stats.fallback_reason = (
                     "no workers reachable at %s"
@@ -164,13 +173,51 @@ class Coordinator:
             return None
         if missing:
             self._rescue_locally(missing)
-        for thread in threads:
-            thread.join(timeout=30.0)
         if stats is not None:
-            stats.workers = connected
+            stats.workers = state.connected
             stats.work_items = state.dispatched
             stats.retries = state.retries
+            stats.reconnects = state.reconnects
+            stats.reconnects_by_peer = dict(state.reconnects_by_peer)
         return list(state.results)  # type: ignore[arg-type]
+
+    # -- the event loop -----------------------------------------------------
+
+    async def _run_async(self) -> None:
+        state = self._state
+        self._wake = asyncio.Event()
+        state.handlers_running = len(self.addresses)
+        tasks = [asyncio.get_running_loop().create_task(
+            self._peer(peer_id, host, port))
+            for peer_id, (host, port) in enumerate(self.addresses)]
+        while not self._all_filled(state) \
+                and state.handlers_running > 0 \
+                and self._remote_pending(state):
+            await self._wait_wake(0.2)
+        # Work is done (or undoable remotely): flush the queues so
+        # peers mid-backoff or mid-_next_item see nothing pending and
+        # exit; stragglers are cancelled after a grace period.
+        state.ready.clear()
+        state.retry.clear()
+        state.parked.clear()
+        self._wake.set()
+        if tasks:
+            await asyncio.wait(tasks, timeout=30.0)
+        for task in tasks:
+            task.cancel()
+
+    async def _wait_wake(self, timeout: float) -> None:
+        wake = self._wake
+        assert wake is not None
+        wake.clear()
+        try:
+            await asyncio.wait_for(wake.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    def _notify(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
 
     # -- scheduling ---------------------------------------------------------
 
@@ -204,171 +251,207 @@ class Coordinator:
             state.ready.append(WorkItem(
                 item_id="i%d" % next(self._ids), version=version,
                 indices=[index], specs=[self._specs[index]]))
-        self._cond.notify_all()
+        self._notify()
 
-    def _next_item(self, handler_id: int) -> Optional[WorkItem]:
-        with self._cond:
-            state = self._state
-            while True:
-                if self._all_filled(state):
-                    return None
-                now = time.monotonic()
-                due = [entry for entry in state.retry if entry[0] <= now]
-                for entry in due:
-                    state.retry.remove(entry)
-                    state.ready.append(entry[1])
-                if state.ready:
-                    item = state.ready.popleft()
-                    state.inflight[handler_id] = item
-                    state.dispatched += 1
-                    return item
-                if not state.retry and not state.inflight and state.parked:
-                    # Safety valve: every lead for these versions was
-                    # abandoned — release the tails rather than stall.
-                    for version in list(state.parked):
-                        self._release_parked(state, version)
-                    continue
-                if not self._remote_pending(state):
-                    return None
-                timeout = 0.2
-                if state.retry:
-                    timeout = min(timeout, max(
-                        0.01, min(t for t, _ in state.retry) - now))
-                self._cond.wait(timeout)
+    async def _next_item(self, peer_id: int) -> Optional[WorkItem]:
+        state = self._state
+        while True:
+            if self._all_filled(state):
+                return None
+            now = time.monotonic()
+            due = [entry for entry in state.retry if entry[0] <= now]
+            for entry in due:
+                state.retry.remove(entry)
+                state.ready.append(entry[1])
+            if state.ready:
+                item = state.ready.popleft()
+                state.inflight[peer_id] = item
+                state.dispatched += 1
+                return item
+            if not state.retry and not state.inflight and state.parked:
+                # Safety valve: every lead for these versions was
+                # abandoned — release the tails rather than stall.
+                for version in list(state.parked):
+                    self._release_parked(state, version)
+                continue
+            if not self._remote_pending(state):
+                return None
+            timeout = 0.2
+            if state.retry:
+                timeout = min(timeout, max(
+                    0.01, min(t for t, _ in state.retry) - now))
+            await self._wait_wake(timeout)
 
     def _record_result(self, item: WorkItem, offset: int,
                        result: Any) -> None:
-        fresh = False
-        with self._cond:
-            state = self._state
-            index = item.indices[offset]
-            if state.results[index] is None:
-                state.results[index] = result
-                fresh = True
-            if item.warm:
-                self._release_parked(state, item.version)
-            self._cond.notify_all()
+        state = self._state
+        index = item.indices[offset]
+        fresh = state.results[index] is None
+        if fresh:
+            state.results[index] = result
+        if item.warm:
+            self._release_parked(state, item.version)
+        self._notify()
         if fresh and self._progress is not None:
-            with self._progress_lock:
-                self._progress(result)
+            self._progress(result)
 
-    def _finish_item(self, handler_id: int, item: WorkItem,
+    def _finish_item(self, peer_id: int, item: WorkItem,
                      cache_delta: Optional[Dict[str, Any]],
                      failed: bool) -> None:
         from repro.compiler.cache import merge_stats_into
 
-        with self._cond:
-            state = self._state
-            state.inflight.pop(handler_id, None)
-            if cache_delta and self._stats is not None:
-                merge_stats_into(self._stats.caches, cache_delta)
-            missing = [i for i in item.indices
-                       if state.results[i] is None]
-            if missing:
-                attempts = item.attempts + 1
-                if attempts < self.max_attempts:
-                    retry_item = WorkItem(
-                        item_id="i%d" % next(self._ids),
-                        version=item.version, indices=missing,
-                        specs=[self._specs[i] for i in missing],
-                        warm=item.warm, attempts=attempts)
-                    not_before = time.monotonic() \
-                        + self.retry_backoff * (2 ** (attempts - 1))
-                    state.retry.append((not_before, retry_item))
-                    state.retries += 1
-                elif item.warm:
-                    # The lead is a lost cause remotely; don't hold the
-                    # version's tail hostage.
-                    self._release_parked(state, item.version)
+        state = self._state
+        state.inflight.pop(peer_id, None)
+        if cache_delta and self._stats is not None:
+            merge_stats_into(self._stats.caches, cache_delta)
+        missing = [i for i in item.indices if state.results[i] is None]
+        if missing:
+            attempts = item.attempts + 1
+            if attempts < self.max_attempts:
+                retry_item = WorkItem(
+                    item_id="i%d" % next(self._ids),
+                    version=item.version, indices=missing,
+                    specs=[self._specs[i] for i in missing],
+                    warm=item.warm, attempts=attempts)
+                not_before = time.monotonic() \
+                    + self.retry_backoff * (2 ** (attempts - 1))
+                state.retry.append((not_before, retry_item))
+                state.retries += 1
             elif item.warm:
+                # The lead is a lost cause remotely; don't hold the
+                # version's tail hostage.
                 self._release_parked(state, item.version)
-            self._cond.notify_all()
+        elif item.warm:
+            self._release_parked(state, item.version)
+        self._notify()
 
-    # -- per-worker handler thread ------------------------------------------
+    # -- per-worker peer task -----------------------------------------------
 
-    def _handler(self, host: str, port: int) -> None:
-        sock: Optional[socket.socket] = None
+    async def _peer(self, peer_id: int, host: str, port: int) -> None:
+        """Connect, serve, and reconnect (bounded, jittered backoff)."""
+        state = self._state
+        label = "%s:%d" % (host, port)
+        ever_connected = False
+        reconnects_used = 0
         try:
-            sock = self._connect(host, port)
-            with self._cond:
-                self._state.connected += 1
-                self._cond.notify_all()
-            self._serve_worker(sock)
-        except (ConnectionError, OSError, ProtocolError):
-            pass
-        finally:
-            if sock is not None:
+            while True:
+                if self._all_filled(state) \
+                        or not self._remote_pending(state):
+                    return
                 try:
-                    sock.close()
-                except OSError:
-                    pass
-            with self._cond:
-                state = self._state
-                item = state.inflight.pop(id(threading.current_thread()),
-                                          None)
-                state.handlers_running -= 1
-                self._cond.notify_all()
+                    channel = await self._connect(host, port)
+                except (AuthError, ProtocolError):
+                    return  # a secret mismatch won't fix itself
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    if not await self._backoff(label, reconnects_used):
+                        return
+                    reconnects_used += 1
+                    continue
+                if not ever_connected:
+                    ever_connected = True
+                    state.connected += 1
+                    self._notify()
+                try:
+                    await self._serve_worker(peer_id, channel)
+                    return
+                except (ConnectionError, OSError, ProtocolError):
+                    item = state.inflight.pop(peer_id, None)
+                    if item is not None:
+                        self._finish_item(peer_id, item, None,
+                                          failed=True)
+                    if not await self._backoff(label, reconnects_used):
+                        return
+                    reconnects_used += 1
+                finally:
+                    await channel.close()
+        finally:
+            item = state.inflight.pop(peer_id, None)
+            state.handlers_running -= 1
+            self._notify()
             if item is not None:
-                self._finish_item(-1, item, None, failed=True)
+                self._finish_item(peer_id, item, None, failed=True)
 
-    def _connect(self, host: str, port: int) -> socket.socket:
-        sock = socket.create_connection((host, port),
-                                        timeout=self.connect_timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        protocol.worker_auth_connect(sock, protocol.default_secret())
+    async def _backoff(self, label: str, used: int) -> bool:
+        """Count one reconnect and sleep its jittered delay.
+
+        ``False`` when the peer's reconnect budget is exhausted or the
+        run no longer needs workers.  The jitter (up to half the base
+        delay) decorrelates simultaneous reconnects.
+        """
+        state = self._state
+        if used >= self.reconnect_attempts:
+            return False
+        state.reconnects += 1
+        state.reconnects_by_peer[label] = \
+            state.reconnects_by_peer.get(label, 0) + 1
+        delay = self.reconnect_backoff * (2 ** used)
+        delay += random.uniform(0, delay / 2)
+        deadline = time.monotonic() + delay
+        while True:
+            if self._all_filled(state) \
+                    or not self._remote_pending(state):
+                return False
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return True
+            await self._wait_wake(min(remaining, 0.2))
+
+    async def _connect(self, host: str, port: int) -> AsyncChannel:
+        channel = await aio.connect_channel(
+            host, port, protocol.default_secret(),
+            max_frame=self.max_frame,
+            connect_timeout=self.connect_timeout)
         from repro.compiler.cache import disk_cache_config
 
-        protocol.send_message(sock, {
-            "type": protocol.HELLO,
-            "version": protocol.PROTOCOL_VERSION,
-            "disk_cache": disk_cache_config()})
-        ready = protocol.recv_message(sock)
+        try:
+            await channel.send({
+                "type": protocol.HELLO,
+                "version": protocol.PROTOCOL_VERSION,
+                "disk_cache": disk_cache_config()})
+            ready = await channel.recv()
+        except (ConnectionError, OSError, ProtocolError):
+            await channel.close()
+            raise
         if ready is None or ready.get("type") != protocol.READY:
+            await channel.close()
             raise ProtocolError(
                 "worker %s:%d rejected the handshake: %r"
                 % (host, port,
                    (ready or {}).get("error", "connection closed")))
-        return sock
+        return channel
 
-    def _serve_worker(self, sock: socket.socket) -> None:
-        handler_id = id(threading.current_thread())
-        stream = protocol.MessageStream(sock)
+    async def _serve_worker(self, peer_id: int,
+                            channel: AsyncChannel) -> None:
         while True:
-            item = self._next_item(handler_id)
+            item = await self._next_item(peer_id)
             if item is None:
                 try:
-                    protocol.send_message(sock,
-                                          {"type": protocol.SHUTDOWN})
-                except (ConnectionError, OSError):
+                    await channel.send({"type": protocol.SHUTDOWN})
+                except (ConnectionError, OSError, ProtocolError):
                     pass
                 return
-            try:
-                self._run_item(sock, stream, handler_id, item)
-            except (ConnectionError, OSError, ProtocolError):
-                self._finish_item(handler_id, item, None, failed=True)
-                raise
+            await self._run_item(channel, peer_id, item)
 
-    def _run_item(self, sock: socket.socket,
-                  stream: "protocol.MessageStream", handler_id: int,
-                  item: WorkItem) -> None:
-        protocol.send_message(sock, {
+    async def _run_item(self, channel: AsyncChannel, peer_id: int,
+                        item: WorkItem) -> None:
+        await channel.send({
             "type": protocol.ITEM, "item_id": item.item_id,
             "version": item.version, "specs": item.specs,
             "run_stress": self._run_stress,
             "verify_undo": self._verify_undo})
-        sock.settimeout(self.heartbeat_interval)
         missed = 0
         ping_seq = 0
         while True:
             try:
-                message = stream.recv()
-            except socket.timeout:
+                message = await asyncio.wait_for(
+                    channel.recv(), timeout=self.heartbeat_interval)
+            except asyncio.TimeoutError:
                 if missed >= self.heartbeat_misses:
                     raise ConnectionError(
                         "worker missed %d heartbeats" % missed)
                 ping_seq += 1
-                protocol.send_message(sock, {"type": protocol.PING,
-                                             "seq": ping_seq})
+                await channel.send({"type": protocol.PING,
+                                    "seq": ping_seq})
                 missed += 1
                 continue
             if message is None:
@@ -381,12 +464,12 @@ class Coordinator:
                                     message["result"])
             elif kind == protocol.ITEM_DONE \
                     and message.get("item_id") == item.item_id:
-                self._finish_item(handler_id, item,
+                self._finish_item(peer_id, item,
                                   message.get("cache_delta"),
                                   failed=False)
                 return
             elif kind == protocol.ERROR:
-                self._finish_item(handler_id, item, None, failed=True)
+                self._finish_item(peer_id, item, None, failed=True)
                 return
             # pongs and stale-item noise just prove liveness
 
@@ -394,7 +477,8 @@ class Coordinator:
 
     def _rescue_locally(self, missing: List[int]) -> None:
         """Evaluate leftover indices in-process (workers all gone or
-        retries exhausted); accounting lands in the same stats."""
+        retries exhausted); accounting lands in the same stats.  Runs
+        after the event loop has exited, so results access is safe."""
         from repro.compiler.cache import (
             merge_stats_into,
             snapshot_stats,
@@ -404,16 +488,14 @@ class Coordinator:
 
         before = snapshot_stats()
         for index in sorted(missing):
+            if self._state.results[index] is not None:
+                continue  # a straggler worker beat us to it
             result = evaluate_cve(self._specs[index],
                                   run_stress=self._run_stress,
                                   verify_undo=self._verify_undo)
-            with self._cond:
-                if self._state.results[index] is not None:
-                    continue  # a straggler worker beat us to it
-                self._state.results[index] = result
+            self._state.results[index] = result
             if self._progress is not None:
-                with self._progress_lock:
-                    self._progress(result)
+                self._progress(result)
             if self._stats is not None:
                 self._stats.local_rescues += 1
         if self._stats is not None:

@@ -46,14 +46,15 @@ class _Link:
                                              timeout=connect_timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.sock.settimeout(None)
-        protocol.worker_auth_connect(self.sock, protocol.default_secret())
+        self.stream = protocol.connect_stream(self.sock,
+                                              protocol.default_secret())
         from repro.compiler.cache import disk_cache_config
 
-        protocol.send_message(self.sock, {
+        self.stream.send({
             "type": protocol.HELLO,
             "version": protocol.PROTOCOL_VERSION,
             "disk_cache": disk_cache_config()})
-        ready = protocol.recv_message(self.sock)
+        ready = self.stream.recv()
         if ready is None or ready.get("type") != protocol.READY:
             raise ProtocolError("worker %s:%d rejected the handshake"
                                 % address)
@@ -68,9 +69,8 @@ class _Link:
             job = self.jobs.get()
             if job is None:
                 try:
-                    protocol.send_message(self.sock,
-                                          {"type": protocol.SHUTDOWN})
-                except (ConnectionError, OSError):
+                    self.stream.send({"type": protocol.SHUTDOWN})
+                except (ConnectionError, ProtocolError, OSError):
                     pass
                 return
             payload, future = job
@@ -88,13 +88,13 @@ class _Link:
 
     def _round_trip(self, item_id: int, payload: Any) -> Any:
         version, specs, run_stress, verify_undo, _disk_root = payload
-        protocol.send_message(self.sock, {
+        self.stream.send({
             "type": protocol.ITEM, "item_id": item_id,
             "version": version, "specs": specs,
             "run_stress": run_stress, "verify_undo": verify_undo})
         results: List[Any] = []
         while True:
-            message = protocol.recv_message(self.sock)
+            message = self.stream.recv()
             if message is None:
                 raise ConnectionError("worker closed mid-item")
             kind = message.get("type")

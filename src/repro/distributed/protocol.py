@@ -1,204 +1,136 @@
-"""Length-prefixed TCP framing for the distributed evaluation fabric.
+"""Protocol v3 session layer: encrypted, length-prefixed binary frames.
 
-One frame is an 8-byte big-endian payload length followed by a pickled
-message dict.  Every message carries a ``"type"`` key; the small set of
-types below is the whole wire vocabulary between a coordinator and a
-worker:
+This module is the **synchronous compatibility surface** of the v3
+fabric.  The asyncio coordinator and worker (:mod:`.aio`,
+:mod:`.coordinator`, :mod:`.worker`) are the scale path; everything
+that still talks blocking sockets — :class:`~.executor.DistributedExecutor`,
+:mod:`repro.fleet.remote`, tests — drives the same wire through
+:class:`MessageStream` here, so both paths are byte-compatible on the
+wire.
 
-==============  =======================  ================================
-type            direction                meaning
-==============  =======================  ================================
-``hello``       coordinator -> worker    handshake: protocol version,
-                                         disk-cache config (warm start)
-``ready``       worker -> coordinator    handshake accepted (pid rides
-                                         along for diagnostics)
-``item``        coordinator -> worker    one work item: a kernel version
-                                         plus an ordered list of CveSpecs
-``result``      worker -> coordinator    **streamed** per finished CVE:
-                                         the full CveResult, trace
-                                         included, as soon as it exists
-``item-done``   worker -> coordinator    the item finished; carries the
-                                         item's cache-stats delta
-``error``       worker -> coordinator    the item raised; carries the
-                                         traceback text
-``ping``        coordinator -> worker    heartbeat probe
-``pong``        worker -> coordinator    heartbeat answer
-``shutdown``    coordinator -> worker    drain and close the session
-==============  =======================  ================================
+Wire stack, bottom up:
 
-Payloads are pickles because everything that crosses the wire — specs
-in, ``CveResult`` + ``Trace`` + ``CacheStats`` out — is already the
-plain picklable data the local ``ProcessPoolExecutor`` path ships
-today.  Unpickling attacker bytes is arbitrary code execution, so a
-worker started with a shared secret authenticates the peer *before*
-the first pickled frame is read: the worker sends a raw (non-pickle)
-banner, both sides exchange nonces, and each proves knowledge of the
-secret with an HMAC-SHA256 response over the other's nonce
-(domain-separated so a worker response can never be replayed as a
-client response).  A peer that fails the exchange is dropped without
-ever reaching ``pickle.loads``.  Without a secret the fabric trusts
-its peers exactly as much as a process pool trusts its forked
-children: run open workers only on hosts you would run the evaluation
-on directly.
+1. **Handshake** (cleartext, tightly bounded raw frames): the worker
+   banners ``KSP3`` + mode; both sides run the
+   :mod:`~repro.distributed.crypto` state machine — mutual HMAC proof
+   + secret-derived keys when a shared secret is configured, anonymous
+   DH otherwise.  A peer that fails is dropped before one data frame
+   is parsed.  v2 peers (pickle fabric) are rejected with an explicit
+   version-mismatch message on both sides.
+2. **Records**: ``!I`` length prefix + ciphertext + 16-byte tag.  A
+   record's plaintext is a *batch*: one or more ``!I``-length-prefixed
+   frames sealed together, so a pipelined burst pays one keystream and
+   one MAC instead of one per frame (the same trick TLS records play;
+   it is the difference between crypto dominating the fabric's hot
+   path and crypto disappearing into it).  Every record — all frame
+   types, both directions — is encrypted and authenticated with the
+   session keys; per-record sequence numbers prevent replay and
+   reordering.  ``max_frame`` bounds **every** frame (v2 only bounded
+   handshake frames): a peer claiming an oversized record or smuggling
+   an oversized frame inside one raises :class:`ProtocolError` and is
+   dropped before the payload is interpreted.
+3. **Frames**: the compact binary encoding in
+   :mod:`~repro.distributed.wire` — struct-packed headers, kpack
+   bodies, a closed class registry.  ``pickle`` is gone from the data
+   plane: no network byte ever reaches ``pickle.loads``.
 
-``MAX_FRAME`` bounds a single frame so a corrupted length prefix cannot
-make the receiver allocate unbounded memory; both sides treat an
-oversized frame as a protocol error and drop the connection.
+``send_message``/``recv_message`` remain as *plaintext* frame helpers
+for tests and diagnostics over trusted local socketpairs; real sessions
+always go through a handshaken :class:`MessageStream`.
 """
 
 from __future__ import annotations
 
-import hmac
 import os
-import pickle
 import socket
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
+from repro.distributed import wire
+from repro.distributed.crypto import (
+    MAX_HANDSHAKE_FRAME,
+    CipherPair,
+    ClientHandshake,
+    FrameAuthError,
+    HandshakeError,
+    ServerHandshake,
+)
+from repro.distributed.wire import WireError
 from repro.errors import ReproError
 
 #: bump when the message vocabulary changes incompatibly
-#: (2: authenticated handshake precedes the hello frame)
-PROTOCOL_VERSION = 2
+#: (3: binary kpack frames, encrypted sessions; 2: authenticated
+#: handshake before pickled frames)
+PROTOCOL_VERSION = 3
 
-#: one frame may not exceed this many payload bytes (64 MiB)
+#: default per-record byte bound (64 MiB); every frame on a session is
+#: checked against the session's limit, not just handshake frames
 MAX_FRAME = 64 * 1024 * 1024
 
-_HEADER = struct.Struct("!Q")
+#: record length prefix; also the per-frame prefix inside a batch
+_RECORD_HEADER = struct.Struct("!I")
 
-HELLO = "hello"
-READY = "ready"
-ITEM = "item"
-RESULT = "result"
-ITEM_DONE = "item-done"
-ERROR = "error"
-PING = "ping"
-PONG = "pong"
-SHUTDOWN = "shutdown"
+#: most frames a writer coalesces into one sealed record
+BATCH_FRAMES = 256
+
+#: slack the record-length check allows beyond ``max_frame``: batch
+#: frame prefixes (4 * BATCH_FRAMES) plus the auth tag, rounded up
+_RECORD_SLACK = 2048
+
+
+def pack_batch(frames) -> bytes:
+    """Concatenate frames into one record plaintext (length-prefixed)."""
+    return b"".join(_RECORD_HEADER.pack(len(frame)) + frame
+                    for frame in frames)
+
+
+def split_batch(blob: bytes, max_frame: int) -> list:
+    """Record plaintext -> frames, validating every length."""
+    frames = []
+    pos = 0
+    end = len(blob)
+    if end == 0:
+        raise ProtocolError("empty record")
+    while pos < end:
+        if end - pos < _RECORD_HEADER.size:
+            raise ProtocolError("truncated frame prefix in record")
+        (length,) = _RECORD_HEADER.unpack_from(blob, pos)
+        pos += _RECORD_HEADER.size
+        if length > max_frame:
+            raise ProtocolError(
+                "frame of %d bytes inside a record exceeds the "
+                "session max_frame (%d); dropping the peer"
+                % (length, max_frame))
+        if end - pos < length:
+            raise ProtocolError("truncated frame in record")
+        frames.append(blob[pos:pos + length])
+        pos += length
+    return frames
+
+# re-exported frame-type names (the wire vocabulary)
+HELLO = wire.HELLO
+READY = wire.READY
+ITEM = wire.ITEM
+RESULT = wire.RESULT
+ITEM_DONE = wire.ITEM_DONE
+ERROR = wire.ERROR
+PING = wire.PING
+PONG = wire.PONG
+SHUTDOWN = wire.SHUTDOWN
+UPDATE = wire.UPDATE
+ACK = wire.ACK
 
 
 class ProtocolError(ReproError):
     """A malformed, oversized, or version-incompatible frame."""
 
 
-def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
-    """Pickle ``message`` and write it as one length-prefixed frame."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(payload) > MAX_FRAME:
-        raise ProtocolError("frame of %d bytes exceeds MAX_FRAME (%d)"
-                            % (len(payload), MAX_FRAME))
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+class AuthError(ProtocolError):
+    """The peer failed (or refused) the v3 handshake."""
 
-
-def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
-    """Read one frame; ``None`` means the peer closed cleanly.
-
-    A connection that dies mid-frame raises ``ConnectionError`` (the
-    caller treats it like any other lost worker); a frame that is not a
-    message dict raises :class:`ProtocolError`.
-    """
-    header = _recv_exactly(sock, _HEADER.size, allow_eof=True)
-    if header is None:
-        return None
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME:
-        raise ProtocolError("incoming frame claims %d bytes "
-                            "(MAX_FRAME is %d)" % (length, MAX_FRAME))
-    payload = _recv_exactly(sock, length)
-    return _decode(payload)  # type: ignore[arg-type]
-
-
-class MessageStream:
-    """A buffered reader that survives socket timeouts mid-frame.
-
-    The coordinator reads with a heartbeat timeout; a timeout can
-    strike after part of a frame has arrived.  A naive reader would
-    drop those bytes and desynchronize the stream, so this one keeps
-    partial frames in a buffer across ``socket.timeout`` raises —
-    the next :meth:`recv` continues exactly where the last one left
-    off.
-    """
-
-    def __init__(self, sock: socket.socket):
-        self.sock = sock
-        self._buf = bytearray()
-
-    def recv(self) -> Optional[Dict[str, Any]]:
-        """One message; ``None`` on clean EOF; ``socket.timeout``
-        propagates with the partial frame preserved."""
-        while True:
-            if len(self._buf) >= _HEADER.size:
-                (length,) = _HEADER.unpack(bytes(self._buf[:_HEADER.size]))
-                if length > MAX_FRAME:
-                    raise ProtocolError(
-                        "incoming frame claims %d bytes (MAX_FRAME is %d)"
-                        % (length, MAX_FRAME))
-                end = _HEADER.size + length
-                if len(self._buf) >= end:
-                    payload = bytes(self._buf[_HEADER.size:end])
-                    del self._buf[:end]
-                    return _decode(payload)
-            chunk = self.sock.recv(65536)
-            if not chunk:
-                if self._buf:
-                    raise ConnectionError("peer closed mid-frame")
-                return None
-            self._buf += chunk
-
-
-def _decode(payload: bytes) -> Dict[str, Any]:
-    try:
-        message = pickle.loads(payload)
-    except Exception as exc:
-        raise ProtocolError("undecodable frame: %s" % exc)
-    if not isinstance(message, dict) or "type" not in message:
-        raise ProtocolError("frame is not a typed message: %r"
-                            % type(message).__name__)
-    return message
-
-
-def _recv_exactly(sock: socket.socket, count: int,
-                  allow_eof: bool = False) -> Optional[bytes]:
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if allow_eof and remaining == count:
-                return None
-            raise ConnectionError("peer closed mid-frame (%d of %d bytes)"
-                                  % (count - remaining, count))
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-# --------------------------------------------------------------------------
-# Authenticated handshake (precedes every pickled frame)
-# --------------------------------------------------------------------------
 
 #: environment variable holding the fabric's shared secret
 SECRET_ENV = "KSPLICE_WORKER_SECRET"
-
-#: raw banner bytes the worker sends immediately on accept
-AUTH_NONE = b"\x00"
-AUTH_REQUIRED = b"\x01"
-
-#: nonce and digest sizes for the challenge/response
-NONCE_SIZE = 16
-_DIGEST_SIZE = 32
-
-#: raw (pre-pickle) frames are tiny; anything bigger is an attack
-_MAX_RAW_FRAME = 1024
-
-#: domain separation so a worker's proof cannot answer a client
-#: challenge (and vice versa) even under an identical nonce
-_CLIENT_DOMAIN = b"ksplice-fabric-client:"
-_WORKER_DOMAIN = b"ksplice-fabric-worker:"
-
-
-class AuthError(ProtocolError):
-    """The peer failed (or refused) the shared-secret handshake."""
 
 
 def default_secret() -> Optional[bytes]:
@@ -207,94 +139,6 @@ def default_secret() -> Optional[bytes]:
     if not value:
         return None
     return value.encode("utf-8")
-
-
-def send_raw(sock: socket.socket, payload: bytes) -> None:
-    """One length-prefixed frame of raw bytes (no pickling)."""
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
-
-
-def recv_raw(sock: socket.socket) -> bytes:
-    """Read one raw frame, bounded by ``_MAX_RAW_FRAME``.
-
-    Used exclusively before authentication completes, so the bound is
-    tight: a peer that claims a large frame here is not speaking the
-    protocol and the connection is dropped.
-    """
-    header = _recv_exactly(sock, _HEADER.size)
-    (length,) = _HEADER.unpack(header)  # type: ignore[arg-type]
-    if length > _MAX_RAW_FRAME:
-        raise AuthError("pre-auth frame claims %d bytes (max %d)"
-                        % (length, _MAX_RAW_FRAME))
-    payload = _recv_exactly(sock, length)
-    return payload  # type: ignore[return-value]
-
-
-def _proof(secret: bytes, domain: bytes, nonce: bytes) -> bytes:
-    return hmac.new(secret, domain + nonce, "sha256").digest()
-
-
-def worker_auth_accept(sock: socket.socket,
-                       secret: Optional[bytes]) -> None:
-    """Worker side: authenticate the connecting client.
-
-    Sends the banner first so an old (v1) coordinator fails fast with
-    a recognizable error instead of a pickle decode error.  With a
-    secret configured, the worker challenges the client and *also*
-    proves itself, so a client never sends work to an impostor worker.
-    Raises :class:`AuthError` (caller drops the connection) before any
-    pickled frame has been touched.
-    """
-    if secret is None:
-        send_raw(sock, AUTH_NONE)
-        return
-    worker_nonce = os.urandom(NONCE_SIZE)
-    send_raw(sock, AUTH_REQUIRED + worker_nonce)
-    response = recv_raw(sock)
-    if len(response) != _DIGEST_SIZE + NONCE_SIZE:
-        raise AuthError("malformed auth response (%d bytes)"
-                        % len(response))
-    client_proof = response[:_DIGEST_SIZE]
-    client_nonce = response[_DIGEST_SIZE:]
-    expected = _proof(secret, _CLIENT_DOMAIN, worker_nonce)
-    if not hmac.compare_digest(client_proof, expected):
-        raise AuthError("client failed the shared-secret challenge")
-    send_raw(sock, _proof(secret, _WORKER_DOMAIN, client_nonce))
-
-
-def worker_auth_connect(sock: socket.socket,
-                        secret: Optional[bytes]) -> None:
-    """Client side (coordinator/executor): answer the worker banner.
-
-    Raises :class:`AuthError` when the worker demands a secret we do
-    not have, when our secret is rejected (connection closed), or when
-    the worker cannot prove *it* knows the secret.
-    """
-    banner = recv_raw(sock)
-    if not banner:
-        raise AuthError("worker sent an empty auth banner")
-    if banner[:1] == AUTH_NONE:
-        return
-    if banner[:1] != AUTH_REQUIRED:
-        raise AuthError("unrecognized auth banner %r" % banner[:1])
-    if len(banner) != 1 + NONCE_SIZE:
-        raise AuthError("malformed auth challenge (%d bytes)"
-                        % len(banner))
-    if secret is None:
-        raise AuthError(
-            "worker requires a shared secret; pass --secret or set "
-            "%s" % SECRET_ENV)
-    worker_nonce = banner[1:]
-    client_nonce = os.urandom(NONCE_SIZE)
-    send_raw(sock, _proof(secret, _CLIENT_DOMAIN, worker_nonce)
-             + client_nonce)
-    try:
-        worker_proof = recv_raw(sock)
-    except ConnectionError:
-        raise AuthError("worker rejected the shared secret")
-    expected = _proof(secret, _WORKER_DOMAIN, client_nonce)
-    if not hmac.compare_digest(worker_proof, expected):
-        raise AuthError("worker failed to prove the shared secret")
 
 
 def parse_address(address: str, allow_zero: bool = False) -> tuple:
@@ -314,3 +158,234 @@ def parse_address(address: str, allow_zero: bool = False) -> tuple:
     if not (0 if allow_zero else 1) <= port < 65536:
         raise ProtocolError("worker address %r port out of range" % address)
     return host, port
+
+
+# --------------------------------------------------------------------------
+# Raw (handshake) frames — cleartext, tightly bounded
+# --------------------------------------------------------------------------
+
+
+def send_raw(sock: socket.socket, payload: bytes) -> None:
+    """One length-prefixed frame of raw bytes (handshake only)."""
+    sock.sendall(_RECORD_HEADER.pack(len(payload)) + payload)
+
+
+def recv_raw(sock: socket.socket) -> bytes:
+    """Read one raw frame, bounded by ``MAX_HANDSHAKE_FRAME``.
+
+    Used exclusively before the handshake completes, so the bound is
+    tight: a peer that claims a large frame here is not speaking the
+    protocol and the connection is dropped.
+    """
+    header = _recv_exactly(sock, _RECORD_HEADER.size)
+    (length,) = _RECORD_HEADER.unpack(header)  # type: ignore[arg-type]
+    if length > MAX_HANDSHAKE_FRAME:
+        raise AuthError("pre-auth frame claims %d bytes (max %d)"
+                        % (length, MAX_HANDSHAKE_FRAME))
+    if length == 0:
+        return b""
+    return _recv_exactly(sock, length)  # type: ignore[return-value]
+
+
+def _recv_exactly(sock: socket.socket, count: int,
+                  allow_eof: bool = False) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ConnectionError("peer closed mid-frame (%d of %d bytes)"
+                                  % (count - remaining, count))
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# --------------------------------------------------------------------------
+# The session channel
+# --------------------------------------------------------------------------
+
+
+class MessageStream:
+    """One side of an established v3 session over a blocking socket.
+
+    Created by :func:`connect_stream` / :func:`accept_stream` (which
+    run the handshake) or directly with ``ciphers=None`` for plaintext
+    framing over a trusted local socketpair (tests).
+
+    The reader keeps partial records in a buffer across
+    ``socket.timeout`` raises — a heartbeat timeout mid-frame does not
+    desynchronize the wire; the next :meth:`recv` continues exactly
+    where the last one left off.  ``max_frame`` bounds **every**
+    incoming record and outgoing frame.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 ciphers: Optional[CipherPair] = None,
+                 max_frame: int = MAX_FRAME):
+        self.sock = sock
+        self.ciphers = ciphers
+        self.max_frame = max_frame
+        self._buf = bytearray()
+        self._pending: list = []  # decoded messages from the last batch
+
+    @property
+    def encrypted(self) -> bool:
+        return self.ciphers is not None
+
+    @property
+    def authenticated(self) -> bool:
+        return self.ciphers is not None and self.ciphers.authenticated
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Encode, seal, and write one message as a one-frame record."""
+        try:
+            frame = wire.encode_frame(message)
+        except WireError as exc:
+            raise ProtocolError(str(exc))
+        if len(frame) > self.max_frame:
+            raise ProtocolError("frame of %d bytes exceeds the session "
+                                "max_frame (%d)"
+                                % (len(frame), self.max_frame))
+        plain = pack_batch([frame])
+        record = plain if self.ciphers is None \
+            else self.ciphers.tx.seal(plain)
+        self.sock.sendall(_RECORD_HEADER.pack(len(record)) + record)
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """One message; ``None`` on clean EOF; ``socket.timeout``
+        propagates with the partial record preserved."""
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            if len(self._buf) >= _RECORD_HEADER.size:
+                (length,) = _RECORD_HEADER.unpack(
+                    bytes(self._buf[:_RECORD_HEADER.size]))
+                self._check_length(length)
+                end = _RECORD_HEADER.size + length
+                if len(self._buf) >= end:
+                    record = bytes(self._buf[_RECORD_HEADER.size:end])
+                    del self._buf[:end]
+                    self._pending = self._decode(record)
+                    continue
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buf:
+                    raise ConnectionError("peer closed mid-frame")
+                return None
+            self._buf += chunk
+
+    def _check_length(self, length: int) -> None:
+        limit = self.max_frame + _RECORD_SLACK
+        if length > limit:
+            raise ProtocolError(
+                "incoming record claims %d bytes (session max_frame is "
+                "%d); dropping the peer" % (length, self.max_frame))
+
+    def _decode(self, record: bytes) -> list:
+        try:
+            blob = record if self.ciphers is None \
+                else self.ciphers.rx.open(record)
+        except FrameAuthError as exc:
+            raise ProtocolError(str(exc))
+        frames = split_batch(blob, self.max_frame)
+        try:
+            return [wire.decode_frame(frame) for frame in frames]
+        except WireError as exc:
+            raise ProtocolError(str(exc))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def accept_stream(sock: socket.socket, secret: Optional[bytes],
+                  max_frame: int = MAX_FRAME) -> MessageStream:
+    """Worker side: run the v3 handshake, return the session channel.
+
+    Raises :class:`AuthError` (caller drops the connection) before any
+    data frame has been touched.
+    """
+    handshake = ServerHandshake(secret)
+    try:
+        send_raw(sock, handshake.banner())
+        confirm = handshake.verify(recv_raw(sock))
+        send_raw(sock, confirm)
+    except HandshakeError as exc:
+        raise AuthError(str(exc))
+    return MessageStream(sock, handshake.ciphers(), max_frame=max_frame)
+
+
+def connect_stream(sock: socket.socket, secret: Optional[bytes],
+                   max_frame: int = MAX_FRAME) -> MessageStream:
+    """Client side: run the v3 handshake, return the session channel.
+
+    Raises :class:`AuthError` when the worker demands a secret we do
+    not have, when our secret is rejected (connection closed mid-
+    handshake), when the worker cannot prove *it* knows the secret, or
+    when the peer speaks protocol v2.
+    """
+    handshake = ClientHandshake(secret)
+    try:
+        send_raw(sock, handshake.respond(recv_raw(sock)))
+        try:
+            confirm = recv_raw(sock)
+        except ConnectionError:
+            raise AuthError("worker rejected the handshake "
+                            "(connection closed)")
+        handshake.verify(confirm)
+    except HandshakeError as exc:
+        raise AuthError(str(exc))
+    return MessageStream(sock, handshake.ciphers(), max_frame=max_frame)
+
+
+# --------------------------------------------------------------------------
+# Plaintext frame helpers (tests/diagnostics over trusted sockets only)
+# --------------------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any],
+                 max_frame: int = MAX_FRAME) -> None:
+    """Write one *plaintext* v3 frame (no session crypto).
+
+    Real fabric sessions are always encrypted; this exists for tests
+    and local diagnostics over a socketpair.
+    """
+    try:
+        frame = wire.encode_frame(message)
+    except WireError as exc:
+        raise ProtocolError(str(exc))
+    if len(frame) > max_frame:
+        raise ProtocolError("frame of %d bytes exceeds MAX_FRAME (%d)"
+                            % (len(frame), max_frame))
+    sock.sendall(_RECORD_HEADER.pack(len(frame)) + frame)
+
+
+def recv_message(sock: socket.socket,
+                 max_frame: int = MAX_FRAME) -> Optional[Dict[str, Any]]:
+    """Read one *plaintext* v3 frame; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _RECORD_HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _RECORD_HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError("incoming frame claims %d bytes "
+                            "(MAX_FRAME is %d)" % (length, max_frame))
+    payload = _recv_exactly(sock, length) if length else b""
+    try:
+        return wire.decode_frame(payload)  # type: ignore[arg-type]
+    except WireError as exc:
+        raise ProtocolError(str(exc))
+
+
+def encodable(value: Any) -> Tuple[bool, str]:
+    """Can ``value`` cross the v3 wire?  ``(ok, reason)``."""
+    try:
+        wire.kpack(value)
+        return True, ""
+    except WireError as exc:
+        return False, str(exc)

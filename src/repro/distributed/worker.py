@@ -1,39 +1,40 @@
-"""The worker side of the fabric: a serve loop over one TCP socket.
+"""The worker side of the fabric: one asyncio loop per process.
 
-A worker is a long-lived process that listens for a coordinator,
-handshakes (protocol version + disk-cache warm start), then evaluates
-the ``item`` messages it is sent — each item is one kernel version plus
-an ordered list of :class:`~repro.evaluation.specs.CveSpec`s, the same
-shape ``engine._evaluate_group`` runs locally today.
+A worker is a long-lived process that listens for coordinators,
+handshakes (v3 encrypted session, then protocol version + disk-cache
+warm start), and evaluates the ``item`` messages it is sent — each item
+is one kernel version plus an ordered list of
+:class:`~repro.evaluation.specs.CveSpec`s, the same shape
+``engine._evaluate_group`` runs locally today.
 
-Two threads per session keep the worker responsive:
-
-* the **reader** (the connection's main loop) answers ``ping``
-  immediately and queues incoming items, so heartbeats are serviced
-  even while an evaluation is running;
-* the **evaluator** drains the item queue and *streams* every finished
-  ``CveResult`` back the moment it exists (``result`` message, trace
-  included), then closes the item with its cache-stats delta
-  (``item-done``) — the coordinator's ``progress`` callback fires
-  per CVE, not per batch.
+The session runs on the event loop; **evaluation runs in an executor
+thread**.  That split is what fixes heartbeat starvation: the loop is
+always free to answer ``ping`` with ``pong`` the instant it arrives,
+even when the current item has been grinding for minutes — a busy
+worker no longer looks dead.  The evaluating thread streams every
+finished ``CveResult`` back the moment it exists through
+:meth:`~repro.distributed.aio.AsyncChannel.send_threadsafe` (parking on
+the bounded send queue when the coordinator reads slowly), then closes
+the item with its cache-stats delta (``item-done``).
 
 Because the process outlives items, its in-memory cache tiers warm up
 across items: a worker that already evaluated one CVE of a kernel
 version holds that version's run build for every later item, which is
 what makes the coordinator's per-CVE work-stealing split cheap.
 
-Two hardening knobs guard a deployed worker:
+Hardening knobs:
 
-* ``secret`` (CLI ``--secret`` / env ``KSPLICE_WORKER_SECRET``) turns
-  on the HMAC challenge/response from :mod:`repro.distributed.protocol`
-  — unauthenticated peers are dropped before the worker unpickles a
-  single frame;
-* ``item_timeout`` bounds each item's wall clock.  Evaluation runs on
-  a per-item daemon thread; if it outlives the budget the worker
-  abandons it, answers with a reasoned ``error`` frame, and moves on —
-  a wedged CVE costs one item, not the whole session's heartbeat loop.
-  Late ``result`` frames from an abandoned thread reuse a retired
-  ``item_id``, which the coordinator already discards as stale.
+* ``secret`` (CLI ``--secret`` / env ``KSPLICE_WORKER_SECRET``) selects
+  the mutual-HMAC handshake mode; without one the session still key-
+  exchanges (anonymous DH) so every data frame is encrypted either way.
+  Unauthenticated peers are dropped before one data frame is decoded.
+* ``item_timeout`` bounds each item's wall clock.  A thread cannot be
+  killed, so on timeout the worker *abandons* the evaluation, answers
+  with a reasoned ``error`` frame, and moves on; late ``result`` frames
+  from the zombie thread reuse a retired ``item_id``, which the
+  coordinator discards as stale.
+* ``max_frame`` bounds every incoming and outgoing session frame; an
+  oversized claim drops the peer before allocation.
 
 ``spawn_local_workers`` forks workers on ephemeral localhost ports for
 tests, benchmarks, and the CI smoke job; each child starts with cold
@@ -43,17 +44,21 @@ spawned pool behaves like freshly started remote hosts.
 
 from __future__ import annotations
 
+import asyncio
 import os
-import queue
 import socket
-import threading
 import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.distributed import protocol
-from repro.distributed.protocol import AuthError, ProtocolError
+from repro.distributed import aio, protocol
+from repro.distributed.aio import AsyncChannel
+from repro.distributed.protocol import (
+    MAX_FRAME,
+    AuthError,
+    ProtocolError,
+)
 
 #: exit status a worker uses when told to die by fail_after_items
 _FAULT_EXIT = 17
@@ -76,73 +81,72 @@ def _reset_process_caches() -> None:
 
 
 class _Session:
-    """One coordinator connection: reader loop + evaluator thread."""
+    """One coordinator connection: reader coroutine + evaluator task."""
 
-    def __init__(self, sock: socket.socket,
+    def __init__(self, channel: AsyncChannel,
                  fail_after_items: Optional[int] = None,
-                 secret: Optional[bytes] = None,
                  item_timeout: Optional[float] = None,
                  wedge_seconds: Optional[float] = None):
-        self._sock = sock
-        self._send_lock = threading.Lock()
-        self._items: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
+        self._channel = channel
+        self._items: "asyncio.Queue[Optional[Dict[str, Any]]]" = \
+            asyncio.Queue()
         self._fail_after_items = fail_after_items
-        self._secret = secret
         self._item_timeout = item_timeout
         self._wedge_seconds = wedge_seconds
         self._items_seen = 0
 
-    def _send(self, message: Dict[str, Any]) -> None:
-        with self._send_lock:
-            protocol.send_message(self._sock, message)
-
-    def run(self) -> None:
-        try:
-            protocol.worker_auth_accept(self._sock, self._secret)
-        except (AuthError, ConnectionError, OSError):
-            return  # drop the peer: nothing was unpickled
-        if not self._handshake():
+    async def run(self) -> None:
+        if not await self._handshake():
             return
-        evaluator = threading.Thread(target=self._evaluate_loop,
-                                     daemon=True)
-        evaluator.start()
+        evaluator = asyncio.get_running_loop().create_task(
+            self._evaluate_loop())
         try:
-            self._reader_loop()
+            await self._reader_loop()
         finally:
-            self._items.put(None)
-            evaluator.join(timeout=30.0)
+            await self._items.put(None)
+            try:
+                await asyncio.wait_for(evaluator, timeout=30.0)
+            except (asyncio.TimeoutError, Exception):
+                evaluator.cancel()
 
-    def _handshake(self) -> bool:
-        hello = protocol.recv_message(self._sock)
+    async def _handshake(self) -> bool:
+        try:
+            hello = await self._channel.recv()
+        except (ConnectionError, ProtocolError, OSError):
+            return False
         if hello is None or hello.get("type") != protocol.HELLO:
             return False
         if hello.get("version") != protocol.PROTOCOL_VERSION:
-            self._send({"type": protocol.ERROR, "item_id": None,
-                        "error": "protocol version mismatch: "
-                                 "coordinator %r, worker %r"
-                                 % (hello.get("version"),
-                                    protocol.PROTOCOL_VERSION)})
+            await self._channel.send(
+                {"type": protocol.ERROR, "item_id": None,
+                 "error": "protocol version mismatch: "
+                          "coordinator %r, worker %r"
+                          % (hello.get("version"),
+                             protocol.PROTOCOL_VERSION)})
             return False
         from repro.compiler.cache import apply_disk_cache_config
 
         apply_disk_cache_config(hello.get("disk_cache"))
-        self._send({"type": protocol.READY,
-                    "version": protocol.PROTOCOL_VERSION,
-                    "pid": os.getpid()})
+        await self._channel.send({"type": protocol.READY,
+                                  "version": protocol.PROTOCOL_VERSION,
+                                  "pid": os.getpid()})
         return True
 
-    def _reader_loop(self) -> None:
+    async def _reader_loop(self) -> None:
+        """The loop side of the session: always free to answer pings —
+        evaluation happens on executor threads, so a grinding item never
+        delays the pong (the v2 fabric's heartbeat-starvation bug)."""
         while True:
             try:
-                message = protocol.recv_message(self._sock)
+                message = await self._channel.recv()
             except (ConnectionError, OSError, ProtocolError):
                 return
             if message is None:
                 return
             kind = message.get("type")
             if kind == protocol.PING:
-                self._send({"type": protocol.PONG,
-                            "seq": message.get("seq")})
+                await self._channel.send({"type": protocol.PONG,
+                                          "seq": message.get("seq")})
             elif kind == protocol.ITEM:
                 self._items_seen += 1
                 if self._fail_after_items is not None \
@@ -152,39 +156,48 @@ class _Session:
                     # mid-evaluation.  os._exit skips atexit/io — the
                     # coordinator only sees the TCP connection drop.
                     os._exit(_FAULT_EXIT)
-                self._items.put(message)
+                await self._items.put(message)
             elif kind == protocol.SHUTDOWN:
                 return
 
-    def _evaluate_loop(self) -> None:
+    async def _evaluate_loop(self) -> None:
+        loop = asyncio.get_running_loop()
         while True:
-            item = self._items.get()
+            item = await self._items.get()
             if item is None:
                 return
+            future = loop.run_in_executor(None, self._run_item, item)
             if self._item_timeout is None:
-                if not self._run_item(item):
+                if not await future:
                     return
                 continue
-            # Wall-clock budget: the item runs on its own daemon
-            # thread; a thread cannot be killed, so on timeout the
-            # worker *abandons* it and reports why.  Stray frames the
-            # zombie thread sends later carry this retired item_id and
-            # are dropped by the coordinator as stale.
-            done = threading.Event()
-            runner = threading.Thread(
-                target=lambda: (self._run_item(item), done.set()),
-                daemon=True)
-            runner.start()
-            if not done.wait(self._item_timeout):
+            # Wall-clock budget: the item runs on an executor thread; a
+            # thread cannot be killed, so on timeout the worker
+            # *abandons* it (shield keeps the future alive so the
+            # zombie thread finishes quietly) and reports why.  Stray
+            # frames the zombie sends later carry this retired item_id
+            # and are dropped by the coordinator as stale.
+            try:
+                ok = await asyncio.wait_for(asyncio.shield(future),
+                                            self._item_timeout)
+            except asyncio.TimeoutError:
                 try:
-                    self._send({
+                    await self._channel.send({
                         "type": protocol.ERROR,
                         "item_id": item.get("item_id"),
                         "error": "item exceeded the worker's "
                                  "--item-timeout of %.1fs; abandoned"
                                  % self._item_timeout})
-                except (ConnectionError, OSError):
+                except (ConnectionError, ProtocolError, OSError):
                     return
+                continue
+            if not ok:
+                return
+
+    # -- blocking side (executor threads) -----------------------------------
+
+    def _send_from_thread(self, message: Dict[str, Any]) -> None:
+        self._channel.send_threadsafe(message)
 
     def _run_item(self, item: Dict[str, Any]) -> bool:
         """Evaluate one item; ``False`` means the session is dead."""
@@ -204,9 +217,9 @@ class _Session:
             return False  # coordinator is gone; the session is over
         except Exception:
             try:
-                self._send({"type": protocol.ERROR,
-                            "item_id": item_id,
-                            "error": traceback.format_exc()})
+                self._send_from_thread({"type": protocol.ERROR,
+                                        "item_id": item_id,
+                                        "error": traceback.format_exc()})
             except (ConnectionError, OSError):
                 return False
             return True
@@ -221,12 +234,12 @@ class _Session:
             result = evaluate_cve(
                 spec, run_stress=item.get("run_stress", True),
                 verify_undo=item.get("verify_undo", False))
-            self._send({"type": protocol.RESULT,
-                        "item_id": item_id, "offset": offset,
-                        "result": result})
-        self._send({"type": protocol.ITEM_DONE,
-                    "item_id": item_id,
-                    "cache_delta": stats_delta(before)})
+            self._send_from_thread({"type": protocol.RESULT,
+                                    "item_id": item_id, "offset": offset,
+                                    "result": result})
+        self._send_from_thread({"type": protocol.ITEM_DONE,
+                                "item_id": item_id,
+                                "cache_delta": stats_delta(before)})
 
     def _run_fleet_item(self, item: Dict[str, Any]) -> None:
         """A whole canary rollout as one item, waves streamed back."""
@@ -235,13 +248,70 @@ class _Session:
         item_id = item.get("item_id")
 
         def on_wave(wave_dict: Dict[str, Any]) -> None:
-            self._send({"type": protocol.RESULT, "item_id": item_id,
-                        "offset": wave_dict.get("index", 0),
-                        "wave": wave_dict})
+            self._send_from_thread({"type": protocol.RESULT,
+                                    "item_id": item_id,
+                                    "offset": wave_dict.get("index", 0),
+                                    "wave": wave_dict})
 
         report = execute_rollout_item(item["plan"], on_wave=on_wave)
-        self._send({"type": protocol.ITEM_DONE, "item_id": item_id,
-                    "report": report})
+        self._send_from_thread({"type": protocol.ITEM_DONE,
+                                "item_id": item_id, "report": report})
+
+
+async def serve_async(host: str = "127.0.0.1", port: int = 0,
+                      once: bool = False,
+                      ready: Optional[Callable[[str, int], None]] = None,
+                      fail_after_items: Optional[int] = None,
+                      secret: Optional[bytes] = None,
+                      item_timeout: Optional[float] = None,
+                      wedge_seconds: Optional[float] = None,
+                      max_frame: int = MAX_FRAME) -> None:
+    """The worker's accept loop on the running event loop.
+
+    One loop multiplexes every coordinator session; see :func:`serve`
+    for the knob semantics.  ``secret`` here is already normalized
+    (``None`` means an open worker with anonymous key exchange).
+    """
+    done = asyncio.Event()
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            channel = await aio.accept_channel(reader, writer, secret,
+                                               max_frame=max_frame)
+        except (AuthError, ProtocolError, ConnectionError, OSError,
+                asyncio.IncompleteReadError):
+            # drop the peer: nothing past the handshake was decoded
+            try:
+                writer.close()
+            except OSError:
+                pass
+            return
+        try:
+            await _Session(channel,
+                           fail_after_items=fail_after_items,
+                           item_timeout=item_timeout,
+                           wedge_seconds=wedge_seconds).run()
+        finally:
+            await channel.close()
+            if once:
+                done.set()
+
+    server = await asyncio.start_server(handle, host, port)
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound_host, bound_port)
+    try:
+        if once:
+            await done.wait()
+        else:
+            await server.serve_forever()
+    finally:
+        server.close()
+        await server.wait_closed()
 
 
 def serve(host: str = "127.0.0.1", port: int = 0, once: bool = False,
@@ -249,7 +319,8 @@ def serve(host: str = "127.0.0.1", port: int = 0, once: bool = False,
           fail_after_items: Optional[int] = None,
           secret: Optional[bytes] = None,
           item_timeout: Optional[float] = None,
-          wedge_seconds: Optional[float] = None) -> None:
+          wedge_seconds: Optional[float] = None,
+          max_frame: int = MAX_FRAME) -> None:
     """Listen on ``host:port`` and serve coordinator sessions forever.
 
     ``port=0`` binds an ephemeral port; ``ready`` (if given) receives
@@ -261,35 +332,17 @@ def serve(host: str = "127.0.0.1", port: int = 0, once: bool = False,
     ``wedge_seconds`` stalls every item, fault injection for the
     ``item_timeout`` budget.  ``secret=None`` falls back to
     ``KSPLICE_WORKER_SECRET``; pass ``b""`` to force an open worker.
+    ``max_frame`` bounds every session frame in both directions.
     """
     if secret is None:
         secret = protocol.default_secret()
     elif not secret:
         secret = None
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind((host, port))
-    listener.listen(4)
-    bound_host, bound_port = listener.getsockname()[:2]
-    if ready is not None:
-        ready(bound_host, bound_port)
-    try:
-        while True:
-            sock, _addr = listener.accept()
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            try:
-                _Session(sock, fail_after_items=fail_after_items,
-                         secret=secret, item_timeout=item_timeout,
-                         wedge_seconds=wedge_seconds).run()
-            finally:
-                try:
-                    sock.close()
-                except OSError:
-                    pass
-            if once:
-                return
-    finally:
-        listener.close()
+    asyncio.run(serve_async(host=host, port=port, once=once, ready=ready,
+                            fail_after_items=fail_after_items,
+                            secret=secret, item_timeout=item_timeout,
+                            wedge_seconds=wedge_seconds,
+                            max_frame=max_frame))
 
 
 # -- localhost spawning (tests, benchmarks, CI smoke) -----------------------

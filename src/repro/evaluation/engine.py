@@ -220,7 +220,7 @@ class EngineStats:
     groups: int = 0
     #: parallel execution was requested but fell back to in-process
     fell_back: bool = False
-    #: why the fallback happened ("unpicklable specs", "broken
+    #: why the fallback happened ("unserializable specs", "broken
     #: executor: ...", "no workers reachable at ...") — surfaced by the
     #: CLI so a silently-sequential run never goes unexplained
     fallback_reason: str = ""
@@ -231,6 +231,11 @@ class EngineStats:
     work_items: int = 0
     #: distributed runs: items requeued after a worker died or failed
     retries: int = 0
+    #: distributed runs: successful coordinator->worker reconnects
+    #: (each preceded by exponential backoff with jitter)
+    reconnects: int = 0
+    #: distributed runs: reconnect counts per worker address
+    reconnects_by_peer: Dict[str, int] = field(default_factory=dict)
     #: distributed runs: CVEs the coordinator evaluated in-process
     #: after the fleet could not finish them (graceful degradation)
     local_rescues: int = 0
@@ -380,8 +385,8 @@ def _evaluate_distributed(specs: Sequence[CveSpec], run_stress: bool,
     has warmed the run-build cache, retries items lost with dead
     workers, and rescues any remainder in-process.  ``None`` is
     returned only when no worker answered the handshake or the specs
-    cannot be pickled — the caller then walks the same fallback chain
-    the local pool uses.
+    cannot cross the v3 wire — the caller then walks the same
+    fallback chain the local pool uses.
     """
     from repro.distributed import Coordinator, ProtocolError
 

@@ -67,24 +67,24 @@ def run_remote_rollout(
     sock = socket.create_connection((host, port), timeout=timeout)
     try:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        protocol.worker_auth_connect(sock, secret)
-        protocol.send_message(sock, {
+        stream = protocol.connect_stream(sock, secret)
+        stream.send({
             "type": protocol.HELLO,
             "version": protocol.PROTOCOL_VERSION,
             "disk_cache": None})
-        ready = protocol.recv_message(sock)
+        ready = stream.recv()
         if ready is None or ready.get("type") != protocol.READY:
             raise ProtocolError(
                 "worker %s rejected the handshake: %r"
                 % (address,
                    (ready or {}).get("error", "connection closed")))
-        protocol.send_message(sock, {
+        stream.send({
             "type": protocol.ITEM, "item_id": "rollout-0",
             "kind": "fleet-rollout",
             "plan": plan.to_json_dict()})
         report_data: Optional[Dict[str, Any]] = None
         while True:
-            message = protocol.recv_message(sock)
+            message = stream.recv()
             if message is None:
                 raise ConnectionError(
                     "worker %s closed before finishing the rollout"
@@ -101,8 +101,8 @@ def run_remote_rollout(
                     "remote rollout failed on %s:\n%s"
                     % (address, message.get("error", "")))
         try:
-            protocol.send_message(sock, {"type": protocol.SHUTDOWN})
-        except (ConnectionError, OSError):
+            stream.send({"type": protocol.SHUTDOWN})
+        except (ConnectionError, ProtocolError, OSError):
             pass
         if not isinstance(report_data, dict):
             raise ProtocolError("worker %s sent no rollout report"

@@ -85,10 +85,10 @@ def test_message_roundtrip_over_socketpair():
 def test_oversized_frame_is_rejected_before_allocation():
     left, right = socket.socketpair()
     try:
-        header = (protocol.MAX_FRAME + 1).to_bytes(8, "big")
+        header = (protocol.MAX_FRAME + 4096).to_bytes(4, "big")
         left.sendall(header)
         with pytest.raises(ProtocolError):
-            protocol.recv_message(right)
+            protocol.MessageStream(right).recv()
     finally:
         left.close()
         right.close()
@@ -96,19 +96,23 @@ def test_oversized_frame_is_rejected_before_allocation():
 
 def test_message_stream_survives_timeout_mid_frame():
     """A heartbeat timeout mid-frame must not desynchronize the wire."""
+    from repro.distributed import wire
+    from repro.distributed.protocol import pack_batch
+
     left, right = socket.socketpair()
     try:
         stream = protocol.MessageStream(right)
-        message = {"type": "result", "payload": b"y" * 4096}
-        import pickle
-        payload = pickle.dumps(message, pickle.HIGHEST_PROTOCOL)
-        frame = len(payload).to_bytes(8, "big") + payload
+        frame = wire.encode_frame({"type": "item", "item_id": 7,
+                                   "blob": b"y" * 4096})
+        expected = wire.decode_frame(frame)
+        record = pack_batch([frame])
+        buf = len(record).to_bytes(4, "big") + record
         right.settimeout(0.05)
-        left.sendall(frame[:100])  # first fragment only
+        left.sendall(buf[:100])  # first fragment only
         with pytest.raises(socket.timeout):
             stream.recv()
-        left.sendall(frame[100:])  # the rest arrives later
-        assert stream.recv() == message
+        left.sendall(buf[100:])  # the rest arrives later
+        assert stream.recv() == expected
     finally:
         left.close()
         right.close()
@@ -130,12 +134,12 @@ def test_version_mismatch_rejected_at_handshake():
 
     def fake_worker(listener):
         sock, _ = listener.accept()
-        protocol.send_raw(sock, protocol.AUTH_NONE)
-        hello = protocol.recv_message(sock)
+        stream = protocol.accept_stream(sock, None)
+        hello = stream.recv()
         done["version"] = hello["version"]
-        protocol.send_message(sock, {"type": protocol.ERROR,
-                                     "item_id": None,
-                                     "error": "protocol version mismatch"})
+        stream.send({"type": protocol.ERROR,
+                     "item_id": None,
+                     "error": "protocol version mismatch"})
         sock.close()
 
     listener = socket.socket()
@@ -230,7 +234,9 @@ def test_no_workers_reachable_falls_back(sequential_results):
         sequential_results
 
 
-def test_unpicklable_specs_fall_back_with_reason():
+def test_unserializable_specs_fall_back_with_reason():
+    """A class outside the wire's closed registry cannot cross: the
+    coordinator refuses before connecting rather than failing mid-run."""
     from dataclasses import fields
 
     from repro.evaluation.specs import CveSpec
@@ -243,7 +249,7 @@ def test_unpicklable_specs_fall_back_with_reason():
     stats = EngineStats()
     coordinator = Coordinator(["127.0.0.1:9"])
     assert coordinator.run([local], run_stress=False, stats=stats) is None
-    assert stats.fallback_reason == "unpicklable specs"
+    assert stats.fallback_reason == "unserializable specs"
 
 
 def test_bad_worker_address_falls_back():

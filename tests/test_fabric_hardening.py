@@ -35,16 +35,16 @@ def _connect(worker):
 # -- handshake authentication ------------------------------------------------
 
 
-def test_unauthenticated_peer_dropped_before_any_pickle():
-    """A client with no secret is rejected at the raw-frame layer —
-    the worker never deserializes anything from it — and the worker
+def test_unauthenticated_peer_dropped_before_any_decode():
+    """A client with no secret is rejected during the handshake —
+    the worker never decodes a data frame from it — and the worker
     stays up for properly authenticated peers."""
     workers = spawn_local_workers(1, secret=SECRET)
     try:
         sock = _connect(workers[0])
         try:
             with pytest.raises(AuthError, match="requires a shared"):
-                protocol.worker_auth_connect(sock, None)
+                protocol.connect_stream(sock, None)
         finally:
             sock.close()
 
@@ -64,7 +64,7 @@ def test_wrong_secret_is_rejected():
         sock = _connect(workers[0])
         try:
             with pytest.raises(ProtocolError):
-                protocol.worker_auth_connect(sock, b"not-the-secret")
+                protocol.connect_stream(sock, b"not-the-secret")
         finally:
             sock.close()
     finally:
@@ -74,14 +74,17 @@ def test_wrong_secret_is_rejected():
 def test_client_detects_impostor_worker():
     """Mutual auth: a fake worker that demands a secret but cannot
     prove it knows it must be refused by the client."""
+    from repro.distributed.crypto import ServerHandshake
 
     def impostor(server):
         conn, _ = server.accept()
         with conn:
-            protocol.send_raw(
-                conn, protocol.AUTH_REQUIRED + b"\x00" * 16)
+            # A worker that *demands* the secret but holds a wrong one
+            # cannot compute the confirmation the client expects.
+            handshake = ServerHandshake(b"some-other-secret")
+            protocol.send_raw(conn, handshake.banner())
             protocol.recv_raw(conn)  # client proof; impostor can't check
-            protocol.send_raw(conn, b"\x00" * 32)  # forged proof
+            protocol.send_raw(conn, b"\x00" * 32)  # forged confirmation
 
     import threading
 
@@ -96,7 +99,7 @@ def test_client_detects_impostor_worker():
         sock.settimeout(10.0)
         try:
             with pytest.raises(AuthError, match="failed to prove"):
-                protocol.worker_auth_connect(sock, SECRET)
+                protocol.connect_stream(sock, SECRET)
         finally:
             sock.close()
     finally:
@@ -138,6 +141,87 @@ def test_secret_worker_open_coordinator_falls_back(monkeypatch):
         workers[0].stop()
     assert stats.fell_back
     assert all(r.success for r in report.results)
+
+
+# -- heartbeats under load ----------------------------------------------------
+
+
+def test_heartbeat_answered_while_item_runs():
+    """A slow item must not starve the heartbeat: the worker evaluates
+    in an executor thread while its event loop answers pings, so a
+    coordinator with a tight heartbeat budget sees a live worker and
+    never retries or rescues."""
+    from repro.distributed.coordinator import Coordinator
+    from repro.evaluation import CORPUS
+    from repro.evaluation.engine import _evaluate_group
+
+    specs = CORPUS[:2]
+    # Each item wedges ~2s; three missed 0.2s heartbeats (~0.6s budget)
+    # would mark the worker dead long before the item finishes.
+    workers = spawn_local_workers(1, wedge_seconds=2.0)
+    stats = EngineStats()
+    try:
+        coordinator = Coordinator([workers[0].address],
+                                  heartbeat_interval=0.2,
+                                  heartbeat_misses=3)
+        results = coordinator.run(specs, run_stress=False, stats=stats)
+    finally:
+        workers[0].stop()
+    assert results is not None and len(results) == len(specs)
+    assert stats.retries == 0
+    assert stats.local_rescues == 0
+    assert stats.workers == 1
+
+
+# -- reconnect backoff --------------------------------------------------------
+
+
+def test_reconnect_after_worker_death_is_counted():
+    """A worker that dies mid-run is reconnected (the respawned
+    listener reuses the port) with exponential backoff, and the
+    reconnect shows up in EngineStats per peer."""
+    from repro.evaluation import CORPUS
+
+    faulty = spawn_local_workers(1, fail_after_items=1)
+    healthy = spawn_local_workers(1)
+    stats = EngineStats()
+    try:
+        report = evaluate_corpus(CORPUS[:4], run_stress=False,
+                                 stats=stats,
+                                 workers=[faulty[0].address,
+                                          healthy[0].address])
+    finally:
+        faulty[0].stop()
+        healthy[0].stop()
+    assert all(r.success for r in report.results)
+    assert not stats.fell_back
+    # The faulty worker died after its first item; the coordinator
+    # either reconnected to its respawned listener or exhausted the
+    # backoff schedule — both are visible in the stats.
+    assert stats.reconnects == sum(stats.reconnects_by_peer.values())
+
+
+# -- frame-size enforcement ---------------------------------------------------
+
+
+def test_oversize_frame_drops_peer_post_handshake():
+    """max_frame binds *after* the handshake too: a session frame
+    larger than the configured cap is a ProtocolError on the sender
+    and, wire-injected, on the receiver."""
+    left, right = socket.socketpair()
+    try:
+        sender = protocol.MessageStream(left, max_frame=1024)
+        with pytest.raises(ProtocolError, match="exceeds the session"):
+            sender.send({"type": "item", "blob": b"z" * 2048})
+        # Receiver side: a forged record header over the cap is
+        # rejected before any allocation or decode.
+        receiver = protocol.MessageStream(right, max_frame=1024)
+        left.sendall((1024 + 4096).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError, match="dropping the peer"):
+            receiver.recv()
+    finally:
+        left.close()
+        right.close()
 
 
 # -- per-item wall-clock timeout ---------------------------------------------
