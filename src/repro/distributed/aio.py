@@ -320,7 +320,7 @@ class AsyncChannel:
             pass
         self._reader_task.cancel()
         try:
-            await self._writer_task
+            await self._reader_task
         except (asyncio.CancelledError, Exception):
             pass
         try:
@@ -409,5 +409,13 @@ async def connect_channel(host: str, port: int,
         if isinstance(exc, asyncio.IncompleteReadError):
             raise AuthError("worker closed during the handshake")
         raise
-    return AsyncChannel(reader, writer, handshake.ciphers(),
+    ciphers = handshake.ciphers()
+    if secret is not None and not ciphers.authenticated:
+        # Unreachable while ClientHandshake refuses downgrades, but a
+        # secret-configured client must never ship work over an
+        # unauthenticated session regardless of handshake internals.
+        writer.close()
+        raise AuthError("handshake completed without authentication "
+                        "despite a configured secret")
+    return AsyncChannel(reader, writer, ciphers,
                         max_frame=max_frame, send_queue=send_queue)

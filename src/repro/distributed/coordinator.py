@@ -468,7 +468,12 @@ class Coordinator:
                                   message.get("cache_delta"),
                                   failed=False)
                 return
-            elif kind == protocol.ERROR:
+            elif kind == protocol.ERROR \
+                    and message.get("item_id") in (item.item_id, None):
+                # item_id None covers pre-item failures (version
+                # mismatch); an error stamped with a *retired* item_id
+                # is a zombie thread from an abandoned item and must
+                # not fail the item currently in flight.
                 self._finish_item(peer_id, item, None, failed=True)
                 return
             # pongs and stale-item noise just prove liveness

@@ -21,6 +21,13 @@ Two key-agreement modes, chosen by whether a secret is configured:
   ``CveResult`` objects.  ~3 ms of ``pow()`` per side, paid once per
   connection.
 
+The mode cannot be downgraded: a client configured with a secret
+refuses any banner that is not secret mode (rather than silently
+falling back to unauthenticated DH), and the banner's mode byte is
+bound into every HMAC proof and into master-key derivation, so a MITM
+rewriting it desynchronizes the two sides' keys and the key
+confirmation fails.
+
 Frame protection (:class:`FrameCipher`, one per direction):
 
 * keystream — SHAKE-128 as an XOF in counter mode:
@@ -89,8 +96,13 @@ class FrameAuthError(ReproError):
     """A frame failed decryption/authentication mid-session."""
 
 
-def _proof(secret: bytes, domain: bytes, nonce: bytes) -> bytes:
-    return hmac.new(secret, domain + nonce, "sha256").digest()
+def _proof(secret: bytes, domain: bytes, mode: int,
+           nonce: bytes) -> bytes:
+    # The handshake mode byte is bound into every proof so a MITM
+    # rewriting the banner's mode cannot splice two half-handshakes
+    # into one session: mismatched modes produce mismatched proofs.
+    return hmac.new(secret, domain + bytes([mode]) + nonce,
+                    "sha256").digest()
 
 
 def _derive(master: bytes, label: bytes) -> bytes:
@@ -121,17 +133,20 @@ class SessionKeys:
         )
 
 
-def _master_from_secret(secret: bytes, worker_nonce: bytes,
+def _master_from_secret(secret: bytes, mode: int, worker_nonce: bytes,
                         client_nonce: bytes) -> bytes:
-    return hmac.new(secret, _MASTER_DOMAIN + worker_nonce + client_nonce,
+    return hmac.new(secret,
+                    _MASTER_DOMAIN + bytes([mode]) + worker_nonce
+                    + client_nonce,
                     "sha256").digest()
 
 
-def _master_from_dh(shared: int, worker_nonce: bytes,
+def _master_from_dh(shared: int, mode: int, worker_nonce: bytes,
                     client_nonce: bytes) -> bytes:
     shared_bytes = shared.to_bytes(_DH_BYTES, "big")
     return hmac.new(shared_bytes,
-                    _MASTER_DOMAIN + worker_nonce + client_nonce,
+                    _MASTER_DOMAIN + bytes([mode]) + worker_nonce
+                    + client_nonce,
                     "sha256").digest()
 
 
@@ -265,24 +280,24 @@ class ServerHandshake:
             if len(rest) != _DIGEST_SIZE:
                 raise HandshakeError("malformed auth response (%d "
                                      "bytes)" % len(response))
-            expected = _proof(self._secret, _CLIENT_DOMAIN,
+            expected = _proof(self._secret, _CLIENT_DOMAIN, self._mode,
                               self._worker_nonce + client_nonce)
             if not hmac.compare_digest(rest, expected):
                 raise HandshakeError(
                     "client failed the shared-secret challenge")
-            master = _master_from_secret(self._secret,
+            master = _master_from_secret(self._secret, self._mode,
                                          self._worker_nonce,
                                          client_nonce)
             self._keys = SessionKeys.from_master(master,
                                                  authenticated=True)
-            return _proof(self._secret, _WORKER_DOMAIN,
+            return _proof(self._secret, _WORKER_DOMAIN, self._mode,
                           client_nonce + self._worker_nonce)
         if len(rest) != _DH_BYTES:
             raise HandshakeError("malformed DH response (%d bytes)"
                                  % len(response))
         assert self._dh_exponent is not None
         shared = _dh_shared(self._dh_exponent, rest)
-        master = _master_from_dh(shared, self._worker_nonce,
+        master = _master_from_dh(shared, self._mode, self._worker_nonce,
                                  client_nonce)
         self._keys = SessionKeys.from_master(master, authenticated=False)
         # prove we computed the same keys before any frame flows
@@ -322,19 +337,32 @@ class ClientHandshake:
         self._mode = banner[4]
         worker_nonce = banner[5:5 + NONCE_SIZE]
         rest = banner[5 + NONCE_SIZE:]
+        if self._secret is not None and self._mode != MODE_SECRET:
+            # Downgrade refusal: when this side is configured with a
+            # secret, an unauthenticated banner means either a
+            # misconfigured worker or an impostor/MITM stripping the
+            # mode byte to dodge the challenge.  Never fall back to
+            # anonymous DH — that would send work to a peer that never
+            # proved anything.
+            raise HandshakeError(
+                "authentication downgrade refused: a shared secret is "
+                "configured but the worker offered an unauthenticated "
+                "(mode %d) handshake; start the worker with the same "
+                "--secret / KSPLICE_WORKER_SECRET" % self._mode)
         if self._mode == MODE_SECRET:
             if self._secret is None:
                 raise HandshakeError(
                     "worker requires a shared secret; pass --secret or "
                     "set KSPLICE_WORKER_SECRET")
-            proof = _proof(self._secret, _CLIENT_DOMAIN,
+            proof = _proof(self._secret, _CLIENT_DOMAIN, self._mode,
                            worker_nonce + self._client_nonce)
-            master = _master_from_secret(self._secret, worker_nonce,
+            master = _master_from_secret(self._secret, self._mode,
+                                         worker_nonce,
                                          self._client_nonce)
             self._keys = SessionKeys.from_master(master,
                                                  authenticated=True)
             self._expected_confirm = _proof(
-                self._secret, _WORKER_DOMAIN,
+                self._secret, _WORKER_DOMAIN, self._mode,
                 self._client_nonce + worker_nonce)
             return (MAGIC + bytes([MODE_SECRET]) + self._client_nonce
                     + proof)
@@ -346,7 +374,7 @@ class ClientHandshake:
                                  % len(banner))
         exponent, public = _dh_keypair()
         shared = _dh_shared(exponent, rest)
-        master = _master_from_dh(shared, worker_nonce,
+        master = _master_from_dh(shared, self._mode, worker_nonce,
                                  self._client_nonce)
         self._keys = SessionKeys.from_master(master, authenticated=False)
         self._expected_confirm = _derive(master, b"worker-confirm")

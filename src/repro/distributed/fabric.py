@@ -247,10 +247,15 @@ class RolloutDispatcher:
                 done.set_result(None)
 
         await channel.install_hook(on_acks, on_end)
+
+        async def converse() -> None:
+            await channel.send_frames(frames)
+            await done
+
+        # wait_for, not 3.11+'s asyncio.timeout(): requires-python is
+        # 3.9 and this is the one timeout on the rollout hot path.
         try:
-            async with asyncio.timeout(self.member_timeout):
-                await channel.send_frames(frames)
-                await done
+            await asyncio.wait_for(converse(), self.member_timeout)
         except (ConnectionError, ProtocolError, OSError,
                 asyncio.TimeoutError):
             pass

@@ -340,7 +340,14 @@ def connect_stream(sock: socket.socket, secret: Optional[bytes],
         handshake.verify(confirm)
     except HandshakeError as exc:
         raise AuthError(str(exc))
-    return MessageStream(sock, handshake.ciphers(), max_frame=max_frame)
+    ciphers = handshake.ciphers()
+    if secret is not None and not ciphers.authenticated:
+        # Unreachable while ClientHandshake refuses downgrades, but a
+        # secret-configured client must never ship work over an
+        # unauthenticated session regardless of handshake internals.
+        raise AuthError("handshake completed without authentication "
+                        "despite a configured secret")
+    return MessageStream(sock, ciphers, max_frame=max_frame)
 
 
 # --------------------------------------------------------------------------

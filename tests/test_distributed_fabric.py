@@ -160,6 +160,54 @@ def test_version_mismatch_rejected_at_handshake():
     assert done["version"] == protocol.PROTOCOL_VERSION
 
 
+def test_stale_error_frame_does_not_fail_inflight_item():
+    """An ERROR stamped with a *retired* item_id — a zombie thread from
+    a previously abandoned item reporting late — must be discarded like
+    stale results, not fail the item currently in flight."""
+    fake_result = {"ok": True}
+
+    def fake_worker(listener):
+        sock, _ = listener.accept()
+        sock.settimeout(10.0)
+        stream = protocol.accept_stream(sock, None)
+        assert stream.recv()["type"] == protocol.HELLO
+        stream.send({"type": protocol.READY,
+                     "version": protocol.PROTOCOL_VERSION})
+        item = stream.recv()
+        assert item["type"] == protocol.ITEM
+        # Zombie noise first: an error for an item this coordinator
+        # never dispatched to us (retired id).
+        stream.send({"type": protocol.ERROR, "item_id": "i999",
+                     "error": "late failure from an abandoned item"})
+        stream.send({"type": protocol.RESULT,
+                     "item_id": item["item_id"], "offset": 0,
+                     "result": fake_result})
+        stream.send({"type": protocol.ITEM_DONE,
+                     "item_id": item["item_id"]})
+        while True:
+            message = stream.recv()
+            if message is None or message["type"] == protocol.SHUTDOWN:
+                break
+        stream.close()
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    thread = threading.Thread(target=fake_worker, args=(listener,),
+                              daemon=True)
+    thread.start()
+    stats = EngineStats()
+    coordinator = Coordinator(["127.0.0.1:%d" % port],
+                              connect_timeout=5.0)
+    results = coordinator.run(_slice(1), run_stress=False, stats=stats)
+    thread.join(timeout=10.0)
+    listener.close()
+    assert results == [fake_result]
+    assert stats.retries == 0  # the stale error cost nothing
+    assert stats.local_rescues == 0
+
+
 # -- end-to-end over spawned localhost workers ------------------------------
 
 

@@ -107,6 +107,44 @@ def test_client_detects_impostor_worker():
         thread.join(5.0)
 
 
+def test_client_refuses_anonymous_downgrade():
+    """A client configured with a secret must refuse a worker (or a
+    MITM rewriting the banner's mode byte) that offers an
+    unauthenticated handshake — never silently fall back to anonymous
+    DH and ship work to a peer that proved nothing."""
+    from repro.distributed.crypto import ServerHandshake
+
+    def impostor(server):
+        conn, _ = server.accept()
+        with conn:
+            handshake = ServerHandshake(None)  # anonymous-mode banner
+            protocol.send_raw(conn, handshake.banner())
+            try:
+                protocol.recv_raw(conn)  # client hangs up instead
+            except (ConnectionError, OSError, ProtocolError):
+                pass
+
+    import threading
+
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    thread = threading.Thread(target=impostor, args=(server,),
+                              daemon=True)
+    thread.start()
+    try:
+        sock = socket.create_connection(server.getsockname(), timeout=10)
+        sock.settimeout(10.0)
+        try:
+            with pytest.raises(AuthError, match="downgrade"):
+                protocol.connect_stream(sock, SECRET)
+        finally:
+            sock.close()
+    finally:
+        server.close()
+        thread.join(5.0)
+
+
 def test_authenticated_evaluation_matches_open(monkeypatch):
     """The coordinator picks the secret up from the environment and the
     distributed run completes without fallback."""

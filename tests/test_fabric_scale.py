@@ -123,11 +123,14 @@ def test_async_channel_backpressure_bounds_queue():
         # must eventually time out rather than buffer forever.
         big = {"type": "item", "blob": b"x" * 1_000_000}
         sender = port_holder["server_channel"]
+
+        async def flood():
+            while True:
+                await sender.send(big)
+                parked["count"] += 1
+
         with pytest.raises(asyncio.TimeoutError):
-            async with asyncio.timeout(2.0):
-                while True:
-                    await sender.send(big)
-                    parked["count"] += 1
+            await asyncio.wait_for(flood(), 2.0)
         assert parked["count"] < 200  # bounded, not unbounded buffering
         await client.close()
         await sender.close()
