@@ -254,21 +254,55 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_provider(args: argparse.Namespace):
+    """The corpus provider named by ``--corpus`` (or the seed table),
+    or an error message."""
+    from repro.errors import ReproError
+    from repro.evaluation.corpus import load_corpus_provider
+
+    try:
+        return load_corpus_provider(getattr(args, "corpus", None)), None
+    except ReproError as exc:
+        return None, str(exc)
+
+
+def _unknown_cve_message(wanted: str, known: list) -> str:
+    """A usage error for an unknown CVE id, listing near-miss ids."""
+    import difflib
+
+    near = difflib.get_close_matches(wanted, known, n=3, cutoff=0.6)
+    if not near:
+        # fall back to ids sharing the longest prefix (users most often
+        # mistype the trailing digits)
+        scored = sorted(known, key=lambda k: (-len(os.path.commonprefix(
+            [k, wanted])), k))
+        near = [k for k in scored[:3]
+                if len(os.path.commonprefix([k, wanted])) >= 4]
+    message = "error: unknown CVE %r" % wanted
+    if near:
+        message += "; did you mean: %s" % ", ".join(near)
+    return message
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
     from repro.evaluation.analyze import analyze_corpus_cve
-    from repro.evaluation.corpus import corpus_by_id
 
+    provider, error = _load_provider(args)
+    if provider is None:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_USAGE
     if args.all:
-        return _analyze_all(args)
+        return _analyze_all(args, provider)
     if not args.cve:
         print("error: name a CVE or pass --all", file=sys.stderr)
         return EXIT_USAGE
     try:
-        spec = corpus_by_id(args.cve)
+        spec = provider.by_id(args.cve)
     except KeyError:
-        print("error: unknown CVE %r" % args.cve, file=sys.stderr)
+        print(_unknown_cve_message(args.cve, provider.ids()),
+              file=sys.stderr)
         return EXIT_USAGE
     augmented = args.augmented and spec.table1 is not None
     analysis = analyze_corpus_cve(spec, augmented=args.augmented)
@@ -283,15 +317,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return analysis.exit_code()
 
 
-def _analyze_all(args: argparse.Namespace) -> int:
-    """Corpus-wide verdict summary, proof status, and oracle check."""
+def _analyze_all(args: argparse.Namespace, provider) -> int:
+    """Corpus-wide verdict summary, proof status, and oracle check.
+
+    The oracle is the provider's: internal verdict/outcome consistency
+    for the seed table, plus the factory's stamped ground truth for
+    generated corpora."""
     import json
 
-    from repro.evaluation.engine import verdict_discrepancies
     from repro.evaluation.harness import evaluate_corpus
 
-    summary = evaluate_corpus(run_stress=False)
-    discrepancies = verdict_discrepancies(summary.results)
+    summary = evaluate_corpus(provider.specs(), run_stress=False,
+                              jobs=getattr(args, "jobs", 1))
+    discrepancies = provider.discrepancies(summary.results)
     rows = []
     verdicts: Dict[str, int] = {}
     for result in summary.results:
@@ -341,8 +379,12 @@ def _analyze_all(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    from repro.evaluation import CORPUS
     from repro.evaluation.harness import evaluate_corpus
+
+    provider, error = _load_provider(args)
+    if provider is None:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_USAGE
 
     if args.cache_dir:
         from repro.compiler.cache import enable_disk_cache
@@ -356,7 +398,19 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
         os.environ[SECRET_ENV] = args.secret
 
-    specs = CORPUS[:args.limit] if args.limit else CORPUS
+    specs = provider.specs()
+    if args.cve:
+        known = provider.ids()
+        chosen = []
+        for wanted in args.cve:
+            if wanted not in known:
+                print(_unknown_cve_message(wanted, known),
+                      file=sys.stderr)
+                return EXIT_USAGE
+            chosen.append(provider.by_id(wanted))
+        specs = chosen
+    if args.limit:
+        specs = specs[:args.limit]
 
     def progress(result):
         status = "ok" if result.success else "FAIL"
@@ -387,9 +441,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print("analyzer verdicts: %s"
           % ", ".join("%s %d" % (verdict, counts[verdict])
                       for verdict in sorted(counts)))
-    from repro.evaluation.engine import verdict_discrepancies
-
-    discrepancies = verdict_discrepancies(report.results)
+    discrepancies = provider.discrepancies(report.results)
     if discrepancies:
         print("analyzer vs outcome discrepancies (%d):"
               % len(discrepancies))
@@ -457,8 +509,94 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             "failed": [r.cve_id for r in report.results if not r.success],
             "jit": stats.jit,
         })
-    return EXIT_OK if len(report.successes()) == report.total() \
-        else EXIT_FAILURE
+    ok = len(report.successes()) == report.total() and not discrepancies
+    return EXIT_OK if ok else EXIT_FAILURE
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a scenario corpus and write its manifest."""
+    from collections import Counter
+
+    from repro.errors import ReproError
+    from repro.scenarios import GeneratedCorpus, write_corpus
+
+    if args.size <= 0:
+        print("error: --size must be positive", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        corpus = GeneratedCorpus.generate(args.seed, args.size, args.mix)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    path = write_corpus(corpus, args.out)
+    shapes = Counter(s.shape for s in corpus.scenarios)
+    print("generated %d scenarios (seed %d, mix %s) -> %s"
+          % (args.size, args.seed, args.mix, path))
+    print("kernel versions: %d   shapes: %s"
+          % (len(corpus.kernel_versions()),
+             ", ".join("%s %d" % (shape, shapes[shape])
+                       for shape in sorted(shapes))))
+    expected = Counter(s.expected.verdict for s in corpus.scenarios)
+    print("expected verdicts: %s"
+          % ", ".join("%s %d" % (verdict, expected[verdict])
+                      for verdict in sorted(expected)))
+    return EXIT_OK
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Mutate patches and check the verdict/proof/apply consistency
+    contract; exit 3 on any oracle discrepancy."""
+    import json
+
+    from repro.scenarios import GeneratedCorpus, fuzz_corpus
+
+    provider, error = _load_provider(args)
+    if provider is None:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_USAGE
+    if getattr(args, "corpus", None):
+        specs = provider.specs()
+    else:
+        # default pool: the property test's cheap seed CVEs plus a
+        # small generated corpus, so every shape gets mutated
+        from repro.evaluation.corpus import corpus_by_id
+
+        specs = [corpus_by_id(cve_id)
+                 for cve_id in ("CVE-2005-3847", "CVE-2006-0095",
+                                "CVE-2006-6106", "CVE-2007-2453",
+                                "CVE-2007-5904")]
+        specs += GeneratedCorpus.generate(args.seed, 8).specs()
+
+    def progress(outcome):
+        if not args.json:
+            sys.stdout.write("%-22s %-26s %-12s %s\n"
+                             % (outcome.cve_id, outcome.operator,
+                                outcome.status,
+                                outcome.verdict
+                                or ("-" if outcome.status != "evaluated"
+                                    else "?")))
+
+    report = fuzz_corpus(specs, budget=args.budget, seed=args.seed,
+                         progress=progress)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print("\n%d mutants evaluated, %d refused by the pipeline, "
+              "%d inapplicable"
+              % (report.mutants, report.refused, report.inapplicable))
+        print("verdicts: %s"
+              % (", ".join("%s %d" % (v, c) for v, c in
+                           sorted(report.verdict_counts.items()))
+                 or "(none)"))
+        if report.discrepancies:
+            print("ORACLE DISCREPANCIES (%d):"
+                  % len(report.discrepancies))
+            for line in report.discrepancies:
+                print("  " + line)
+        else:
+            print("verdict, proof, and apply outcomes mutually "
+                  "consistent on every mutant")
+    return EXIT_OK if report.consistent else EXIT_FAILURE
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
@@ -890,6 +1028,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--augmented", action="store_true",
                            help="analyze the hook-augmented patch instead "
                                 "of the original security patch")
+    p_analyze.add_argument("--corpus", default=None, metavar="DIR",
+                           help="analyze a generated corpus (a `repro "
+                                "generate` output directory) instead of "
+                                "the seed table; with --all the factory's "
+                                "stamped ground truth joins the oracle")
+    p_analyze.add_argument("--jobs", type=int, default=1,
+                           help="with --all: sweep kernel-version groups "
+                                "in N worker processes (default 1)")
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_eval = sub.add_parser("evaluate", help="run the §6 evaluation")
@@ -897,6 +1043,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the stress battery")
     p_eval.add_argument("--limit", type=int, default=0,
                         help="evaluate only the first N CVEs")
+    p_eval.add_argument("--corpus", default=None, metavar="DIR",
+                        help="evaluate a generated corpus (a `repro "
+                             "generate` output directory) instead of the "
+                             "seed table")
+    p_eval.add_argument("--cve", action="append", default=None,
+                        metavar="CVE-ID",
+                        help="evaluate only this CVE (repeatable); an "
+                             "unknown id exits 2 and suggests near-miss "
+                             "ids")
     p_eval.add_argument("--jobs", type=int, default=1,
                         help="evaluate kernel-version groups in N "
                              "worker processes (default 1)")
@@ -912,6 +1067,48 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: the KSPLICE_WORKER_SECRET "
                              "environment variable)")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_generate = sub.add_parser(
+        "generate",
+        help="mass-produce a ground-truth scenario corpus",
+        description="Generate a deterministic corpus of synthetic CVE "
+                    "scenarios addressed by (seed, size, mix).  The "
+                    "manifest written to --out records the address, a "
+                    "content digest, and each scenario's expected "
+                    "ground truth; the same address reproduces the "
+                    "corpus byte-for-byte anywhere.")
+    p_generate.add_argument("--seed", type=int, required=True,
+                            help="corpus seed (32-bit)")
+    p_generate.add_argument("--size", type=int, required=True,
+                            help="number of scenarios")
+    p_generate.add_argument("--mix", default="default",
+                            help="dimension mix name (default: "
+                                 "'default'; see DESIGN.md §16)")
+    p_generate.add_argument("--out", required=True, metavar="DIR",
+                            help="directory to write manifest.json into")
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="mutate patches and cross-check verdicts against "
+             "outcomes",
+        description="Draw (scenario, operator) pairs from a seeded "
+                    "RNG, mutate the fixed unit, and assert that the "
+                    "analyzer verdict, absint proof status, and hot "
+                    "apply outcome stay mutually consistent.  Any "
+                    "divergence is an oracle discrepancy (exit 3), "
+                    "never a crash.")
+    p_fuzz.add_argument("--budget", type=int, default=40,
+                        help="mutation rounds to run (default 40)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for spec/operator draws")
+    p_fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                        help="mutate a generated corpus instead of the "
+                             "built-in pool (5 seed CVEs + 8 generated "
+                             "scenarios)")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="emit the fuzz report as sorted JSON")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_worker = sub.add_parser(
         "worker", help="serve evaluation work items over TCP")

@@ -27,7 +27,14 @@ from repro.evaluation.specs import (
     ExploitSpec,
     Table1Info,
 )
-from repro.evaluation.corpus import CORPUS, corpus_by_id
+from repro.evaluation.corpus import (
+    CORPUS,
+    CorpusProvider,
+    SEED_PROVIDER,
+    SeedCorpus,
+    corpus_by_id,
+    load_corpus_provider,
+)
 from repro.evaluation.kernels import (
     DEBIAN_VERSIONS,
     VANILLA_VERSIONS,
@@ -52,6 +59,9 @@ from repro.evaluation.stress import run_stress_battery
 
 __all__ = [
     "CORPUS",
+    "CorpusProvider",
+    "SEED_PROVIDER",
+    "SeedCorpus",
     "CveCategory",
     "CveResult",
     "CveSpec",
@@ -69,6 +79,7 @@ __all__ = [
     "evaluate_corpus",
     "evaluate_cve",
     "kernel_for_version",
+    "load_corpus_provider",
     "normalize_result",
     "run_build_for",
     "run_stress_battery",

@@ -119,25 +119,26 @@ int main(void) {
 
 def signedness_write(name: str, leak_value: int = 5550) -> Fragments:
     """Signedness bug: a slot write checks only the upper bound, so a
-    negative slot clobbers the ACL word placed just before the buffer."""
+    negative slot clobbers the ACL word stored at index 0 of the same
+    table (user slots live at indices 1..7, so the reachable
+    out-of-bounds cell is layout-independent)."""
     body = """\
-int %(name)s_acl = 1;
-int %(name)s_buf[8] = { 0, 0, 0, 0, 0, 0, 0, 0 };
+int %(name)s_state[8] = { 1, 0, 0, 0, 0, 0, 0, 0 };
 int %(name)s_audit = %(leak)d;
 
 int sys_%(name)s_put(int slot, int val, int c) {
-    if (slot > 7) { return -22; }
-    %(name)s_buf[slot] = val;
+    if (slot > 6) { return -22; }
+    %(name)s_state[slot + 1] = val;
     return 0;
 }
 
 int sys_%(name)s_fetch(int a, int b, int c) {
-    if (%(name)s_acl) { return -13; }
+    if (%(name)s_state[0]) { return -13; }
     return %(name)s_audit;
 }
 """ % {"name": name, "leak": leak_value}
-    fixed = body.replace("    if (slot > 7) { return -22; }",
-                         "    if (slot < 0 || slot > 7) { return -22; }")
+    fixed = body.replace("    if (slot > 6) { return -22; }",
+                         "    if (slot < 0 || slot > 6) { return -22; }")
     exploit = ExploitSpec(
         source="""
 int main(void) {

@@ -23,7 +23,7 @@ Corpus-level invariants, asserted by the test suite:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation import archetypes
 from repro.evaluation.specs import (
@@ -760,3 +760,70 @@ _BY_ID: Dict[str, CveSpec] = {spec.cve_id: spec for spec in CORPUS}
 
 def corpus_by_id(cve_id: str) -> CveSpec:
     return _BY_ID[cve_id]
+
+
+# ---------------------------------------------------------------------------
+# Corpus providers: one interface over the hand-written table and the
+# scenario factory's generated corpora, so every consumer (engine, CLI,
+# distributed coordinator, benchmarks) loads specs the same way.
+
+
+class CorpusProvider:
+    """Uniform access to a corpus of :class:`CveSpec` entries.
+
+    ``specs()`` returns the entries in canonical (deterministic) order;
+    ``by_id()`` resolves one entry; ``expected_for()`` returns the
+    stamped ground truth when the provider has one (generated corpora)
+    or ``None`` (the hand-written table, whose ground truth lives in the
+    invariant tests); ``discrepancies()`` cross-checks a finished run
+    against whatever oracle the provider carries.
+    """
+
+    name = "corpus"
+
+    def specs(self) -> List[CveSpec]:
+        raise NotImplementedError
+
+    def by_id(self, cve_id: str) -> CveSpec:
+        for spec in self.specs():
+            if spec.cve_id == cve_id:
+                return spec
+        raise KeyError(cve_id)
+
+    def ids(self) -> List[str]:
+        return [spec.cve_id for spec in self.specs()]
+
+    def expected_for(self, cve_id: str) -> Optional[object]:
+        return None
+
+    def discrepancies(self, results: Sequence[object]) -> List[str]:
+        """Oracle check over finished :class:`CveResult` objects.  The
+        base rule set is the engine's verdict/apply consistency check;
+        generated corpora additionally compare against stamped
+        expectations."""
+        from repro.evaluation.engine import verdict_discrepancies
+        return verdict_discrepancies(results)  # type: ignore[arg-type]
+
+
+class SeedCorpus(CorpusProvider):
+    """The paper's hand-written 64-CVE table."""
+
+    name = "seed"
+
+    def specs(self) -> List[CveSpec]:
+        return list(CORPUS)
+
+    def by_id(self, cve_id: str) -> CveSpec:
+        return _BY_ID[cve_id]
+
+
+SEED_PROVIDER = SeedCorpus()
+
+
+def load_corpus_provider(corpus_dir: Optional[str] = None) -> CorpusProvider:
+    """The provider for ``--corpus DIR`` (a generated-corpus manifest
+    directory) or, with no argument, the seed table."""
+    if corpus_dir is None:
+        return SEED_PROVIDER
+    from repro.scenarios.model import GeneratedCorpusProvider
+    return GeneratedCorpusProvider.load(corpus_dir)

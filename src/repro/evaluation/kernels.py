@@ -37,6 +37,13 @@ VANILLA_VERSIONS = (
 )
 ALL_VERSIONS = DEBIAN_VERSIONS + VANILLA_VERSIONS
 
+#: Kernel versions produced by the scenario factory carry this prefix;
+#: :func:`kernel_for_version` resolves them through
+#: :mod:`repro.scenarios` so every consumer (harness, process pools,
+#: distributed workers) can rebuild a generated kernel from the version
+#: string alone.
+GENERATED_VERSION_PREFIX = "gen@"
+
 #: Units present in every version purely to make some local symbol names
 #: ambiguous, the way dst.c/dst_ca.c share ``debug`` in real Linux.
 COLLISION_HOSTS: Dict[str, str] = {
@@ -146,6 +153,13 @@ class GeneratedKernel:
             fixed_text = fixed_text.rstrip("\n") + "\n\n" + spec.custom_code
         files = dict(self.tree.files)
         files[spec.unit] = fixed_text
+        for extra_unit, (vuln, fixed) in sorted(spec.extra_units.items()):
+            extra_text = self.tree.read(extra_unit)
+            if vuln not in extra_text:
+                raise ReproError(
+                    "vulnerable fragment of %s not found in extra unit %s"
+                    % (cve_id, extra_unit))
+            files[extra_unit] = extra_text.replace(vuln, fixed)
         return SourceTree(version=self.tree.version + "+" + cve_id,
                           files=files)
 
@@ -205,6 +219,12 @@ def build_kernel(version: str,
                 "unit %s of %s collides with another unit in %s"
                 % (spec.unit, spec.cve_id, version))
         files[spec.unit] = spec.vulnerable_fragment + _ballast(spec.unit)
+        for extra_unit, (vuln, _fixed) in sorted(spec.extra_units.items()):
+            if extra_unit in files or extra_unit in BASE_UNITS:
+                raise ReproError(
+                    "extra unit %s of %s collides with another unit in %s"
+                    % (extra_unit, spec.cve_id, version))
+            files[extra_unit] = vuln + _ballast(extra_unit)
 
     for path, source in BASE_UNITS.items():
         files[path] = source
@@ -230,7 +250,16 @@ def build_kernel(version: str,
 
 @lru_cache(maxsize=None)
 def kernel_for_version(version: str) -> GeneratedKernel:
-    """Cached kernel generation (trees are immutable)."""
+    """Cached kernel generation (trees are immutable).
+
+    Versions with the ``gen@`` prefix are regenerated on demand from
+    the ``(seed, size, mix, group)`` parameters encoded in the version
+    string itself, so worker processes that only receive a
+    :class:`CveSpec` resolve generated kernels transparently.
+    """
+    if version.startswith(GENERATED_VERSION_PREFIX):
+        from repro.scenarios.model import generated_kernel_for_version
+        return generated_kernel_for_version(version)
     if version not in ALL_VERSIONS:
         raise ReproError("unknown kernel version %r" % version)
     return build_kernel(version)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 class CveCategory(enum.Enum):
@@ -83,6 +83,11 @@ class CveSpec:
     is_asm: bool = False
     #: target patch size (max of added/removed lines) for Figure 3
     target_patch_lines: int = 0
+    #: additional compilation units this CVE's patch touches, mapped to
+    #: their ``(vulnerable, fixed)`` fragment pairs — the multi-unit
+    #: patches the scenario factory generates.  ``unit`` stays the
+    #: primary unit for metrics and probes.
+    extra_units: Dict[str, Tuple[str, str]] = field(default_factory=dict)
 
     @property
     def needs_new_code(self) -> bool:

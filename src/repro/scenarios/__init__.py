@@ -1,0 +1,71 @@
+"""Scenario factory (PR 10): deterministic mass production of
+ground-truth CVE scenarios, generated-corpus manifests, and the
+patch-mutation fuzzing harness.
+
+The factory composes the archetype fragment generators from
+:mod:`repro.evaluation.archetypes` into arbitrarily large corpora
+addressed by ``(seed, size, mix)``; every scenario carries a stamped
+:class:`~repro.scenarios.factory.Expected` ground truth the pipeline
+outcome is checked against, and the same address reproduces the
+identical corpus byte-for-byte in any process or distributed worker
+(kernel versions carry the whole address: ``gen@<seed>:<size>:<mix>#``
+``<group>``).
+"""
+
+from repro.scenarios.factory import (
+    FACTORY_VERSION,
+    GROUP_SIZE,
+    MIXES,
+    Expected,
+    GeneratedScenario,
+    generate_scenario,
+    generate_scenarios,
+    generated_version,
+    parse_generated_version,
+)
+from repro.scenarios.fuzz import (
+    OPERATORS,
+    FuzzReport,
+    MutantOutcome,
+    fuzz_corpus,
+    mutate_unit,
+)
+from repro.scenarios.manifest import (
+    MANIFEST_NAME,
+    load_corpus,
+    manifest_text,
+    read_manifest,
+    write_corpus,
+)
+from repro.scenarios.model import (
+    GeneratedCorpus,
+    GeneratedCorpusProvider,
+    generated_kernel_for_version,
+    scenario_discrepancies,
+)
+
+__all__ = [
+    "Expected",
+    "FACTORY_VERSION",
+    "FuzzReport",
+    "GROUP_SIZE",
+    "GeneratedCorpus",
+    "GeneratedCorpusProvider",
+    "GeneratedScenario",
+    "MANIFEST_NAME",
+    "MIXES",
+    "MutantOutcome",
+    "OPERATORS",
+    "fuzz_corpus",
+    "generate_scenario",
+    "generate_scenarios",
+    "generated_kernel_for_version",
+    "generated_version",
+    "load_corpus",
+    "manifest_text",
+    "mutate_unit",
+    "parse_generated_version",
+    "read_manifest",
+    "scenario_discrepancies",
+    "write_corpus",
+]

@@ -1,0 +1,336 @@
+"""Patch-mutation fuzzing over the whole pipeline.
+
+Extends PR 8's drop-hunk / swap-callee / widen-field operators with
+reorder-hunks, split-function, rename-static, and
+corrupt-relocation-target, and turns the property test's contract into
+a reusable harness: for every mutant the analyzer verdict, the absint
+proof status, the run-pre safety abort, and the actual apply outcome
+must stay *mutually consistent*.  Divergence is a reported oracle
+discrepancy in the :class:`FuzzReport` — never a crash — and mutants
+the compiler refuses are legitimate refusals, counted separately.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.model import (
+    PROOF_KINDS,
+    VERDICT_EXIT_CODES,
+    VERDICT_REJECT,
+    VERDICT_SAFE,
+    VERDICT_SEVERITY,
+)
+from repro.core import KspliceCore, ksplice_create
+from repro.core.create import CreateReport
+from repro.errors import ReproError
+from repro.evaluation.engine import run_build_for
+from repro.evaluation.kernels import kernel_for_version
+from repro.evaluation.specs import CveSpec
+from repro.kernel import boot_kernel
+from repro.patch import make_patch
+
+#: every mutation operator, PR 8's three plus this PR's four
+OPERATORS = (
+    "drop-hunk",
+    "swap-callee",
+    "widen-field",
+    "reorder-hunks",
+    "split-function",
+    "rename-static",
+    "corrupt-relocation-target",
+)
+
+
+def _defined_functions(text: str) -> List[str]:
+    return re.findall(r"^(?:static )?(?:inline )?int (\w+)\(", text, re.M)
+
+
+def _function_span(text: str, name: str) -> Optional[range]:
+    """Character span of one top-level function definition (header
+    through its column-0 closing brace)."""
+    match = re.search(r"^(?:static )?(?:inline )?int %s\([^)]*\) \{"
+                      % re.escape(name), text, re.M)
+    if match is None:
+        return None
+    close = text.find("\n}", match.start())
+    if close < 0:
+        return None
+    return range(match.start(), close + len("\n}") + 1)
+
+
+def mutate_unit(pre_text: str, fixed_text: str, operator: str,
+                rng: Optional[random.Random] = None) -> Optional[str]:
+    """Apply one mutation operator to the fixed unit text.
+
+    Returns the mutated unit, or ``None`` when the operator does not
+    apply to this unit (no second function to reorder, no static to
+    rename, ...).  ``rng`` picks among multiple candidate sites;
+    without one the first candidate is used, keeping PR 8's three
+    original operators bit-compatible with their old behaviour.
+    """
+    pick = rng.choice if rng is not None else (lambda seq: seq[0])
+    if operator == "drop-hunk":
+        # revert the fix: the patch collapses to nothing
+        return pre_text
+    if operator == "swap-callee":
+        functions = _defined_functions(fixed_text)
+        calls = [name for name in functions
+                 if re.search(r"(?<!int )\b%s\(" % name, fixed_text)]
+        if len(functions) < 2 or not calls:
+            return None
+        target = calls[0]
+        replacement = next((f for f in functions if f != target), None)
+        if replacement is None:
+            return None
+        return re.sub(r"(?<!int )\b%s\(" % target, replacement + "(",
+                      fixed_text, count=1)
+    if operator == "widen-field":
+        match = re.search(r"\[(\d+)\]", fixed_text)
+        if match is None:
+            return None
+        widened = "[%d]" % (int(match.group(1)) * 2)
+        return fixed_text[:match.start()] + widened \
+            + fixed_text[match.end():]
+    if operator == "reorder-hunks":
+        # move one whole function definition behind its successor: the
+        # same program with its hunks (and symbol addresses) reordered
+        functions = _defined_functions(fixed_text)
+        if len(functions) < 2:
+            return None
+        candidates = []
+        for first, second in zip(functions, functions[1:]):
+            span_a = _function_span(fixed_text, first)
+            span_b = _function_span(fixed_text, second)
+            if span_a and span_b and span_a.stop <= span_b.start:
+                candidates.append((span_a, span_b))
+        if not candidates:
+            return None
+        span_a, span_b = pick(candidates)
+        text_a = fixed_text[span_a.start:span_a.stop]
+        text_b = fixed_text[span_b.start:span_b.stop]
+        middle = fixed_text[span_a.stop:span_b.start]
+        return (fixed_text[:span_a.start] + text_b + middle + text_a
+                + fixed_text[span_b.stop:])
+    if operator == "split-function":
+        # demote a handler to a static _impl and interpose a
+        # delegating wrapper under the original name
+        matches = list(re.finditer(r"^int (sys_\w+)\(([^)]*)\) \{",
+                                   fixed_text, re.M))
+        if not matches:
+            return None
+        match = pick(matches)
+        name, params = match.group(1), match.group(2)
+        arg_names = re.findall(r"int (\w+)", params)
+        if not arg_names:
+            return None
+        span = _function_span(fixed_text, name)
+        if span is None:
+            return None
+        body = fixed_text[span.start:span.stop]
+        impl = body.replace("int %s(" % name,
+                            "static int %s_impl(" % name, 1)
+        wrapper = ("\nint %s(%s) {\n    return %s_impl(%s);\n}\n"
+                   % (name, params, name, ", ".join(arg_names)))
+        return (fixed_text[:span.start] + impl + wrapper
+                + fixed_text[span.stop:])
+    if operator == "rename-static":
+        # rename one file-scope static symbol everywhere in the unit
+        statics = re.findall(r"^static (?:inline )?int (\w+)",
+                             fixed_text, re.M)
+        if not statics:
+            return None
+        name = pick(statics)
+        return re.sub(r"\b%s\b" % re.escape(name), name + "_r",
+                      fixed_text)
+    if operator == "corrupt-relocation-target":
+        # retarget one reference to a global at a different same-kind
+        # global: relocations now bind to the wrong symbol
+        scalars = re.findall(r"^int (\w+)(?: =[^=]|;)", fixed_text, re.M)
+        arrays = re.findall(r"^int (\w+)\[", fixed_text, re.M)
+        for kind in (arrays, scalars):
+            pairs = [(a, b) for a in kind for b in kind if a != b
+                     and len(re.findall(r"\b%s\b" % re.escape(a),
+                                        fixed_text)) > 1]
+            if pairs:
+                victim, target = pick(pairs)
+                declaration = re.search(
+                    r"^int %s(?:\[| =|;)" % re.escape(victim),
+                    fixed_text, re.M)
+                use = re.compile(r"\b%s\b" % re.escape(victim))
+                for match in use.finditer(fixed_text):
+                    if declaration and match.start() == declaration.start() \
+                            + len("int "):
+                        continue
+                    return (fixed_text[:match.start()] + target
+                            + fixed_text[match.end():])
+        return None
+    raise ReproError("unknown mutation operator %r" % operator)
+
+
+@dataclass
+class MutantOutcome:
+    """What happened to one mutated patch."""
+
+    cve_id: str
+    operator: str
+    #: "refused" (build/create raised), "inapplicable", or "evaluated"
+    status: str
+    verdict: str = ""
+    applied: Optional[bool] = None
+    problems: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing run."""
+
+    seed: int
+    budget: int
+    mutants: int = 0
+    refused: int = 0
+    inapplicable: int = 0
+    verdict_counts: Dict[str, int] = field(default_factory=dict)
+    discrepancies: List[str] = field(default_factory=list)
+    outcomes: List[MutantOutcome] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.discrepancies
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "mutants": self.mutants,
+            "refused": self.refused,
+            "inapplicable": self.inapplicable,
+            "verdict_counts": dict(sorted(self.verdict_counts.items())),
+            "discrepancies": list(self.discrepancies),
+            "consistent": self.consistent,
+        }
+
+
+def check_mutant_contract(analysis: object, pack: object,
+                          kernel: object, run_build: object) -> List[str]:
+    """The verdict/evidence/apply consistency contract, one violation
+    per line.  Shared by the fuzz harness and the property test."""
+    problems: List[str] = []
+    if analysis is None:
+        return ["created cleanly but produced no analysis report"]
+    verdict = analysis.verdict
+    if verdict not in VERDICT_SEVERITY:
+        problems.append("verdict %r is not in the lattice" % verdict)
+        return problems
+    if analysis.exit_code() != VERDICT_EXIT_CODES[verdict]:
+        problems.append("verdict %s maps to exit code %d, expected %d"
+                        % (verdict, analysis.exit_code(),
+                           VERDICT_EXIT_CODES[verdict]))
+    if analysis.run_build_analyzed and not analysis.is_proven():
+        problems.append("verdict %s is not evidence-backed" % verdict)
+    for finding in analysis.findings:
+        kinds = PROOF_KINDS.get(finding.verdict)
+        if kinds:
+            matching = [e for e in analysis.evidence
+                        if e.kind in kinds and e.sites]
+            if not matching:
+                problems.append("finding %s/%s carries no witness"
+                                % (finding.verdict, finding.symbol))
+    if not pack.units:
+        if verdict != VERDICT_SAFE:
+            problems.append("empty pack carries verdict %s, not safe"
+                            % verdict)
+        return problems
+    if verdict == VERDICT_REJECT:
+        return problems  # the gate refuses these; applying is out of
+        # contract
+    if verdict == VERDICT_SAFE:
+        # a proven-safe verdict promises a clean hot apply
+        try:
+            machine = boot_kernel(kernel.tree, build=run_build)
+            applied = KspliceCore(machine).apply(pack)
+        except ReproError as exc:
+            problems.append("verdict safe but hot apply aborted: %s"
+                            % exc)
+        else:
+            if not applied.replaced and pack.all_changed_functions():
+                problems.append("verdict safe but apply replaced "
+                                "nothing")
+    return problems
+
+
+def fuzz_corpus(specs: Sequence[CveSpec], budget: int = 40,
+                seed: int = 0,
+                tamper: Optional[Callable[[object], None]] = None,
+                progress: Optional[Callable[[MutantOutcome], None]] = None,
+                ) -> FuzzReport:
+    """Run ``budget`` mutation rounds over ``specs``.
+
+    Each round draws a spec and an operator from a seeded RNG, mutates
+    the fixed unit, pushes the mutated patch through ksplice-create +
+    the analyzer, and checks the consistency contract; violations land
+    in ``report.discrepancies``.  ``tamper`` (tests only) mutates each
+    analysis report before the check — a planted inconsistency the
+    harness must surface.
+    """
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed, budget=budget)
+    pool = list(specs)
+    if not pool:
+        raise ReproError("fuzz_corpus needs a non-empty spec pool")
+    for _round in range(budget):
+        spec = pool[rng.randrange(len(pool))]
+        operator = OPERATORS[rng.randrange(len(OPERATORS))]
+        outcome = MutantOutcome(cve_id=spec.cve_id, operator=operator,
+                                status="evaluated")
+        kernel = kernel_for_version(spec.kernel_version)
+        fixed = kernel.fixed_tree(spec.cve_id, augmented=False)
+        mutated = mutate_unit(kernel.tree.read(spec.unit),
+                              fixed.read(spec.unit), operator, rng)
+        if mutated is None:
+            outcome.status = "inapplicable"
+            report.inapplicable += 1
+            report.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+            continue
+        files = dict(fixed.files)
+        files[spec.unit] = mutated
+        patch = make_patch(kernel.tree.files, files)
+        run_build = run_build_for(kernel)
+        create_report = CreateReport()
+        try:
+            pack = ksplice_create(kernel.tree, patch,
+                                  allow_data_changes=True,
+                                  report=create_report,
+                                  run_build=run_build)
+        except ReproError:
+            # the mutation broke the patch/build: refused up front,
+            # which is itself a consistent outcome
+            outcome.status = "refused"
+            report.refused += 1
+            report.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+            continue
+        report.mutants += 1
+        analysis = create_report.analysis
+        if tamper is not None and analysis is not None:
+            tamper(analysis)
+        if analysis is not None:
+            outcome.verdict = analysis.verdict
+            report.verdict_counts[analysis.verdict] = \
+                report.verdict_counts.get(analysis.verdict, 0) + 1
+        problems = check_mutant_contract(analysis, pack, kernel,
+                                         run_build)
+        outcome.problems = problems
+        for problem in problems:
+            report.discrepancies.append(
+                "%s/%s: %s" % (spec.cve_id, operator, problem))
+        report.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return report

@@ -1,0 +1,163 @@
+"""Sorted-JSON manifests for generated corpora.
+
+The manifest is the corpus's reproducibility contract: it records the
+``(seed, size, mix)`` address, the factory version, a SHA-256 digest
+over the canonical scenario content, and one entry per scenario
+(ids, addressing, dimensions, content hash, expected ground truth).
+``load_corpus`` *regenerates* the corpus from the address and verifies
+the digest, so a drifted factory — one that would silently produce
+different scenarios than the manifest promises — fails loudly.
+
+All JSON is emitted with ``sort_keys=True`` and a trailing newline, so
+the same corpus serializes byte-for-byte identically everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.errors import ReproError
+from repro.evaluation.specs import CveSpec
+from repro.scenarios.factory import FACTORY_VERSION, GeneratedScenario
+
+if TYPE_CHECKING:
+    from repro.scenarios.model import GeneratedCorpus
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "ksplice-generated-corpus/1"
+
+
+def spec_fingerprint(spec: CveSpec) -> str:
+    """SHA-256 over every generation-relevant field of one spec."""
+    probe = None
+    if spec.probe is not None:
+        probe = [spec.probe.function, list(spec.probe.args),
+                 spec.probe.pre, spec.probe.post,
+                 [[fn, list(args)] for fn, args in spec.probe.setup]]
+    health = None
+    if spec.health is not None:
+        health = [spec.health.function, list(spec.health.args),
+                  spec.health.pre, spec.health.post]
+    exploit = None
+    if spec.exploit is not None:
+        exploit = [spec.exploit.source, spec.exploit.escalated_value,
+                   list(spec.exploit.blocked_values)]
+    table1 = None
+    if spec.table1 is not None:
+        table1 = [spec.table1.reason, spec.table1.new_code_lines]
+    payload = {
+        "cve_id": spec.cve_id,
+        "patch_id": spec.patch_id,
+        "category": spec.category.value,
+        "kernel_version": spec.kernel_version,
+        "unit": spec.unit,
+        "description": spec.description,
+        "vulnerable": spec.vulnerable_fragment,
+        "fixed": spec.fixed_fragment,
+        "custom_code": spec.custom_code,
+        "syscalls": list(spec.syscalls),
+        "init_functions": list(spec.init_functions),
+        "probe": probe,
+        "health": health,
+        "exploit": exploit,
+        "table1": table1,
+        "flags": [spec.expect_inlined, spec.declared_inline,
+                  spec.ambiguous_symbol, spec.signature_change,
+                  spec.static_local, spec.is_asm],
+        "extra_units": {unit: [vuln, fixed] for unit, (vuln, fixed)
+                        in sorted(spec.extra_units.items())},
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def scenario_entry(scenario: GeneratedScenario) -> Dict[str, object]:
+    return {
+        "index": scenario.index,
+        "cve_id": scenario.spec.cve_id,
+        "kernel_version": scenario.spec.kernel_version,
+        "unit": scenario.spec.unit,
+        "shape": scenario.shape,
+        "dimensions": list(scenario.dimensions),
+        "content": spec_fingerprint(scenario.spec),
+        "expected": scenario.expected.to_json(),
+    }
+
+
+def corpus_digest(entries: List[Dict[str, object]]) -> str:
+    canonical = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def manifest_dict(corpus: "GeneratedCorpus") -> Dict[str, object]:
+    entries = [scenario_entry(s) for s in corpus.scenarios]
+    return {
+        "format": MANIFEST_FORMAT,
+        "factory_version": FACTORY_VERSION,
+        "seed": corpus.seed & 0xFFFFFFFF,
+        "size": corpus.size,
+        "mix": corpus.mix,
+        "digest": corpus_digest(entries),
+        "scenarios": entries,
+    }
+
+
+def manifest_text(corpus: "GeneratedCorpus") -> str:
+    return json.dumps(manifest_dict(corpus), indent=2,
+                      sort_keys=True) + "\n"
+
+
+def write_corpus(corpus: "GeneratedCorpus", out_dir: str) -> str:
+    """Write ``<out_dir>/manifest.json`` atomically; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, MANIFEST_NAME)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(manifest_text(corpus))
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifest(corpus_dir: str) -> Dict[str, object]:
+    path = os.path.join(corpus_dir, MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise ReproError("no %s in %r — not a generated corpus "
+                         "directory" % (MANIFEST_NAME, corpus_dir))
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            manifest = json.load(handle)
+        except ValueError as exc:
+            raise ReproError("corrupt corpus manifest %s: %s"
+                             % (path, exc))
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ReproError("unsupported corpus manifest format %r in %s"
+                         % (manifest.get("format"), path))
+    return manifest
+
+
+def load_corpus(corpus_dir: str) -> "GeneratedCorpus":
+    """Regenerate the corpus a manifest directory describes, verifying
+    the manifest against the regenerated content."""
+    from repro.scenarios.model import GeneratedCorpus
+
+    manifest = read_manifest(corpus_dir)
+    if manifest.get("factory_version") != FACTORY_VERSION:
+        raise ReproError(
+            "corpus %s was generated by factory version %r but this "
+            "factory is %r; regenerate with `repro generate`"
+            % (corpus_dir, manifest.get("factory_version"),
+               FACTORY_VERSION))
+    corpus = GeneratedCorpus.generate(int(manifest["seed"]),
+                                      int(manifest["size"]),
+                                      str(manifest["mix"]))
+    entries = [scenario_entry(s) for s in corpus.scenarios]
+    digest = corpus_digest(entries)
+    if digest != manifest.get("digest"):
+        raise ReproError(
+            "corpus %s does not reproduce: manifest digest %s, "
+            "regenerated digest %s (factory drift)"
+            % (corpus_dir, manifest.get("digest"), digest))
+    return corpus

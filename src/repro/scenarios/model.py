@@ -1,0 +1,166 @@
+"""The generated-corpus model.
+
+A :class:`GeneratedCorpus` is addressed by ``(seed, size, mix)`` and is
+a pure function of that address: regenerating it in another process —
+or on a distributed worker that only ever sees a ``gen@`` kernel
+version string — yields byte-identical specs, kernels, and manifests.
+
+:class:`GeneratedCorpusProvider` plugs the corpus into everything that
+consumes the hand-written table (engine, CLI, coordinator) through the
+:class:`repro.evaluation.corpus.CorpusProvider` interface, and carries
+the factory's stamped ground truth as an *oracle*:
+:func:`scenario_discrepancies` cross-checks every pipeline outcome
+against its :class:`~repro.scenarios.factory.Expected` stamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.evaluation.corpus import CorpusProvider
+from repro.evaluation.kernels import GeneratedKernel, build_kernel
+from repro.evaluation.specs import CveSpec
+from repro.scenarios.factory import (
+    GROUP_SIZE,
+    Expected,
+    GeneratedScenario,
+    generate_scenario,
+    generate_scenarios,
+    parse_generated_version,
+)
+
+
+@dataclass
+class GeneratedCorpus:
+    """A factory corpus addressed by ``(seed, size, mix)``."""
+
+    seed: int
+    size: int
+    mix: str
+    scenarios: List[GeneratedScenario] = field(default_factory=list)
+
+    @classmethod
+    def generate(cls, seed: int, size: int,
+                 mix: str = "default") -> "GeneratedCorpus":
+        return cls(seed=seed, size=size, mix=mix,
+                   scenarios=generate_scenarios(seed, size, mix))
+
+    def specs(self) -> List[CveSpec]:
+        return [scenario.spec for scenario in self.scenarios]
+
+    def expected_by_id(self) -> Dict[str, Expected]:
+        return {scenario.spec.cve_id: scenario.expected
+                for scenario in self.scenarios}
+
+    def kernel_versions(self) -> List[str]:
+        seen: List[str] = []
+        for scenario in self.scenarios:
+            version = scenario.spec.kernel_version
+            if version not in seen:
+                seen.append(version)
+        return seen
+
+
+def generated_kernel_for_version(version: str) -> GeneratedKernel:
+    """Rebuild one generated kernel-version group from its ``gen@``
+    version string alone (the :func:`kernel_for_version` hook)."""
+    seed, size, mix, group = parse_generated_version(version)
+    start = group * GROUP_SIZE
+    if not 0 <= start < size:
+        raise ReproError("generated kernel group %d outside corpus "
+                         "size %d" % (group, size))
+    specs = [generate_scenario(seed, size, mix, index).spec
+             for index in range(start, min(start + GROUP_SIZE, size))]
+    return build_kernel(version, cves=specs)
+
+
+def scenario_discrepancies(results: Sequence[object],
+                           expected: Dict[str, Expected]) -> List[str]:
+    """Cross-check pipeline outcomes against the factory's stamps.
+
+    One line per violated expectation, per scenario — same contract as
+    :func:`repro.evaluation.engine.verdict_discrepancies`, which these
+    checks extend (there the oracle is internal consistency; here it is
+    the generator's ground truth)."""
+    problems: List[str] = []
+
+    def problem(result: object, text: str) -> None:
+        problems.append("%s: %s" % (getattr(result, "cve_id", "?"), text))
+
+    for result in results:
+        exp = expected.get(getattr(result, "cve_id", ""))
+        if exp is None:
+            problem(result, "result for a scenario not in this corpus")
+            continue
+        if result.analysis_verdict != exp.verdict:
+            problem(result, "expected verdict %s, analyzer said %s"
+                    % (exp.verdict, result.analysis_verdict or "<none>"))
+        if result.applied_cleanly != exp.applies_cleanly:
+            problem(result, "expected applies_cleanly=%s, got %s (%s)"
+                    % (exp.applies_cleanly, result.applied_cleanly,
+                       result.apply_error or result.failed_stage))
+            continue
+        if result.probe_pre_ok is not True or result.probe_post_ok is not True:
+            problem(result, "probe did not flip %s: pre_ok=%s post_ok=%s"
+                    % (exp.probe_function, result.probe_pre_ok,
+                       result.probe_post_ok))
+        if exp.exploitable:
+            if result.exploit_worked_before is not True:
+                problem(result, "exploit expected to escalate pre-patch "
+                                "but did not")
+            if result.exploit_blocked_after is not True:
+                problem(result, "exploit expected to be blocked "
+                                "post-patch but was not")
+        elif result.exploit_worked_before is not None:
+            problem(result, "exploit outcome recorded for a scenario "
+                            "stamped non-exploitable")
+        if result.inlined_in_run != exp.expect_inlined:
+            problem(result, "expected inlined_in_run=%s, measured %s"
+                    % (exp.expect_inlined, result.inlined_in_run))
+        if result.declared_inline != exp.declared_inline:
+            problem(result, "expected declared_inline=%s, got %s"
+                    % (exp.declared_inline, result.declared_inline))
+        if result.ambiguous_symbol != exp.ambiguous_symbol:
+            problem(result, "expected ambiguous_symbol=%s, measured %s"
+                    % (exp.ambiguous_symbol, result.ambiguous_symbol))
+        if result.needs_new_code != exp.needs_custom:
+            problem(result, "expected needs_custom=%s, spec recorded %s"
+                    % (exp.needs_custom, result.needs_new_code))
+    return problems
+
+
+class GeneratedCorpusProvider(CorpusProvider):
+    """A factory corpus behind the uniform provider interface."""
+
+    name = "generated"
+
+    def __init__(self, corpus: GeneratedCorpus,
+                 source_dir: Optional[str] = None) -> None:
+        self.corpus = corpus
+        self.source_dir = source_dir
+        self._by_id = {spec.cve_id: spec for spec in corpus.specs()}
+        self._expected = corpus.expected_by_id()
+
+    @classmethod
+    def load(cls, corpus_dir: str) -> "GeneratedCorpusProvider":
+        """Load a corpus from a manifest directory, regenerating from
+        its ``(seed, size, mix)`` address and verifying the manifest
+        digest — factory drift fails loudly instead of silently
+        evaluating different scenarios than the manifest promises."""
+        from repro.scenarios.manifest import load_corpus
+        return cls(load_corpus(corpus_dir), source_dir=corpus_dir)
+
+    def specs(self) -> List[CveSpec]:
+        return self.corpus.specs()
+
+    def by_id(self, cve_id: str) -> CveSpec:
+        return self._by_id[cve_id]
+
+    def expected_for(self, cve_id: str) -> Optional[Expected]:
+        return self._expected.get(cve_id)
+
+    def discrepancies(self, results: Sequence[object]) -> List[str]:
+        base = super().discrepancies(results)
+        return base + scenario_discrepancies(results, self._expected)

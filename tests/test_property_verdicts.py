@@ -1,10 +1,12 @@
 """Property-based consistency between static verdicts and dynamic
 outcomes.
 
-Each example takes a corpus CVE's fix and mutates it — dropping the
-hunk, swapping a callee, or widening an array field — then runs the
-full analyzer over the mutated patch and checks the contract the
-proof engine promises:
+Each example takes a CVE's fix — from the seed corpus or from a
+factory-generated scenario — and mutates it with one of the
+:data:`repro.scenarios.fuzz.OPERATORS`, then runs the full analyzer
+over the mutated patch and checks the contract the proof engine
+promises (shared with the fuzz harness via
+:func:`~repro.scenarios.fuzz.check_mutant_contract`):
 
 * whatever the mutation did, the verdict is from the lattice and
   (when the run kernel was analyzed) backed by evidence
@@ -18,26 +20,20 @@ Mutations that break the build are legitimate outcomes — the pipeline
 refused them with a diagnostic — so those examples pass vacuously.
 """
 
-import re
+import random
 
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.model import (
-    PROOF_KINDS,
-    VERDICT_EXIT_CODES,
-    VERDICT_REJECT,
-    VERDICT_SAFE,
-    VERDICT_SEVERITY,
-)
-from repro.core import KspliceCore, ksplice_create
+from repro.core import ksplice_create
 from repro.core.create import CreateReport
 from repro.errors import ReproError
 from repro.evaluation.corpus import corpus_by_id
 from repro.evaluation.engine import run_build_for
 from repro.evaluation.kernels import kernel_for_version
-from repro.kernel import boot_kernel
 from repro.patch import make_patch
+from repro.scenarios import GeneratedCorpus, OPERATORS, mutate_unit
+from repro.scenarios.fuzz import check_mutant_contract
 
 #: small, single-unit corpus entries — cheap to rebuild per example
 CVE_IDS = (
@@ -48,54 +44,32 @@ CVE_IDS = (
     "CVE-2007-5904",
 )
 
-MUTATIONS = ("drop-hunk", "swap-callee", "widen-field")
+#: a bounded factory corpus joins the pool: one kernel-version group,
+#: so every generated example shares one cached build
+_GENERATED = {spec.cve_id: spec
+              for spec in GeneratedCorpus.generate(2024, 6).specs()}
 
 
-def _defined_functions(text):
-    return re.findall(r"^int (\w+)\(", text, re.M)
+def _spec_for(cve_id):
+    return _GENERATED.get(cve_id) or corpus_by_id(cve_id)
 
 
-def mutate_fixed_unit(pre_text, fixed_text, mutation):
-    """Apply one mutation to the fixed unit, or None if inapplicable."""
-    if mutation == "drop-hunk":
-        # revert the fix: the patch collapses to nothing
-        return pre_text
-    if mutation == "swap-callee":
-        functions = _defined_functions(fixed_text)
-        calls = [name for name in functions
-                 if re.search(r"(?<!int )\b%s\(" % name, fixed_text)]
-        if len(functions) < 2 or not calls:
-            return None
-        target = calls[0]
-        replacement = next((f for f in functions if f != target), None)
-        if replacement is None:
-            return None
-        return re.sub(r"(?<!int )\b%s\(" % target, replacement + "(",
-                      fixed_text, count=1)
-    if mutation == "widen-field":
-        match = re.search(r"\[(\d+)\]", fixed_text)
-        if match is None:
-            return None
-        widened = "[%d]" % (int(match.group(1)) * 2)
-        return fixed_text[:match.start()] + widened \
-            + fixed_text[match.end():]
-    raise AssertionError(mutation)
-
-
-@settings(max_examples=10, deadline=None,
+@settings(max_examples=12, deadline=None,
           suppress_health_check=[HealthCheck.too_slow,
                                  HealthCheck.filter_too_much])
-@given(cve_id=st.sampled_from(CVE_IDS),
-       mutation=st.sampled_from(MUTATIONS))
+@given(cve_id=st.sampled_from(CVE_IDS + tuple(sorted(_GENERATED))),
+       operator=st.sampled_from(OPERATORS),
+       site=st.integers(min_value=0, max_value=2 ** 16))
 def test_mutated_patches_keep_verdicts_and_outcomes_consistent(
-        cve_id, mutation):
-    spec = corpus_by_id(cve_id)
+        cve_id, operator, site):
+    spec = _spec_for(cve_id)
     kernel = kernel_for_version(spec.kernel_version)
     run_build = run_build_for(kernel)
 
     fixed = kernel.fixed_tree(spec.cve_id, augmented=False)
-    mutated_unit = mutate_fixed_unit(kernel.tree.read(spec.unit),
-                                     fixed.read(spec.unit), mutation)
+    mutated_unit = mutate_unit(kernel.tree.read(spec.unit),
+                               fixed.read(spec.unit), operator,
+                               random.Random(site))
     assume(mutated_unit is not None)
     files = dict(fixed.files)
     files[spec.unit] = mutated_unit
@@ -109,29 +83,6 @@ def test_mutated_patches_keep_verdicts_and_outcomes_consistent(
     except ReproError:
         return  # the mutation broke the patch/build: refused up front
 
-    analysis = report.analysis
-    assert analysis is not None
-    assert analysis.verdict in VERDICT_SEVERITY
-    assert analysis.exit_code() == VERDICT_EXIT_CODES[analysis.verdict]
-    if analysis.run_build_analyzed:
-        # whatever the verdict, it must be evidence-backed
-        assert analysis.is_proven()
-    for finding in analysis.findings:
-        kinds = PROOF_KINDS.get(finding.verdict)
-        if kinds:
-            matching = [e for e in analysis.evidence
-                        if e.kind in kinds and e.sites]
-            assert matching, ("finding %s/%s carries no witness"
-                              % (finding.verdict, finding.symbol))
-
-    if not pack.units:
-        assert analysis.verdict == VERDICT_SAFE
-        return
-    if analysis.verdict == VERDICT_REJECT:
-        return  # the gate refuses these; applying is out of contract
-
-    if analysis.verdict == VERDICT_SAFE:
-        # a proven-safe verdict promises a clean hot apply
-        machine = boot_kernel(kernel.tree, build=run_build)
-        applied = KspliceCore(machine).apply(pack)
-        assert applied.replaced or pack.all_changed_functions() == []
+    problems = check_mutant_contract(report.analysis, pack, kernel,
+                                     run_build)
+    assert not problems, "\n".join(problems)

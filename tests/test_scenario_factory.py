@@ -1,0 +1,281 @@
+"""Scenario factory: determinism, addressing, ground truth, providers.
+
+The factory's contract is that a corpus is a pure function of its
+``(seed, size, mix)`` address: identical manifests in-process, across
+processes, and on distributed workers; identical per-scenario results
+along every execution path; and a stamped ground truth the pipeline
+actually reproduces (checked here over a bounded corpus, and over 1k
+scenarios by ``benchmarks/bench_scenario_factory.py --full``).
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.corpus import (
+    CORPUS,
+    SeedCorpus,
+    load_corpus_provider,
+)
+from repro.evaluation.engine import evaluate_corpus, normalize_result
+from repro.evaluation.kernels import kernel_for_version
+from repro.scenarios import (
+    GROUP_SIZE,
+    MIXES,
+    GeneratedCorpus,
+    GeneratedCorpusProvider,
+    generate_scenario,
+    generated_version,
+    load_corpus,
+    manifest_text,
+    parse_generated_version,
+    write_corpus,
+)
+
+SEED, SIZE, MIX = 1234, 12, "default"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return GeneratedCorpus.generate(SEED, SIZE, MIX)
+
+
+# ---------------------------------------------------------------------------
+# Determinism and addressing
+
+
+def test_same_address_reproduces_byte_identical_manifest(corpus):
+    again = GeneratedCorpus.generate(SEED, SIZE, MIX)
+    assert manifest_text(corpus) == manifest_text(again)
+
+
+def test_manifest_identical_across_processes(corpus, tmp_path):
+    """A fresh interpreter (cold caches, different hash seed) emits the
+    same manifest bytes."""
+    script = (
+        "from repro.scenarios import GeneratedCorpus, manifest_text;"
+        "import sys;"
+        "sys.stdout.write(manifest_text("
+        "GeneratedCorpus.generate(%d, %d, %r)))" % (SEED, SIZE, MIX))
+    child = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "99"}, check=True)
+    assert child.stdout == manifest_text(corpus)
+
+
+def test_different_seeds_sizes_and_mixes_differ(corpus):
+    assert manifest_text(GeneratedCorpus.generate(SEED + 1, SIZE, MIX)) \
+        != manifest_text(corpus)
+    assert manifest_text(GeneratedCorpus.generate(SEED, SIZE,
+                                                  "code-only")) \
+        != manifest_text(corpus)
+
+
+def test_scenario_generation_is_index_local(corpus):
+    """Any single scenario regenerates without its siblings — what lets
+    a worker rebuild exactly one kernel-version group."""
+    for index in (0, SIZE // 2, SIZE - 1):
+        alone = generate_scenario(SEED, SIZE, MIX, index)
+        assert alone.spec == corpus.scenarios[index].spec
+        assert alone.expected == corpus.scenarios[index].expected
+
+
+def test_version_string_round_trips():
+    version = generated_version(0xDEADBEEF, 1000, "data-heavy", 17)
+    assert parse_generated_version(version) == (0xDEADBEEF, 1000,
+                                                "data-heavy", 17)
+    with pytest.raises(ReproError):
+        parse_generated_version("2.6.8-deb1")
+    with pytest.raises(ReproError):
+        parse_generated_version("gen@nothex:10:default#0000")
+
+
+def test_generated_kernel_resolves_from_version_string(corpus):
+    version = corpus.scenarios[0].spec.kernel_version
+    kernel = kernel_for_version(version)
+    group = [s.spec.cve_id for s in corpus.scenarios[:GROUP_SIZE]]
+    assert [spec.cve_id for spec in kernel.cves] == group
+    with pytest.raises(ReproError):
+        kernel_for_version("gen@00000000:8:no-such-mix#0000")
+
+
+def test_unknown_mix_and_bad_index_raise():
+    with pytest.raises(ReproError):
+        generate_scenario(1, 4, "no-such-mix", 0)
+    with pytest.raises(ReproError):
+        generate_scenario(1, 4, "default", 4)
+
+
+def test_mixes_cover_every_declared_shape():
+    from repro.scenarios.factory import _SHAPES
+
+    declared = {shape for weights in MIXES.values()
+                for shape, _w in weights}
+    assert declared == set(_SHAPES)
+
+
+# ---------------------------------------------------------------------------
+# Providers
+
+
+def test_seed_provider_is_byte_identical_to_corpus():
+    provider = load_corpus_provider(None)
+    assert isinstance(provider, SeedCorpus)
+    assert provider.specs() == CORPUS
+    assert provider.by_id("CVE-2005-2709") in CORPUS
+    assert provider.expected_for("CVE-2005-2709") is None
+
+
+def test_generated_provider_loads_and_verifies_manifest(corpus, tmp_path):
+    out = tmp_path / "corpus"
+    write_corpus(corpus, str(out))
+    provider = load_corpus_provider(str(out))
+    assert isinstance(provider, GeneratedCorpusProvider)
+    assert [s.cve_id for s in provider.specs()] \
+        == [s.spec.cve_id for s in corpus.scenarios]
+    expected = provider.expected_for(provider.ids()[0])
+    assert expected is not None and expected.applies_cleanly
+
+
+def test_tampered_manifest_digest_fails_loudly(corpus, tmp_path):
+    out = tmp_path / "corpus"
+    path = write_corpus(corpus, str(out))
+    manifest = json.loads(open(path).read())
+    manifest["digest"] = "0" * 64
+    open(path, "w").write(json.dumps(manifest, indent=2, sort_keys=True))
+    with pytest.raises(ReproError, match="does not reproduce"):
+        load_corpus(str(out))
+
+
+def test_wrong_factory_version_refuses(corpus, tmp_path):
+    out = tmp_path / "corpus"
+    path = write_corpus(corpus, str(out))
+    manifest = json.loads(open(path).read())
+    manifest["factory_version"] = "0"
+    open(path, "w").write(json.dumps(manifest, indent=2, sort_keys=True))
+    with pytest.raises(ReproError, match="factory version"):
+        load_corpus(str(out))
+
+
+def test_missing_manifest_dir_is_an_error(tmp_path):
+    with pytest.raises(ReproError, match="not a generated corpus"):
+        load_corpus_provider(str(tmp_path / "nowhere"))
+
+
+# ---------------------------------------------------------------------------
+# Ground truth: the pipeline reproduces the stamps
+
+
+@pytest.fixture(scope="module")
+def evaluated(corpus):
+    provider = GeneratedCorpusProvider(corpus)
+    report = evaluate_corpus(provider.specs(), run_stress=False)
+    return provider, report
+
+
+def test_generated_corpus_has_zero_oracle_discrepancies(evaluated):
+    provider, report = evaluated
+    assert provider.discrepancies(report.results) == []
+
+
+def test_generated_verdicts_are_proven(evaluated):
+    _provider, report = evaluated
+    for result in report.results:
+        assert result.analysis is not None, result.cve_id
+        assert result.analysis.is_proven(), result.cve_id
+
+
+def test_expected_verdicts_match_reality(evaluated):
+    provider, report = evaluated
+    for result in report.results:
+        expected = provider.expected_for(result.cve_id)
+        assert result.analysis_verdict == expected.verdict, result.cve_id
+        assert result.applied_cleanly, result.cve_id
+
+
+def test_evaluation_results_identical_across_paths(corpus):
+    """Sequential vs a rerun in the same address space: per-scenario
+    results are byte-identical (the distributed variant is covered in
+    test_distributed_fabric-style by the worker test below)."""
+    specs = corpus.specs()[:GROUP_SIZE]
+    first = evaluate_corpus(specs, run_stress=False)
+    second = evaluate_corpus(specs, run_stress=False)
+    assert [normalize_result(r) for r in first.results] \
+        == [normalize_result(r) for r in second.results]
+
+
+def test_distributed_worker_matches_sequential(corpus):
+    """A spawned worker (fresh process, cold caches) resolves the
+    ``gen@`` versions from the specs alone and produces byte-identical
+    results."""
+    from repro.distributed.worker import spawn_local_workers
+
+    specs = corpus.specs()[:GROUP_SIZE]
+    sequential = evaluate_corpus(specs, run_stress=False)
+    workers = spawn_local_workers(1)
+    try:
+        distributed = evaluate_corpus(
+            specs, run_stress=False,
+            workers=[worker.address for worker in workers])
+    finally:
+        for worker in workers:
+            worker.stop()
+    assert [normalize_result(r) for r in sequential.results] \
+        == [normalize_result(r) for r in distributed.results]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def _run_cli(*argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli"] + list(argv),
+        capture_output=True, text=True,
+        env={"PYTHONPATH": "src"}, **kwargs)
+
+
+def test_cli_generate_writes_manifest(tmp_path):
+    out = tmp_path / "corpus"
+    child = _run_cli("generate", "--seed", str(SEED), "--size",
+                     str(SIZE), "--out", str(out))
+    assert child.returncode == 0, child.stderr
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["seed"] == SEED and manifest["size"] == SIZE
+
+
+def test_cli_generate_rejects_unknown_mix(tmp_path):
+    child = _run_cli("generate", "--seed", "1", "--size", "4",
+                     "--mix", "bogus", "--out", str(tmp_path / "x"))
+    assert child.returncode == 2
+    assert "unknown dimension mix" in child.stderr
+
+
+def test_cli_evaluate_unknown_cve_exits_2_with_near_misses():
+    child = _run_cli("evaluate", "--quick", "--cve", "CVE-2006-9999")
+    assert child.returncode == 2
+    assert "unknown CVE" in child.stderr
+    assert "did you mean" in child.stderr
+    # near misses are real corpus ids
+    assert "CVE-2006-4997" in child.stderr
+    assert "Traceback" not in child.stderr
+
+
+def test_cli_evaluate_unknown_cve_in_generated_corpus(tmp_path, corpus):
+    out = tmp_path / "corpus"
+    write_corpus(corpus, str(out))
+    child = _run_cli("evaluate", "--quick", "--corpus", str(out),
+                     "--cve", "GEN-000004d2-999999")
+    assert child.returncode == 2
+    assert "did you mean" in child.stderr
+    assert "GEN-000004d2-" in child.stderr
+
+
+def test_cli_evaluate_missing_corpus_dir_exits_2(tmp_path):
+    child = _run_cli("evaluate", "--quick",
+                     "--corpus", str(tmp_path / "missing"))
+    assert child.returncode == 2
+    assert "not a generated corpus" in child.stderr

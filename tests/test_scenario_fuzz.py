@@ -1,0 +1,164 @@
+"""Fuzz harness: mutation operators, the consistency contract, and the
+planted-bug guarantee that injected inconsistencies surface as
+discrepancies rather than passing silently.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scenarios import GeneratedCorpus, OPERATORS, fuzz_corpus, mutate_unit
+from repro.scenarios.fuzz import check_mutant_contract
+
+UNIT = """\
+int tbl_limit = 4;
+int tbl_data[4] = { 0, 0, 0, 0 };
+int tbl_secret = 777;
+
+static int clamp(int v) {
+    if (v > 99) { return 99; }
+    return v;
+}
+
+int sys_tbl_put(int slot, int val, int c) {
+    if (slot < 0 || slot >= tbl_limit) { return -22; }
+    tbl_data[slot] = clamp(val);
+    return 0;
+}
+
+int sys_tbl_get(int slot, int b, int c) {
+    if (slot < 0 || slot >= tbl_limit) { return -22; }
+    return tbl_data[slot];
+}
+"""
+
+PRE = UNIT.replace("if (slot < 0 || slot >= tbl_limit) { return -22; }\n"
+                   "    tbl_data[slot] = clamp(val);",
+                   "tbl_data[slot] = clamp(val);")
+
+
+# ---------------------------------------------------------------------------
+# Operators
+
+
+def test_operator_set_extends_pr8():
+    assert len(OPERATORS) == 7
+    assert {"drop-hunk", "swap-callee", "widen-field"} < set(OPERATORS)
+
+
+def test_drop_hunk_reverts_to_pre():
+    assert mutate_unit(PRE, UNIT, "drop-hunk") == PRE
+
+
+def test_widen_field_doubles_first_array_bound():
+    mutated = mutate_unit(PRE, UNIT, "widen-field")
+    assert "tbl_data[8]" in mutated
+    assert mutated.count("[8]") == 1
+
+
+def test_reorder_hunks_swaps_adjacent_functions():
+    mutated = mutate_unit(PRE, UNIT, "reorder-hunks")
+    assert mutated is not None
+    assert sorted(mutated.splitlines()) == sorted(UNIT.splitlines())
+    assert mutated != UNIT
+    # it is still a reordering of whole definitions, not a text shuffle
+    assert mutated.count("int sys_tbl_put(") == 1
+    assert mutated.index("sys_tbl_put") != UNIT.index("sys_tbl_put")
+
+
+def test_split_function_interposes_a_wrapper():
+    mutated = mutate_unit(PRE, UNIT, "split-function")
+    assert "static int sys_tbl_put_impl(" in mutated
+    assert "return sys_tbl_put_impl(slot, val, c);" in mutated
+    # the original entry point still exists exactly once as non-static
+    assert mutated.count("\nint sys_tbl_put(") == 1
+
+
+def test_rename_static_renames_every_use():
+    mutated = mutate_unit(PRE, UNIT, "rename-static")
+    assert "static int clamp_r(" in mutated
+    assert "clamp_r(val)" in mutated
+    assert "clamp(" not in mutated.replace("clamp_r(", "")
+
+
+def test_corrupt_relocation_target_retargets_one_use():
+    mutated = mutate_unit(PRE, UNIT, "corrupt-relocation-target")
+    assert mutated is not None and mutated != UNIT
+    # exactly one reference changed
+    diff = [(a, b) for a, b in zip(UNIT.splitlines(),
+                                   mutated.splitlines()) if a != b]
+    assert len(diff) == 1
+
+
+def test_inapplicable_operators_return_none():
+    tiny = "int only = 1;\n\nint sys_only(int a, int b, int c) {\n" \
+           "    return only;\n}\n"
+    assert mutate_unit(tiny, tiny, "reorder-hunks") is None
+    assert mutate_unit(tiny, tiny, "rename-static") is None
+    assert mutate_unit(tiny, tiny, "corrupt-relocation-target") is None
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(ReproError):
+        mutate_unit(PRE, UNIT, "transmogrify")
+
+
+def test_rng_varies_the_site_but_stays_deterministic():
+    a = mutate_unit(PRE, UNIT, "reorder-hunks", random.Random(5))
+    b = mutate_unit(PRE, UNIT, "reorder-hunks", random.Random(5))
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Harness
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return GeneratedCorpus.generate(3, 8).specs()
+
+
+def test_fuzz_run_is_consistent(pool):
+    report = fuzz_corpus(pool, budget=10, seed=1)
+    assert report.consistent, report.discrepancies
+    assert report.mutants + report.refused + report.inapplicable == 10
+    assert report.mutants > 0
+    assert len(report.outcomes) == 10
+
+
+def test_fuzz_is_deterministic(pool):
+    first = fuzz_corpus(pool, budget=6, seed=9)
+    second = fuzz_corpus(pool, budget=6, seed=9)
+    assert first.to_json() == second.to_json()
+
+
+def test_fuzz_rejects_empty_pool():
+    with pytest.raises(ReproError):
+        fuzz_corpus([], budget=1)
+
+
+def test_planted_evidence_stripping_is_surfaced(pool):
+    """A tampered analyzer that drops its proof witnesses must show up
+    as discrepancies — the harness's reason to exist."""
+
+    def strip_evidence(analysis):
+        analysis.evidence[:] = []
+
+    report = fuzz_corpus(pool, budget=10, seed=1, tamper=strip_evidence)
+    assert not report.consistent
+    assert any("not evidence-backed" in d or "carries no witness" in d
+               for d in report.discrepancies)
+
+
+def test_planted_out_of_lattice_verdict_is_surfaced(pool):
+    def bogus_verdict(analysis):
+        analysis.verdict = "totally-fine"
+
+    report = fuzz_corpus(pool, budget=10, seed=1, tamper=bogus_verdict)
+    assert any("not in the lattice" in d for d in report.discrepancies)
+
+
+def test_contract_flags_missing_analysis():
+    problems = check_mutant_contract(None, None, None, None)
+    assert problems == ["created cleanly but produced no analysis report"]
